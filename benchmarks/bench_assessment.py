@@ -1,0 +1,89 @@
+"""E10 — validate the legal engine against Table 1, and measure the
+full assessment pipeline.
+
+The legal bullets of every Table 1 row must re-derive from the
+first-principles rules engine applied to the per-entry data profiles;
+the second benchmark runs a complete project assessment (legal +
+Menlo + grid + justifications) end to end.
+"""
+
+from __future__ import annotations
+
+from repro.assessment import (
+    PlannedSafeguards,
+    ResearchProject,
+    assess_project,
+    validate_legal_reconstruction,
+)
+from repro.corpus import DataOrigin
+from repro.ethics import (
+    BenefitInstance,
+    HarmInstance,
+    JustificationFacts,
+)
+from repro.legal import DataProfile, JurisdictionSet
+
+
+def test_e10_legal_reconstruction(benchmark, corpus):
+    checks = benchmark(validate_legal_reconstruction, corpus)
+    assert len(checks) == 30
+    failures = [check.describe() for check in checks if not check.ok]
+    assert not failures, failures
+
+
+def _project() -> ResearchProject:
+    return ResearchProject(
+        title="Booter economics study",
+        research_question="How much do booters earn?",
+        data_description="A leaked booter database.",
+        profile=DataProfile(
+            origin=DataOrigin.UNAUTHORIZED_LEAK,
+            contains_email_addresses=True,
+            contains_ip_addresses=True,
+            copyrighted_material=True,
+            publicly_available=True,
+        ),
+        harms=(
+            HarmInstance(
+                description="customer re-exposure",
+                kind="SI",
+                stakeholder_id="data-subjects",
+                likelihood=0.5,
+                severity=0.5,
+            ),
+        ),
+        benefits=(
+            BenefitInstance(
+                description="unique ground truth",
+                kind="U",
+                beneficiary="society",
+                magnitude=0.8,
+            ),
+        ),
+        justification_facts=JustificationFacts(
+            data_public=True,
+            no_alternative_source=True,
+            public_interest_case=True,
+            secure_handling=True,
+        ),
+        safeguards=PlannedSafeguards(
+            secure_storage=True,
+            privacy_preserved=True,
+            controlled_sharing=True,
+        ),
+        jurisdictions=JurisdictionSet.from_codes(["UK", "US", "DE"]),
+        reb_approved=True,
+        has_ethics_section=True,
+    )
+
+
+def test_e10_full_assessment_pipeline(benchmark):
+    project = _project()
+    assessment = benchmark(assess_project, project)
+    assert assessment.verdict in (
+        "proceed",
+        "proceed-with-safeguards",
+    )
+    assert "computer-misuse" in assessment.applicable_legal_issues
+    assert "data-privacy" in assessment.applicable_legal_issues
+    assert assessment.acceptable_justifications

@@ -1,0 +1,70 @@
+"""E9 — per-category structure of the coding matrix.
+
+The §4 narrative has a clear per-category signature, reproduced here:
+password-dump papers all discuss safeguards and use the privacy
+safeguard; classified-material papers discuss almost nothing (the
+"authors prefer not to confront the question" finding); booter/forum
+rows carry the heaviest legal exposure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import CodingMatrix
+from repro.corpus import Category
+
+
+def test_e9_category_signatures(benchmark, corpus):
+    matrix = CodingMatrix(corpus)
+    subs = benchmark(matrix.by_category)
+
+    passwords = subs[Category.PASSWORDS]
+    assert passwords.frequencies(["safeguards:P"])["safeguards:P"] == 5
+    assert (
+        passwords.frequencies(["identify-harms"])["identify-harms"]
+        == 5
+    )
+
+    classified = subs[Category.CLASSIFIED]
+    ethics_discussion = classified.frequencies(
+        ["identification-of-stakeholders", "identify-harms",
+         "safeguards-discussed"]
+    )
+    # Classified-material work barely engages: no stakeholder or
+    # safeguard discussion anywhere, minimal harm discussion.
+    assert ethics_discussion["identification-of-stakeholders"] == 0
+    assert ethics_discussion["safeguards-discussed"] == 0
+
+    leaked = subs[Category.LEAKED_DATABASES]
+    assert (
+        leaked.frequencies(["ethics-section"])["ethics-section"] >= 5
+    )
+
+
+def test_e9_legal_exposure_by_category(benchmark, corpus):
+    matrix = CodingMatrix(corpus)
+
+    def exposure():
+        result = {}
+        for category, sub in matrix.by_category().items():
+            table = sub.group_frequencies("legal")
+            result[category] = sum(table.counts) / len(sub.entries)
+        return result
+
+    per_category = benchmark(exposure)
+    # Classified material carries the broadest legal exposure per
+    # paper; the Carna-dominated malware category the narrowest.
+    assert per_category[Category.CLASSIFIED] == max(
+        per_category.values()
+    )
+    assert per_category[Category.MALWARE] == min(
+        per_category.values()
+    )
+
+
+def test_e9_cooccurrence_structure(benchmark, corpus):
+    matrix = CodingMatrix(corpus)
+    labels = ["justice", "public-interest", "ethics-section"]
+    __, counts = benchmark(matrix.cooccurrence, labels)
+    # Justice and public interest travel together in Table 1.
+    justice_pi = counts[0][1]
+    assert justice_pi >= 12

@@ -1,0 +1,72 @@
+"""E1 — regenerate Table 1 (the paper's only table).
+
+Regenerates the full 30-row coding matrix in every output format,
+asserting the structural facts of the printed table (row count,
+category runs, footnotes, glyphs) while measuring rendering cost.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.tables import build_table1_layout, render_table1
+
+
+def test_e1_table1_text(benchmark, corpus):
+    text = benchmark(render_table1, corpus, "text")
+    data_lines = [
+        line for line in text.splitlines() if line.count("|") > 5
+    ]
+    assert len(data_lines) == 31  # header + 30 rows
+    for category in (
+        "Malware & exploitation",
+        "Password dumps",
+        "Leaked databases",
+        "Classified materials",
+        "Financial data",
+    ):
+        assert category in text
+
+
+def test_e1_table1_csv_cells(benchmark, corpus):
+    text = benchmark(render_table1, corpus, "csv")
+    rows = list(csv.reader(io.StringIO(text)))
+    header, *data = rows
+    assert len(data) == 30
+    by_id = {row[1]: dict(zip(header, row)) for row in data}
+    # Spot-check printed cells against the paper.
+    att = by_id["att-ipad"]
+    assert att["Ref"] == "[106]a"
+    assert att["Harms"] == "I,PA,SI,RH"
+    patreon = by_id["patreon"]
+    assert patreon["No additional harm"] == "l"
+    assert patreon["REB approval"] == "∅"
+    exempt = by_id["udp-ddos-thomas"]
+    assert exempt["REB approval"] == "E"
+    weir = by_id["pcfg-weir"]
+    assert weir["Safeguards"] == "SS,P,CS"
+
+
+def test_e1_layout_build(benchmark, corpus):
+    layout = benchmark(build_table1_layout, corpus)
+    assert len(layout.rows) == 30
+    assert [c for c, _ in layout.category_spans()] == [
+        "Malware & exploitation",
+        "Password dumps",
+        "Leaked databases",
+        "Classified materials",
+        "Financial data",
+    ]
+    assert set(layout.footnotes) == set("abcde")
+
+
+def test_e1_all_formats(benchmark, corpus):
+    def render_all():
+        return {
+            fmt: render_table1(corpus, fmt)
+            for fmt in ("text", "markdown", "latex", "csv", "html")
+        }
+
+    outputs = benchmark(render_all)
+    assert all(outputs.values())

@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import table1_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return table1_corpus()

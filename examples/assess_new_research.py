@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Scenario: a researcher plans to study a leaked booter database.
+
+This walks the full decision-support pipeline the paper's §6 calls
+for: describe the project → identify stakeholders, harms, benefits →
+run the legal and Menlo engines → get a verdict with required
+actions → generate the ethics section and REB application.
+
+Run:
+    python examples/assess_new_research.py
+"""
+
+from repro.assessment import (
+    PlannedSafeguards,
+    ResearchProject,
+    assess_project,
+    publication_checklist,
+)
+from repro.corpus import DataOrigin
+from repro.ethics import (
+    BenefitInstance,
+    HarmInstance,
+    JustificationFacts,
+)
+from repro.legal import DataProfile, JurisdictionSet
+from repro.reporting import (
+    generate_ethics_section,
+    generate_reb_application,
+)
+
+
+def build_project(with_safeguards: bool) -> ResearchProject:
+    safeguards = (
+        PlannedSafeguards(
+            secure_storage=True,
+            encryption_at_rest=True,
+            access_control=True,
+            privacy_preserved=True,
+            pseudonymisation=True,
+            data_minimisation=True,
+            controlled_sharing=True,
+            acceptable_use_policy="https://example.org/aup/booter",
+            retention_limit_days=365,
+        )
+        if with_safeguards
+        else PlannedSafeguards()
+    )
+    return ResearchProject(
+        title="Understanding the economics of DDoS-for-hire",
+        research_question=(
+            "How much revenue do booters make, and which attacks "
+            "dominate their output?"
+        ),
+        data_description=(
+            "A leaked database of a commercial booter service, "
+            "containing user accounts, attack logs, payments and "
+            "support tickets."
+        ),
+        profile=DataProfile(
+            origin=DataOrigin.UNAUTHORIZED_LEAK,
+            contains_email_addresses=True,
+            contains_ip_addresses=True,
+            contains_private_messages=True,
+            copyrighted_material=True,
+            publicly_available=True,
+        ),
+        harms=(
+            HarmInstance(
+                description=(
+                    "booter customers' emails could be re-exposed by "
+                    "our handling of the data"
+                ),
+                kind="SI",
+                stakeholder_id="data-subjects",
+                likelihood="possible",
+                severity="moderate",
+            ),
+            HarmInstance(
+                description=(
+                    "criminals could threaten the researchers for "
+                    "publishing revenue figures"
+                ),
+                kind="RH",
+                stakeholder_id="researchers",
+                likelihood="unlikely",
+                severity="moderate",
+            ),
+        ),
+        benefits=(
+            BenefitInstance(
+                description=(
+                    "ground truth on booter attacks, unobtainable by "
+                    "external measurement"
+                ),
+                kind="U",
+                beneficiary="society",
+                magnitude=0.8,
+            ),
+            BenefitInstance(
+                description=(
+                    "defences: amplifier cleanup lists and victim "
+                    "notification"
+                ),
+                kind="DM",
+                beneficiary="society",
+                magnitude=0.7,
+            ),
+        ),
+        justification_facts=JustificationFacts(
+            data_public=True,
+            no_alternative_source=True,
+            public_interest_case=True,
+            secure_handling=with_safeguards,
+            adversaries_use_data=True,
+        ),
+        safeguards=safeguards,
+        jurisdictions=JurisdictionSet.from_codes(["UK", "US", "DE"]),
+        has_ethics_section=True,
+    )
+
+
+def main() -> None:
+    # First attempt: no safeguards planned.
+    naive = assess_project(build_project(with_safeguards=False))
+    print("=== Without safeguards ===")
+    print(naive.summary())
+    print()
+
+    # Second attempt: full safeguard plan.
+    careful = assess_project(build_project(with_safeguards=True))
+    print("=== With safeguards ===")
+    print(careful.summary())
+    print()
+
+    print("=== Publication checklist ===")
+    print(publication_checklist().report(careful))
+    print()
+
+    print("=== Generated ethics section ===")
+    print(generate_ethics_section(careful))
+    print()
+
+    print("=== Generated REB application (excerpt) ===")
+    application = generate_reb_application(careful)
+    print("\n".join(application.splitlines()[:30]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Scenario: the two ways to run a breach-data service (§4.2).
+
+The paper contrasts leakedsource.com (sold access to leaked
+credentials; shut down, operators arrested) with haveibeenpwned.com
+(never exposes passwords, verifies control of an address before
+revealing anything, notifies victims of future breaches). This
+example runs both models over the same synthetic breach and shows the
+behavioural difference query by query — including the k-anonymity
+range protocol that lets users check passwords without revealing
+them.
+
+Run:
+    python examples/breach_notification.py
+"""
+
+import hashlib
+
+from repro.datasets import PasswordDumpGenerator
+from repro.errors import SafeguardError
+from repro.safeguards import (
+    AccessSaleService,
+    BreachNotificationService,
+    BreachRecord,
+    password_range_query,
+)
+
+
+def main() -> None:
+    dump = PasswordDumpGenerator(2016).generate(
+        site="examplesite", users=500
+    )
+    breach = [
+        BreachRecord(
+            breach_name="examplesite-2016",
+            email=record.email,
+            password=record.password,
+        )
+        for record in dump.records
+    ]
+    victim = breach[0]
+    print(
+        f"breach: {len(breach)} accounts from "
+        f"{breach[0].breach_name}"
+    )
+    print()
+
+    # --- the unethical model -------------------------------------
+    sale = AccessSaleService()
+    sale.ingest(breach)
+    bought = sale.lookup(victim.email, payment=4.99)
+    print("AccessSaleService (the leakedsource model):")
+    print(
+        f"  stranger pays $4.99 and gets {victim.email}'s password "
+        f"{bought[0].password!r} — no questions asked"
+    )
+    print(f"  service revenue so far: ${sale.revenue:.2f}")
+    print()
+
+    # --- the ethical model -----------------------------------------
+    ethical = BreachNotificationService()
+    ethical.ingest(breach)
+    print("BreachNotificationService (the haveibeenpwned model):")
+    try:
+        ethical.breaches_for(victim.email)
+    except SafeguardError as refusal:
+        print(f"  same query refused: {refusal}")
+
+    # The actual owner verifies control and learns the truth.
+    token = ethical.request_verification(victim.email)
+    ethical.confirm_verification(victim.email, token)
+    print(
+        f"  verified owner sees: breached in "
+        f"{ethical.breaches_for(victim.email)}"
+    )
+
+    # Anonymous password check via the range protocol.
+    digest = hashlib.sha1(
+        victim.password.encode()
+    ).hexdigest().upper()
+    bucket = ethical.password_bucket(digest[:5])
+    found = password_range_query(victim.password, bucket)
+    print(
+        f"  k-anonymity range check: client sends prefix "
+        f"{digest[:5]}, gets {len(bucket[digest[:5]])} suffixes, "
+        f"learns locally that the password is "
+        f"{'breached' if found else 'clean'} — the server never "
+        "sees the password"
+    )
+
+    # Future breaches trigger notification.
+    ethical.ingest(
+        [
+            BreachRecord(
+                breach_name="othersite-2017",
+                email=victim.email,
+                password="different-password1",
+            )
+        ]
+    )
+    print(
+        f"  outbound notifications queued: "
+        f"{ethical.pending_notifications}"
+    )
+    print()
+    print(
+        "Same data, opposite ethics: the first model maximises harm "
+        "for profit; the second maximises benefit (victims learn, "
+        "defenders measure) while exposing nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

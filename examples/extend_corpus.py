@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Scenario: code a *new* paper against the framework (§6's ask).
+
+The paper expects the community to keep applying its coding scheme.
+This example codes a hypothetical 2018 study of a (synthetic) leaked
+ransomware-operator chat corpus using :class:`CorpusBuilder`, merges
+it into the corpus, and shows the analyses updating — while the
+Table 1 reproduction itself stays pinned to the paper's 30 rows.
+
+Run:
+    python examples/extend_corpus.py
+"""
+
+from repro import table1_corpus
+from repro.analysis import section5_statistics, verify_section5
+from repro.corpus import (
+    Category,
+    CorpusBuilder,
+    DataOrigin,
+    extended_corpus,
+)
+from repro.tables import bar_chart, render_table1
+
+
+def code_new_study():
+    """Code the new paper cell by cell, with the same validation the
+    transcribed Table 1 rows get."""
+    return (
+        CorpusBuilder(
+            id="ransomware-chats-2018",
+            category=Category.LEAKED_DATABASES,
+            source_label="Ransomware operator chats",
+            reference=47,  # nearest methodological ancestor
+            year=2017,
+        )
+        .legal("computer-misuse", "copyright", "data-privacy")
+        .ethical(
+            identification_of_stakeholders=True,
+            identify_harms=True,
+            safeguards=True,
+            justice=False,
+            public_interest=True,
+        )
+        .justifications(
+            public_data=True,
+            fight_malicious_use=True,
+            necessary_data=True,
+        )
+        .ethics_section(True)
+        .reb("approved")
+        .codes(
+            safeguards=("SS", "P", "CS"),
+            harms=("SI", "RH", "BC"),
+            benefits=("U", "DM", "AT"),
+        )
+        .describe(
+            summary=(
+                "A study of leaked internal chat logs of a ransomware "
+                "operation, analysing negotiation tactics to support "
+                "victim-side guidance."
+            ),
+            datasets=("Leaked ransomware-operation chat corpus",),
+            origin=DataOrigin.UNAUTHORIZED_LEAK,
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    new_entry = code_new_study()
+    print(f"coded new case study: {new_entry.id}")
+    print(f"  legal issues: {', '.join(new_entry.legal_issues)}")
+    print(f"  safeguards:   {','.join(new_entry.codes('safeguards'))}")
+    print()
+
+    corpus = extended_corpus(extra=(new_entry,))
+    print(
+        f"extended corpus: {len(corpus)} entries "
+        "(30 from Table 1 + 1 extension)"
+    )
+    stats = section5_statistics(corpus)
+    print("REB approvals now:", stats.reb_approved)
+    print()
+    print("Safeguard usage across the extended corpus:")
+    print(bar_chart(stats.safeguard_counts, width=30))
+    print()
+
+    # The extension appears in the rendered table...
+    markdown = render_table1(corpus, "markdown")
+    row = next(
+        line
+        for line in markdown.splitlines()
+        if "Ransomware operator chats" in line
+    )
+    print("rendered row:", row[:100], "...")
+    print()
+
+    # ...but the paper's reproduction stays pinned to its own table.
+    pristine_checks = verify_section5(table1_corpus())
+    print(
+        "Table 1 reproduction unaffected:",
+        all(check.ok for check in pristine_checks),
+        f"({len(pristine_checks)} checks)",
+    )
+
+
+if __name__ == "__main__":
+    main()

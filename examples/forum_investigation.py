@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: analyse a (synthetic) leaked underground forum (§4.3.3).
+
+Runs the analyses of Motoyama/Yip/Portnoff on a synthetic forum dump
+— social-network structure, key actors, market concentration — then
+shows the privacy flip side: the same data de-anonymises members, so
+the outputs are pseudonymised before they leave the enclave.
+
+Run:
+    python examples/forum_investigation.py
+"""
+
+import secrets
+
+from repro.anonymization import TokenMapper
+from repro.datasets import ForumGenerator
+from repro.metrics import ForumNetwork
+
+
+def main() -> None:
+    forum = ForumGenerator(seed=99).generate(
+        name="w0rm-like-forum", members=300, threads=250, days=365
+    )
+    print(
+        f"forum dump: {len(forum.members)} members, "
+        f"{len(forum.threads)} threads, {len(forum.posts)} posts, "
+        f"{len(forum.messages)} private messages, "
+        f"{len(forum.trades)} trades"
+    )
+    print(
+        f"illicit-board share of threads: {forum.illicit_share():.0%} "
+        "(forums mix criminal and benign topics, §4.3.3)"
+    )
+    print()
+
+    network = ForumNetwork(forum)
+    print("Network structure:", network.summary().describe())
+    print(f"reciprocity: {network.reciprocity():.2f}")
+    print()
+
+    # Key-actor identification — with pseudonyms, never real handles.
+    mapper = TokenMapper(prefix="member")
+    by_id = {m.member_id: m for m in forum.members}
+    print("Key actors (betweenness centrality):")
+    for member_id, score in network.key_actors(5):
+        handle = by_id[member_id].username
+        print(f"  {mapper.token(handle):<10} score {score:.4f}")
+    print(
+        "  (real handles stay in escrow: "
+        f"{len(mapper)} pseudonyms issued)"
+    )
+    print()
+
+    print("Market analysis:")
+    print(f"  trades by product: {forum.trades_by_product()}")
+    print(
+        f"  seller concentration (Gini): "
+        f"{network.seller_concentration():.2f}"
+    )
+    print()
+
+    print(
+        "Ethics note: the members are identifiable from this dump "
+        "(usernames, emails, private messages). The §5.3 harms SI "
+        "and DA apply; our outputs therefore contain only pseudonyms "
+        "and aggregates, and the raw dump is never redistributed."
+    )
+
+
+if __name__ == "__main__":
+    main()

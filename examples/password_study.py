@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: reproduce the password-dump research family (§4.2).
+
+Generates synthetic dumps and runs the actual analyses of the
+surveyed papers: Bonneau's α-guesswork [13], Weir-style PCFG and
+OMEN-style Markov cracking with cracking curves [121, 31, 114], and
+the Das et al. cross-site reuse study [24] — demonstrating why this
+research needs dump-shaped data (the "Uniqueness" and "Defence
+Mechanisms" benefits) without touching a real leak.
+
+Run:
+    python examples/password_study.py
+"""
+
+from repro.datasets import PasswordDumpGenerator
+from repro.metrics import (
+    BruteForceGuesser,
+    DictionaryGuesser,
+    MarkovGuesser,
+    PCFGGuesser,
+    alpha_guesswork_bits,
+    analyze_reuse,
+    cracking_curve,
+    distribution,
+    min_entropy,
+    shannon_entropy,
+)
+
+
+def main() -> None:
+    train = PasswordDumpGenerator(42).generate(
+        site="train-leak", users=3000
+    )
+    test = PasswordDumpGenerator(7).generate(
+        site="target-leak", users=1000
+    )
+
+    # 1. Distribution metrics (Bonneau).
+    probs = distribution(train.passwords())
+    print("Distribution metrics on the training dump")
+    print(f"  Shannon entropy H1:  {shannon_entropy(probs):6.2f} bits")
+    print(f"  Min-entropy Hinf:    {min_entropy(probs):6.2f} bits")
+    for alpha in (0.1, 0.25, 0.5):
+        bits = alpha_guesswork_bits(probs, alpha)
+        print(f"  alpha-guesswork G~({alpha}): {bits:6.2f} bits")
+    print(
+        "  -> partial attacks face far less than the Shannon bound, "
+        "Bonneau's headline result."
+    )
+    print()
+
+    # 2. Cracking curves (Weir / Durmuth / Ur).
+    print("Cracking curves (fraction of target dump cracked)")
+    budget = 4096
+    guessers = [
+        ("brute-force", BruteForceGuesser()),
+        ("dictionary", DictionaryGuesser(train.passwords())),
+        ("markov (OMEN-style)", MarkovGuesser(train.passwords())),
+        ("pcfg (Weir-style)", PCFGGuesser(train.passwords())),
+    ]
+    for name, guesser in guessers:
+        curve = cracking_curve(guesser, test.passwords(), budget)
+        checkpoints = {count: frac for count, frac in curve}
+        at_256 = checkpoints.get(256, curve[-1][1])
+        final = curve[-1][1]
+        print(
+            f"  {name:<20} @256 guesses: {at_256:6.1%}   "
+            f"@{budget}: {final:6.1%}"
+        )
+    print()
+
+    # 3. Cross-site reuse (Das et al.).
+    site_a, site_b = PasswordDumpGenerator(11).generate_pair(
+        users=4000, overlap=0.4
+    )
+    profile = analyze_reuse(site_a, site_b)
+    print("Cross-site password reuse (matched by email)")
+    print(f"  shared users:    {profile.shared_users}")
+    print(f"  identical reuse: {profile.identical_rate:.1%}")
+    print(f"  partial reuse:   {profile.partial_rate:.1%}")
+    print(f"  any reuse:       {profile.any_reuse_rate:.1%}")
+    print(
+        "  -> matches the ~43% direct-reuse rate Das et al. report "
+        "for multi-site users."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Ethical issues in research using datasets
+of illicit origin" (Thomas et al., IMC 2017).
+
+The library provides:
+
+* the paper's qualitative coding framework (:mod:`repro.codebook`,
+  :mod:`repro.corpus`, :mod:`repro.coding`),
+* the analysis that regenerates Table 1 and every §5 statistic
+  (:mod:`repro.analysis`, :mod:`repro.tables`),
+* operational ethics/legal decision support (:mod:`repro.ethics`,
+  :mod:`repro.legal`, :mod:`repro.assessment`, :mod:`repro.reb`),
+* a safeguard toolkit (:mod:`repro.safeguards`,
+  :mod:`repro.anonymization`),
+* synthetic illicit-origin dataset simulators (:mod:`repro.datasets`)
+  and the survey papers' algorithms (:mod:`repro.metrics`),
+* report generators (:mod:`repro.reporting`) and a CLI
+  (``python -m repro``).
+
+Quickstart::
+
+    from repro import table1_corpus, render_table1, section5_statistics
+    corpus = table1_corpus()
+    print(render_table1(corpus))
+    stats = section5_statistics(corpus)
+"""
+
+from __future__ import annotations
+
+from .bibliography import Bibliography, Reference, paper_bibliography
+from .codebook import CellValue, Code, Codebook, Dimension, paper_codebook
+from .corpus import (
+    CaseStudyEntry,
+    Category,
+    Corpus,
+    DataOrigin,
+    table1_corpus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bibliography",
+    "CaseStudyEntry",
+    "Category",
+    "CellValue",
+    "Code",
+    "Codebook",
+    "Corpus",
+    "DataOrigin",
+    "Dimension",
+    "Reference",
+    "__version__",
+    "paper_bibliography",
+    "paper_codebook",
+    "table1_corpus",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose heavyweight subpackage entry points.
+
+    Keeps ``import repro`` fast while letting ``repro.render_table1``
+    and friends work as documented.
+    """
+    lazy = {
+        "render_table1": ("repro.tables", "render_table1"),
+        "section5_statistics": ("repro.analysis", "section5_statistics"),
+        "CodingMatrix": ("repro.analysis", "CodingMatrix"),
+        "assess_project": ("repro.assessment", "assess_project"),
+        "ResearchProject": ("repro.assessment", "ResearchProject"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

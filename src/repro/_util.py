@@ -1,0 +1,123 @@
+"""Small shared helpers used across the repro library.
+
+These are internal utilities (note the module name); the public API is
+re-exported from :mod:`repro` and the subpackages.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Return a lowercase, hyphen-separated identifier derived from *text*.
+
+    >>> slugify("Computer Misuse")
+    'computer-misuse'
+    >>> slugify("  Anthropology & Transparency ")
+    'anthropology-transparency'
+    """
+    normalized = unicodedata.normalize("NFKD", text)
+    ascii_text = normalized.encode("ascii", "ignore").decode("ascii")
+    slug = _SLUG_RE.sub("-", ascii_text.lower()).strip("-")
+    return slug
+
+
+def ensure_unique(items: Iterable[T], what: str = "item") -> list[T]:
+    """Return *items* as a list, raising ``ValueError`` on duplicates."""
+    seen: set[T] = set()
+    result: list[T] = []
+    for item in items:
+        if item in seen:
+            raise ValueError(f"duplicate {what}: {item!r}")
+        seen.add(item)
+        result.append(item)
+    return result
+
+
+def freeze_mapping(mapping: Mapping[str, T]) -> dict[str, T]:
+    """Return a defensive shallow copy of *mapping* as a plain dict."""
+    return dict(mapping)
+
+
+def wrap_text(text: str, width: int = 72, indent: str = "") -> list[str]:
+    """Greedy word-wrap of *text* into lines at most *width* wide.
+
+    ``indent`` is prepended to every line and counted against the width.
+    Words longer than the available width are emitted on their own line
+    rather than split.
+    """
+    if width <= len(indent):
+        raise ValueError("width must exceed indent length")
+    budget = width - len(indent)
+    lines: list[str] = []
+    current: list[str] = []
+    current_len = 0
+    for word in text.split():
+        extra = len(word) if not current else len(word) + 1
+        if current and current_len + extra > budget:
+            lines.append(indent + " ".join(current))
+            current = [word]
+            current_len = len(word)
+        else:
+            current.append(word)
+            current_len += extra
+    if current:
+        lines.append(indent + " ".join(current))
+    if not lines:
+        lines.append(indent.rstrip() if indent else "")
+    return lines
+
+
+def percent(part: int, whole: int) -> float:
+    """Return ``part / whole`` as a percentage, 0.0 when *whole* is zero."""
+    if whole == 0:
+        return 0.0
+    return 100.0 * part / whole
+
+
+def stable_sorted(items: Iterable[T], key=None) -> list[T]:
+    """Sorted list with ``None`` keys ordered last (stable otherwise)."""
+    items = list(items)
+    if key is None:
+        return sorted(items)
+
+    def _key(item: T):
+        value = key(item)
+        return (value is None, value)
+
+    return sorted(items, key=_key)
+
+
+def oxford_join(parts: Sequence[str], conjunction: str = "and") -> str:
+    """Join *parts* into an English list: ``a, b, and c``.
+
+    >>> oxford_join(["privacy"])
+    'privacy'
+    >>> oxford_join(["privacy", "storage"])
+    'privacy and storage'
+    >>> oxford_join(["a", "b", "c"], conjunction="or")
+    'a, b, or c'
+    """
+    parts = [p for p in parts if p]
+    if not parts:
+        return ""
+    if len(parts) == 1:
+        return parts[0]
+    if len(parts) == 2:
+        return f"{parts[0]} {conjunction} {parts[1]}"
+    return ", ".join(parts[:-1]) + f", {conjunction} {parts[-1]}"
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp *value* into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    return max(low, min(high, value))

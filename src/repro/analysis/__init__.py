@@ -1,0 +1,48 @@
+"""Tabulation, statistics and the §5 reproduction queries."""
+
+from .matrix import CodingMatrix, CrossTab, FrequencyTable
+from .section5 import (
+    PAPER_CLAIMS,
+    ClaimCheck,
+    Section5Statistics,
+    section5_statistics,
+    verify_section5,
+)
+from .similarity import PairSimilarity, SimilarityAnalysis
+from .uncertainty import (
+    ProportionEstimate,
+    compare_proportions,
+    required_sample_size,
+    section5_intervals,
+    wilson_interval,
+)
+from .statistics import (
+    IndependenceTest,
+    TrendTest,
+    odds_ratio,
+    independence_test,
+    year_trend_test,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "CodingMatrix",
+    "CrossTab",
+    "FrequencyTable",
+    "IndependenceTest",
+    "PAPER_CLAIMS",
+    "PairSimilarity",
+    "ProportionEstimate",
+    "Section5Statistics",
+    "SimilarityAnalysis",
+    "TrendTest",
+    "compare_proportions",
+    "independence_test",
+    "odds_ratio",
+    "required_sample_size",
+    "section5_intervals",
+    "section5_statistics",
+    "verify_section5",
+    "wilson_interval",
+    "year_trend_test",
+]

@@ -1,0 +1,233 @@
+"""Coding-matrix extraction and tabulation.
+
+:class:`CodingMatrix` turns a :class:`~repro.corpus.Corpus` into a
+dense indicator matrix (entries × indicator columns) backed by numpy,
+and provides the frequency / cross-tabulation / co-occurrence queries
+the analysis in §5 of the paper is built from.
+
+Indicator columns are one per closed dimension (1 when the cell value
+is positive: applicable / discussed / approved) plus one per member
+code of each open dimension (1 when the entry carries the code).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..codebook import CellValue, DimensionKind
+from ..corpus import CaseStudyEntry, Category, Corpus
+from ..errors import AnalysisError
+
+__all__ = ["CodingMatrix", "FrequencyTable", "CrossTab"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequencyTable:
+    """Counts (and shares) of positive codings per indicator column."""
+
+    labels: tuple[str, ...]
+    counts: tuple[int, ...]
+    total: int
+
+    def share(self, label: str) -> float:
+        """Fraction of entries positive on *label* (0..1)."""
+        return self[label] / self.total if self.total else 0.0
+
+    def __getitem__(self, label: str) -> int:
+        try:
+            return self.counts[self.labels.index(label)]
+        except ValueError:
+            raise AnalysisError(f"unknown label {label!r}") from None
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """(label, count) pairs sorted by descending count."""
+        pairs = sorted(
+            zip(self.labels, self.counts), key=lambda p: (-p[1], p[0])
+        )
+        return pairs if n is None else pairs[:n]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(zip(self.labels, self.counts))
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossTab:
+    """A 2×2 contingency table between two indicator columns."""
+
+    row_label: str
+    col_label: str
+    both: int
+    row_only: int
+    col_only: int
+    neither: int
+
+    @property
+    def table(self) -> np.ndarray:
+        return np.array(
+            [[self.both, self.row_only], [self.col_only, self.neither]],
+            dtype=np.int64,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.both + self.row_only + self.col_only + self.neither
+
+    def jaccard(self) -> float:
+        """Jaccard similarity of the two indicator sets."""
+        union = self.both + self.row_only + self.col_only
+        return self.both / union if union else 0.0
+
+
+class CodingMatrix:
+    """Dense indicator matrix over a corpus.
+
+    Column naming: closed dimensions use their dimension id (e.g.
+    ``"computer-misuse"``); open-dimension codes use
+    ``"<dimension>:<ABBREV>"`` (e.g. ``"safeguards:CS"``).
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self.corpus = corpus
+        self.entries: tuple[CaseStudyEntry, ...] = tuple(corpus)
+        columns: list[str] = []
+        for dim in corpus.codebook:
+            if dim.kind == DimensionKind.CLOSED:
+                columns.append(dim.id)
+            else:
+                columns.extend(
+                    f"{dim.id}:{code.abbrev}" for code in dim.members
+                )
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._index = {c: i for i, c in enumerate(self.columns)}
+        self._matrix = np.zeros(
+            (len(self.entries), len(self.columns)), dtype=np.int8
+        )
+        for row, entry in enumerate(self.entries):
+            for dim in corpus.codebook:
+                if dim.kind == DimensionKind.CLOSED:
+                    value = entry.values.get(dim.id)
+                    if value is not None and value.is_positive:
+                        self._matrix[row, self._index[dim.id]] = 1
+                else:
+                    for abbrev in entry.codes(dim.id):
+                        key = f"{dim.id}:{abbrev}"
+                        self._matrix[row, self._index[key]] = 1
+
+    # -- basic access ----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape
+
+    def column(self, label: str) -> np.ndarray:
+        """The indicator column for *label* (0/1 per entry)."""
+        try:
+            return self._matrix[:, self._index[label]]
+        except KeyError:
+            raise AnalysisError(f"unknown column {label!r}") from None
+
+    def row(self, entry_id: str) -> np.ndarray:
+        """The indicator row for one entry id."""
+        for i, entry in enumerate(self.entries):
+            if entry.id == entry_id:
+                return self._matrix[i]
+        raise AnalysisError(f"unknown entry {entry_id!r}")
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the underlying indicator matrix."""
+        return self._matrix.copy()
+
+    # -- tabulation --------------------------------------------------------
+    def frequencies(
+        self, labels: Sequence[str] | None = None
+    ) -> FrequencyTable:
+        """Positive-coding counts for the given columns (default all)."""
+        labels = tuple(labels) if labels is not None else self.columns
+        counts = tuple(int(self.column(label).sum()) for label in labels)
+        return FrequencyTable(
+            labels=labels, counts=counts, total=len(self.entries)
+        )
+
+    def group_frequencies(self, group: str) -> FrequencyTable:
+        """Frequencies for all indicator columns of a codebook group."""
+        labels: list[str] = []
+        for dim in self.corpus.codebook.group(group):
+            if dim.kind == DimensionKind.CLOSED:
+                labels.append(dim.id)
+            else:
+                labels.extend(
+                    f"{dim.id}:{c.abbrev}" for c in dim.members
+                )
+        if not labels:
+            raise AnalysisError(f"codebook has no group {group!r}")
+        return self.frequencies(labels)
+
+    def crosstab(self, row_label: str, col_label: str) -> CrossTab:
+        """2×2 contingency table between two indicator columns."""
+        a = self.column(row_label).astype(bool)
+        b = self.column(col_label).astype(bool)
+        return CrossTab(
+            row_label=row_label,
+            col_label=col_label,
+            both=int((a & b).sum()),
+            row_only=int((a & ~b).sum()),
+            col_only=int((~a & b).sum()),
+            neither=int((~a & ~b).sum()),
+        )
+
+    def cooccurrence(
+        self, labels: Sequence[str] | None = None
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        """Co-occurrence counts matrix for the given columns."""
+        labels = tuple(labels) if labels is not None else self.columns
+        sub = np.stack([self.column(label) for label in labels], axis=1)
+        counts = sub.T.astype(np.int64) @ sub.astype(np.int64)
+        return labels, counts
+
+    # -- grouped views -------------------------------------------------------
+    def by_category(self) -> dict[str, "CodingMatrix"]:
+        """One sub-matrix per Table 1 category, in table order."""
+        result: dict[str, CodingMatrix] = {}
+        for category in Category.ORDER:
+            sub_entries = [
+                e for e in self.entries if e.category == category
+            ]
+            if not sub_entries:
+                continue
+            sub = CodingMatrix.__new__(CodingMatrix)
+            sub.corpus = self.corpus
+            sub.entries = tuple(sub_entries)
+            sub.columns = self.columns
+            sub._index = self._index
+            rows = [
+                i
+                for i, e in enumerate(self.entries)
+                if e.category == category
+            ]
+            sub._matrix = self._matrix[rows]
+            result[category] = sub
+        return result
+
+    def year_trend(self, label: str) -> dict[int, tuple[int, int]]:
+        """Per-year (positive count, entry count) for a column."""
+        col = self.column(label)
+        trend: dict[int, list[int]] = {}
+        for value, entry in zip(col, self.entries):
+            bucket = trend.setdefault(entry.year, [0, 0])
+            bucket[0] += int(value)
+            bucket[1] += 1
+        return {
+            year: (pos, total)
+            for year, (pos, total) in sorted(trend.items())
+        }
+
+    def reb_breakdown(self) -> dict[str, int]:
+        """Counts per REB status value across all entries."""
+        counts: dict[str, int] = {
+            value.value: 0 for value in CellValue
+        }
+        for entry in self.entries:
+            counts[entry.reb_status.value] += 1
+        return {k: v for k, v in counts.items() if v}

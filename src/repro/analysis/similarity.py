@@ -1,0 +1,144 @@
+"""Paper-similarity structure over the coding matrix.
+
+Do papers that use the same *kind* of data make the same ethical
+moves? This module builds a similarity graph over the corpus (Jaccard
+similarity of positive codings), finds clusters, and measures whether
+the Table 1 categories explain the coding structure — an analysis the
+paper gestures at ("a wide variation in the ethical issues mentioned
+by the authors ... even when they are using the same data") made
+computable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+import numpy as np
+
+from ..corpus import Corpus
+from ..errors import AnalysisError
+from .matrix import CodingMatrix
+
+__all__ = ["SimilarityAnalysis", "PairSimilarity"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PairSimilarity:
+    first: str
+    second: str
+    jaccard: float
+
+
+class SimilarityAnalysis:
+    """Jaccard similarity of entries' positive coding vectors."""
+
+    def __init__(
+        self, corpus: Corpus, *, columns: tuple[str, ...] | None = None
+    ) -> None:
+        self.corpus = corpus
+        matrix = CodingMatrix(corpus)
+        if columns is None:
+            # Default: the discussion columns (ethical issues,
+            # justifications, ethics section) — the paper's "ethical
+            # moves", excluding the legal-applicability facts.
+            columns = tuple(
+                dim.id
+                for dim in corpus.codebook
+                if dim.group in ("ethical", "justification", "meta")
+                and dim.id != "reb-approval"
+            )
+        self.columns = columns
+        self._vectors = {
+            entry.id: np.array(
+                [matrix.column(c)[i] for c in columns], dtype=bool
+            )
+            for i, entry in enumerate(matrix.entries)
+        }
+
+    def jaccard(self, first: str, second: str) -> float:
+        """Jaccard similarity of two entries' positive codings."""
+        try:
+            a = self._vectors[first]
+            b = self._vectors[second]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"unknown entry {exc.args[0]!r}"
+            ) from None
+        union = np.logical_or(a, b).sum()
+        if union == 0:
+            return 1.0  # both all-negative: identical behaviour
+        return float(np.logical_and(a, b).sum() / union)
+
+    def pairs(self, *, minimum: float = 0.0) -> list[PairSimilarity]:
+        """All entry pairs with similarity >= minimum, descending."""
+        ids = list(self._vectors)
+        result = [
+            PairSimilarity(a, b, self.jaccard(a, b))
+            for i, a in enumerate(ids)
+            for b in ids[i + 1:]
+        ]
+        result = [p for p in result if p.jaccard >= minimum]
+        result.sort(key=lambda p: (-p.jaccard, p.first, p.second))
+        return result
+
+    def graph(self, *, threshold: float = 0.6) -> nx.Graph:
+        """Similarity graph with edges above *threshold*."""
+        if not 0.0 <= threshold <= 1.0:
+            raise AnalysisError("threshold must be in [0, 1]")
+        graph = nx.Graph()
+        graph.add_nodes_from(self._vectors)
+        for pair in self.pairs(minimum=threshold):
+            graph.add_edge(
+                pair.first, pair.second, weight=pair.jaccard
+            )
+        return graph
+
+    def clusters(self, *, threshold: float = 0.6) -> list[set[str]]:
+        """Connected components of the thresholded graph, largest
+        first."""
+        components = nx.connected_components(
+            self.graph(threshold=threshold)
+        )
+        return sorted(components, key=len, reverse=True)
+
+    def category_cohesion(self) -> dict[str, float]:
+        """Mean within-category similarity per category.
+
+        High cohesion means papers using the same kind of data make
+        the same ethical moves; the paper observes variation "even
+        when they are using the same data", so cohesion well below 1
+        is the expected shape.
+        """
+        by_category: dict[str, list[str]] = {}
+        for entry in self.corpus:
+            by_category.setdefault(entry.category, []).append(entry.id)
+        cohesion: dict[str, float] = {}
+        for category, ids in by_category.items():
+            if len(ids) < 2:
+                cohesion[category] = 1.0
+                continue
+            values = [
+                self.jaccard(a, b)
+                for i, a in enumerate(ids)
+                for b in ids[i + 1:]
+            ]
+            cohesion[category] = sum(values) / len(values)
+        return cohesion
+
+    def separation(self) -> float:
+        """Mean within-category minus mean between-category
+        similarity; positive when categories structure the coding."""
+        within: list[float] = []
+        between: list[float] = []
+        entries = list(self.corpus)
+        for i, first in enumerate(entries):
+            for second in entries[i + 1:]:
+                value = self.jaccard(first.id, second.id)
+                if first.category == second.category:
+                    within.append(value)
+                else:
+                    between.append(value)
+        if not within or not between:
+            raise AnalysisError("need 2+ categories with 2+ entries")
+        return sum(within) / len(within) - sum(between) / len(between)

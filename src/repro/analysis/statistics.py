@@ -1,0 +1,133 @@
+"""Statistical tests and trend summaries over coding matrices.
+
+Thin wrappers around scipy for the tests a systematization analysis
+typically reports: independence of two coded attributes (χ², Fisher's
+exact for small cells) and monotone trend over publication year
+(Spearman/Mann-Kendall style).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import stats
+
+from ..errors import AnalysisError
+from .matrix import CodingMatrix, CrossTab
+
+__all__ = [
+    "IndependenceTest",
+    "TrendTest",
+    "independence_test",
+    "year_trend_test",
+    "odds_ratio",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class IndependenceTest:
+    """Result of a 2×2 independence test."""
+
+    row_label: str
+    col_label: str
+    method: str
+    statistic: float
+    p_value: float
+    odds_ratio: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 0.05 threshold (descriptive, not confirmatory)."""
+        return self.p_value < 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendTest:
+    """Result of a trend-over-years test for one indicator column."""
+
+    label: str
+    years: tuple[int, ...]
+    shares: tuple[float, ...]
+    rho: float
+    p_value: float
+
+    @property
+    def direction(self) -> str:
+        if self.rho > 0:
+            return "increasing"
+        if self.rho < 0:
+            return "decreasing"
+        return "flat"
+
+
+def odds_ratio(tab: CrossTab) -> float:
+    """Sample odds ratio with the Haldane-Anscombe 0.5 correction."""
+    a = tab.both + 0.5
+    b = tab.row_only + 0.5
+    c = tab.col_only + 0.5
+    d = tab.neither + 0.5
+    return (a * d) / (b * c)
+
+
+def independence_test(
+    matrix: CodingMatrix, row_label: str, col_label: str
+) -> IndependenceTest:
+    """Test independence of two indicator columns.
+
+    Uses Fisher's exact test when any expected cell count is below 5
+    (almost always the case at n=30), otherwise a χ² test with Yates
+    correction.
+    """
+    tab = matrix.crosstab(row_label, col_label)
+    table = tab.table
+    if tab.n == 0:
+        raise AnalysisError("empty contingency table")
+    expected = (
+        table.sum(axis=1, keepdims=True)
+        * table.sum(axis=0, keepdims=True)
+        / tab.n
+    )
+    if (expected < 5).any():
+        stat, p = stats.fisher_exact(table)
+        method = "fisher-exact"
+    else:
+        chi2, p, _, _ = stats.chi2_contingency(table, correction=True)
+        stat = float(chi2)
+        method = "chi2-yates"
+    return IndependenceTest(
+        row_label=row_label,
+        col_label=col_label,
+        method=method,
+        statistic=float(stat),
+        p_value=float(p),
+        odds_ratio=odds_ratio(tab),
+    )
+
+
+def year_trend_test(matrix: CodingMatrix, label: str) -> TrendTest:
+    """Spearman rank correlation of per-year positive share vs. year.
+
+    The paper (§5.5) notes it cannot show a trend in ethics-section
+    prevalence from its sample; this test makes that check executable.
+    """
+    trend = matrix.year_trend(label)
+    if len(trend) < 3:
+        raise AnalysisError(
+            f"need at least 3 distinct years for a trend on {label!r}"
+        )
+    years = tuple(trend)
+    shares = tuple(pos / total for pos, total in trend.values())
+    if len(set(shares)) == 1:
+        # Constant share: no trend by definition; Spearman is undefined.
+        return TrendTest(
+            label=label, years=years, shares=shares, rho=0.0, p_value=1.0
+        )
+    rho, p = stats.spearmanr(np.array(years), np.array(shares))
+    return TrendTest(
+        label=label,
+        years=years,
+        shares=shares,
+        rho=float(rho),
+        p_value=float(p),
+    )

@@ -1,0 +1,164 @@
+"""Uncertainty quantification for corpus proportions.
+
+The paper is careful about what n=28 can support: "We do not have
+enough information to show any trend in this behaviour ... we would
+need a large representative sample from each field." This module
+makes that humility quantitative: Wilson score intervals for the
+reported proportions, minimum-sample calculations for a target
+margin, and a two-proportion comparison — so claims like "12 of 28
+papers have ethics sections" carry their interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from scipy import stats
+
+from ..corpus import Corpus
+from ..errors import AnalysisError
+
+__all__ = [
+    "ProportionEstimate",
+    "wilson_interval",
+    "required_sample_size",
+    "compare_proportions",
+    "section5_intervals",
+]
+
+_Z95 = 1.959963984540054  # two-sided 95%
+
+
+@dataclasses.dataclass(frozen=True)
+class ProportionEstimate:
+    """A proportion with its Wilson 95% interval."""
+
+    name: str
+    successes: int
+    total: int
+    point: float
+    low: float
+    high: float
+
+    @property
+    def margin(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def describe(self) -> str:
+        """One-line rendering with the 95% interval."""
+        return (
+            f"{self.name}: {self.successes}/{self.total} = "
+            f"{self.point:.0%} (95% CI {self.low:.0%}–{self.high:.0%})"
+        )
+
+
+def wilson_interval(
+    successes: int, total: int, *, z: float = _Z95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation at small n (and n=28 is
+    small), and well-behaved at 0 and 1.
+    """
+    if total <= 0:
+        raise AnalysisError("total must be positive")
+    if not 0 <= successes <= total:
+        raise AnalysisError("successes must be within [0, total]")
+    p = successes / total
+    denom = 1.0 + z * z / total
+    centre = (p + z * z / (2 * total)) / denom
+    half = (
+        z
+        * math.sqrt(
+            p * (1 - p) / total + z * z / (4 * total * total)
+        )
+        / denom
+    )
+    low = max(0.0, centre - half)
+    high = min(1.0, centre + half)
+    # Pin the degenerate endpoints exactly (float rounding can land
+    # at 1 - 1e-16 when p itself is 1).
+    if successes == 0:
+        low = 0.0
+    if successes == total:
+        high = 1.0
+    return (low, high)
+
+
+def required_sample_size(
+    *, margin: float, expected: float = 0.5, z: float = _Z95
+) -> int:
+    """Papers needed for a target margin of error on a proportion.
+
+    The "large representative sample" the paper says it would need,
+    as a number.
+    """
+    if not 0.0 < margin < 0.5:
+        raise AnalysisError("margin must be in (0, 0.5)")
+    if not 0.0 < expected < 1.0:
+        raise AnalysisError("expected proportion must be in (0, 1)")
+    n = (z * z * expected * (1 - expected)) / (margin * margin)
+    return math.ceil(n)
+
+
+def compare_proportions(
+    successes_a: int,
+    total_a: int,
+    successes_b: int,
+    total_b: int,
+) -> float:
+    """Two-sided Fisher exact p-value for two proportions.
+
+    Used to check whether apparent differences between groups of
+    papers (e.g. ethics-section rates across categories) are
+    supportable at these sample sizes — usually they are not, which
+    is the paper's §5.5 point.
+    """
+    for value, bound in (
+        (successes_a, total_a),
+        (successes_b, total_b),
+    ):
+        if bound <= 0 or not 0 <= value <= bound:
+            raise AnalysisError("invalid counts")
+    table = [
+        [successes_a, total_a - successes_a],
+        [successes_b, total_b - successes_b],
+    ]
+    __, p_value = stats.fisher_exact(table)
+    return float(p_value)
+
+
+def section5_intervals(corpus: Corpus) -> tuple[ProportionEstimate, ...]:
+    """The headline §5 proportions with their intervals."""
+    papers = corpus.papers()
+    total_papers = len(papers)
+    total_entries = len(corpus)
+    ethics_sections = sum(1 for e in papers if e.has_ethics_section)
+    cs = len(corpus.with_code("safeguards", "CS"))
+    p = len(corpus.with_code("safeguards", "P"))
+    reb_engaged = sum(
+        1
+        for e in corpus
+        if e.reb_status.value in ("approved", "exempt")
+    )
+
+    def estimate(
+        name: str, successes: int, total: int
+    ) -> ProportionEstimate:
+        low, high = wilson_interval(successes, total)
+        return ProportionEstimate(
+            name=name,
+            successes=successes,
+            total=total,
+            point=successes / total,
+            low=low,
+            high=high,
+        )
+
+    return (
+        estimate("ethics sections", ethics_sections, total_papers),
+        estimate("controlled sharing", cs, total_entries),
+        estimate("privacy safeguard", p, total_entries),
+        estimate("REB engagement", reb_engaged, total_entries),
+    )

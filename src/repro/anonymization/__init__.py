@@ -1,0 +1,28 @@
+"""Anonymization primitives: prefix-preserving IPs, pseudonyms, text
+scrubbing and k-anonymity risk estimation."""
+
+from .identifiers import Pseudonymizer, TokenMapper
+from .ip import IPAnonymizer
+from .kanonymity import (
+    GeneralizationResult,
+    dimensionality_profile,
+    generalize,
+    kanonymity,
+    uniqueness_rate,
+)
+from .scrub import ScrubMatch, ScrubResult, TextScrubber, luhn_valid
+
+__all__ = [
+    "GeneralizationResult",
+    "IPAnonymizer",
+    "Pseudonymizer",
+    "ScrubMatch",
+    "ScrubResult",
+    "TextScrubber",
+    "TokenMapper",
+    "dimensionality_profile",
+    "generalize",
+    "kanonymity",
+    "luhn_valid",
+    "uniqueness_rate",
+]

@@ -1,0 +1,102 @@
+"""Keyed pseudonymisation of identifiers (emails, usernames, ids).
+
+Das et al. [24] protected privacy "by only working with hashed email
+addresses"; this module provides that safeguard done properly: a keyed
+HMAC (so pseudonyms cannot be brute-forced from the public email
+corpus the way bare hashes can) plus a consistent-token mapper that
+produces readable placeholder names for reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from ..errors import AnonymizationError
+
+__all__ = ["Pseudonymizer", "TokenMapper"]
+
+
+class Pseudonymizer:
+    """Keyed HMAC-SHA256 pseudonymisation.
+
+    Identical inputs map to identical pseudonyms under the same key,
+    preserving joinability (e.g. password-reuse analysis across sites)
+    without revealing the identifier. ``domain`` separates pseudonym
+    namespaces so an email and a username that happen to share text do
+    not collide.
+    """
+
+    def __init__(self, key: bytes, *, digest_bytes: int = 12) -> None:
+        if len(key) < 16:
+            raise AnonymizationError(
+                "pseudonymisation key must be at least 16 bytes"
+            )
+        if not 4 <= digest_bytes <= 32:
+            raise AnonymizationError(
+                "digest_bytes must be between 4 and 32"
+            )
+        self._key = key
+        self._digest_bytes = digest_bytes
+
+    def pseudonym(self, identifier: str, domain: str = "id") -> str:
+        """Return a stable hex pseudonym for *identifier*."""
+        if not identifier:
+            raise AnonymizationError("identifier must be non-empty")
+        message = f"{domain}\x00{identifier}".encode("utf-8")
+        digest = hmac.new(self._key, message, hashlib.sha256).digest()
+        return digest[: self._digest_bytes].hex()
+
+    def email(self, address: str, *, keep_domain: bool = False) -> str:
+        """Pseudonymise an email address.
+
+        With ``keep_domain=True`` the mail domain is preserved (useful
+        for provider-level statistics) and only the local part is
+        pseudonymised.
+        """
+        if "@" not in address:
+            raise AnonymizationError(
+                f"not an email address: {address!r}"
+            )
+        local, _, domain = address.rpartition("@")
+        token = self.pseudonym(local + "@" + domain, domain="email")
+        if keep_domain:
+            return f"{token}@{domain}"
+        return f"{token}@example.invalid"
+
+
+class TokenMapper:
+    """Consistent human-readable placeholders (user-1, user-2, ...).
+
+    Useful in qualitative excerpts: the same forum member always
+    appears as the same ``user-N`` while the real handle never leaves
+    the enclave. The mapping is insertion-ordered and exportable for
+    escrow.
+    """
+
+    def __init__(self, prefix: str = "user") -> None:
+        if not prefix:
+            raise AnonymizationError("prefix must be non-empty")
+        self._prefix = prefix
+        self._mapping: dict[str, str] = {}
+
+    def token(self, identifier: str) -> str:
+        """The stable placeholder token for *identifier*."""
+        if not identifier:
+            raise AnonymizationError("identifier must be non-empty")
+        existing = self._mapping.get(identifier)
+        if existing is not None:
+            return existing
+        token = f"{self._prefix}-{len(self._mapping) + 1}"
+        self._mapping[identifier] = token
+        return token
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._mapping
+
+    def export_escrow(self) -> dict[str, str]:
+        """The token → identifier mapping, for sealed escrow only."""
+        return {token: ident for ident, token in self._mapping.items()}

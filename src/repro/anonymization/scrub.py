@@ -1,0 +1,176 @@
+"""Text scrubbing: find and redact identifiers in free text.
+
+Leaked databases carry identifiers inside free text (tickets, private
+messages, chat logs — §4.3.1 lists all of these). The scrubber finds
+IPv4/IPv6 addresses, email addresses, phone-number-like strings and
+credit-card numbers (validated with the Luhn checksum to limit false
+positives) and replaces them with typed placeholders, reporting what
+was found so redaction can be audited.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections.abc import Callable
+
+__all__ = ["ScrubMatch", "ScrubResult", "TextScrubber", "luhn_valid"]
+
+_IPV4 = re.compile(
+    r"\b(?:(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}"
+    r"(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\b"
+)
+# Permissive candidate run of hex and colons; each candidate is then
+# validated with ipaddress so compressed (::) forms are matched
+# without false positives.
+_IPV6 = re.compile(
+    r"(?<![0-9A-Fa-f:.])"
+    r"((?:[0-9A-Fa-f]{1,4})?(?::{1,2}[0-9A-Fa-f]{1,4}){1,7}:{0,2})"
+    r"(?![0-9A-Fa-f:.])"
+)
+_EMAIL = re.compile(
+    r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b"
+)
+_PHONE = re.compile(
+    r"(?<![\w.])\+?\d[\d\s().-]{7,16}\d(?![\w.])"
+)
+_CARD = re.compile(r"\b\d(?:[ -]?\d){12,18}\b")
+
+
+def luhn_valid(digits: str) -> bool:
+    """Luhn checksum for candidate card numbers."""
+    cleaned = re.sub(r"[ -]", "", digits)
+    if not cleaned.isdigit() or not 13 <= len(cleaned) <= 19:
+        return False
+    total = 0
+    for index, char in enumerate(reversed(cleaned)):
+        value = int(char)
+        if index % 2 == 1:
+            value *= 2
+            if value > 9:
+                value -= 9
+        total += value
+    return total % 10 == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubMatch:
+    """One identifier found in the text."""
+
+    kind: str
+    start: int
+    end: int
+    original: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubResult:
+    """Scrubbed text plus the audit trail of matches."""
+
+    text: str
+    matches: tuple[ScrubMatch, ...]
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.matches)
+        return sum(1 for m in self.matches if m.kind == kind)
+
+    @property
+    def clean(self) -> bool:
+        return not self.matches
+
+
+class TextScrubber:
+    """Find and replace identifiers in free text.
+
+    ``replacer`` maps (kind, original) to the replacement string; by
+    default a typed placeholder like ``[redacted-email]``. Pass a
+    :class:`~repro.anonymization.identifiers.Pseudonymizer`-backed
+    replacer to keep joinability instead of redacting.
+    """
+
+    KINDS = ("email", "ipv4", "ipv6", "card", "phone")
+
+    def __init__(
+        self,
+        replacer: Callable[[str, str], str] | None = None,
+        kinds: tuple[str, ...] | None = None,
+    ) -> None:
+        self._replacer = replacer or (
+            lambda kind, original: f"[redacted-{kind}]"
+        )
+        self._kinds = kinds if kinds is not None else self.KINDS
+
+    def _find(self, text: str) -> list[ScrubMatch]:
+        matches: list[ScrubMatch] = []
+        patterns: list[tuple[str, re.Pattern[str]]] = []
+        # Email first so user@host is not half-eaten by phone regex;
+        # cards before phones (both are digit runs, Luhn arbitrates).
+        if "email" in self._kinds:
+            patterns.append(("email", _EMAIL))
+        if "ipv4" in self._kinds:
+            patterns.append(("ipv4", _IPV4))
+        if "ipv6" in self._kinds:
+            patterns.append(("ipv6", _IPV6))
+        if "card" in self._kinds:
+            patterns.append(("card", _CARD))
+        if "phone" in self._kinds:
+            patterns.append(("phone", _PHONE))
+        claimed: list[tuple[int, int]] = []
+
+        def overlaps(start: int, end: int) -> bool:
+            return any(
+                start < c_end and end > c_start
+                for c_start, c_end in claimed
+            )
+
+        for kind, pattern in patterns:
+            for match in pattern.finditer(text):
+                start, end = match.span()
+                if overlaps(start, end):
+                    continue
+                candidate = match.group()
+                if kind == "ipv6" and not _valid_ipv6(candidate):
+                    continue
+                if kind == "card" and not luhn_valid(candidate):
+                    continue
+                if kind == "phone" and _looks_like_card(candidate):
+                    continue
+                matches.append(
+                    ScrubMatch(
+                        kind=kind,
+                        start=start,
+                        end=end,
+                        original=candidate,
+                    )
+                )
+                claimed.append((start, end))
+        matches.sort(key=lambda m: m.start)
+        return matches
+
+    def scrub(self, text: str) -> ScrubResult:
+        """Replace all findable identifiers in *text*."""
+        matches = self._find(text)
+        parts: list[str] = []
+        cursor = 0
+        for match in matches:
+            parts.append(text[cursor : match.start])
+            parts.append(self._replacer(match.kind, match.original))
+            cursor = match.end
+        parts.append(text[cursor:])
+        return ScrubResult(text="".join(parts), matches=tuple(matches))
+
+
+def _looks_like_card(candidate: str) -> bool:
+    return luhn_valid(candidate)
+
+
+def _valid_ipv6(candidate: str) -> bool:
+    import ipaddress
+
+    if ":" not in candidate or candidate.count(":") < 2:
+        return False
+    try:
+        return ipaddress.ip_address(candidate).version == 6
+    except ValueError:
+        return False

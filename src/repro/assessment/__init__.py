@@ -1,0 +1,32 @@
+"""Project assessment: the end-to-end ethics/legal decision support."""
+
+from .checklist import (
+    Checklist,
+    ChecklistItem,
+    ChecklistResult,
+    publication_checklist,
+)
+from .corpus_profiles import (
+    ReconstructionCheck,
+    corpus_profiles,
+    profile_for,
+    validate_legal_reconstruction,
+)
+from .engine import EthicsAssessment, Verdict, assess_project
+from .project import PlannedSafeguards, ResearchProject
+
+__all__ = [
+    "Checklist",
+    "ChecklistItem",
+    "ChecklistResult",
+    "EthicsAssessment",
+    "PlannedSafeguards",
+    "ReconstructionCheck",
+    "ResearchProject",
+    "Verdict",
+    "assess_project",
+    "corpus_profiles",
+    "profile_for",
+    "publication_checklist",
+    "validate_legal_reconstruction",
+]

@@ -1,0 +1,162 @@
+"""Checklist engine: the paper's §2.1/§3/§6 requirements as items.
+
+A :class:`Checklist` is a flat list of :class:`ChecklistItem` objects,
+each with an automatic predicate over an
+:class:`~repro.assessment.engine.EthicsAssessment`. Running the
+checklist yields per-item pass/fail plus the overall readiness — what
+a shepherd or REB administrator would scan first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+from ..ethics import FindingStatus
+from ..legal import RiskLevel
+from .engine import EthicsAssessment
+
+__all__ = ["ChecklistItem", "ChecklistResult", "Checklist",
+           "publication_checklist"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChecklistItem:
+    """One checkable requirement."""
+
+    id: str
+    text: str
+    check: Callable[[EthicsAssessment], bool]
+    severity: str = "required"  # "required" | "recommended"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChecklistResult:
+    """Outcome of one item."""
+
+    item: ChecklistItem
+    passed: bool
+
+    def describe(self) -> str:
+        mark = "x" if self.passed else " "
+        return f"[{mark}] ({self.item.severity}) {self.item.text}"
+
+
+class Checklist:
+    """Run a sequence of items over an assessment."""
+
+    def __init__(self, items: Sequence[ChecklistItem]) -> None:
+        self.items = tuple(items)
+
+    def run(
+        self, assessment: EthicsAssessment
+    ) -> tuple[ChecklistResult, ...]:
+        """Evaluate every item against the assessment."""
+        return tuple(
+            ChecklistResult(item=item, passed=item.check(assessment))
+            for item in self.items
+        )
+
+    def ready(self, assessment: EthicsAssessment) -> bool:
+        """All *required* items pass."""
+        return all(
+            result.passed
+            for result in self.run(assessment)
+            if result.item.severity == "required"
+        )
+
+    def report(self, assessment: EthicsAssessment) -> str:
+        """Human-readable pass/fail report for all items."""
+        results = self.run(assessment)
+        passed = sum(1 for r in results if r.passed)
+        lines = [f"Checklist: {passed}/{len(results)} items pass"]
+        lines.extend(result.describe() for result in results)
+        return "\n".join(lines)
+
+
+def publication_checklist() -> Checklist:
+    """The pre-publication checklist the paper's §6 implies.
+
+    "papers using data of illicit origin should always have an ethics
+    section, explaining how these data were obtained, how it has been
+    protected, analysing the harms, benefits, and need for using such
+    data."
+    """
+    return Checklist(
+        (
+            ChecklistItem(
+                id="stakeholders-identified",
+                text="primary, secondary and key stakeholders are "
+                "identified",
+                check=lambda a: a.project.stakeholders.is_complete(),
+            ),
+            ChecklistItem(
+                id="harms-identified",
+                text="potential harms are identified",
+                check=lambda a: bool(a.project.harms),
+            ),
+            ChecklistItem(
+                id="benefits-identified",
+                text="benefits are identified (they, too, often go "
+                "unstated)",
+                check=lambda a: bool(a.project.benefits),
+            ),
+            ChecklistItem(
+                id="safeguards-planned",
+                text="safeguards mitigate the identified harms",
+                check=lambda a: bool(a.project.safeguards.codes()),
+            ),
+            ChecklistItem(
+                id="legal-analysed",
+                text="legal issues are analysed for every relevant "
+                "jurisdiction",
+                check=lambda a: bool(a.legal.findings),
+            ),
+            ChecklistItem(
+                id="no-severe-legal",
+                text="no severe unmitigated legal exposure remains",
+                check=lambda a: a.legal.overall_risk
+                != RiskLevel.SEVERE,
+            ),
+            ChecklistItem(
+                id="menlo-clean",
+                text="no Menlo principle is violated",
+                check=lambda a: all(
+                    f.status != FindingStatus.VIOLATED for f in a.menlo
+                ),
+            ),
+            ChecklistItem(
+                id="reb-when-risky",
+                text="REB review obtained when humans could be harmed "
+                "(risk-based trigger)",
+                check=lambda a: a.project.reb_approved
+                or a.grid.total_risk() == 0,
+            ),
+            ChecklistItem(
+                id="ethics-section",
+                text="the paper has an explicit ethics section",
+                check=lambda a: a.project.has_ethics_section,
+            ),
+            ChecklistItem(
+                id="justified",
+                text="at least one justification carries weight",
+                check=lambda a: bool(a.acceptable_justifications),
+            ),
+            ChecklistItem(
+                id="controlled-sharing",
+                text="controlled sharing supports reproducibility",
+                check=lambda a: (
+                    a.project.safeguards.controlled_sharing
+                ),
+                severity="recommended",
+            ),
+            ChecklistItem(
+                id="aup-citable",
+                text="the acceptable usage policy is citable",
+                check=lambda a: bool(
+                    a.project.safeguards.acceptable_use_policy
+                ),
+                severity="recommended",
+            ),
+        )
+    )

@@ -1,0 +1,229 @@
+"""The assessment engine: evaluate a project end to end.
+
+:func:`assess_project` runs the legal rules engine, the Menlo
+evaluation, the Keegan–Matias risk-benefit grid and the §5.1
+justification critiques over a :class:`ResearchProject` and produces
+an :class:`EthicsAssessment` — the machine-readable core from which
+the ethics-section and REB-application generators work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ethics import (
+    FindingStatus,
+    MenloEvaluation,
+    PrincipleFinding,
+    RightRisk,
+    RiskBenefitGrid,
+    evaluate_all_justifications,
+    JustificationVerdict,
+    rights_at_risk,
+)
+from ..legal import LegalReport, RiskLevel, analyze_legal
+from .project import ResearchProject
+
+__all__ = ["EthicsAssessment", "Verdict", "assess_project"]
+
+
+class Verdict:
+    """Overall recommendation of the assessment."""
+
+    PROCEED = "proceed"
+    PROCEED_WITH_SAFEGUARDS = "proceed-with-safeguards"
+    REQUIRES_REB = "requires-reb-review"
+    DO_NOT_PROCEED = "do-not-proceed"
+
+    ORDER = (
+        PROCEED,
+        PROCEED_WITH_SAFEGUARDS,
+        REQUIRES_REB,
+        DO_NOT_PROCEED,
+    )
+
+    @classmethod
+    def worst(cls, verdicts: list[str]) -> str:
+        if not verdicts:
+            return cls.PROCEED
+        return max(verdicts, key=cls.ORDER.index)
+
+
+@dataclasses.dataclass(frozen=True)
+class EthicsAssessment:
+    """The complete assessment output for one project."""
+
+    project: ResearchProject
+    legal: LegalReport
+    menlo: tuple[PrincipleFinding, ...]
+    grid: RiskBenefitGrid
+    justifications: tuple[JustificationVerdict, ...]
+    rights_risks: tuple[RightRisk, ...]
+    verdict: str
+    required_actions: tuple[str, ...]
+    notes: tuple[str, ...]
+
+    @property
+    def applicable_legal_issues(self) -> tuple[str, ...]:
+        return self.legal.applicable_issues()
+
+    @property
+    def acceptable_justifications(
+        self,
+    ) -> tuple[JustificationVerdict, ...]:
+        return tuple(j for j in self.justifications if j.acceptable)
+
+    def summary(self) -> str:
+        """Terse multi-line summary of the whole assessment."""
+        lines = [
+            f"Assessment of: {self.project.title}",
+            f"Verdict: {self.verdict}",
+            f"Legal risk: {self.legal.overall_risk} "
+            f"(issues: {', '.join(self.applicable_legal_issues) or 'none'})",
+        ]
+        for finding in self.menlo:
+            lines.append(
+                f"Menlo {finding.principle.value}: {finding.status}"
+            )
+        if self.required_actions:
+            lines.append("Required actions:")
+            lines.extend(f"  - {a}" for a in self.required_actions)
+        for note in self.notes:
+            lines.append(f"Note: {note}")
+        return "\n".join(lines)
+
+
+def assess_project(project: ResearchProject) -> EthicsAssessment:
+    """Run every engine over the project and combine the outcomes."""
+    legal = analyze_legal(
+        project.profile,
+        project.jurisdictions,
+        reb_approved=project.reb_approved,
+    )
+    mitigated = project.mitigated_harms()
+    menlo_eval = MenloEvaluation(
+        project.stakeholders,
+        mitigated,
+        project.benefits,
+        lawful=legal.lawful_with_safeguards,
+        public_interest=(
+            project.justification_facts.public_interest_case
+        ),
+        reproducible=project.safeguards.controlled_sharing,
+    )
+    menlo = menlo_eval.findings()
+    grid = RiskBenefitGrid(
+        project.stakeholders, mitigated, project.benefits
+    )
+    justifications = evaluate_all_justifications(
+        project.justification_facts
+    )
+    rights_risks = rights_at_risk(project.rights_context)
+
+    required: list[str] = []
+    notes: list[str] = []
+    verdicts: list[str] = [Verdict.PROCEED]
+
+    # -- human-rights baseline (§2) ---------------------------------------
+    for risk in rights_risks:
+        notes.append(
+            f"human-rights exposure: {risk.right.name} — "
+            f"{risk.mechanism}"
+        )
+    if any(risk.right.id == "life" for risk in rights_risks):
+        verdicts.append(Verdict.DO_NOT_PROCEED)
+        required.append(
+            "the research could indirectly cost identified people "
+            "their lives; redesign so individuals cannot be "
+            "identified before any further work"
+        )
+    elif rights_risks:
+        verdicts.append(Verdict.REQUIRES_REB)
+        required.append(
+            "human rights of data subjects are engaged; REB review "
+            "must weigh the rights exposure explicitly"
+        )
+
+    # -- legal gating ---------------------------------------------------
+    if legal.overall_risk == RiskLevel.SEVERE:
+        verdicts.append(Verdict.DO_NOT_PROCEED)
+        required.append(
+            "severe legal exposure: redesign the study before any "
+            "further work"
+        )
+    elif legal.overall_risk == RiskLevel.HIGH:
+        verdicts.append(Verdict.REQUIRES_REB)
+        required.append(
+            "high legal risk: obtain REB approval and institutional "
+            "legal advice before proceeding"
+        )
+    elif legal.overall_risk in (RiskLevel.MEDIUM, RiskLevel.LOW):
+        verdicts.append(Verdict.PROCEED_WITH_SAFEGUARDS)
+    for finding in legal.findings:
+        for mitigation in finding.mitigations:
+            if finding.applicable and mitigation not in required:
+                required.append(mitigation)
+
+    # -- Menlo gating ----------------------------------------------------
+    worst_menlo = FindingStatus.worst([f.status for f in menlo])
+    if worst_menlo == FindingStatus.VIOLATED:
+        verdicts.append(Verdict.DO_NOT_PROCEED)
+    elif worst_menlo == FindingStatus.NEEDS_SAFEGUARDS:
+        verdicts.append(Verdict.PROCEED_WITH_SAFEGUARDS)
+    for finding in menlo:
+        for recommendation in finding.recommendations:
+            if recommendation not in required:
+                required.append(recommendation)
+
+    # -- risk-based REB trigger (the paper's proposed policy) ----------------
+    if grid.total_risk() > 0 and not project.reb_approved:
+        verdicts.append(Verdict.REQUIRES_REB)
+        required.append(
+            "potential to harm humans exists even without direct "
+            "human subjects: seek REB approval (risk-based trigger, "
+            "§6 of the paper)"
+        )
+
+    # -- fairness red flags -----------------------------------------------
+    for balance in grid.subsidising_parties():
+        notes.append(
+            f"{balance.name} bears risk {balance.risk:.2f} with no "
+            "benefit — justice concern"
+        )
+    for party in grid.unassessed_parties():
+        notes.append(
+            f"stakeholder {party!r} has no harms or benefits recorded; "
+            "the register looks incomplete"
+        )
+
+    # -- justification quality ---------------------------------------------
+    if not any(j.acceptable for j in justifications):
+        notes.append(
+            "no justification for using this data currently carries "
+            "weight; the strongest path is necessity plus public "
+            "interest with no additional harm"
+        )
+    if not project.has_ethics_section:
+        required.append(
+            "include an explicit ethics section recording this "
+            "reasoning (Partridge & Allman)"
+        )
+
+    # -- benefit/harm balance hard stop -------------------------------------
+    if (
+        grid.total_benefit() > 0
+        and grid.total_risk() > grid.total_benefit()
+    ):
+        verdicts.append(Verdict.DO_NOT_PROCEED)
+
+    return EthicsAssessment(
+        project=project,
+        legal=legal,
+        menlo=menlo,
+        grid=grid,
+        justifications=justifications,
+        rights_risks=rights_risks,
+        verdict=Verdict.worst(verdicts),
+        required_actions=tuple(required),
+        notes=tuple(notes),
+    )

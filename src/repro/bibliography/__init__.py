@@ -1,0 +1,12 @@
+"""Structured bibliography of the paper's 124 references."""
+
+from .data import REFERENCES, paper_bibliography
+from .model import Bibliography, Reference, ReferenceType
+
+__all__ = [
+    "Bibliography",
+    "REFERENCES",
+    "Reference",
+    "ReferenceType",
+    "paper_bibliography",
+]

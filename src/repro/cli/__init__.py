@@ -1,0 +1,5 @@
+"""Command-line interface package."""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ethics``.
+
+Subcommands:
+
+* ``table1 [--format F]`` — regenerate Table 1,
+* ``stats`` — the §5 statistics,
+* ``verify`` — run every reproduction check (exit 1 on failure),
+* ``report`` — the full paper-vs-measured Markdown report,
+* ``simulate KIND [--seed N]`` — synthesise a dataset and print a
+  summary,
+* ``legend`` — the codebook legend,
+* ``bibliography [--search TEXT]`` — list/search references.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import table1_corpus
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ethics",
+        description=(
+            "Reproduction of 'Ethical issues in research using "
+            "datasets of illicit origin' (IMC 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument(
+        "--format",
+        choices=("text", "markdown", "latex", "csv", "html"),
+        default="text",
+    )
+
+    sub.add_parser("stats", help="print the §5 statistics")
+    sub.add_parser("verify", help="run every reproduction check")
+    sub.add_parser("report", help="paper-vs-measured Markdown report")
+    sub.add_parser("legend", help="print the codebook legend")
+
+    simulate = sub.add_parser(
+        "simulate", help="generate a synthetic dataset summary"
+    )
+    simulate.add_argument(
+        "kind",
+        choices=(
+            "passwords", "booter", "forum", "offshore", "classified",
+            "scan",
+        ),
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+
+    bibliography = sub.add_parser(
+        "bibliography", help="list or search the references"
+    )
+    bibliography.add_argument("--search", default="")
+
+    similarity = sub.add_parser(
+        "similarity", help="paper-similarity structure of Table 1"
+    )
+    similarity.add_argument(
+        "--threshold", type=float, default=0.6
+    )
+
+    simulate_reb = sub.add_parser(
+        "simulate-reb",
+        help="queue simulation of a year of REB submissions",
+    )
+    simulate_reb.add_argument(
+        "--board", choices=("ictr", "medical"), default="ictr"
+    )
+    simulate_reb.add_argument(
+        "--policy",
+        choices=("risk-based", "human-subjects"),
+        default="risk-based",
+    )
+    simulate_reb.add_argument("--seed", type=int, default=0)
+
+    evidence = sub.add_parser(
+        "evidence",
+        help="show the §4 quotes grounding one Table 1 coding",
+    )
+    evidence.add_argument("entry_id")
+
+    sub.add_parser(
+        "intervals",
+        help="Wilson 95% intervals for the §5 proportions",
+    )
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from ..tables import render_table1
+
+    print(render_table1(table1_corpus(), args.format))
+    return 0
+
+
+def _cmd_stats(_args) -> int:
+    from ..analysis import section5_statistics
+
+    stats = section5_statistics(table1_corpus())
+    print(f"entries: {stats.total_entries} (papers: {stats.total_papers})")
+    print(
+        f"REB: {stats.reb_approved} approved, {stats.reb_exempt} "
+        f"exempt, {stats.reb_not_mentioned} not mentioned, "
+        f"{stats.reb_not_applicable} n/a"
+    )
+    print(f"ethics sections: {stats.ethics_sections}/{stats.total_papers}")
+    print(f"safeguards: {stats.safeguard_counts}")
+    print(f"harms: {stats.harm_counts}")
+    print(f"benefits: {stats.benefit_counts}")
+    print(f"justifications: {stats.justification_counts}")
+    return 0
+
+
+def _cmd_verify(_args) -> int:
+    from ..reporting import run_reproduction
+
+    outcomes = run_reproduction(table1_corpus())
+    failed = 0
+    for outcome in outcomes:
+        mark = "OK " if outcome.passed else "FAIL"
+        print(
+            f"[{mark}] {outcome.experiment_id}: "
+            f"{outcome.description} — {outcome.measured}"
+        )
+        if not outcome.passed:
+            failed += 1
+    print(f"{len(outcomes) - failed}/{len(outcomes)} checks passed")
+    return 1 if failed else 0
+
+
+def _cmd_report(_args) -> int:
+    from ..reporting import render_report
+
+    print(render_report(table1_corpus()))
+    return 0
+
+
+def _cmd_legend(_args) -> int:
+    from ..tables import build_table1_layout, render_legend_text
+
+    print(render_legend_text(build_table1_layout(table1_corpus())))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    seed = args.seed
+    if args.kind == "passwords":
+        from ..datasets import PasswordDumpGenerator
+
+        dump = PasswordDumpGenerator(seed).generate(users=1000)
+        top = dump.frequency().most_common(5)
+        print(f"password dump: {len(dump)} accounts; top: {top}")
+    elif args.kind == "booter":
+        from ..datasets import BooterDatabaseGenerator
+
+        db = BooterDatabaseGenerator(seed).generate()
+        print(
+            f"booter db: {len(db.users)} users, {len(db.attacks)} "
+            f"attacks on {db.distinct_targets()} targets, revenue "
+            f"${db.revenue():.2f}"
+        )
+    elif args.kind == "forum":
+        from ..datasets import ForumGenerator
+
+        forum = ForumGenerator(seed).generate()
+        print(
+            f"forum: {len(forum.members)} members, "
+            f"{len(forum.posts)} posts, "
+            f"{forum.illicit_share():.0%} illicit threads"
+        )
+    elif args.kind == "offshore":
+        from ..datasets import OffshoreLeakGenerator
+
+        leak = OffshoreLeakGenerator(seed).generate()
+        print(
+            f"offshore leak: {len(leak.entities)} entities, "
+            f"{len(leak.officers)} officers, "
+            f"{len(leak.public_figures())} public figures"
+        )
+    elif args.kind == "classified":
+        from ..datasets import ClassifiedCorpusGenerator
+
+        corpus = ClassifiedCorpusGenerator(seed).generate()
+        print(
+            f"classified corpus: {len(corpus)} cables, "
+            f"{corpus.classified_fraction():.0%} classified, "
+            f"mix {corpus.by_classification()}"
+        )
+    else:
+        from ..datasets import ScanGenerator
+
+        scan = ScanGenerator(seed).generate()
+        print(
+            f"scan: {len(scan.records)} probes, port-80 open rate "
+            f"{scan.open_rate(80):.2f} (artefacts "
+            f"{scan.artefact_rate(80):.0%}), "
+            f"{len(scan.botnet_sources())} bot sources visible"
+        )
+    return 0
+
+
+def _cmd_bibliography(args) -> int:
+    from ..bibliography import paper_bibliography
+
+    bibliography = paper_bibliography()
+    references = (
+        bibliography.search(args.search)
+        if args.search
+        else tuple(bibliography)
+    )
+    for reference in references:
+        print(reference.format())
+    print(f"{len(references)} references")
+    return 0
+
+
+def _cmd_similarity(args) -> int:
+    from ..analysis import SimilarityAnalysis
+
+    analysis = SimilarityAnalysis(table1_corpus())
+    clusters = analysis.clusters(threshold=args.threshold)
+    print(
+        f"{len(clusters)} clusters at threshold {args.threshold}"
+    )
+    for index, cluster in enumerate(clusters, start=1):
+        members = ", ".join(sorted(cluster))
+        print(f"  cluster {index} ({len(cluster)}): {members}")
+    cohesion = analysis.category_cohesion()
+    print("category cohesion:")
+    for category, value in cohesion.items():
+        print(f"  {category}: {value:.2f}")
+    print(f"category separation: {analysis.separation():.3f}")
+    return 0
+
+
+def _cmd_simulate_reb(args) -> int:
+    from ..reb import (
+        TriggerPolicy,
+        ictr_board,
+        medical_style_board,
+        simulate_reb_year,
+    )
+
+    board = (
+        ictr_board() if args.board == "ictr" else medical_style_board()
+    )
+    policy = (
+        TriggerPolicy.RISK_BASED
+        if args.policy == "risk-based"
+        else TriggerPolicy.HUMAN_SUBJECTS
+    )
+    result = simulate_reb_year(board, policy, seed=args.seed)
+    print(f"board: {board.name}; policy: {policy.value}")
+    print(result.describe())
+    return 0
+
+
+def _cmd_evidence(args) -> int:
+    from ..corpus import evidence_for
+
+    corpus = table1_corpus()
+    entry = corpus[args.entry_id]
+    evidence = evidence_for(args.entry_id)
+    print(f"{entry.source_label} [{entry.reference}] — §{evidence.section}")
+    print(f"summary: {entry.summary}")
+    print("grounding quotes:")
+    for quote in evidence.quotes:
+        print(f'  "{quote}"')
+    return 0
+
+
+def _cmd_intervals(_args) -> int:
+    from ..analysis import required_sample_size, section5_intervals
+
+    for estimate in section5_intervals(table1_corpus()):
+        print(estimate.describe())
+    needed = required_sample_size(margin=0.05)
+    print(
+        f"papers needed for a ±5% margin: {needed} "
+        "(the 'large representative sample' of §5.5)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "stats": _cmd_stats,
+    "verify": _cmd_verify,
+    "report": _cmd_report,
+    "legend": _cmd_legend,
+    "simulate": _cmd_simulate,
+    "bibliography": _cmd_bibliography,
+    "similarity": _cmd_similarity,
+    "simulate-reb": _cmd_simulate_reb,
+    "evidence": _cmd_evidence,
+    "intervals": _cmd_intervals,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

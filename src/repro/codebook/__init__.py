@@ -1,0 +1,44 @@
+"""Coding schema (codebook) for the systematization of Table 1.
+
+Public API:
+
+* :class:`~repro.codebook.values.CellValue` and
+  :func:`~repro.codebook.values.parse_glyph` — cell value vocabulary.
+* :class:`~repro.codebook.model.Code`,
+  :class:`~repro.codebook.model.Dimension`,
+  :class:`~repro.codebook.model.Codebook` — schema objects.
+* :func:`~repro.codebook.paper.paper_codebook` — the paper's schema.
+"""
+
+from .model import Code, Codebook, Dimension, DimensionKind
+from .paper import (
+    BENEFIT_CODES,
+    CODE_DIMENSIONS,
+    ETHICAL_DIMENSIONS,
+    HARM_CODES,
+    JUSTIFICATION_DIMENSIONS,
+    LEGAL_DIMENSIONS,
+    META_DIMENSIONS,
+    SAFEGUARD_CODES,
+    paper_codebook,
+)
+from .values import GLYPHS, CellValue, parse_glyph
+
+__all__ = [
+    "BENEFIT_CODES",
+    "CODE_DIMENSIONS",
+    "CellValue",
+    "Code",
+    "Codebook",
+    "Dimension",
+    "DimensionKind",
+    "ETHICAL_DIMENSIONS",
+    "GLYPHS",
+    "HARM_CODES",
+    "JUSTIFICATION_DIMENSIONS",
+    "LEGAL_DIMENSIONS",
+    "META_DIMENSIONS",
+    "SAFEGUARD_CODES",
+    "paper_codebook",
+    "parse_glyph",
+]

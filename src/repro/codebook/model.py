@@ -1,0 +1,275 @@
+"""Codebook data model: codes, dimensions and the codebook registry.
+
+A *codebook* is the schema for qualitative coding: it declares the
+dimensions on which each unit of analysis (here: a published paper that
+used data of illicit origin) is coded, and for each dimension the codes
+or cell values that are valid.
+
+Dimensions come in three kinds, mirroring Table 1 of the paper:
+
+``closed``
+    The cell holds exactly one :class:`~repro.codebook.values.CellValue`
+    from the dimension's allowed set (legal issues, ethical issues,
+    justifications, ethics section, REB status).
+
+``open``
+    The cell holds a *set* of member codes (safeguards, harms, benefits);
+    the dimension declares the universe of member codes.
+
+A :class:`Codebook` validates codings against the schema and is shared by
+the corpus, the coding engine and the analysis engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from .._util import ensure_unique, slugify
+from ..errors import CodebookError, UnknownCodeError, UnknownDimensionError
+from .values import CellValue
+
+__all__ = ["Code", "Dimension", "DimensionKind", "Codebook"]
+
+
+class DimensionKind:
+    """String constants for the two dimension kinds."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    ALL = (CLOSED, OPEN)
+
+
+@dataclasses.dataclass(frozen=True)
+class Code:
+    """One member code of an open-set dimension.
+
+    Attributes
+    ----------
+    id:
+        Stable slug identifier, e.g. ``"secure-storage"``.
+    abbrev:
+        The abbreviation used in Table 1, e.g. ``"SS"``.
+    name:
+        Human-readable name, e.g. ``"Secure Storage"``.
+    definition:
+        The paper's definition of the code (used in legends/reports).
+    """
+
+    id: str
+    abbrev: str
+    name: str
+    definition: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise CodebookError("code id must be non-empty")
+        if self.id != slugify(self.id):
+            raise CodebookError(f"code id {self.id!r} is not a valid slug")
+        if not self.abbrev:
+            raise CodebookError(f"code {self.id!r} needs an abbreviation")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.abbrev
+
+
+@dataclasses.dataclass(frozen=True)
+class Dimension:
+    """One coding dimension (a column group cell of the coding matrix).
+
+    Attributes
+    ----------
+    id:
+        Stable slug identifier, e.g. ``"computer-misuse"``.
+    name:
+        Human-readable name, e.g. ``"Computer misuse"``.
+    group:
+        The column group the dimension belongs to, e.g. ``"legal"``,
+        ``"ethical"``, ``"justification"``, ``"meta"``, ``"codes"``.
+    kind:
+        :data:`DimensionKind.CLOSED` or :data:`DimensionKind.OPEN`.
+    allowed:
+        For closed dimensions: the tuple of valid cell values.
+    members:
+        For open dimensions: the tuple of valid member :class:`Code`\\ s.
+    description:
+        Definition text from the paper.
+    """
+
+    id: str
+    name: str
+    group: str
+    kind: str = DimensionKind.CLOSED
+    allowed: tuple[CellValue, ...] = ()
+    members: tuple[Code, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.id != slugify(self.id):
+            raise CodebookError(f"dimension id {self.id!r} is not a slug")
+        if self.kind not in DimensionKind.ALL:
+            raise CodebookError(f"unknown dimension kind {self.kind!r}")
+        if self.kind == DimensionKind.CLOSED:
+            if not self.allowed:
+                raise CodebookError(
+                    f"closed dimension {self.id!r} needs allowed values"
+                )
+            if self.members:
+                raise CodebookError(
+                    f"closed dimension {self.id!r} must not declare members"
+                )
+        else:
+            if not self.members:
+                raise CodebookError(
+                    f"open dimension {self.id!r} needs member codes"
+                )
+            if self.allowed:
+                raise CodebookError(
+                    f"open dimension {self.id!r} must not declare allowed "
+                    "cell values"
+                )
+            ensure_unique((c.id for c in self.members), "member code id")
+            ensure_unique((c.abbrev for c in self.members), "member abbrev")
+
+    # -- closed-dimension helpers -------------------------------------
+    def validate_value(self, value: CellValue) -> CellValue:
+        """Check *value* is allowed for this closed dimension."""
+        if self.kind != DimensionKind.CLOSED:
+            raise CodebookError(
+                f"dimension {self.id!r} holds code sets, not single values"
+            )
+        if value not in self.allowed:
+            raise CodebookError(
+                f"value {value!s} not allowed for dimension {self.id!r}"
+            )
+        return value
+
+    # -- open-dimension helpers ---------------------------------------
+    def code(self, key: str) -> Code:
+        """Look up a member code by id or abbreviation."""
+        if self.kind != DimensionKind.OPEN:
+            raise CodebookError(f"dimension {self.id!r} has no member codes")
+        for member in self.members:
+            if key in (member.id, member.abbrev):
+                return member
+        raise UnknownCodeError(key, self.id)
+
+    def validate_codes(self, keys: Iterable[str]) -> tuple[Code, ...]:
+        """Resolve and validate an iterable of member code keys."""
+        resolved = tuple(self.code(key) for key in keys)
+        try:
+            ensure_unique((c.id for c in resolved), "code")
+        except ValueError as exc:
+            raise CodebookError(str(exc)) from None
+        return resolved
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class Codebook:
+    """An ordered registry of :class:`Dimension` objects.
+
+    The codebook preserves declaration order (which defines column order
+    when rendering coding matrices) and offers lookup by id and by group.
+    """
+
+    def __init__(self, name: str, dimensions: Sequence[Dimension]) -> None:
+        if not name:
+            raise CodebookError("codebook name must be non-empty")
+        ensure_unique((d.id for d in dimensions), "dimension id")
+        self.name = name
+        self._dimensions: dict[str, Dimension] = {
+            d.id: d for d in dimensions
+        }
+
+    # -- container protocol -------------------------------------------
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self._dimensions.values())
+
+    def __len__(self) -> int:
+        return len(self._dimensions)
+
+    def __contains__(self, dimension_id: str) -> bool:
+        return dimension_id in self._dimensions
+
+    def __getitem__(self, dimension_id: str) -> Dimension:
+        try:
+            return self._dimensions[dimension_id]
+        except KeyError:
+            raise UnknownDimensionError(dimension_id) from None
+
+    # -- queries -------------------------------------------------------
+    @property
+    def dimension_ids(self) -> tuple[str, ...]:
+        return tuple(self._dimensions)
+
+    def group(self, group: str) -> tuple[Dimension, ...]:
+        """All dimensions in declaration order belonging to *group*."""
+        return tuple(d for d in self if d.group == group)
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Distinct group names in first-appearance order."""
+        seen: list[str] = []
+        for dim in self:
+            if dim.group not in seen:
+                seen.append(dim.group)
+        return tuple(seen)
+
+    def closed_dimensions(self) -> tuple[Dimension, ...]:
+        return tuple(
+            d for d in self if d.kind == DimensionKind.CLOSED
+        )
+
+    def open_dimensions(self) -> tuple[Dimension, ...]:
+        return tuple(d for d in self if d.kind == DimensionKind.OPEN)
+
+    # -- validation -----------------------------------------------------
+    def validate_coding(
+        self,
+        values: Mapping[str, CellValue],
+        code_sets: Mapping[str, Iterable[str]],
+    ) -> None:
+        """Validate a full coding for one unit of analysis.
+
+        *values* maps closed dimension ids to cell values; *code_sets*
+        maps open dimension ids to iterables of member code keys. Every
+        closed dimension must be assigned; open dimensions default to
+        the empty set. Raises :class:`~repro.errors.CodebookError` on
+        any schema violation.
+        """
+        for dim_id, value in values.items():
+            self[dim_id].validate_value(value)
+        for dim_id, keys in code_sets.items():
+            self[dim_id].validate_codes(keys)
+        missing = [
+            d.id
+            for d in self.closed_dimensions()
+            if d.id not in values
+        ]
+        if missing:
+            raise CodebookError(
+                f"coding is missing closed dimensions: {missing}"
+            )
+        unknown = [
+            key
+            for key in (*values, *code_sets)
+            if key not in self
+        ]
+        if unknown:  # pragma: no cover - guarded by __getitem__ above
+            raise UnknownDimensionError(unknown[0])
+
+    def legend(self) -> dict[str, dict[str, str]]:
+        """Return ``{dimension id: {abbrev: name}}`` for open dimensions.
+
+        Used by the table renderers to emit the Table 1 footer legend.
+        """
+        return {
+            dim.id: {code.abbrev: code.name for code in dim.members}
+            for dim in self.open_dimensions()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Codebook({self.name!r}, {len(self)} dimensions)"

@@ -1,0 +1,460 @@
+"""The paper's codebook: the exact schema of Table 1.
+
+This module instantiates the coding schema used by Thomas et al. to
+systematize over 20 papers that used data of illicit origin:
+
+* six **legal issues** (§3) coded for *applicability* (``•``),
+* five **ethical issues** (§2.1) coded as discussed / not discussed,
+* five **justifications** (§5.1) coded as used / not used (with the
+  special ``declined`` value for the Patreon case),
+* **ethics section** presence and **REB approval** status,
+* three open-set code dimensions: **safeguards** (§5.2), **harms**
+  (§5.3) and **benefits** (§5.4).
+
+Definitions are quoted or paraphrased from the paper so the generated
+legends and reports read like the original.
+"""
+
+from __future__ import annotations
+
+from .model import Code, Codebook, Dimension, DimensionKind
+from .values import CellValue
+
+__all__ = [
+    "paper_codebook",
+    "LEGAL_DIMENSIONS",
+    "ETHICAL_DIMENSIONS",
+    "JUSTIFICATION_DIMENSIONS",
+    "META_DIMENSIONS",
+    "SAFEGUARD_CODES",
+    "HARM_CODES",
+    "BENEFIT_CODES",
+]
+
+_APPLICABILITY = (CellValue.APPLICABLE, CellValue.NOT_APPLICABLE)
+_DISCUSSION = (CellValue.DISCUSSED, CellValue.NOT_DISCUSSED)
+_JUSTIFICATION = (
+    CellValue.DISCUSSED,
+    CellValue.NOT_DISCUSSED,
+    CellValue.DECLINED,
+)
+_REB = (
+    CellValue.APPROVED,
+    CellValue.NOT_MENTIONED,
+    CellValue.EXEMPT,
+    CellValue.NOT_RELEVANT,
+)
+
+#: §3 — legal issues, coded for applicability (• in Table 1).
+LEGAL_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        id="computer-misuse",
+        name="Computer misuse",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "Laws against misuse or abuse of computers (e.g. UK Computer "
+            "Misuse Act 1990, US 18 U.S.C. §1030, German StGB §§202a, "
+            "263a, 303a, 303b), covering unauthorised use of a computer "
+            "system and the use of malware or dual-use tools."
+        ),
+    ),
+    Dimension(
+        id="copyright",
+        name="Copyright",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "The right to produce copies, including database rights and "
+            "trade secrets; affects further sharing of data with other "
+            "researchers. Exemptions such as fair use vary by "
+            "jurisdiction."
+        ),
+    ),
+    Dimension(
+        id="data-privacy",
+        name="Data privacy",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "Personally identifiable information must be protected and "
+            "processed in accordance with data protection rules; in "
+            "several jurisdictions IP addresses may be personal data. "
+            "The GDPR applies from May 2018 with research provisions "
+            "subject to safeguards."
+        ),
+    ),
+    Dimension(
+        id="terrorism",
+        name="Terrorism",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "In some jurisdictions it may be an offence to fail to "
+            "report terrorist activity discovered during research, and "
+            "possession of terrorist materials may be an offence unless "
+            "research exceptions are met."
+        ),
+    ),
+    Dimension(
+        id="indecent-images",
+        name="Indecent images",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "Possession of indecent images of children is an offence in "
+            "many jurisdictions with, in general, no research "
+            "exemptions; care is needed when scraping or receiving data "
+            "dumps that might contain such material."
+        ),
+    ),
+    Dimension(
+        id="national-security",
+        name="National security",
+        group="legal",
+        allowed=_APPLICABILITY,
+        description=(
+            "Data may be protected by national security legislation; "
+            "even if publicly available it may still be classified, and "
+            "unauthorised use or publication may expose researchers to "
+            "legal risk."
+        ),
+    ),
+)
+
+#: §2.1 — ethical issues, coded as discussed / not discussed.
+ETHICAL_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        id="identification-of-stakeholders",
+        name="Identification of stakeholders",
+        group="ethical",
+        allowed=_DISCUSSION,
+        description=(
+            "Primary, secondary and key stakeholders should be "
+            "identified to support the analysis of the potential harms "
+            "and benefits of the research."
+        ),
+    ),
+    Dimension(
+        id="identify-harms",
+        name="Identify harms",
+        group="ethical",
+        allowed=_DISCUSSION,
+        description=(
+            "The potential harms arising from the use of the data of "
+            "illicit origin should be identified."
+        ),
+    ),
+    Dimension(
+        id="safeguards-discussed",
+        name="Safeguards",
+        group="ethical",
+        allowed=_DISCUSSION,
+        description=(
+            "Researchers should apply mechanisms to mitigate or reduce "
+            "the potential for harm."
+        ),
+    ),
+    Dimension(
+        id="justice",
+        name="Justice",
+        group="ethical",
+        allowed=_DISCUSSION,
+        description=(
+            "The research does not unfairly advantage or disadvantage "
+            "any particular social or cultural group."
+        ),
+    ),
+    Dimension(
+        id="public-interest",
+        name="Public interest",
+        group="ethical",
+        allowed=_DISCUSSION,
+        description=(
+            "The research has been published, is reproducible, and "
+            "there is a social acceptability exceeding the harms."
+        ),
+    ),
+)
+
+#: §5.1 — common justifications for using data of illicit origin.
+JUSTIFICATION_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        id="not-the-first",
+        name="Not the first",
+        group="justification",
+        allowed=_JUSTIFICATION,
+        description=(
+            "Previous research using these data was published and "
+            "peer-reviewed, and so our work must be ethical. The paper "
+            "notes this is a poor argument: not all published work is "
+            "ethical under current norms, and different uses require "
+            "their own justification."
+        ),
+    ),
+    Dimension(
+        id="public-data",
+        name="Public data",
+        group="justification",
+        allowed=_JUSTIFICATION,
+        description=(
+            "Since these data are publicly available, anything we do "
+            "with them is ethical. The ethics must still be considered; "
+            "REB review may still be required and new techniques applied "
+            "to public data may cause harm."
+        ),
+    ),
+    Dimension(
+        id="no-additional-harm",
+        name="No additional harm",
+        group="justification",
+        allowed=_JUSTIFICATION,
+        description=(
+            "Any harms have already occurred, so the work produces "
+            "benefits and no (or negligible) additional harm. Requires "
+            "that no natural persons are identified and data is stored "
+            "securely; for some data any use is additional harm."
+        ),
+    ),
+    Dimension(
+        id="fight-malicious-use",
+        name="Fight malicious use",
+        group="justification",
+        allowed=_JUSTIFICATION,
+        description=(
+            "These data are already used by malicious actors, so we "
+            "need to use them to defend against those actors. May be "
+            "ethical if the same data prevents or reduces harm without "
+            "creating greater harm."
+        ),
+    ),
+    Dimension(
+        id="necessary-data",
+        name="Necessary data",
+        group="justification",
+        allowed=_JUSTIFICATION,
+        description=(
+            "This research cannot be conducted without using this "
+            "data. A good justification only when there is sufficient "
+            "public-interest benefit and no additional harm."
+        ),
+    ),
+)
+
+#: Ethics-section presence and REB status columns.
+META_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        id="ethics-section",
+        name="Ethics section",
+        group="meta",
+        allowed=_DISCUSSION,
+        description=(
+            "Whether the paper includes an explicit ethics section "
+            "(Partridge argues network measurement papers should, "
+            "partly to increase the availability of examples of "
+            "ethical reasoning)."
+        ),
+    ),
+    Dimension(
+        id="reb-approval",
+        name="REB approval",
+        group="meta",
+        allowed=_REB,
+        description=(
+            "Whether the work records Research Ethics Board approval: "
+            "approved, exempt (E), not mentioned, or not applicable "
+            "(∅, the data was not used)."
+        ),
+    ),
+)
+
+#: §5.2 — safeguards.
+SAFEGUARD_CODES: tuple[Code, ...] = (
+    Code(
+        id="secure-storage",
+        abbrev="SS",
+        name="Secure Storage",
+        definition=(
+            "The integrity and confidentiality of the data are "
+            "maintained, e.g. by encryption and access control to avoid "
+            "accidental leakage."
+        ),
+    ),
+    Code(
+        id="privacy",
+        abbrev="P",
+        name="Privacy",
+        definition=(
+            "No deanonymisation is attempted and no identities are "
+            "revealed."
+        ),
+    ),
+    Code(
+        id="controlled-sharing",
+        abbrev="CS",
+        name="Controlled Sharing",
+        definition=(
+            "Only partial/anonymised data is published, or data is "
+            "provided under legal agreements that prevent harms, or not "
+            "made publicly available (including analysis performed by "
+            "the holding institution on behalf of other researchers)."
+        ),
+    ),
+)
+
+#: §5.3 — harms.
+HARM_CODES: tuple[Code, ...] = (
+    Code(
+        id="illicit-measurement",
+        abbrev="I",
+        name="Illicit measurement",
+        definition=(
+            "The research obtained the data by illicit activities such "
+            "as hacking or paying the offenders, which can lead to "
+            "researchers being prosecuted."
+        ),
+    ),
+    Code(
+        id="potential-abuse",
+        abbrev="PA",
+        name="Potential Abuse",
+        definition=(
+            "Research results can be used by malicious actors to cause "
+            "additional harm, e.g. designing evasive malware or "
+            "updating password cracking policies."
+        ),
+    ),
+    Code(
+        id="de-anonymization",
+        abbrev="DA",
+        name="De-Anonymization",
+        definition=(
+            "Research on these data can be used to de-anonymise or "
+            "re-identify people or networks; identification of groups "
+            "may raise concerns such as discrimination or violence."
+        ),
+    ),
+    Code(
+        id="sensitive-information",
+        abbrev="SI",
+        name="Sensitive Information",
+        definition=(
+            "The data contains sensitive and private information which "
+            "can be used to harm natural persons, e.g. leaked passwords "
+            "compromising other services through reuse."
+        ),
+    ),
+    Code(
+        id="researcher-harm",
+        abbrev="RH",
+        name="Researcher Harm",
+        definition=(
+            "The research can lead to researchers being prosecuted, "
+            "threatened by criminals or state/industry actors, or "
+            "emotionally traumatised by distressing content."
+        ),
+    ),
+    Code(
+        id="behavioural-change",
+        abbrev="BC",
+        name="Behavioural Change",
+        definition=(
+            "The research can change the behaviour of the stakeholders "
+            "with negative consequences, e.g. measured vendors "
+            "providing fake information, or encouraging future "
+            "collection or use of data of illicit origin."
+        ),
+    ),
+)
+
+#: §5.4 — benefits.
+BENEFIT_CODES: tuple[Code, ...] = (
+    Code(
+        id="reproducibility",
+        abbrev="R",
+        name="Reproducibility",
+        definition=(
+            "The data allows the comparison of different algorithms or "
+            "tools; controlled sharing is required when the data "
+            "contains sensitive information."
+        ),
+    ),
+    Code(
+        id="uniqueness",
+        abbrev="U",
+        name="Uniqueness",
+        definition=(
+            "Data is unique or historical, so similar measurements on "
+            "the same topic are hard or impossible to attain; only a "
+            "benefit if the data is also useful."
+        ),
+    ),
+    Code(
+        id="defence-mechanisms",
+        abbrev="DM",
+        name="Defence Mechanisms",
+        definition=(
+            "Data can be used to study the underground economy, new "
+            "forms of cybercrime or new attack techniques, enabling new "
+            "defences such as anti-malware tools or password policies."
+        ),
+    ),
+    Code(
+        id="anthropology-transparency",
+        abbrev="AT",
+        name="Anthropology and Transparency",
+        definition=(
+            "Data contains ground truth on human behaviour that other "
+            "methods could only obtain in a filtered or biased way, and "
+            "can provide transparency into state or corporate actors, "
+            "providing checks and balances on power."
+        ),
+    ),
+)
+
+#: Open-set dimensions holding the three code families.
+CODE_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        id="safeguards",
+        name="Safeguards",
+        group="codes",
+        kind=DimensionKind.OPEN,
+        members=SAFEGUARD_CODES,
+        description="Safeguards applied by the researchers (§5.2).",
+    ),
+    Dimension(
+        id="harms",
+        name="Harms",
+        group="codes",
+        kind=DimensionKind.OPEN,
+        members=HARM_CODES,
+        description="Potential harms discussed by the researchers (§5.3).",
+    ),
+    Dimension(
+        id="benefits",
+        name="Benefits",
+        group="codes",
+        kind=DimensionKind.OPEN,
+        members=BENEFIT_CODES,
+        description="Benefits discussed by the researchers (§5.4).",
+    ),
+)
+
+
+def paper_codebook() -> Codebook:
+    """Build a fresh :class:`Codebook` instance matching Table 1.
+
+    The returned codebook has 16 closed dimensions (6 legal, 5 ethical,
+    5 justification) plus ethics-section and REB columns and 3 open-set
+    code dimensions, in the paper's column order.
+    """
+    return Codebook(
+        name="thomas2017-illicit-origin",
+        dimensions=(
+            *LEGAL_DIMENSIONS,
+            *ETHICAL_DIMENSIONS,
+            *JUSTIFICATION_DIMENSIONS,
+            *META_DIMENSIONS,
+            *CODE_DIMENSIONS,
+        ),
+    )

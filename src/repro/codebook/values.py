@@ -1,0 +1,123 @@
+"""Code values used in qualitative coding cells.
+
+Table 1 of the paper uses a small glyph vocabulary:
+
+* ``•``  — a legal issue is applicable to the work (even if not discussed)
+* ``✓``  — an ethical issue was discussed / a justification was used
+  (rendered as the dingbat ``3`` in the paper's font)
+* ``✗``  — not discussed / not used (rendered as ``5``)
+* ``l``  — the authors decided the use could not be justified and declined
+  to use the dataset (only the Patreon row)
+* ``E``  — the work was exempted from REB approval
+* ``∅``  — REB approval is not applicable (the work did not use the data)
+* ``✓``/``✗`` in the REB column mean approval obtained / not mentioned
+
+This module models those cell values as an enumeration plus helpers for
+parsing and rendering the glyphs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import CodebookError
+
+__all__ = ["CellValue", "GLYPHS", "parse_glyph"]
+
+
+class CellValue(enum.Enum):
+    """The value of one coding cell in a coding matrix."""
+
+    #: A legal issue applies to the work (Table 1 ``•``).
+    APPLICABLE = "applicable"
+    #: A legal issue does not apply (blank cell).
+    NOT_APPLICABLE = "not-applicable"
+    #: The issue/justification was discussed or used (``✓``).
+    DISCUSSED = "discussed"
+    #: The issue/justification was not discussed or used (``✗``).
+    NOT_DISCUSSED = "not-discussed"
+    #: The authors considered the justification and declined to rely on
+    #: it, choosing not to use the dataset at all (``l``).
+    DECLINED = "declined"
+    #: REB approval was obtained (``✓`` in the REB column).
+    APPROVED = "approved"
+    #: REB approval was not mentioned (``✗`` in the REB column).
+    NOT_MENTIONED = "not-mentioned"
+    #: The work was explicitly exempted by an REB (``E``).
+    EXEMPT = "exempt"
+    #: The dimension does not apply to this entry (``∅``).
+    NOT_RELEVANT = "not-relevant"
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the cell counts as a "yes" in frequency tables."""
+        return self in _POSITIVE
+
+    @property
+    def glyph(self) -> str:
+        """The Table 1 glyph used to render this value."""
+        return GLYPHS[self]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_POSITIVE = frozenset(
+    {CellValue.APPLICABLE, CellValue.DISCUSSED, CellValue.APPROVED}
+)
+
+#: Rendering glyphs, following the paper's legend.
+GLYPHS: dict[CellValue, str] = {
+    CellValue.APPLICABLE: "•",  # •
+    CellValue.NOT_APPLICABLE: " ",
+    CellValue.DISCUSSED: "✓",  # ✓
+    CellValue.NOT_DISCUSSED: "✗",  # ✗
+    CellValue.DECLINED: "l",
+    CellValue.APPROVED: "✓",
+    CellValue.NOT_MENTIONED: "✗",
+    CellValue.EXEMPT: "E",
+    CellValue.NOT_RELEVANT: "∅",  # ∅
+}
+
+#: Accepted textual spellings when parsing cell values. The dingbat
+#: digits ``3``/``5`` appear in text extractions of the paper (the tick
+#: and cross were typeset from a dingbat font).
+_PARSE: dict[str, CellValue] = {
+    "•": CellValue.APPLICABLE,
+    "*": CellValue.APPLICABLE,
+    "✓": CellValue.DISCUSSED,
+    "3": CellValue.DISCUSSED,
+    "y": CellValue.DISCUSSED,
+    "yes": CellValue.DISCUSSED,
+    "✗": CellValue.NOT_DISCUSSED,
+    "5": CellValue.NOT_DISCUSSED,
+    "n": CellValue.NOT_DISCUSSED,
+    "no": CellValue.NOT_DISCUSSED,
+    "l": CellValue.DECLINED,
+    "e": CellValue.EXEMPT,
+    "∅": CellValue.NOT_RELEVANT,
+    "na": CellValue.NOT_RELEVANT,
+    "": CellValue.NOT_APPLICABLE,
+}
+
+
+def parse_glyph(text: str, *, reb_column: bool = False) -> CellValue:
+    """Parse a Table 1 glyph (or a common textual spelling) to a value.
+
+    In the REB column the tick and cross glyphs mean *approved* and
+    *not mentioned* rather than *discussed* / *not discussed*; pass
+    ``reb_column=True`` to get that interpretation.
+
+    Raises :class:`~repro.errors.CodebookError` for unknown glyphs.
+    """
+    key = text.strip().lower()
+    try:
+        value = _PARSE[key]
+    except KeyError:
+        raise CodebookError(f"unrecognised coding glyph {text!r}") from None
+    if reb_column:
+        if value is CellValue.DISCUSSED:
+            return CellValue.APPROVED
+        if value is CellValue.NOT_DISCUSSED:
+            return CellValue.NOT_MENTIONED
+    return value

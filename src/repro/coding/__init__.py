@@ -1,0 +1,39 @@
+"""Multi-coder annotation and inter-rater reliability machinery."""
+
+from .agreement import (
+    cohens_kappa,
+    confusion_matrix,
+    fleiss_kappa,
+    interpret_kappa,
+    krippendorff_alpha,
+    pairwise_kappa,
+    percent_agreement,
+    set_agreement,
+    weighted_kappa,
+)
+from .annotations import (
+    AdjudicationSession,
+    Annotation,
+    AnnotationSet,
+    Coder,
+    Disagreement,
+    annotations_from_corpus,
+)
+
+__all__ = [
+    "AdjudicationSession",
+    "Annotation",
+    "AnnotationSet",
+    "Coder",
+    "Disagreement",
+    "annotations_from_corpus",
+    "cohens_kappa",
+    "confusion_matrix",
+    "fleiss_kappa",
+    "interpret_kappa",
+    "krippendorff_alpha",
+    "pairwise_kappa",
+    "percent_agreement",
+    "set_agreement",
+    "weighted_kappa",
+]

@@ -1,0 +1,262 @@
+"""Inter-rater reliability statistics for qualitative coding.
+
+Implements the standard agreement measures used to validate coding
+exercises like the paper's Table 1:
+
+* percent (observed) agreement,
+* Cohen's kappa (two raters) and weighted kappa,
+* Fleiss' kappa (any number of raters),
+* Krippendorff's alpha (nominal metric, tolerates missing data),
+* per-pair confusion matrices.
+
+All functions take plain label sequences so they can be used directly
+or through :func:`pairwise_kappa` / :func:`set_agreement` on
+:class:`~repro.coding.annotations.AnnotationSet` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+from ..errors import CodingError
+from .annotations import AnnotationSet
+
+__all__ = [
+    "percent_agreement",
+    "cohens_kappa",
+    "weighted_kappa",
+    "fleiss_kappa",
+    "krippendorff_alpha",
+    "confusion_matrix",
+    "pairwise_kappa",
+    "set_agreement",
+    "interpret_kappa",
+]
+
+
+def _check_pair(a: Sequence, b: Sequence) -> None:
+    if len(a) != len(b):
+        raise CodingError("label sequences must have equal length")
+    if not a:
+        raise CodingError("label sequences must be non-empty")
+
+
+def percent_agreement(a: Sequence[str], b: Sequence[str]) -> float:
+    """Fraction of items on which two raters agree (0..1)."""
+    _check_pair(a, b)
+    matches = sum(1 for x, y in zip(a, b) if x == y)
+    return matches / len(a)
+
+
+def cohens_kappa(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cohen's kappa for two raters over nominal labels.
+
+    Returns 1.0 when both raters agree perfectly *and* chance agreement
+    is also 1 (single-category degenerate case), matching the common
+    convention.
+    """
+    _check_pair(a, b)
+    n = len(a)
+    observed = percent_agreement(a, b)
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    expected = sum(
+        counts_a[label] * counts_b.get(label, 0) for label in counts_a
+    ) / (n * n)
+    if expected >= 1.0:
+        return 1.0 if observed == 1.0 else 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def weighted_kappa(
+    a: Sequence[str],
+    b: Sequence[str],
+    weights: Mapping[tuple[str, str], float],
+) -> float:
+    """Cohen's kappa with disagreement weights.
+
+    ``weights[(x, y)]`` is the disagreement cost of rater labels
+    ``(x, y)``; missing pairs default to 0 for ``x == y`` and 1
+    otherwise. Symmetry is enforced by averaging ``(x, y)`` and
+    ``(y, x)`` when both are present.
+    """
+    _check_pair(a, b)
+
+    def weight(x: str, y: str) -> float:
+        if (x, y) in weights and (y, x) in weights:
+            return (weights[(x, y)] + weights[(y, x)]) / 2.0
+        if (x, y) in weights:
+            return weights[(x, y)]
+        if (y, x) in weights:
+            return weights[(y, x)]
+        return 0.0 if x == y else 1.0
+
+    n = len(a)
+    labels = sorted(set(a) | set(b))
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    observed = sum(weight(x, y) for x, y in zip(a, b)) / n
+    expected = sum(
+        weight(x, y) * counts_a.get(x, 0) * counts_b.get(y, 0)
+        for x in labels
+        for y in labels
+    ) / (n * n)
+    if expected == 0.0:
+        return 1.0 if observed == 0.0 else 0.0
+    return 1.0 - observed / expected
+
+
+def fleiss_kappa(ratings: Sequence[Sequence[str]]) -> float:
+    """Fleiss' kappa for *m* raters over *n* items.
+
+    *ratings* is a sequence of items, each a sequence of the labels
+    assigned by every rater (all items must have the same number of
+    raters, at least two).
+    """
+    if not ratings:
+        raise CodingError("ratings must be non-empty")
+    m = len(ratings[0])
+    if m < 2:
+        raise CodingError("Fleiss' kappa needs at least two raters")
+    if any(len(item) != m for item in ratings):
+        raise CodingError("all items need the same number of raters")
+    n = len(ratings)
+    categories = sorted({label for item in ratings for label in item})
+    # Per-item agreement P_i and category proportions p_j.
+    total_pairs = m * (m - 1)
+    p_i_sum = 0.0
+    category_counts: Counter[str] = Counter()
+    for item in ratings:
+        counts = Counter(item)
+        category_counts.update(counts)
+        agreement = sum(c * (c - 1) for c in counts.values())
+        p_i_sum += agreement / total_pairs
+    p_bar = p_i_sum / n
+    p_e = sum(
+        (category_counts[c] / (n * m)) ** 2 for c in categories
+    )
+    if p_e >= 1.0:
+        return 1.0 if p_bar == 1.0 else 0.0
+    return (p_bar - p_e) / (1.0 - p_e)
+
+
+def krippendorff_alpha(
+    ratings: Sequence[Sequence[str | None]],
+) -> float:
+    """Krippendorff's alpha with the nominal difference metric.
+
+    *ratings* is items × raters; ``None`` marks a missing rating.
+    Items with fewer than two ratings are ignored. Raises
+    :class:`~repro.errors.CodingError` when no item has two ratings.
+    """
+    # Build the coincidence matrix.
+    coincidences: Counter[tuple[str, str]] = Counter()
+    for item in ratings:
+        values = [v for v in item if v is not None]
+        m_u = len(values)
+        if m_u < 2:
+            continue
+        for v1, v2 in itertools.permutations(values, 2):
+            coincidences[(v1, v2)] += 1.0 / (m_u - 1)
+    if not coincidences:
+        raise CodingError("alpha needs at least one item with 2+ ratings")
+    n_total = sum(coincidences.values())
+    categories = sorted({c for pair in coincidences for c in pair})
+    n_c = {
+        c: sum(
+            coincidences.get((c, other), 0.0) for other in categories
+        )
+        for c in categories
+    }
+    observed_disagreement = sum(
+        count
+        for (c1, c2), count in coincidences.items()
+        if c1 != c2
+    )
+    if n_total <= 1:
+        return 1.0
+    expected_disagreement = sum(
+        n_c[c1] * n_c[c2]
+        for c1 in categories
+        for c2 in categories
+        if c1 != c2
+    ) / (n_total - 1)
+    if expected_disagreement == 0.0:
+        return 1.0
+    return 1.0 - observed_disagreement / expected_disagreement
+
+
+def confusion_matrix(
+    a: Sequence[str], b: Sequence[str]
+) -> dict[tuple[str, str], int]:
+    """Counts of (label by rater A, label by rater B) pairs."""
+    _check_pair(a, b)
+    matrix: Counter[tuple[str, str]] = Counter(zip(a, b))
+    return dict(matrix)
+
+
+def pairwise_kappa(
+    first: AnnotationSet, second: AnnotationSet
+) -> dict[str, float]:
+    """Cohen's kappa per dimension between two annotation sets.
+
+    Only (entry, dimension) keys present in both sets contribute.
+    Dimensions with no common keys are omitted.
+    """
+    common = sorted(first.keys & second.keys)
+    by_dimension: dict[str, list[tuple[str, str]]] = {}
+    for key in common:
+        by_dimension.setdefault(key[1], []).append(key)
+    result: dict[str, float] = {}
+    for dimension_id, keys in by_dimension.items():
+        labels_a = [label for label in first.labels_for(keys)]
+        labels_b = [label for label in second.labels_for(keys)]
+        result[dimension_id] = cohens_kappa(labels_a, labels_b)
+    return result
+
+
+def set_agreement(
+    sets: Sequence[AnnotationSet],
+) -> dict[str, float]:
+    """Overall agreement summary for two or more annotation sets.
+
+    Returns a dict with ``percent`` (mean pairwise percent agreement),
+    ``fleiss_kappa`` and ``krippendorff_alpha`` over the keys common to
+    all sets.
+    """
+    if len(sets) < 2:
+        raise CodingError("agreement needs at least two annotation sets")
+    common = sorted(set.intersection(*(s.keys for s in sets)))
+    if not common:
+        raise CodingError("annotation sets share no common keys")
+    labels = [s.labels_for(common) for s in sets]
+    pairs = list(itertools.combinations(range(len(sets)), 2))
+    mean_percent = sum(
+        percent_agreement(labels[i], labels[j]) for i, j in pairs
+    ) / len(pairs)
+    items = [
+        [labels[r][i] for r in range(len(sets))]
+        for i in range(len(common))
+    ]
+    return {
+        "percent": mean_percent,
+        "fleiss_kappa": fleiss_kappa(items),
+        "krippendorff_alpha": krippendorff_alpha(items),
+    }
+
+
+def interpret_kappa(kappa: float) -> str:
+    """Landis & Koch interpretation band for a kappa value."""
+    if kappa < 0:
+        return "poor"
+    if kappa <= 0.20:
+        return "slight"
+    if kappa <= 0.40:
+        return "fair"
+    if kappa <= 0.60:
+        return "moderate"
+    if kappa <= 0.80:
+        return "substantial"
+    return "almost perfect"

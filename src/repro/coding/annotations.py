@@ -1,0 +1,279 @@
+"""Annotation model for multi-coder qualitative coding.
+
+The paper's Table 1 was produced by its authors coding each case study.
+This module models that process explicitly so it can be audited and so
+reliability statistics can be computed: a :class:`Coder` produces
+:class:`Annotation` records (one per entry × dimension), collected into
+an :class:`AnnotationSet`; multiple sets are compared or merged through
+an :class:`AdjudicationSession`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..codebook import CellValue, Codebook, DimensionKind
+from ..errors import CodingError
+
+__all__ = [
+    "Coder",
+    "Annotation",
+    "AnnotationSet",
+    "AdjudicationSession",
+    "Disagreement",
+    "annotations_from_corpus",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Coder:
+    """A person (or process) assigning codes."""
+
+    id: str
+    name: str = ""
+    expertise: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise CodingError("coder id must be non-empty")
+
+
+@dataclasses.dataclass(frozen=True)
+class Annotation:
+    """One coding decision: entry × dimension → value or code set.
+
+    For closed dimensions ``value`` is set; for open dimensions
+    ``codes`` (a tuple of member abbreviations) is set. ``rationale``
+    holds the coder's justification and supports the audit trail.
+    """
+
+    entry_id: str
+    dimension_id: str
+    value: CellValue | None = None
+    codes: tuple[str, ...] | None = None
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.value is None) == (self.codes is None):
+            raise CodingError(
+                "annotation must set exactly one of value / codes"
+            )
+
+    @property
+    def label(self) -> str:
+        """A hashable label for agreement computations.
+
+        Closed dimensions use the cell value name; open dimensions use
+        the sorted code tuple joined with ``+`` (empty set → ``-``).
+        """
+        if self.value is not None:
+            return self.value.value
+        codes = sorted(self.codes or ())
+        return "+".join(codes) if codes else "-"
+
+
+class AnnotationSet:
+    """All annotations by one coder against one codebook."""
+
+    def __init__(
+        self,
+        coder: Coder,
+        codebook: Codebook,
+        annotations: Iterable[Annotation] = (),
+    ) -> None:
+        self.coder = coder
+        self.codebook = codebook
+        self._by_key: dict[tuple[str, str], Annotation] = {}
+        for annotation in annotations:
+            self.add(annotation)
+
+    def add(self, annotation: Annotation) -> None:
+        """Validate against the codebook and record the annotation."""
+        from ..errors import CodebookError
+
+        dim = self.codebook[annotation.dimension_id]
+        try:
+            if dim.kind == DimensionKind.CLOSED:
+                if annotation.value is None:
+                    raise CodingError(
+                        f"dimension {dim.id!r} needs a cell value, "
+                        "got codes"
+                    )
+                dim.validate_value(annotation.value)
+            else:
+                if annotation.codes is None:
+                    raise CodingError(
+                        f"dimension {dim.id!r} needs a code set, "
+                        "got a value"
+                    )
+                dim.validate_codes(annotation.codes)
+        except CodebookError as exc:
+            raise CodingError(str(exc)) from exc
+        key = (annotation.entry_id, annotation.dimension_id)
+        if key in self._by_key:
+            raise CodingError(
+                f"duplicate annotation for {key} by {self.coder.id!r}"
+            )
+        self._by_key[key] = annotation
+
+    def get(self, entry_id: str, dimension_id: str) -> Annotation | None:
+        return self._by_key.get((entry_id, dimension_id))
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def keys(self) -> set[tuple[str, str]]:
+        return set(self._by_key)
+
+    def labels_for(
+        self, keys: Iterable[tuple[str, str]]
+    ) -> list[str | None]:
+        """Agreement labels for the given (entry, dimension) keys."""
+        return [
+            a.label if (a := self._by_key.get(key)) else None
+            for key in keys
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class Disagreement:
+    """A coding conflict between two or more annotation sets."""
+
+    entry_id: str
+    dimension_id: str
+    labels: Mapping[str, str]  # coder id -> label
+
+    def describe(self) -> str:
+        """One-line rendering of the conflicting labels."""
+        votes = ", ".join(
+            f"{coder}: {label}" for coder, label in sorted(self.labels.items())
+        )
+        return (
+            f"{self.entry_id} / {self.dimension_id}: {votes}"
+        )
+
+
+class AdjudicationSession:
+    """Compare coders' annotation sets and build a consensus set.
+
+    The consensus rule is majority vote with an explicit adjudicator
+    tie-break: call :meth:`resolve` for remaining disagreements before
+    :meth:`consensus`.
+    """
+
+    def __init__(self, sets: Iterable[AnnotationSet]) -> None:
+        self.sets = list(sets)
+        if len(self.sets) < 2:
+            raise CodingError("adjudication needs at least two coders")
+        codebooks = {id(s.codebook) for s in self.sets}
+        names = {s.codebook.name for s in self.sets}
+        if len(codebooks) > 1 and len(names) > 1:
+            raise CodingError("coders must share a codebook")
+        coder_ids = [s.coder.id for s in self.sets]
+        if len(set(coder_ids)) != len(coder_ids):
+            raise CodingError("duplicate coder ids in adjudication")
+        self._resolutions: dict[tuple[str, str], Annotation] = {}
+
+    @property
+    def common_keys(self) -> list[tuple[str, str]]:
+        """(entry, dimension) keys annotated by every coder, sorted."""
+        keys = set.intersection(*(s.keys for s in self.sets))
+        return sorted(keys)
+
+    def disagreements(self) -> list[Disagreement]:
+        """All keys where coders' labels differ (unresolved or not)."""
+        result: list[Disagreement] = []
+        for key in self.common_keys:
+            labels = {
+                s.coder.id: s.get(*key).label  # type: ignore[union-attr]
+                for s in self.sets
+            }
+            if len(set(labels.values())) > 1:
+                result.append(
+                    Disagreement(
+                        entry_id=key[0],
+                        dimension_id=key[1],
+                        labels=labels,
+                    )
+                )
+        return result
+
+    def resolve(
+        self, entry_id: str, dimension_id: str, annotation: Annotation
+    ) -> None:
+        """Record an adjudicator's resolution for a disagreement."""
+        if (annotation.entry_id, annotation.dimension_id) != (
+            entry_id,
+            dimension_id,
+        ):
+            raise CodingError("resolution annotation key mismatch")
+        self._resolutions[(entry_id, dimension_id)] = annotation
+
+    def consensus(self, adjudicator: Coder) -> AnnotationSet:
+        """Build the consensus annotation set.
+
+        Majority label wins; explicit resolutions always win; an
+        unresolved tie raises :class:`~repro.errors.CodingError`.
+        """
+        result = AnnotationSet(adjudicator, self.sets[0].codebook)
+        for key in self.common_keys:
+            if key in self._resolutions:
+                result.add(self._resolutions[key])
+                continue
+            annotations = [s.get(*key) for s in self.sets]
+            counts: dict[str, list[Annotation]] = {}
+            for annotation in annotations:
+                assert annotation is not None
+                counts.setdefault(annotation.label, []).append(annotation)
+            best = max(counts.values(), key=len)
+            ties = [
+                group
+                for group in counts.values()
+                if len(group) == len(best)
+            ]
+            if len(ties) > 1:
+                raise CodingError(
+                    f"unresolved tie at {key}; call resolve() first"
+                )
+            chosen = best[0]
+            result.add(
+                Annotation(
+                    entry_id=chosen.entry_id,
+                    dimension_id=chosen.dimension_id,
+                    value=chosen.value,
+                    codes=chosen.codes,
+                    rationale=f"majority of {len(best)}/{len(self.sets)}",
+                )
+            )
+        return result
+
+
+def annotations_from_corpus(corpus, coder: Coder) -> AnnotationSet:
+    """Lift a coded corpus into an :class:`AnnotationSet`.
+
+    Used to treat the published Table 1 coding as one coder's view,
+    e.g. when measuring agreement of an independent re-coding against
+    the paper.
+    """
+    result = AnnotationSet(coder, corpus.codebook)
+    for entry in corpus:
+        for dim_id, value in entry.values.items():
+            result.add(
+                Annotation(
+                    entry_id=entry.id, dimension_id=dim_id, value=value
+                )
+            )
+        for dim_id in ("safeguards", "harms", "benefits"):
+            result.add(
+                Annotation(
+                    entry_id=entry.id,
+                    dimension_id=dim_id,
+                    codes=entry.codes(dim_id),
+                )
+            )
+    return result

@@ -1,0 +1,32 @@
+"""The coded corpus of case studies (Table 1 of the paper)."""
+
+from .evidence import (
+    EVIDENCE,
+    Evidence,
+    evidence_for,
+    verify_evidence_coverage,
+)
+from .extensions import (
+    EXTENSION_ENTRIES,
+    CorpusBuilder,
+    extended_corpus,
+)
+from .model import CaseStudyEntry, Category, Corpus, DataOrigin
+from .table1 import TABLE1_FOOTNOTES, table1_corpus, table1_entries
+
+__all__ = [
+    "CaseStudyEntry",
+    "Category",
+    "Corpus",
+    "CorpusBuilder",
+    "DataOrigin",
+    "EVIDENCE",
+    "EXTENSION_ENTRIES",
+    "Evidence",
+    "TABLE1_FOOTNOTES",
+    "evidence_for",
+    "extended_corpus",
+    "table1_corpus",
+    "table1_entries",
+    "verify_evidence_coverage",
+]

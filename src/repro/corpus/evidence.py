@@ -1,0 +1,430 @@
+"""Per-entry evidence: the §4 sentences that ground each coding.
+
+Qualitative coding should be auditable back to the source text. This
+module records, for every Table 1 row, verbatim quotes from the
+paper's §4 case-study discussion that support the coding, plus the
+subsection they come from. :func:`evidence_for` is used by reports
+and tests; :func:`verify_evidence_coverage` asserts every corpus
+entry has at least one grounding quote.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import CorpusError
+from .model import Corpus
+
+__all__ = ["Evidence", "evidence_for", "verify_evidence_coverage",
+           "EVIDENCE"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Evidence:
+    """Grounding for one entry's coding."""
+
+    entry_id: str
+    section: str
+    quotes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.quotes:
+            raise CorpusError(
+                f"evidence for {self.entry_id!r} needs quotes"
+            )
+
+
+EVIDENCE: dict[str, Evidence] = {
+    entry.entry_id: entry
+    for entry in (
+        Evidence(
+            entry_id="att-ipad",
+            section="4.1.2",
+            quotes=(
+                "They used this to obtain the email addresses for "
+                "114 000 iPad users and passed this information to "
+                "Gawker as well as making the vulnerability known to "
+                "third parties.",
+                "the research was clearly both unethical and illegal",
+                "given that they did not contact AT&T, they failed "
+                "to implement Safeguards",
+            ),
+        ),
+        Evidence(
+            entry_id="pushdo-cutwail",
+            section="4.1.3",
+            quotes=(
+                "Stone-Gross et al. identified and obtained access "
+                "to some of the C&C servers for the Pushdo/Cutwail "
+                "botnet (used mainly for spam delivery) by "
+                "contacting the hosting providers (i.e. the authors "
+                "first performed Identification of stakeholders).",
+                "They obtained sensitive data such as the statistics "
+                "of infection, target email addresses and the source "
+                "code of the malware.",
+            ),
+        ),
+        Evidence(
+            entry_id="exploit-kits",
+            section="4.1.3",
+            quotes=(
+                "Kotov and Masacci collected source code of exploit "
+                "kits from a public repository as well as "
+                "underground forums where code was leaked or "
+                "released.",
+                "as the authors state, the fact that the code was "
+                "leaked biased their analysis",
+            ),
+        ),
+        Evidence(
+            entry_id="carna-caida",
+            section="4.1.1",
+            quotes=(
+                "the means they used to do this was a botnet of "
+                "420000 devices with default passwords",
+                "They noted ethical concerns without giving details, "
+                "and referred the reader to the Menlo report.",
+                "To prevent harm, CAIDA only looked at data "
+                "targeting their own darknet.",
+            ),
+        ),
+        Evidence(
+            entry_id="carna-telescope",
+            section="4.1.1",
+            quotes=(
+                "they then realised that they knew the IP addresses "
+                "of the botnet devices as they were the sources of "
+                "the probes of their network telescope",
+                "The Safeguards they used were that they kept these "
+                "IP addresses confidential pending finding an "
+                "ethically acceptable and practical way of dealing "
+                "with the situation.",
+            ),
+        ),
+        Evidence(
+            entry_id="carna-census-note",
+            section="4.1.1",
+            quotes=(
+                "the authors concluded that given that Carna scan "
+                "made no technical contributions, it had been "
+                "unethical to conduct",
+                "While they did not provide an opinion on whether it "
+                "is ethical to use these data for research, they did "
+                "use it for these purposes.",
+            ),
+        ),
+        Evidence(
+            entry_id="carna-menlo",
+            section="4.1.1",
+            quotes=(
+                "Dittrich, Carpenter and Karir use the Menlo report "
+                "to present a thorough analysis of the ethics of the "
+                "Carna botnet, from which they conclude that there "
+                "is a 'lack of a common understanding of ethics in "
+                "the computer security field'.",
+            ),
+        ),
+        Evidence(
+            entry_id="malware-metrics",
+            section="4.1.3",
+            quotes=(
+                "Calleja et al. analysed 151 malware samples dating "
+                "from 1975 to 2015.",
+                "The authors do not share the collected source code, "
+                "but only provide a dataset containing the metrics "
+                "obtained from the malware pieces.",
+                "Calleja et al. shared a dataset with metrics from "
+                "the source code, but not the sources themselves, as "
+                "Safeguards that allow for reproducibility without "
+                "releasing the malware.",
+            ),
+        ),
+        Evidence(
+            entry_id="pcfg-weir",
+            section="4.2",
+            quotes=(
+                "They say that 'while publicly available, these "
+                "lists contain private data; therefore we treat all "
+                "password lists as confidential'",
+                "'due to the moral and legal issues with "
+                "distributing real user information, we will only "
+                "provide the lists to legitimate researchers who "
+                "agree to abide by accepted ethical standards'",
+            ),
+        ),
+        Evidence(
+            entry_id="guess-again-kelley",
+            section="4.2",
+            quotes=(
+                "The authors received approval from their REB for "
+                "this survey, and they discuss the ethics of using "
+                "leaked databases of passwords.",
+                "They argue that, given these data were already "
+                "public, using it for research does not increase "
+                "harm to users, since no further connection with "
+                "real identities is sought.",
+            ),
+        ),
+        Evidence(
+            entry_id="tangled-web-das",
+            section="4.2",
+            quotes=(
+                "they justify their work saying that: 1) these "
+                "datasets were used in several previous studies, 2) "
+                "they protected users privacy by only working with "
+                "hashed email addresses, 3) they obtained approval "
+                "from their REB to conduct the survey.",
+            ),
+        ),
+        Evidence(
+            entry_id="measuring-ur",
+            section="4.2",
+            quotes=(
+                "This view is also shared by Ur et al., who use "
+                "three different password dumps to compare "
+                "real-world cracking techniques with those proposed "
+                "in the research literature.",
+            ),
+        ),
+        Evidence(
+            entry_id="omen-durmuth",
+            section="4.2",
+            quotes=(
+                "The authors justify this by claiming that these "
+                "datasets have been used in several previous "
+                "studies, and they have been made public.",
+                "they claimed that these data have been treated "
+                "carefully and they do not reveal actual information "
+                "about the passwords",
+            ),
+        ),
+        Evidence(
+            entry_id="underground-forums-motoyama",
+            section="4.3.3",
+            quotes=(
+                "Motoyama et al. presented one of the first works "
+                "analysing underground forums using leaked "
+                "databases, however, they did not discuss ethics.",
+            ),
+        ),
+        Evidence(
+            entry_id="carding-forums-yip",
+            section="4.3.3",
+            quotes=(
+                "Yip et al. perform social network analysis using a "
+                "database of three carding forums (Cardersmarket, "
+                "Darkmarket and Shadowcrew) which included private "
+                "messages of the participants.",
+                "They do not provide any discussion about the ethics "
+                "of their research, however they indicate that the "
+                "marketplace actors are anonymous, so it is not "
+                "possible to obtain Informed consent.",
+            ),
+        ),
+        Evidence(
+            entry_id="twbooter-karami",
+            section="4.3.1",
+            quotes=(
+                "Karami et al. analysed a database dump of the "
+                "TwBooter service. Their Safeguards to make this "
+                "research ethical were to not publish personally "
+                "identifiable data, except when this was already "
+                "publicly known.",
+            ),
+        ),
+        Evidence(
+            entry_id="booters-santanna",
+            section="4.3.1",
+            quotes=(
+                "Santanna et al. analysed database dumps from 15 "
+                "distinct booters and used Karami's procedures to "
+                "justify it ethically.",
+            ),
+        ),
+        Evidence(
+            entry_id="booters-karami-stress",
+            section="4.3.1",
+            quotes=(
+                "Later they analysed database dumps from Asylum and "
+                "LizardStresser and scraped data from VDOS. For the "
+                "latter they obtained an REB exemption on the basis "
+                "these data did not contain any personally "
+                "identifiable information and used publicly leaked "
+                "data.",
+                "In some jurisdictions (e.g. Germany) IP addresses "
+                "may be personally identifiable data and the dumps "
+                "likely contained email addresses which can be "
+                "similarly identifiable.",
+            ),
+        ),
+        Evidence(
+            entry_id="patreon",
+            section="4.3.2",
+            quotes=(
+                "Poor and Davidson, who were conducting research "
+                "based on incomplete data obtained by scraping the "
+                "Patreon website would have liked to use this data "
+                "but concluded it would be unethical to do so.",
+                "Importantly they also did not need to use this data "
+                "to do their research, as scraping the Patreon "
+                "website would also provide the data they needed, "
+                "without the risk of accidentally including private "
+                "data.",
+            ),
+        ),
+        Evidence(
+            entry_id="udp-ddos-thomas",
+            section="4.3.1",
+            quotes=(
+                "Thomas et al. used database dumps and scraped data "
+                "from booters to evaluate the coverage of their "
+                "honeypot based measurement of DDoS attacks, they "
+                "argued that using this data was necessary as there "
+                "was no other ground truth on attacks initiated by "
+                "booters.",
+                "no human subjects or ethical concerns",
+            ),
+        ),
+        Evidence(
+            entry_id="cybercrime-markets-portnoff",
+            section="4.3.3",
+            quotes=(
+                "Some authors have publicly re-released leaked "
+                "datasets, even including private information.",
+                "None of the works mentioned use Safeguards to "
+                "protect the data, which was originally illegally "
+                "obtained.",
+            ),
+        ),
+        Evidence(
+            entry_id="manning-berger",
+            section="4.5.1",
+            quotes=(
+                "Berger references several Manning cables to study "
+                "the international restrictions on the trade of "
+                "weapons with North Korea.",
+                "none of the studied works discussed the ethics of "
+                "their research",
+            ),
+        ),
+        Evidence(
+            entry_id="manning-barnard",
+            section="4.5.1",
+            quotes=(
+                "The author claims that there were no ethical "
+                "dilemmas since all the classified data used was "
+                "open source and declassified. However, there is no "
+                "evidence that any of Manning's WikiLeaks dump has "
+                "been declassified.",
+            ),
+        ),
+        Evidence(
+            entry_id="manning-talarico",
+            section="4.5.1",
+            quotes=(
+                "They used a confidential document from the American "
+                "Embassy in Italy, obtained through WikiLeaks that "
+                "said that the USA government had blacklisted an "
+                "Italian harbour because of collusion by harbour "
+                "staff.",
+            ),
+        ),
+        Evidence(
+            entry_id="snowden-landau",
+            section="4.5.2",
+            quotes=(
+                "Landau provides an overview of the data that was "
+                "revealed by Snowden, covering early leaks and later "
+                "leaks.",
+                "She criticises the ethics of some of the leaks "
+                "since 'the specifics on China had little to do with "
+                "privacy and security of individuals'",
+            ),
+        ),
+        Evidence(
+            entry_id="snowden-schneier",
+            section="4.5.2",
+            quotes=(
+                "In a newspaper article, Schneier uses documents "
+                "leaked by Snowden to explain how the NSA "
+                "unconditionally exploits Tor users' browsers to "
+                "install implants that exfiltrate data.",
+                "Several uses of the Snowden leaks make no mention "
+                "of the ethical considerations of doing so",
+            ),
+        ),
+        Evidence(
+            entry_id="snowden-rfc7624",
+            section="4.5.2",
+            quotes=(
+                "RFC 7624 uses the Snowden leaks to inform a threat "
+                "model for pervasive surveillance, in order to "
+                "inform protocol design, such that the activities "
+                "detailed in the Snowden leaks would be more "
+                "difficult in future.",
+                "Here the argument is that the NSA is the malicious "
+                "actor.",
+            ),
+        ),
+        Evidence(
+            entry_id="snowden-walsh",
+            section="4.5.2",
+            quotes=(
+                "Walsh and Miller provide an ethical and policy "
+                "analysis of intelligence agency activity on the "
+                "basis of Snowden's revealing what current practice "
+                "was.",
+            ),
+        ),
+        Evidence(
+            entry_id="panama-omartian",
+            section="4.4",
+            quotes=(
+                "Omartian used the Panama papers to investigate "
+                "investor response to changes in tax legislation in "
+                "terms of offshore entity usage.",
+                "None of these papers explicitly discuss the ethics "
+                "of using this data; they implicitly argue that they "
+                "are in the public interest.",
+                "Omartian provides evidence for tax laws that "
+                "provide more Justice.",
+            ),
+        ),
+        Evidence(
+            entry_id="panama-odonovan",
+            section="4.4",
+            quotes=(
+                "O'Donovan et al. evaluated the impact of the Panama "
+                "papers on firm values and found it reduced market "
+                "capitalisation of 397 firms implicated in the leak "
+                "by US$135 billion or 0.7%.",
+                "O'Donovan et al., and Oei and Ring Identify harms "
+                "resulting from the data being released",
+            ),
+        ),
+    )
+}
+
+
+def evidence_for(entry_id: str) -> Evidence:
+    """The grounding quotes for one Table 1 entry."""
+    try:
+        return EVIDENCE[entry_id]
+    except KeyError:
+        raise CorpusError(
+            f"no evidence recorded for entry {entry_id!r}"
+        ) from None
+
+
+def verify_evidence_coverage(corpus: Corpus) -> tuple[str, ...]:
+    """Entry ids lacking evidence (empty tuple = full coverage).
+
+    Extension entries are exempt: evidence grounds the *paper's*
+    table only.
+    """
+    return tuple(
+        entry.id
+        for entry in corpus
+        if "extension" not in entry.provenance
+        and entry.id not in EVIDENCE
+    )

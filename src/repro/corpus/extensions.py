@@ -1,0 +1,336 @@
+"""Extending the corpus beyond the paper's Table 1.
+
+The framework is not frozen at the paper's 30 rows: §6 expects the
+community to keep coding new work ("we are hopeful that in the future
+better information on current practice ... will be available"). This
+module provides:
+
+* :class:`CorpusBuilder` — a guided way to code a *new* case study
+  against the paper's codebook, with the same validation the
+  transcribed rows get;
+* :func:`extended_corpus` — the Table 1 corpus plus optional extra
+  entries;
+* :data:`EXTENSION_ENTRIES` — worked examples the paper mentions but
+  does not code: the Ashley Madison question ([124], the Zhao Quora
+  discussion) and the Encore-adjacent "data of illicit origin you
+  decline to use" pattern, coded here the way §4/§5 code comparable
+  rows. Extension entries are clearly marked and never enter the
+  Table 1 reproduction (E1–E8 always run on the pristine corpus).
+"""
+
+from __future__ import annotations
+
+from ..codebook import CellValue, Codebook, paper_codebook
+from ..errors import CorpusError
+from .model import CaseStudyEntry, Category, Corpus, DataOrigin
+from .table1 import table1_entries
+
+__all__ = ["CorpusBuilder", "extended_corpus", "EXTENSION_ENTRIES"]
+
+
+class CorpusBuilder:
+    """Incrementally code a new case study.
+
+    Usage::
+
+        builder = CorpusBuilder(
+            id="ashley-madison-2015",
+            category=Category.LEAKED_DATABASES,
+            source_label="Ashley Madison",
+            reference=124,
+            year=2015,
+        )
+        builder.legal("computer-misuse", "data-privacy")
+        builder.ethical(identify_harms=True, safeguards=True)
+        ...
+        entry = builder.build()
+    """
+
+    _ETHICAL = {
+        "identification_of_stakeholders":
+            "identification-of-stakeholders",
+        "identify_harms": "identify-harms",
+        "safeguards": "safeguards-discussed",
+        "justice": "justice",
+        "public_interest": "public-interest",
+    }
+    _JUSTIFICATIONS = {
+        "not_the_first": "not-the-first",
+        "public_data": "public-data",
+        "no_additional_harm": "no-additional-harm",
+        "fight_malicious_use": "fight-malicious-use",
+        "necessary_data": "necessary-data",
+    }
+
+    def __init__(
+        self,
+        *,
+        id: str,
+        category: str,
+        source_label: str,
+        reference: int,
+        year: int,
+        codebook: Codebook | None = None,
+    ) -> None:
+        self._codebook = codebook or paper_codebook()
+        self._id = id
+        self._category = category
+        self._source_label = source_label
+        self._reference = reference
+        self._year = year
+        self._values: dict[str, CellValue] = {}
+        # Default every closed dimension to the negative value so a
+        # builder can be sparse; explicit calls override.
+        for dim in self._codebook.closed_dimensions():
+            if dim.group == "legal":
+                self._values[dim.id] = CellValue.NOT_APPLICABLE
+            elif dim.id == "reb-approval":
+                self._values[dim.id] = CellValue.NOT_MENTIONED
+            else:
+                self._values[dim.id] = CellValue.NOT_DISCUSSED
+        self._code_sets: dict[str, tuple[str, ...]] = {
+            "safeguards": (),
+            "harms": (),
+            "benefits": (),
+        }
+        self._kwargs: dict = {}
+
+    # -- coding calls ----------------------------------------------------
+    def legal(self, *dimension_ids: str) -> "CorpusBuilder":
+        """Mark legal issues as applicable."""
+        for dimension_id in dimension_ids:
+            dim = self._codebook[dimension_id]
+            if dim.group != "legal":
+                raise CorpusError(
+                    f"{dimension_id!r} is not a legal dimension"
+                )
+            self._values[dimension_id] = CellValue.APPLICABLE
+        return self
+
+    def ethical(self, **flags: bool) -> "CorpusBuilder":
+        """Set ethical-issue discussion flags by keyword."""
+        for name, discussed in flags.items():
+            try:
+                dimension_id = self._ETHICAL[name]
+            except KeyError:
+                raise CorpusError(
+                    f"unknown ethical issue {name!r}; one of "
+                    f"{sorted(self._ETHICAL)}"
+                ) from None
+            self._values[dimension_id] = (
+                CellValue.DISCUSSED
+                if discussed
+                else CellValue.NOT_DISCUSSED
+            )
+        return self
+
+    def justifications(
+        self, *, declined: str | None = None, **flags: bool
+    ) -> "CorpusBuilder":
+        """Set justification usage flags; *declined* marks one
+        justification as considered-and-declined (the ``l`` glyph)."""
+        for name, used in flags.items():
+            try:
+                dimension_id = self._JUSTIFICATIONS[name]
+            except KeyError:
+                raise CorpusError(
+                    f"unknown justification {name!r}; one of "
+                    f"{sorted(self._JUSTIFICATIONS)}"
+                ) from None
+            self._values[dimension_id] = (
+                CellValue.DISCUSSED
+                if used
+                else CellValue.NOT_DISCUSSED
+            )
+        if declined is not None:
+            dimension_id = self._JUSTIFICATIONS.get(
+                declined, declined
+            )
+            self._values[dimension_id] = CellValue.DECLINED
+        return self
+
+    def ethics_section(self, present: bool) -> "CorpusBuilder":
+        """Record whether the paper has an ethics section."""
+        self._values["ethics-section"] = (
+            CellValue.DISCUSSED if present else CellValue.NOT_DISCUSSED
+        )
+        return self
+
+    def reb(self, status: str, reason: str = "") -> "CorpusBuilder":
+        """Set the REB column: approved / not-mentioned / exempt /
+        not-relevant."""
+        mapping = {
+            "approved": CellValue.APPROVED,
+            "not-mentioned": CellValue.NOT_MENTIONED,
+            "exempt": CellValue.EXEMPT,
+            "not-relevant": CellValue.NOT_RELEVANT,
+        }
+        try:
+            self._values["reb-approval"] = mapping[status]
+        except KeyError:
+            raise CorpusError(
+                f"unknown REB status {status!r}; one of "
+                f"{sorted(mapping)}"
+            ) from None
+        if reason:
+            self._kwargs["exemption_reason"] = reason
+        return self
+
+    def codes(
+        self,
+        *,
+        safeguards: tuple[str, ...] = (),
+        harms: tuple[str, ...] = (),
+        benefits: tuple[str, ...] = (),
+    ) -> "CorpusBuilder":
+        """Set the safeguard/harm/benefit code sets."""
+        self._code_sets = {
+            "safeguards": safeguards,
+            "harms": harms,
+            "benefits": benefits,
+        }
+        return self
+
+    def describe(
+        self,
+        summary: str,
+        *,
+        datasets: tuple[str, ...] = (),
+        origin: str = DataOrigin.UNAUTHORIZED_LEAK,
+        used_data: bool = True,
+        peer_reviewed: bool = True,
+    ) -> "CorpusBuilder":
+        """Attach summary, datasets, origin and flags."""
+        self._kwargs.update(
+            summary=summary,
+            datasets=datasets,
+            origin=origin,
+            used_data=used_data,
+            peer_reviewed=peer_reviewed,
+        )
+        return self
+
+    def build(self) -> CaseStudyEntry:
+        """Validate and return the coded entry."""
+        entry = CaseStudyEntry(
+            id=self._id,
+            category=self._category,
+            source_label=self._source_label,
+            reference=self._reference,
+            year=self._year,
+            values=dict(self._values),
+            code_sets=dict(self._code_sets),
+            provenance={
+                "extension": (
+                    "coded with CorpusBuilder; not part of the "
+                    "paper's Table 1"
+                )
+            },
+            **self._kwargs,
+        )
+        self._codebook.validate_coding(entry.values, entry.code_sets)
+        return entry
+
+
+def _ashley_madison_entry() -> CaseStudyEntry:
+    """The Ashley Madison question ([124]) coded as a case study.
+
+    The paper cites Zhao's Quora discussion of whether research on
+    the 2015 Ashley Madison leak is "legal, ethical and publishable"
+    but does not code it; this extension codes the *declined-use*
+    position that discussion converged on for identity-bearing
+    analyses, mirroring the Patreon row's shape.
+    """
+    return (
+        CorpusBuilder(
+            id="ashley-madison-discussion",
+            category=Category.LEAKED_DATABASES,
+            source_label="Ashley Madison",
+            reference=124,
+            year=2015,
+        )
+        .legal("computer-misuse", "copyright", "data-privacy")
+        .ethical(
+            identification_of_stakeholders=True,
+            identify_harms=True,
+            safeguards=True,
+            justice=True,
+            public_interest=True,
+        )
+        .justifications(
+            public_data=True, declined="no_additional_harm"
+        )
+        .ethics_section(True)
+        .reb("not-relevant")
+        .codes(harms=("SI", "DA", "RH"), benefits=("U", "AT"))
+        .describe(
+            summary=(
+                "Community discussion of research on the Ashley "
+                "Madison leak: identity-bearing uses were judged "
+                "unjustifiable because membership itself is the "
+                "sensitive fact, so any use risks additional harm "
+                "including de-anonymisation of users."
+            ),
+            datasets=("Ashley Madison 2015 dump",),
+            used_data=False,
+            peer_reviewed=False,
+        )
+        .build()
+    )
+
+
+def _mirai_source_entry() -> CaseStudyEntry:
+    """Research on the released Mirai source code ([60], §4.1.3),
+    coded in the shape of the malware-source rows."""
+    return (
+        CorpusBuilder(
+            id="mirai-source-studies",
+            category=Category.MALWARE,
+            source_label="Mirai source code",
+            reference=60,
+            year=2016,
+        )
+        .legal("computer-misuse", "copyright")
+        .ethical(identify_harms=True, public_interest=True)
+        .justifications(fight_malicious_use=True, public_data=True)
+        .ethics_section(False)
+        .reb("not-mentioned")
+        .codes(
+            safeguards=("SS",),
+            harms=("PA",),
+            benefits=("DM", "AT"),
+        )
+        .describe(
+            summary=(
+                "Studies of the publicly released Mirai botnet "
+                "source code: defensive analysis of the malware "
+                "that, once leaked, spawned myriad derivative "
+                "botnets."
+            ),
+            datasets=("Mirai source code release",),
+            origin=DataOrigin.UNAUTHORIZED_LEAK,
+        )
+        .build()
+    )
+
+
+#: Worked extension entries (never part of the Table 1 reproduction).
+EXTENSION_ENTRIES: tuple[CaseStudyEntry, ...] = (
+    _mirai_source_entry(),
+    _ashley_madison_entry(),
+)
+
+
+def extended_corpus(
+    extra: tuple[CaseStudyEntry, ...] = EXTENSION_ENTRIES,
+) -> Corpus:
+    """The Table 1 corpus plus *extra* entries, category-ordered.
+
+    Entries are re-sorted so category groups stay contiguous (the
+    renderers rely on that); within a category, original rows keep
+    their order and extensions follow.
+    """
+    merged = list(table1_entries()) + list(extra)
+    order = {category: i for i, category in enumerate(Category.ORDER)}
+    merged.sort(key=lambda e: order[e.category])
+    return Corpus(paper_codebook(), merged)

@@ -1,0 +1,1002 @@
+"""The Table 1 corpus: all 30 coded case-study rows.
+
+Each entry transcribes one row of Table 1 of Thomas et al. (IMC 2017).
+The tick/cross sequences are taken verbatim from the paper; the column
+assignment of the legal-issue bullets (``•``) is reconstructed from the
+§3/§4 discussion where the text extraction loses horizontal position
+(every reconstruction carries a ``provenance`` note).
+
+Row convention used in this module:
+
+* ``ethical`` is a 5-character string over ``Y``/``N`` coding the five
+  §2.1 issues in column order (identification of stakeholders,
+  identify harms, safeguards, justice, public interest);
+* ``justifications`` is a 5-character string over ``Y``/``N``/``D``
+  (``D`` = considered and declined, the ``l`` glyph) for the five §5.1
+  justifications in column order (not the first, public data, no
+  additional harm, fight malicious use, necessary data);
+* ``reb`` is one of ``A`` (approved), ``N`` (not mentioned), ``E``
+  (exempt) or ``X`` (not applicable, ``∅``).
+"""
+
+from __future__ import annotations
+
+from ..codebook import CellValue, paper_codebook
+from ..errors import CorpusError
+from .model import CaseStudyEntry, Category, Corpus, DataOrigin
+
+__all__ = ["table1_corpus", "table1_entries", "TABLE1_FOOTNOTES"]
+
+#: The table's footnote legend, verbatim.
+TABLE1_FOOTNOTES: dict[str, str] = {
+    "a": "These works were not peer reviewed.",
+    "b": (
+        "This paper analysed the ethics of the Carna scan and its use, "
+        "but did not use it."
+    ),
+    "c": "The authors did not use the leaked database.",
+    "d": "Here the argument is that the NSA is the malicious actor.",
+    "e": (
+        "MS: MySpace, RY: RockYou, FB: Facebook, YV: Yahoo Voices"
+    ),
+}
+
+_ETHICAL_DIMS = (
+    "identification-of-stakeholders",
+    "identify-harms",
+    "safeguards-discussed",
+    "justice",
+    "public-interest",
+)
+_JUSTIFICATION_DIMS = (
+    "not-the-first",
+    "public-data",
+    "no-additional-harm",
+    "fight-malicious-use",
+    "necessary-data",
+)
+_LEGAL_DIMS = (
+    "computer-misuse",
+    "copyright",
+    "data-privacy",
+    "terrorism",
+    "indecent-images",
+    "national-security",
+)
+
+_FLAG = {"Y": CellValue.DISCUSSED, "N": CellValue.NOT_DISCUSSED}
+_JUST = {
+    "Y": CellValue.DISCUSSED,
+    "N": CellValue.NOT_DISCUSSED,
+    "D": CellValue.DECLINED,
+}
+_REB = {
+    "A": CellValue.APPROVED,
+    "N": CellValue.NOT_MENTIONED,
+    "E": CellValue.EXEMPT,
+    "X": CellValue.NOT_RELEVANT,
+}
+
+
+def _entry(
+    *,
+    id: str,
+    category: str,
+    source_label: str,
+    reference: int,
+    year: int,
+    legal: tuple[str, ...],
+    ethical: str,
+    justifications: str,
+    ethics_section: str,
+    reb: str,
+    safeguards: tuple[str, ...] = (),
+    harms: tuple[str, ...] = (),
+    benefits: tuple[str, ...] = (),
+    footnotes: tuple[str, ...] = (),
+    peer_reviewed: bool = True,
+    is_paper: bool = True,
+    used_data: bool = True,
+    datasets: tuple[str, ...] = (),
+    origin: str = DataOrigin.UNAUTHORIZED_LEAK,
+    summary: str = "",
+    provenance: dict[str, str] | None = None,
+    cell_notes: dict[str, str] | None = None,
+    exemption_reason: str = "",
+) -> CaseStudyEntry:
+    """Expand the compact row spec into a fully-coded entry."""
+    if len(ethical) != 5 or len(justifications) != 5:
+        raise CorpusError(f"entry {id!r}: bad coding string length")
+    values: dict[str, CellValue] = {}
+    for dim in _LEGAL_DIMS:
+        values[dim] = (
+            CellValue.APPLICABLE
+            if dim in legal
+            else CellValue.NOT_APPLICABLE
+        )
+    unknown_legal = set(legal) - set(_LEGAL_DIMS)
+    if unknown_legal:
+        raise CorpusError(f"entry {id!r}: unknown legal dims {unknown_legal}")
+    for dim, flag in zip(_ETHICAL_DIMS, ethical):
+        values[dim] = _FLAG[flag]
+    for dim, flag in zip(_JUSTIFICATION_DIMS, justifications):
+        values[dim] = _JUST[flag]
+    values["ethics-section"] = _FLAG[ethics_section]
+    values["reb-approval"] = _REB[reb]
+    code_sets = {
+        "safeguards": safeguards,
+        "harms": harms,
+        "benefits": benefits,
+    }
+    return CaseStudyEntry(
+        id=id,
+        category=category,
+        source_label=source_label,
+        reference=reference,
+        year=year,
+        footnotes=footnotes,
+        peer_reviewed=peer_reviewed,
+        is_paper=is_paper,
+        used_data=used_data,
+        values=values,
+        code_sets=code_sets,
+        datasets=datasets,
+        origin=origin,
+        summary=summary,
+        provenance=provenance or {},
+        cell_notes=cell_notes or {},
+        exemption_reason=exemption_reason,
+    )
+
+
+def table1_entries() -> tuple[CaseStudyEntry, ...]:
+    """All 30 rows of Table 1, in table order."""
+    rows: list[CaseStudyEntry] = []
+    add = rows.append
+
+    # ----------------------------------------------------------------
+    # Malware & exploitation (§4.1)
+    # ----------------------------------------------------------------
+    add(_entry(
+        id="att-ipad",
+        category=Category.MALWARE,
+        source_label="AT&T database",
+        reference=106,
+        year=2010,
+        footnotes=("a",),
+        peer_reviewed=False,
+        is_paper=False,
+        legal=("computer-misuse", "data-privacy"),
+        ethical="YYNNN",
+        justifications="NNNYN",
+        ethics_section="N",
+        reb="N",
+        harms=("I", "PA", "SI", "RH"),
+        datasets=("AT&T iPad ICC-ID/email database",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "Goatse Security brute forced an AT&T web service to obtain "
+            "email addresses of 114,000 3G iPad users, passed them to "
+            "Gawker and did not report the vulnerability to AT&T; the "
+            "FBI investigation led to a computer-misuse conviction."
+        ),
+        provenance={
+            "legal": (
+                "Bullets reconstructed: unauthorised access (computer "
+                "misuse) and harvesting of personal email addresses "
+                "(data privacy), per §4.1.2."
+            ),
+        },
+    ))
+    add(_entry(
+        id="pushdo-cutwail",
+        category=Category.MALWARE,
+        source_label="Pushdo/Cutwail botnet",
+        reference=103,
+        year=2011,
+        legal=("computer-misuse", "copyright", "data-privacy"),
+        ethical="YNNYY",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        benefits=("R", "U", "DM"),
+        datasets=("Pushdo/Cutwail C&C servers",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "Stone-Gross et al. obtained access to Pushdo/Cutwail C&C "
+            "servers by contacting hosting providers, recovering "
+            "infection statistics, target email addresses and the "
+            "malware source code."
+        ),
+        provenance={
+            "legal": (
+                "Bullets reconstructed: accessing criminal C&C "
+                "infrastructure (computer misuse), possession of "
+                "malware source code (copyright) and spam target email "
+                "addresses (data privacy), per §4.1.3."
+            ),
+        },
+    ))
+    add(_entry(
+        id="exploit-kits",
+        category=Category.MALWARE,
+        source_label="30 exploit kits",
+        reference=58,
+        year=2013,
+        legal=("computer-misuse", "copyright"),
+        ethical="NNNYY",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        benefits=("DM", "AT"),
+        datasets=("Leaked exploit-kit source code",),
+        origin=DataOrigin.UNAUTHORIZED_LEAK,
+        summary=(
+            "Kotov and Massacci collected exploit-kit source code from "
+            "a public repository and underground forums, analysing "
+            "anti-crawling and anti-analysis measures; they note the "
+            "leak itself biased the analysis."
+        ),
+        provenance={
+            "legal": (
+                "Bullets reconstructed: possession of dual-use attack "
+                "tools (computer misuse) and of leaked proprietary "
+                "source code (copyright), per §4.1.3."
+            ),
+        },
+    ))
+    add(_entry(
+        id="carna-caida",
+        category=Category.MALWARE,
+        source_label="Carna Scan",
+        reference=18,
+        year=2013,
+        footnotes=("a",),
+        peer_reviewed=False,
+        is_paper=False,
+        legal=("computer-misuse",),
+        ethical="NNNNY",
+        justifications="NNNNY",
+        ethics_section="N",
+        reb="N",
+        datasets=("Internet Census 2012 (Carna botnet scan)",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "CAIDA examined the Carna botnet scan data, found proxy "
+            "artefacts in port-80 results, noted ethical concerns with "
+            "reference to the Menlo report, and restricted analysis to "
+            "traffic targeting their own darknet."
+        ),
+        provenance={
+            "legal": (
+                "Single bullet: the scan was performed by a botnet of "
+                "420,000 devices with default passwords (computer "
+                "misuse), per §4.1.1."
+            ),
+        },
+    ))
+    add(_entry(
+        id="carna-telescope",
+        category=Category.MALWARE,
+        source_label="Carna Scan",
+        reference=70,
+        year=2013,
+        legal=("computer-misuse",),
+        ethical="NYYNY",
+        justifications="NYNNY",
+        ethics_section="Y",
+        reb="N",
+        safeguards=("P", "CS"),
+        harms=("PA",),
+        datasets=("Internet Census 2012 (Carna botnet scan)",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "Malecot and Inoue analysed Carna probes of their network "
+            "telescope, realised the source IPs identified devices "
+            "with weak Telnet passwords, and kept those addresses "
+            "confidential pending an ethically acceptable disposal."
+        ),
+    ))
+    add(_entry(
+        id="carna-census-note",
+        category=Category.MALWARE,
+        source_label="Carna Scan",
+        reference=62,
+        year=2014,
+        footnotes=("a",),
+        peer_reviewed=False,
+        legal=("computer-misuse",),
+        ethical="NNNNY",
+        justifications="NNNNN",
+        ethics_section="Y",
+        reb="N",
+        datasets=("Internet Census 2012 (Carna botnet scan)",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "Krenc, Hohlfeld and Feldmann's editorial note found "
+            "numerous technical problems with the Carna data and "
+            "concluded the scan was unethical to conduct, while still "
+            "using the data for their assessment."
+        ),
+    ))
+    add(_entry(
+        id="carna-menlo",
+        category=Category.MALWARE,
+        source_label="Carna Scan",
+        reference=27,
+        year=2014,
+        footnotes=("b",),
+        used_data=False,
+        legal=("computer-misuse",),
+        ethical="YYYYY",
+        justifications="NNNNN",
+        ethics_section="Y",
+        reb="X",
+        harms=("RH", "BC"),
+        datasets=("Internet Census 2012 (Carna botnet scan)",),
+        origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+        summary=(
+            "Dittrich, Carpenter and Karir applied the Menlo report to "
+            "the Carna botnet as a case study, concluding there is a "
+            "lack of a common understanding of ethics in the computer "
+            "security field; they analysed but did not use the data."
+        ),
+    ))
+    add(_entry(
+        id="malware-metrics",
+        category=Category.MALWARE,
+        source_label="151 malware pieces",
+        reference=17,
+        year=2016,
+        legal=("computer-misuse", "copyright"),
+        ethical="NYYYY",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        safeguards=("CS",),
+        benefits=("R", "U", "AT"),
+        datasets=(
+            "vxHeaven", "GitHub malware repositories",
+            "hacker magazines", "P2P networks",
+        ),
+        origin=DataOrigin.UNAUTHORIZED_LEAK,
+        summary=(
+            "Calleja et al. analysed 151 malware samples from 1975 to "
+            "2015 with software metrics; they shared a dataset of the "
+            "metrics but not the source code itself, enabling "
+            "reproducibility without redistributing malware."
+        ),
+        provenance={
+            "legal": (
+                "Bullets reconstructed: possession of malware "
+                "(computer misuse) and of leaked third-party source "
+                "code (copyright), per §4.1.3."
+            ),
+        },
+    ))
+
+    # ----------------------------------------------------------------
+    # Password dumps (§4.2) — footnote e expands dataset abbreviations.
+    # ----------------------------------------------------------------
+    _pw_legal = ("computer-misuse", "data-privacy")
+    _pw_prov = {
+        "legal": (
+            "Bullets reconstructed: the dumps were produced by criminal "
+            "compromise, e.g. SQL injection (computer misuse), and "
+            "passwords alone can be sensitive personal data (data "
+            "privacy), per §4.2."
+        ),
+    }
+    add(_entry(
+        id="pcfg-weir",
+        category=Category.PASSWORDS,
+        source_label="MS + 2 others",
+        reference=121,
+        year=2009,
+        footnotes=("e",),
+        legal=_pw_legal,
+        ethical="NYYYY",
+        justifications="NNNNY",
+        ethics_section="N",
+        reb="N",
+        safeguards=("SS", "P", "CS"),
+        harms=("SI", "BC"),
+        benefits=("R", "DM"),
+        datasets=("MySpace", "two other password lists"),
+        summary=(
+            "Weir et al. trained probabilistic context-free grammar "
+            "crackers on compromised, publicly disclosed password "
+            "lists; they treat all lists as confidential and share "
+            "them only with legitimate researchers under accepted "
+            "ethical standards."
+        ),
+        provenance=_pw_prov,
+    ))
+    add(_entry(
+        id="guess-again-kelley",
+        category=Category.PASSWORDS,
+        source_label="MS,RY + 4 others",
+        reference=57,
+        year=2012,
+        footnotes=("e",),
+        legal=_pw_legal,
+        ethical="YYYYY",
+        justifications="YYYYN",
+        ethics_section="Y",
+        reb="A",
+        safeguards=("P",),
+        harms=("SI",),
+        benefits=("DM",),
+        datasets=("MySpace", "RockYou", "four other password lists"),
+        summary=(
+            "Kelley et al. used two leaked password datasets plus an "
+            "REB-approved online survey; they argue already-public "
+            "data does not increase harm when no connection to real "
+            "identities is sought, and that defenders benefit."
+        ),
+        provenance=_pw_prov,
+    ))
+    add(_entry(
+        id="tangled-web-das",
+        category=Category.PASSWORDS,
+        source_label="MS,YV,FB + 7 others",
+        reference=24,
+        year=2014,
+        footnotes=("e",),
+        legal=_pw_legal,
+        ethical="NYYYY",
+        justifications="YYNYN",
+        ethics_section="Y",
+        reb="A",
+        safeguards=("P",),
+        harms=("SI",),
+        benefits=("DM", "AT"),
+        datasets=(
+            "MySpace", "Yahoo Voices", "Facebook",
+            "seven other password lists",
+        ),
+        summary=(
+            "Das et al. studied password reuse across sites using "
+            "several hundred thousand leaked passwords plus an "
+            "REB-approved survey, working only with hashed email "
+            "addresses to protect privacy."
+        ),
+        provenance=_pw_prov,
+    ))
+    add(_entry(
+        id="measuring-ur",
+        category=Category.PASSWORDS,
+        source_label="MS,RY,YV",
+        reference=114,
+        year=2015,
+        footnotes=("e",),
+        legal=_pw_legal,
+        ethical="NYYYY",
+        justifications="NYYYN",
+        ethics_section="N",
+        reb="N",
+        safeguards=("P",),
+        harms=("SI",),
+        benefits=("DM",),
+        datasets=("MySpace", "RockYou", "Yahoo Voices"),
+        summary=(
+            "Ur et al. used three password dumps to compare real-world "
+            "cracking techniques with those in the research "
+            "literature, sharing Kelley et al.'s view that public "
+            "dumps enable defenders."
+        ),
+        provenance=_pw_prov,
+    ))
+    add(_entry(
+        id="omen-durmuth",
+        category=Category.PASSWORDS,
+        source_label="MS,RY,FB",
+        reference=31,
+        year=2015,
+        footnotes=("e",),
+        legal=_pw_legal,
+        ethical="NYYYY",
+        justifications="YYYYN",
+        ethics_section="Y",
+        reb="N",
+        safeguards=("SS", "P"),
+        harms=("SI",),
+        benefits=("DM",),
+        datasets=("MySpace", "RockYou", "Facebook"),
+        summary=(
+            "Durmuth et al. evaluated the OMEN ordered-Markov cracker "
+            "on leaked MySpace, Facebook and RockYou databases, "
+            "arguing prior use and public availability, with careful "
+            "treatment of the lists."
+        ),
+        provenance=_pw_prov,
+    ))
+
+    # ----------------------------------------------------------------
+    # Leaked databases (§4.3)
+    # ----------------------------------------------------------------
+    add(_entry(
+        id="underground-forums-motoyama",
+        category=Category.LEAKED_DATABASES,
+        source_label="6 underground forums",
+        reference=76,
+        year=2011,
+        legal=(
+            "computer-misuse", "copyright", "data-privacy",
+            "terrorism", "indecent-images",
+        ),
+        ethical="YYNYY",
+        justifications="NYYNN",
+        ethics_section="N",
+        reb="N",
+        benefits=("U", "DM", "AT"),
+        datasets=("Six leaked underground forum databases",),
+        summary=(
+            "Motoyama et al. presented one of the first analyses of "
+            "underground forums using leaked databases, without an "
+            "ethics discussion."
+        ),
+        provenance={
+            "legal": (
+                "Five bullets reconstructed: hacked forum databases "
+                "(computer misuse), full content redistribution "
+                "(copyright), members' personal data and private "
+                "messages (data privacy), and possible terrorist or "
+                "indecent material within unvetted dumps (§3, §4.3.3)."
+            ),
+        },
+    ))
+    add(_entry(
+        id="carding-forums-yip",
+        category=Category.LEAKED_DATABASES,
+        source_label="3 carding forums",
+        reference=123,
+        year=2013,
+        legal=(
+            "computer-misuse", "copyright", "data-privacy",
+            "indecent-images",
+        ),
+        ethical="NNNYY",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        benefits=("DM", "AT"),
+        datasets=("Cardersmarket", "Darkmarket", "Shadowcrew"),
+        summary=(
+            "Yip et al. performed social network analysis on leaked "
+            "databases of three carding forums including private "
+            "messages; they note the actors are anonymous so informed "
+            "consent is not possible, but do not discuss ethics."
+        ),
+        provenance={
+            "legal": (
+                "Four bullets reconstructed: as for underground forums "
+                "but without the terrorism column (carding forums "
+                "focus on financial information trading), per §4.3.3."
+            ),
+        },
+    ))
+    add(_entry(
+        id="twbooter-karami",
+        category=Category.LEAKED_DATABASES,
+        source_label="TwBooter",
+        reference=54,
+        year=2013,
+        legal=("computer-misuse", "copyright", "data-privacy"),
+        ethical="YYYNN",
+        justifications="YYYNN",
+        ethics_section="Y",
+        reb="N",
+        safeguards=("P",),
+        harms=("SI",),
+        datasets=("TwBooter database dump",),
+        summary=(
+            "Karami and McCoy analysed a database dump of the "
+            "TwBooter DDoS-for-hire service, publishing no personally "
+            "identifiable data except what was already public."
+        ),
+        provenance={
+            "legal": (
+                "Three bullets reconstructed: hacked booter database "
+                "(computer misuse), database redistribution "
+                "(copyright), user accounts / IP logs / payment "
+                "records (data privacy), per §4.3.1."
+            ),
+        },
+    ))
+    add(_entry(
+        id="booters-santanna",
+        category=Category.LEAKED_DATABASES,
+        source_label="TwBooter, 14 others",
+        reference=93,
+        year=2015,
+        legal=("computer-misuse", "copyright", "data-privacy"),
+        ethical="YYYYY",
+        justifications="YYYNN",
+        ethics_section="Y",
+        reb="N",
+        safeguards=("P",),
+        harms=("SI",),
+        datasets=("15 booter database dumps",),
+        summary=(
+            "Santanna et al. analysed database dumps from 15 distinct "
+            "booters, using Karami's procedures as the ethical "
+            "justification."
+        ),
+        provenance={
+            "legal": "As for TwBooter (§4.3.1).",
+            "year": (
+                "The text extraction of the Year column is ambiguous; "
+                "we follow the reference metadata (IFIP/IEEE IM 2015)."
+            ),
+        },
+    ))
+    add(_entry(
+        id="booters-karami-stress",
+        category=Category.LEAKED_DATABASES,
+        source_label="Asylum, Lizard, Vdos",
+        reference=55,
+        year=2016,
+        legal=("computer-misuse", "copyright", "data-privacy"),
+        ethical="YYYYY",
+        justifications="YNYNN",
+        ethics_section="Y",
+        reb="E",
+        safeguards=("P",),
+        harms=("SI",),
+        datasets=(
+            "Asylum database dump", "LizardStresser database dump",
+            "VDOS scraped data",
+        ),
+        summary=(
+            "Karami et al. analysed dumps from Asylum and "
+            "LizardStresser and scraped data from VDOS, obtaining an "
+            "REB exemption on the basis the data contained no "
+            "personally identifiable information and was publicly "
+            "leaked — though the dumps likely contained email "
+            "addresses, and IP addresses may be personal data in some "
+            "jurisdictions."
+        ),
+        provenance={
+            "legal": "As for TwBooter (§4.3.1).",
+            "year": (
+                "The text extraction of the Year column is ambiguous; "
+                "we follow the reference metadata (WWW 2016)."
+            ),
+        },
+        exemption_reason=(
+            "these data did not contain any personally identifiable "
+            "information and used publicly leaked data"
+        ),
+    ))
+    add(_entry(
+        id="patreon",
+        category=Category.LEAKED_DATABASES,
+        source_label="Patreon",
+        reference=85,
+        year=2016,
+        footnotes=("c",),
+        used_data=False,
+        legal=("computer-misuse", "copyright", "data-privacy"),
+        ethical="YYYYY",
+        justifications="NYDNY",
+        ethics_section="Y",
+        reb="X",
+        harms=("SI", "RH"),
+        benefits=("U", "AT"),
+        datasets=("Patreon site dump (2015 hack)",),
+        summary=(
+            "Poor and Davidson, already scraping Patreon, concluded it "
+            "would be unethical to use the hacked full-site dump: they "
+            "could not distinguish public from private data, use might "
+            "legitimise criminal activity, and the data was not "
+            "necessary since scraping sufficed."
+        ),
+        provenance={
+            "legal": (
+                "Three bullets reconstructed: hacked site (computer "
+                "misuse), site content and source code (copyright), "
+                "private messages and user records (data privacy), per "
+                "§4.3.2."
+            ),
+        },
+    ))
+    add(_entry(
+        id="udp-ddos-thomas",
+        category=Category.LEAKED_DATABASES,
+        source_label="Vdos, CMDBooter",
+        reference=110,
+        year=2017,
+        legal=("computer-misuse", "data-privacy"),
+        ethical="YYYYY",
+        justifications="NNYNY",
+        ethics_section="Y",
+        reb="E",
+        safeguards=("P", "CS"),
+        harms=("SI", "BC"),
+        benefits=("U", "AT"),
+        datasets=("VDOS database dump", "CMDBooter database dump"),
+        summary=(
+            "Thomas et al. used booter database dumps and scraped data "
+            "to evaluate the coverage of honeypot-based DDoS "
+            "measurement, arguing there was no other ground truth on "
+            "booter-initiated attacks; exempted by their REB."
+        ),
+        provenance={
+            "legal": (
+                "Two bullets reconstructed: booter attack logs "
+                "(computer misuse) and attack-log IP addresses (data "
+                "privacy), per §4.3.1."
+            ),
+        },
+        exemption_reason="no human subjects or ethical concerns",
+    ))
+    add(_entry(
+        id="cybercrime-markets-portnoff",
+        category=Category.LEAKED_DATABASES,
+        source_label="4 underground forums",
+        reference=86,
+        year=2017,
+        legal=(
+            "computer-misuse", "copyright", "data-privacy",
+            "terrorism", "indecent-images",
+        ),
+        ethical="YNNYY",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        benefits=("R", "DM", "AT"),
+        datasets=("Four underground forum databases",),
+        summary=(
+            "Portnoff et al. built automated analysis tools for "
+            "cybercriminal markets over four forum datasets; some of "
+            "the underlying leaked datasets have been publicly "
+            "re-released including private information."
+        ),
+        provenance={
+            "legal": "As for the Motoyama forum row (§4.3.3).",
+        },
+    ))
+
+    # ----------------------------------------------------------------
+    # Classified materials (§4.5)
+    # ----------------------------------------------------------------
+    _manning_legal = (
+        "computer-misuse", "data-privacy", "terrorism",
+        "national-security",
+    )
+    _manning_prov = {
+        "legal": (
+            "Four bullets reconstructed: exfiltration from government "
+            "systems (computer misuse), cable contents naming "
+            "individuals (data privacy), war/terrorism-related "
+            "material (terrorism) and classified status (national "
+            "security). Copyright is excluded because US government "
+            "works carry no copyright (§4.5.2 Vault 7 discussion)."
+        ),
+    }
+    add(_entry(
+        id="manning-berger",
+        category=Category.CLASSIFIED,
+        source_label="Manning Wikileaks",
+        reference=12,
+        year=2015,
+        legal=_manning_legal,
+        ethical="NNNNN",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        datasets=("Manning WikiLeaks cables",),
+        summary=(
+            "Berger referenced several Manning cables to study "
+            "international restrictions on the North Korean arms "
+            "trade, without discussing the ethics of doing so."
+        ),
+        provenance=_manning_prov,
+    ))
+    add(_entry(
+        id="manning-barnard",
+        category=Category.CLASSIFIED,
+        source_label="Manning Wikileaks",
+        reference=9,
+        year=2016,
+        footnotes=("a",),
+        peer_reviewed=False,
+        legal=_manning_legal,
+        ethical="NNNNN",
+        justifications="NYNNN",
+        ethics_section="Y",
+        reb="N",
+        datasets=("Manning WikiLeaks cables",),
+        summary=(
+            "Barnard borrowed classified documents from WikiLeaks to "
+            "analyse covert US-South Africa relationships, claiming no "
+            "ethical dilemma because the data was open source and "
+            "declassified — though there is no evidence of "
+            "declassification."
+        ),
+        provenance=_manning_prov,
+    ))
+    add(_entry(
+        id="manning-talarico",
+        category=Category.CLASSIFIED,
+        source_label="Manning Wikileaks",
+        reference=105,
+        year=2017,
+        legal=_manning_legal,
+        ethical="NNNNN",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        datasets=("Manning WikiLeaks cables",),
+        summary=(
+            "Talarico and Zamparini used a confidential American "
+            "Embassy document obtained through WikiLeaks in their "
+            "analysis of tobacco smuggling in Italy, without ethical "
+            "discussion."
+        ),
+        provenance=_manning_prov,
+    ))
+    _snowden_legal = (
+        "computer-misuse", "copyright", "data-privacy", "terrorism",
+        "national-security",
+    )
+    _snowden_prov = {
+        "legal": (
+            "Five bullets reconstructed: exfiltration from NSA systems "
+            "(computer misuse), GCHQ material under Crown copyright "
+            "(copyright), surveillance data about individuals (data "
+            "privacy), counter-terrorism material (terrorism) and "
+            "classified status (national security), per §4.5.2."
+        ),
+    }
+    add(_entry(
+        id="snowden-landau",
+        category=Category.CLASSIFIED,
+        source_label="Snowden NSA leaks",
+        reference=64,
+        year=2013,
+        legal=_snowden_legal,
+        ethical="NNNNY",
+        justifications="NYNNY",
+        ethics_section="N",
+        reb="N",
+        datasets=("Snowden NSA/GCHQ documents",),
+        summary=(
+            "Landau surveyed what the Snowden documents revealed, "
+            "criticising the ethics of some individual leaks while "
+            "being mostly positive about Snowden's actions."
+        ),
+        provenance=_snowden_prov,
+    ))
+    add(_entry(
+        id="snowden-schneier",
+        category=Category.CLASSIFIED,
+        source_label="Snowden NSA leaks",
+        reference=95,
+        year=2013,
+        footnotes=("a",),
+        peer_reviewed=False,
+        legal=_snowden_legal,
+        ethical="NNNNN",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        datasets=("Snowden NSA/GCHQ documents",),
+        summary=(
+            "Schneier used Snowden documents in a newspaper article to "
+            "explain how the NSA exploits Tor users' browsers, with no "
+            "mention of the ethics of using the leaked material."
+        ),
+        provenance=_snowden_prov,
+    ))
+    add(_entry(
+        id="snowden-rfc7624",
+        category=Category.CLASSIFIED,
+        source_label="Snowden NSA leaks",
+        reference=10,
+        year=2015,
+        legal=_snowden_legal,
+        ethical="NNNYY",
+        justifications="NNNYN",
+        ethics_section="N",
+        reb="N",
+        datasets=("Snowden NSA/GCHQ documents",),
+        summary=(
+            "RFC 7624 used the Snowden leaks to build a threat model "
+            "for pervasive surveillance so that protocol design can "
+            "make the revealed activities more difficult in future."
+        ),
+        provenance=_snowden_prov,
+        cell_notes={
+            "fight-malicious-use": TABLE1_FOOTNOTES["d"],
+        },
+    ))
+    add(_entry(
+        id="snowden-walsh",
+        category=Category.CLASSIFIED,
+        source_label="Snowden NSA leaks",
+        reference=118,
+        year=2016,
+        legal=_snowden_legal,
+        ethical="NNNNN",
+        justifications="NNNNN",
+        ethics_section="N",
+        reb="N",
+        datasets=("Snowden NSA/GCHQ documents",),
+        summary=(
+            "Walsh and Miller provided an ethical and policy analysis "
+            "of intelligence-agency activity based on what Snowden "
+            "revealed, without discussing the ethics of using the "
+            "leaked material itself."
+        ),
+        provenance=_snowden_prov,
+    ))
+
+    # ----------------------------------------------------------------
+    # Financial data (§4.4)
+    # ----------------------------------------------------------------
+    _panama_legal = (
+        "computer-misuse", "copyright", "data-privacy",
+        "national-security",
+    )
+    _panama_prov = {
+        "legal": (
+            "Four bullets reconstructed: the firm's database was "
+            "exfiltrated (computer misuse), internal documents are "
+            "copyright works (copyright), client records identify "
+            "individuals (data privacy); the fourth bullet is the "
+            "least certain reconstruction and is coded as national "
+            "security given the implication of world leaders and "
+            "state-linked actors (§4.4)."
+        ),
+    }
+    add(_entry(
+        id="panama-omartian",
+        category=Category.FINANCIAL,
+        source_label="Mossack Fonseca database",
+        reference=82,
+        year=2016,
+        legal=_panama_legal,
+        ethical="NNNYY",
+        justifications="NNNNY",
+        ethics_section="N",
+        reb="N",
+        benefits=("DM",),
+        datasets=("Panama Papers (Mossack Fonseca leak)",),
+        summary=(
+            "Omartian used the Panama papers to study investor "
+            "response to tax-information-exchange legislation, "
+            "treating the legislation as natural experiments on "
+            "offshore entity usage."
+        ),
+        provenance=_panama_prov,
+    ))
+    add(_entry(
+        id="panama-odonovan",
+        category=Category.FINANCIAL,
+        source_label="Mossack Fonseca database",
+        reference=79,
+        year=2016,
+        legal=_panama_legal,
+        ethical="NYNNY",
+        justifications="NNNNY",
+        ethics_section="N",
+        reb="N",
+        harms=("BC",),
+        datasets=("Panama Papers (Mossack Fonseca leak)",),
+        summary=(
+            "O'Donovan et al. evaluated the impact of the Panama "
+            "papers on firm values, finding the leak reduced the "
+            "market capitalisation of 397 implicated firms by about "
+            "US$135 billion (0.7%)."
+        ),
+        provenance=_panama_prov,
+    ))
+
+    return tuple(rows)
+
+
+def table1_corpus() -> Corpus:
+    """Build the full Table 1 corpus with the paper's codebook."""
+    return Corpus(paper_codebook(), table1_entries())

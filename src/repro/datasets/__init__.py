@@ -1,0 +1,99 @@
+"""Synthetic illicit-origin dataset simulators.
+
+Every generator here produces *synthetic* stand-ins for the dataset
+families the paper surveys — no real leaked data is included or
+required — but with the statistical shape the surveyed analyses
+depend on (Zipf passwords, heavy-tailed booter usage, preferential-
+attachment forum graphs, legislation-responsive offshore series,
+proxy-polluted scan results).
+"""
+
+from .booter import (
+    ATTACK_METHODS,
+    AttackRecord,
+    BooterDatabase,
+    BooterDatabaseGenerator,
+    BooterUser,
+    PaymentRecord,
+    PricingPlan,
+    TicketMessage,
+)
+from .classified import (
+    Cable,
+    ClassifiedCorpus,
+    ClassifiedCorpusGenerator,
+)
+from .common import SeededGenerator, zipf_choice
+from .financial import (
+    LEGISLATION_YEARS,
+    ListedFirm,
+    OffshoreEntity,
+    OffshoreLeak,
+    OffshoreLeakGenerator,
+    Officer,
+    Intermediary,
+)
+from .forum import (
+    ForumDatabase,
+    ForumGenerator,
+    ForumMember,
+    ForumPost,
+    ForumThread,
+    PrivateMessage,
+    TradeRecord,
+)
+from .pastefeed import (
+    DumpTriage,
+    Paste,
+    PasteFeed,
+    PasteFeedGenerator,
+    TriageResult,
+)
+from .passwords import (
+    PasswordDump,
+    PasswordDumpGenerator,
+    PasswordRecord,
+)
+from .scans import ScanDataset, ScanGenerator, ScanRecord, TelescopeEvent
+
+__all__ = [
+    "ATTACK_METHODS",
+    "AttackRecord",
+    "BooterDatabase",
+    "BooterDatabaseGenerator",
+    "BooterUser",
+    "Cable",
+    "ClassifiedCorpus",
+    "ClassifiedCorpusGenerator",
+    "DumpTriage",
+    "ForumDatabase",
+    "ForumGenerator",
+    "ForumMember",
+    "ForumPost",
+    "ForumThread",
+    "Intermediary",
+    "LEGISLATION_YEARS",
+    "ListedFirm",
+    "Officer",
+    "OffshoreEntity",
+    "OffshoreLeak",
+    "OffshoreLeakGenerator",
+    "PasswordDump",
+    "PasswordDumpGenerator",
+    "PasswordRecord",
+    "Paste",
+    "PasteFeed",
+    "PasteFeedGenerator",
+    "PaymentRecord",
+    "PricingPlan",
+    "PrivateMessage",
+    "ScanDataset",
+    "ScanGenerator",
+    "ScanRecord",
+    "SeededGenerator",
+    "TelescopeEvent",
+    "TicketMessage",
+    "TradeRecord",
+    "TriageResult",
+    "zipf_choice",
+]

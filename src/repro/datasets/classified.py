@@ -1,0 +1,139 @@
+"""Synthetic classified-document corpus (Manning/Snowden substitute).
+
+Generates diplomatic-cable-style documents with classification
+markings, originating posts, topics and subject references, so the
+legal gating around national-security material (spillage handling,
+classification persistence after public release) and the redaction
+pipeline can be exercised without any real classified content.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DatasetError
+from .common import SeededGenerator
+
+__all__ = ["Cable", "ClassifiedCorpus", "ClassifiedCorpusGenerator"]
+
+CLASSIFICATIONS = (
+    "UNCLASSIFIED",
+    "CONFIDENTIAL",
+    "SECRET",
+    "TOP SECRET",
+)
+
+POSTS = (
+    "Embassy Alpha",
+    "Embassy Beta",
+    "Consulate Gamma",
+    "Mission Delta",
+    "Embassy Epsilon",
+)
+
+TOPICS = (
+    "trade-negotiations",
+    "arms-control",
+    "counter-narcotics",
+    "regional-security",
+    "energy-policy",
+    "diplomatic-relations",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Cable:
+    """One synthetic cable."""
+
+    cable_id: str
+    classification: str
+    originating_post: str
+    topic: str
+    year: int
+    subjects: tuple[str, ...]  # names mentioned (synthetic persons)
+    body: str
+
+    @property
+    def is_classified(self) -> bool:
+        return self.classification != "UNCLASSIFIED"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifiedCorpus:
+    """A leak-shaped corpus of cables."""
+
+    cables: tuple[Cable, ...]
+    #: Public release never declassifies: the corpus carries its
+    #: original markings regardless of being "leaked".
+    publicly_released: bool = True
+
+    def __len__(self) -> int:
+        return len(self.cables)
+
+    def classified_fraction(self) -> float:
+        """Fraction of cables carrying any classification."""
+        if not self.cables:
+            return 0.0
+        classified = sum(1 for c in self.cables if c.is_classified)
+        return classified / len(self.cables)
+
+    def by_classification(self) -> dict[str, int]:
+        """Cable counts per classification marking."""
+        counts: dict[str, int] = {}
+        for cable in self.cables:
+            counts[cable.classification] = (
+                counts.get(cable.classification, 0) + 1
+            )
+        return counts
+
+    def mentioning(self, name: str) -> tuple[Cable, ...]:
+        return tuple(c for c in self.cables if name in c.subjects)
+
+    def still_classified(self) -> tuple[Cable, ...]:
+        """Cables that remain classified despite public release —
+        the §4.5.2 point that publication does not declassify."""
+        return tuple(c for c in self.cables if c.is_classified)
+
+
+class ClassifiedCorpusGenerator(SeededGenerator):
+    """Generate a cable corpus with a realistic marking mix."""
+
+    #: Roughly the mix reported for the Manning cables: mostly
+    #: unclassified/confidential, a small secret tail, nothing above.
+    MARKING_WEIGHTS = (0.45, 0.40, 0.15, 0.0)
+
+    def generate(
+        self, cables: int = 500, start_year: int = 2003,
+        end_year: int = 2010,
+    ) -> ClassifiedCorpus:
+        """Generate a leak-shaped corpus of synthetic cables."""
+        if cables <= 0:
+            raise DatasetError("cables must be positive")
+        if end_year < start_year:
+            raise DatasetError("end_year must not precede start_year")
+        rows = []
+        for index in range(cables):
+            year = self.rng.randrange(start_year, end_year + 1)
+            post = self.rng.choice(POSTS)
+            classification = self.rng.choices(
+                CLASSIFICATIONS, weights=self.MARKING_WEIGHTS, k=1
+            )[0]
+            subjects = tuple(
+                self.full_name()
+                for _ in range(self.rng.randrange(0, 4))
+            )
+            rows.append(
+                Cable(
+                    cable_id=f"{year}{post[:3].upper()}{index:05d}",
+                    classification=classification,
+                    originating_post=post,
+                    topic=self.rng.choice(TOPICS),
+                    year=year,
+                    subjects=subjects,
+                    body=self.sentence(30),
+                )
+            )
+        return ClassifiedCorpus(cables=tuple(rows))

@@ -1,0 +1,149 @@
+"""Shared infrastructure for the synthetic dataset generators.
+
+Every generator is seed-deterministic (same seed → byte-identical
+dataset) and produces plain-dataclass records with ``to_records()``
+views (lists of dicts) so the anonymization and analysis tooling can
+consume them uniformly.
+
+Nothing here is, or derives from, real leaked data: names, emails,
+passwords and addresses are synthesised from small word lists, and IP
+addresses are drawn from documentation/test ranges where realism
+doesn't require otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..errors import DatasetError
+
+__all__ = [
+    "SeededGenerator",
+    "zipf_choice",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "MAIL_DOMAINS",
+    "WORDS",
+]
+
+FIRST_NAMES = (
+    "alex", "sam", "jordan", "casey", "morgan", "riley", "taylor",
+    "jamie", "avery", "quinn", "harper", "rowan", "sage", "ellis",
+    "marion", "devon", "reese", "finley", "emerson", "kai",
+)
+
+LAST_NAMES = (
+    "smith", "jones", "garcia", "miller", "davis", "lopez", "wilson",
+    "anderson", "thomas", "moore", "martin", "lee", "perez", "white",
+    "clark", "lewis", "walker", "hall", "young", "king",
+)
+
+MAIL_DOMAINS = (
+    "example.com", "example.org", "example.net", "mail.example",
+    "inbox.example", "post.example",
+)
+
+WORDS = (
+    "dragon", "monkey", "shadow", "silver", "purple", "rocket",
+    "winter", "summer", "soccer", "hockey", "flower", "cookie",
+    "banana", "sunshine", "freedom", "diamond", "thunder", "ginger",
+    "pepper", "marble", "falcon", "breeze", "copper", "ember",
+    "willow", "hazel", "comet", "pixel", "raven", "storm",
+)
+
+
+def zipf_choice(
+    rng: random.Random, items: Sequence, exponent: float = 1.1
+) -> object:
+    """Draw from *items* with a Zipf(rank) distribution.
+
+    Password and username frequencies in real dumps are famously
+    Zipf-like; the exponent defaults near the values reported for
+    RockYou-scale corpora.
+    """
+    if not items:
+        raise DatasetError("cannot sample from an empty sequence")
+    if exponent <= 0:
+        raise DatasetError("zipf exponent must be positive")
+    weights = [1.0 / (rank**exponent) for rank in range(1, len(items) + 1)]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+class SeededGenerator:
+    """Base class holding the seeded RNG and low-level synthesisers."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # -- identity synthesis ------------------------------------------
+    def username(self) -> str:
+        """A synthetic account handle in a common style."""
+        style = self.rng.randrange(3)
+        first = self.rng.choice(FIRST_NAMES)
+        if style == 0:
+            return f"{first}{self.rng.randrange(10, 99)}"
+        if style == 1:
+            return f"{self.rng.choice(WORDS)}_{first}"
+        return f"{first}.{self.rng.choice(LAST_NAMES)}"
+
+    def full_name(self) -> str:
+        """A synthetic human full name."""
+        return (
+            f"{self.rng.choice(FIRST_NAMES).title()} "
+            f"{self.rng.choice(LAST_NAMES).title()}"
+        )
+
+    def email(self, username: str | None = None) -> str:
+        local = username or self.username()
+        return f"{local}@{self.rng.choice(MAIL_DOMAINS)}"
+
+    def ipv4(self, *, public_looking: bool = True) -> str:
+        """A synthetic IPv4 address.
+
+        Draws from broad ranges while avoiding the most special-cased
+        prefixes; these addresses never need to correspond to real
+        hosts.
+        """
+        if public_looking:
+            first = self.rng.choice(
+                [n for n in range(1, 224) if n not in (10, 127, 172, 192)]
+            )
+        else:
+            first = 10
+        return ".".join(
+            str(octet)
+            for octet in (
+                first,
+                self.rng.randrange(256),
+                self.rng.randrange(256),
+                self.rng.randrange(1, 255),
+            )
+        )
+
+    def password(self) -> str:
+        """A human-style password: word (+ mangling) per the PCFG
+        observations of Weir et al."""
+        base = str(zipf_choice(self.rng, WORDS))
+        roll = self.rng.random()
+        if roll < 0.35:
+            return base
+        if roll < 0.65:
+            return f"{base}{self.rng.randrange(0, 100)}"
+        if roll < 0.8:
+            return f"{base.capitalize()}{self.rng.randrange(1, 10)}!"
+        if roll < 0.9:
+            leet = (
+                base.replace("a", "4").replace("e", "3").replace("o", "0")
+            )
+            return leet
+        return f"{base}{self.rng.choice(WORDS)}"
+
+    def sentence(self, words: int = 8) -> str:
+        """A synthetic filler sentence of about *words* words."""
+        chosen = [
+            self.rng.choice(WORDS) for _ in range(max(1, words))
+        ]
+        text = " ".join(chosen)
+        return text.capitalize() + "."

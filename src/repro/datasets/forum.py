@@ -1,0 +1,242 @@
+"""Synthetic underground-forum database (§4.3.3 substitute).
+
+Models what the leaked forum dumps the paper discusses contain:
+members with personal data, boards spanning both criminal and benign
+topics, threads and posts, private messages, and marketplace trades.
+The interaction structure (who replies to whom, who messages whom) is
+generated with preferential attachment so the social-network analyses
+of Yip et al. and Motoyama et al. have realistic skew to work on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from ..errors import DatasetError
+from .common import SeededGenerator
+
+__all__ = [
+    "ForumMember",
+    "ForumThread",
+    "ForumPost",
+    "PrivateMessage",
+    "TradeRecord",
+    "ForumDatabase",
+    "ForumGenerator",
+]
+
+BOARDS = (
+    ("hacking-tools", True),
+    ("carding", True),
+    ("accounts-market", True),
+    ("spam-services", True),
+    ("video-games", False),
+    ("politics", False),
+    ("introductions", False),
+)
+
+PRODUCTS = (
+    "credit-card-data",
+    "bank-logins",
+    "exploit-kit",
+    "botnet-rental",
+    "gift-cards",
+    "accounts",
+    "tutorials",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ForumMember:
+    member_id: int
+    username: str
+    email: str
+    join_day: int
+    reputation: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ForumThread:
+    thread_id: int
+    board: str
+    illicit: bool
+    author_id: int
+    title: str
+    day: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ForumPost:
+    post_id: int
+    thread_id: int
+    author_id: int
+    day: int
+    text: str
+    reply_to_member: int | None
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivateMessage:
+    message_id: int
+    sender_id: int
+    recipient_id: int
+    day: int
+    text: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeRecord:
+    trade_id: int
+    seller_id: int
+    buyer_id: int
+    product: str
+    price_usd: float
+    day: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ForumDatabase:
+    """A complete synthetic forum dump."""
+
+    name: str
+    members: tuple[ForumMember, ...]
+    threads: tuple[ForumThread, ...]
+    posts: tuple[ForumPost, ...]
+    messages: tuple[PrivateMessage, ...]
+    trades: tuple[TradeRecord, ...]
+
+    def interaction_edges(self) -> list[tuple[int, int]]:
+        """(source, target) member interactions for network analysis:
+        post replies and private messages."""
+        edges: list[tuple[int, int]] = []
+        for post in self.posts:
+            if (
+                post.reply_to_member is not None
+                and post.reply_to_member != post.author_id
+            ):
+                edges.append((post.author_id, post.reply_to_member))
+        for message in self.messages:
+            if message.sender_id != message.recipient_id:
+                edges.append(
+                    (message.sender_id, message.recipient_id)
+                )
+        return edges
+
+    def illicit_share(self) -> float:
+        """Fraction of threads on illicit boards; real forums mix
+        criminal and benign topics (§4.3.3)."""
+        if not self.threads:
+            return 0.0
+        illicit = sum(1 for t in self.threads if t.illicit)
+        return illicit / len(self.threads)
+
+    def trades_by_product(self) -> dict[str, int]:
+        """Trade counts per product category."""
+        counts: dict[str, int] = {}
+        for trade in self.trades:
+            counts[trade.product] = counts.get(trade.product, 0) + 1
+        return counts
+
+
+class ForumGenerator(SeededGenerator):
+    """Generate a forum dump with preferential-attachment structure."""
+
+    def generate(
+        self,
+        name: str = "exampleforum",
+        members: int = 200,
+        threads: int = 150,
+        days: int = 365,
+    ) -> ForumDatabase:
+        """Generate a complete synthetic forum dump."""
+        if members < 2 or threads < 1 or days < 1:
+            raise DatasetError(
+                "need at least 2 members, 1 thread and 1 day"
+            )
+        member_rows = tuple(
+            ForumMember(
+                member_id=i,
+                username=self.username(),
+                email=self.email(),
+                join_day=self.rng.randrange(days),
+                reputation=self.rng.randrange(0, 500),
+            )
+            for i in range(members)
+        )
+        # Activity weights: preferential attachment by reputation.
+        weights = [1 + m.reputation for m in member_rows]
+
+        def pick_member() -> int:
+            return self.rng.choices(
+                range(members), weights=weights, k=1
+            )[0]
+
+        thread_rows = []
+        post_rows = []
+        post_id_counter = itertools.count()
+        for thread_id in range(threads):
+            board, illicit = self.rng.choice(BOARDS)
+            author = pick_member()
+            day = self.rng.randrange(days)
+            thread_rows.append(
+                ForumThread(
+                    thread_id=thread_id,
+                    board=board,
+                    illicit=illicit,
+                    author_id=author,
+                    title=self.sentence(5).rstrip("."),
+                    day=day,
+                )
+            )
+            participants = [author]
+            for _ in range(self.rng.randrange(1, 12)):
+                poster = pick_member()
+                reply_to = (
+                    self.rng.choice(participants)
+                    if participants
+                    else None
+                )
+                post_rows.append(
+                    ForumPost(
+                        post_id=next(post_id_counter),
+                        thread_id=thread_id,
+                        author_id=poster,
+                        day=min(days - 1, day + self.rng.randrange(7)),
+                        text=self.sentence(12),
+                        reply_to_member=reply_to,
+                    )
+                )
+                participants.append(poster)
+        message_rows = tuple(
+            PrivateMessage(
+                message_id=i,
+                sender_id=pick_member(),
+                recipient_id=pick_member(),
+                day=self.rng.randrange(days),
+                text=self.sentence(9),
+            )
+            for i in range(members * 2)
+        )
+        trade_rows = tuple(
+            TradeRecord(
+                trade_id=i,
+                seller_id=pick_member(),
+                buyer_id=pick_member(),
+                product=self.rng.choice(PRODUCTS),
+                price_usd=round(self.rng.uniform(5, 500), 2),
+                day=self.rng.randrange(days),
+            )
+            for i in range(threads // 2)
+        )
+        return ForumDatabase(
+            name=name,
+            members=member_rows,
+            threads=tuple(thread_rows),
+            posts=tuple(post_rows),
+            messages=message_rows,
+            trades=trade_rows,
+        )

@@ -1,0 +1,165 @@
+"""Synthetic internet-scan and network-telescope data (Carna, §4.1.1).
+
+Two coupled generators:
+
+* :class:`ScanGenerator` produces Carna-census-style port-scan
+  records, including the *proxy artefact* CAIDA documented (a fraction
+  of port-80 results polluted by transparent HTTP proxies answering
+  for unreachable hosts).
+* The telescope view returns probe events as seen by a darknet, which
+  is exactly how Malécot & Inoue [70] and CAIDA [18] limited their
+  analysis — and the source-address list it yields reproduces their
+  ethical predicament: the sources identify weakly-secured devices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import DatasetError
+from .common import SeededGenerator
+
+__all__ = [
+    "ScanRecord",
+    "TelescopeEvent",
+    "ScanDataset",
+    "ScanGenerator",
+]
+
+COMMON_PORTS = (22, 23, 80, 443, 8080, 2323, 7547)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanRecord:
+    """One (target, port) probe result in the census."""
+
+    target_ip: str
+    port: int
+    open: bool
+    #: True when the response was synthesised by an intercepting
+    #: proxy rather than the target (the port-80 artefact).
+    proxy_artefact: bool
+    bot_source_ip: str
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class TelescopeEvent:
+    """One probe arriving at the observer's darknet."""
+
+    source_ip: str  # a botnet device — an identifiable victim
+    dest_ip: str
+    port: int
+    day: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanDataset:
+    """The census plus the telescope's partial view of it."""
+
+    records: tuple[ScanRecord, ...]
+    telescope_events: tuple[TelescopeEvent, ...]
+    darknet_prefix: str
+
+    def open_rate(self, port: int) -> float:
+        """Fraction of probes on *port* reported open."""
+        relevant = [r for r in self.records if r.port == port]
+        if not relevant:
+            return 0.0
+        return sum(1 for r in relevant if r.open) / len(relevant)
+
+    def artefact_rate(self, port: int) -> float:
+        """Fraction of 'open' results that are proxy artefacts —
+        the technical invalidity Krenc et al. [62] documented."""
+        opens = [
+            r for r in self.records if r.port == port and r.open
+        ]
+        if not opens:
+            return 0.0
+        return sum(1 for r in opens if r.proxy_artefact) / len(opens)
+
+    def botnet_sources(self) -> tuple[str, ...]:
+        """Distinct compromised-device addresses visible to the
+        telescope — the sensitive list [70] kept confidential."""
+        return tuple(
+            sorted({e.source_ip for e in self.telescope_events})
+        )
+
+
+class ScanGenerator(SeededGenerator):
+    """Generate a census-with-telescope dataset."""
+
+    def generate(
+        self,
+        targets: int = 2000,
+        bots: int = 150,
+        telescope_share: float = 0.05,
+        proxy_pollution: float = 0.2,
+        days: int = 30,
+    ) -> ScanDataset:
+        """Generate the census plus its telescope view."""
+        if targets <= 0 or bots <= 0:
+            raise DatasetError("targets and bots must be positive")
+        if not 0.0 <= telescope_share <= 1.0:
+            raise DatasetError("telescope_share must be in [0, 1]")
+        if not 0.0 <= proxy_pollution <= 1.0:
+            raise DatasetError("proxy_pollution must be in [0, 1]")
+        bot_ips = [self.ipv4() for _ in range(bots)]
+        records = []
+        telescope = []
+        darknet_prefix = "203.0.113."  # TEST-NET-3: never real hosts
+        for index in range(targets):
+            in_darknet = self.rng.random() < telescope_share
+            if in_darknet:
+                target = darknet_prefix + str(
+                    self.rng.randrange(1, 255)
+                )
+            else:
+                target = self.ipv4()
+            for port in COMMON_PORTS:
+                bot = self.rng.choice(bot_ips)
+                if in_darknet:
+                    # Darknet addresses host nothing; every probe is
+                    # observed and nothing is genuinely open.
+                    telescope.append(
+                        TelescopeEvent(
+                            source_ip=bot,
+                            dest_ip=target,
+                            port=port,
+                            day=self.rng.randrange(days),
+                        )
+                    )
+                    records.append(
+                        ScanRecord(
+                            target_ip=target,
+                            port=port,
+                            open=False,
+                            proxy_artefact=False,
+                            bot_source_ip=bot,
+                        )
+                    )
+                    continue
+                genuinely_open = self.rng.random() < 0.15
+                artefact = False
+                is_open = genuinely_open
+                if port == 80 and not genuinely_open:
+                    # Transparent proxies answer for dead hosts.
+                    if self.rng.random() < proxy_pollution:
+                        is_open = True
+                        artefact = True
+                records.append(
+                    ScanRecord(
+                        target_ip=target,
+                        port=port,
+                        open=is_open,
+                        proxy_artefact=artefact,
+                        bot_source_ip=bot,
+                    )
+                )
+        return ScanDataset(
+            records=tuple(records),
+            telescope_events=tuple(telescope),
+            darknet_prefix=darknet_prefix,
+        )

@@ -1,0 +1,85 @@
+"""Ethics engines: stakeholders, Menlo principles, risk-benefit grids,
+justification critiques and the AoIR-style decision process."""
+
+from .aoir import AOIR_QUESTIONS, DecisionProcess, Question
+from .human_rights import (
+    RIGHTS,
+    Right,
+    RightRisk,
+    RightsContext,
+    rights_at_risk,
+)
+from .interventions import (
+    Dilemma,
+    InterventionAssessment,
+    InterventionOption,
+    TAKEDOWN_DILEMMAS,
+)
+from .harms import (
+    BENEFIT_ABBREVS,
+    HARM_ABBREVS,
+    BenefitInstance,
+    HarmInstance,
+    Likelihood,
+    Severity,
+)
+from .justifications import (
+    JUSTIFICATION_IDS,
+    JustificationFacts,
+    JustificationVerdict,
+    evaluate_all_justifications,
+    evaluate_justification,
+)
+from .menlo import (
+    MENLO_QUESTIONS,
+    FindingStatus,
+    MenloEvaluation,
+    MenloPrinciple,
+    PrincipleFinding,
+)
+from .riskbenefit import PartyBalance, RiskBenefitGrid
+from .stakeholders import (
+    ConsentStatus,
+    Stakeholder,
+    StakeholderRegistry,
+    StakeholderRole,
+    default_stakeholders,
+)
+
+__all__ = [
+    "AOIR_QUESTIONS",
+    "BENEFIT_ABBREVS",
+    "BenefitInstance",
+    "ConsentStatus",
+    "DecisionProcess",
+    "Dilemma",
+    "FindingStatus",
+    "HARM_ABBREVS",
+    "HarmInstance",
+    "InterventionAssessment",
+    "InterventionOption",
+    "JUSTIFICATION_IDS",
+    "JustificationFacts",
+    "JustificationVerdict",
+    "Likelihood",
+    "MENLO_QUESTIONS",
+    "MenloEvaluation",
+    "MenloPrinciple",
+    "PartyBalance",
+    "PrincipleFinding",
+    "Question",
+    "RIGHTS",
+    "Right",
+    "RightRisk",
+    "RightsContext",
+    "RiskBenefitGrid",
+    "Severity",
+    "Stakeholder",
+    "StakeholderRegistry",
+    "StakeholderRole",
+    "TAKEDOWN_DILEMMAS",
+    "default_stakeholders",
+    "evaluate_all_justifications",
+    "evaluate_justification",
+    "rights_at_risk",
+]

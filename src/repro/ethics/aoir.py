@@ -1,0 +1,218 @@
+"""AoIR-style guided ethical decision process (§2, [33, 71]).
+
+The Association of Internet Researchers' ethics guidance is a set of
+questions and a process rather than rules. This module provides the
+question inventory for research with data of illicit origin plus a
+small state machine (:class:`DecisionProcess`) that walks a researcher
+through the questions, records answers, and reports which areas remain
+unaddressed — the "process for ethical decision making" the paper says
+only one of its 30 case studies used.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from ..errors import EthicsModelError
+
+__all__ = ["Question", "AOIR_QUESTIONS", "DecisionProcess"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Question:
+    """One guided question.
+
+    ``area`` groups questions (context, consent, harm, data handling,
+    publication); ``blocking`` marks questions that must be answered
+    before the process can conclude.
+    """
+
+    id: str
+    area: str
+    text: str
+    blocking: bool = True
+
+
+AOIR_QUESTIONS: tuple[Question, ...] = (
+    Question(
+        id="context-venue",
+        area="context",
+        text=(
+            "Where did the data come from, and under what expectation "
+            "of privacy was it originally produced?"
+        ),
+    ),
+    Question(
+        id="context-origin",
+        area="context",
+        text=(
+            "Which clause of illicit origin applies: exploitation of a "
+            "vulnerability, unintended disclosure, or unauthorized "
+            "leak?"
+        ),
+    ),
+    Question(
+        id="consent-feasible",
+        area="consent",
+        text=(
+            "Is informed consent from the people in the data possible? "
+            "If not, why — and who protects their interests instead?"
+        ),
+    ),
+    Question(
+        id="consent-covert",
+        area="consent",
+        text=(
+            "If the research must be covert (e.g. studying criminal "
+            "marketplaces), do the ends justify the means under the "
+            "BSC statement of ethics?"
+        ),
+    ),
+    Question(
+        id="harm-subjects",
+        area="harm",
+        text=(
+            "What harms could befall the people identified in the "
+            "data: prosecution, re-exposure, discrimination, violence?"
+        ),
+    ),
+    Question(
+        id="harm-researchers",
+        area="harm",
+        text=(
+            "What harms could befall the researchers: legal liability, "
+            "threats from criminals, emotional trauma from distressing "
+            "content?"
+        ),
+    ),
+    Question(
+        id="harm-behaviour",
+        area="harm",
+        text=(
+            "Could the research change stakeholder behaviour for the "
+            "worse, or encourage future collection of illicit data?"
+        ),
+        blocking=False,
+    ),
+    Question(
+        id="data-storage",
+        area="data-handling",
+        text=(
+            "How is the data stored, encrypted and access-controlled "
+            "to prevent further disclosure?"
+        ),
+    ),
+    Question(
+        id="data-minimisation",
+        area="data-handling",
+        text=(
+            "Is only the data needed for the research question "
+            "retained, and is there a retention/destruction plan?"
+        ),
+    ),
+    Question(
+        id="data-sharing",
+        area="data-handling",
+        text=(
+            "Will the data be shared — if so, under what controlled "
+            "terms (written acceptable usage policy, vetted "
+            "researchers)?"
+        ),
+    ),
+    Question(
+        id="publication-identities",
+        area="publication",
+        text=(
+            "Do the outputs avoid identifying any natural person, "
+            "directly or by aggregation?"
+        ),
+    ),
+    Question(
+        id="publication-benefit",
+        area="publication",
+        text=(
+            "What is the public benefit of publishing, and does it "
+            "exceed the harms (social acceptability)?"
+        ),
+    ),
+    Question(
+        id="publication-ethics-section",
+        area="publication",
+        text=(
+            "Does the paper include an explicit ethics section "
+            "recording this reasoning?"
+        ),
+        blocking=False,
+    ),
+)
+
+
+class DecisionProcess:
+    """Walk through the AoIR-style questions and track completeness."""
+
+    def __init__(
+        self, questions: tuple[Question, ...] = AOIR_QUESTIONS
+    ) -> None:
+        ids = [q.id for q in questions]
+        if len(set(ids)) != len(ids):
+            raise EthicsModelError("duplicate question ids")
+        self.questions = questions
+        self._answers: dict[str, str] = {}
+
+    def answer(self, question_id: str, text: str) -> None:
+        """Record the answer to one question."""
+        if question_id not in {q.id for q in self.questions}:
+            raise EthicsModelError(
+                f"unknown question {question_id!r}"
+            )
+        if not text.strip():
+            raise EthicsModelError("answers must be non-empty")
+        self._answers[question_id] = text.strip()
+
+    def __iter__(self) -> Iterator[Question]:
+        return iter(self.questions)
+
+    @property
+    def answers(self) -> dict[str, str]:
+        return dict(self._answers)
+
+    def unanswered(self) -> tuple[Question, ...]:
+        return tuple(
+            q for q in self.questions if q.id not in self._answers
+        )
+
+    def blocking_unanswered(self) -> tuple[Question, ...]:
+        return tuple(q for q in self.unanswered() if q.blocking)
+
+    def areas(self) -> tuple[str, ...]:
+        """Question areas in first-appearance order."""
+        seen: list[str] = []
+        for question in self.questions:
+            if question.area not in seen:
+                seen.append(question.area)
+        return tuple(seen)
+
+    def area_completeness(self) -> dict[str, float]:
+        """Fraction of questions answered per area."""
+        result: dict[str, float] = {}
+        for area in self.areas():
+            in_area = [q for q in self.questions if q.area == area]
+            answered = sum(
+                1 for q in in_area if q.id in self._answers
+            )
+            result[area] = answered / len(in_area)
+        return result
+
+    def complete(self) -> bool:
+        """All blocking questions answered."""
+        return not self.blocking_unanswered()
+
+    def transcript(self) -> str:
+        """Question/answer transcript for inclusion in an REB pack."""
+        lines: list[str] = []
+        for question in self.questions:
+            lines.append(f"Q [{question.area}] {question.text}")
+            answer = self._answers.get(question.id)
+            lines.append(f"A: {answer}" if answer else "A: (unanswered)")
+        return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Human-rights baseline for research with illicit-origin data (§2).
+
+The paper: "Human rights also provide an important ethical baseline.
+These include, the right to life, the right to be free of arbitrary
+arrest, the right to a fair trial, a presumption of innocence until
+proven guilty, a right to not have arbitrary invasions of privacy,
+and a right not to be arbitrarily deprived of property. Research
+using data of illicit origin may indirectly deprive people of such
+rights" — with the Philippines example, where data from online drug
+markets could feed extra-judicial killings.
+
+:func:`rights_at_risk` maps research-context facts to the rights the
+research could indirectly compromise, with the mechanism spelled out;
+the assessment and reporting layers surface the result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import EthicsModelError
+
+__all__ = ["Right", "RIGHTS", "RightsContext", "RightRisk",
+           "rights_at_risk"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Right:
+    """One right from the paper's UDHR-derived list [112]."""
+
+    id: str
+    name: str
+    udhr_article: int
+
+
+RIGHTS: tuple[Right, ...] = (
+    Right(id="life", name="the right to life", udhr_article=3),
+    Right(
+        id="no-arbitrary-arrest",
+        name="the right to be free of arbitrary arrest",
+        udhr_article=9,
+    ),
+    Right(
+        id="fair-trial",
+        name="the right to a fair trial",
+        udhr_article=10,
+    ),
+    Right(
+        id="presumption-of-innocence",
+        name="a presumption of innocence until proven guilty",
+        udhr_article=11,
+    ),
+    Right(
+        id="privacy",
+        name="a right to not have arbitrary invasions of privacy",
+        udhr_article=12,
+    ),
+    Right(
+        id="property",
+        name="a right not to be arbitrarily deprived of property",
+        udhr_article=17,
+    ),
+)
+
+_BY_ID = {right.id: right for right in RIGHTS}
+
+
+@dataclasses.dataclass(frozen=True)
+class RightsContext:
+    """Facts about the research context that bear on rights."""
+
+    #: Individuals in the data could be identified.
+    identifies_individuals: bool = False
+    #: The data evidences (or implies) criminal conduct by subjects.
+    implies_criminality: bool = False
+    #: Results may reach law enforcement or be published where law
+    #: enforcement will read them.
+    reaches_law_enforcement: bool = False
+    #: Any implicated jurisdiction practises extra-judicial violence
+    #: against the implicated population (the Philippines example).
+    extrajudicial_violence_risk: bool = False
+    #: The data includes private communications or private facts.
+    contains_private_life: bool = False
+    #: Publication could trigger asset seizure / account termination
+    #: without process.
+    triggers_asset_action: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class RightRisk:
+    """One right the research puts at risk, with the mechanism."""
+
+    right: Right
+    mechanism: str
+
+
+def rights_at_risk(context: RightsContext) -> tuple[RightRisk, ...]:
+    """The rights the research could indirectly compromise.
+
+    The mapping follows §2's reasoning: identification plus implied
+    criminality is the gateway; what it opens onto depends on who
+    can act on the identification and how.
+    """
+    if not isinstance(context, RightsContext):
+        raise EthicsModelError("pass a RightsContext")
+    risks: list[RightRisk] = []
+    gateway = (
+        context.identifies_individuals and context.implies_criminality
+    )
+    if gateway and context.extrajudicial_violence_risk:
+        risks.append(
+            RightRisk(
+                right=_BY_ID["life"],
+                mechanism=(
+                    "identified subjects face extra-judicial "
+                    "violence in an implicated jurisdiction (the "
+                    "Philippines drug-market example)"
+                ),
+            )
+        )
+    if gateway and context.reaches_law_enforcement:
+        risks.append(
+            RightRisk(
+                right=_BY_ID["no-arbitrary-arrest"],
+                mechanism=(
+                    "research outputs could single out individuals "
+                    "for arrest without due investigative process"
+                ),
+            )
+        )
+        risks.append(
+            RightRisk(
+                right=_BY_ID["fair-trial"],
+                mechanism=(
+                    "illicitly obtained data used as lead evidence "
+                    "may be untestable in court, compromising the "
+                    "fairness of any proceedings"
+                ),
+            )
+        )
+    if gateway:
+        risks.append(
+            RightRisk(
+                right=_BY_ID["presumption-of-innocence"],
+                mechanism=(
+                    "publication that links identifiable people to "
+                    "criminal conduct convicts them in public before "
+                    "any trial"
+                ),
+            )
+        )
+    if (
+        context.identifies_individuals
+        and context.contains_private_life
+    ):
+        risks.append(
+            RightRisk(
+                right=_BY_ID["privacy"],
+                mechanism=(
+                    "private communications or private facts about "
+                    "identifiable people would be further exposed"
+                ),
+            )
+        )
+    if context.identifies_individuals and context.triggers_asset_action:
+        risks.append(
+            RightRisk(
+                right=_BY_ID["property"],
+                mechanism=(
+                    "publication could trigger seizure or "
+                    "termination of identified subjects' assets "
+                    "without process"
+                ),
+            )
+        )
+    return tuple(risks)

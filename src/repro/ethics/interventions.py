@@ -1,0 +1,228 @@
+"""Intervention ethics: take-down dilemmas and remote mitigation (§2).
+
+Two decision aids from the works the paper builds on:
+
+* Moore & Clayton [75] faced nine dilemmas in take-down research —
+  balancing harm reduction against measurement accuracy, the danger
+  of telling criminals about flaws in their systems, and whether a
+  proposed intervention is likely to work.
+  :data:`TAKEDOWN_DILEMMAS` encodes those tensions as structured
+  dilemmas with the considerations on each horn.
+
+* Dittrich, Leder & Werner [29] analysed remote mitigation of
+  botnets (e.g. cleaning infected machines via the botnet's own
+  channel). :class:`InterventionAssessment` encodes their
+  reasons-for / reasons-against weighing, gated by the same Menlo
+  machinery the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import EthicsModelError
+
+__all__ = [
+    "Dilemma",
+    "TAKEDOWN_DILEMMAS",
+    "InterventionOption",
+    "InterventionAssessment",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Dilemma:
+    """A research dilemma with the considerations on each horn."""
+
+    id: str
+    question: str
+    act_considerations: tuple[str, ...]
+    refrain_considerations: tuple[str, ...]
+
+
+TAKEDOWN_DILEMMAS: tuple[Dilemma, ...] = (
+    Dilemma(
+        id="intervene-or-measure",
+        question=(
+            "Should we reduce harm we uncover during measurement, at "
+            "the cost of perturbing the measurement?"
+        ),
+        act_considerations=(
+            "ongoing victimisation stops sooner",
+            "beneficence favours preventing identifiable harm",
+        ),
+        refrain_considerations=(
+            "interventions change the system under measurement and "
+            "bias the results",
+            "partial interventions may displace rather than reduce "
+            "harm",
+        ),
+    ),
+    Dilemma(
+        id="reveal-criminal-flaws",
+        question=(
+            "Should we publish weaknesses we find in criminal "
+            "infrastructure?"
+        ),
+        act_considerations=(
+            "defenders and researchers can exploit the weaknesses",
+            "transparency enables reproduction",
+        ),
+        refrain_considerations=(
+            "criminals read papers too and will fix their systems",
+            "publication may teach new offenders the trade",
+        ),
+    ),
+    Dilemma(
+        id="notify-victims",
+        question=(
+            "Should we notify identifiable victims found in the "
+            "data?"
+        ),
+        act_considerations=(
+            "victims can protect themselves (the "
+            "haveibeenpwned.com model)",
+            "notification is a direct benefit to the worst-affected "
+            "stakeholders",
+        ),
+        refrain_considerations=(
+            "notification reveals that researchers hold the data",
+            "mass notification may itself leak sensitive facts "
+            "(e.g. membership of a stigmatised service)",
+        ),
+    ),
+    Dilemma(
+        id="proposed-intervention-efficacy",
+        question=(
+            "Is the proposed intervention actually likely to work?"
+        ),
+        act_considerations=(
+            "a working intervention converts research into harm "
+            "reduction",
+        ),
+        refrain_considerations=(
+            "ineffective interventions burn goodwill and access "
+            "while achieving nothing",
+            "Moore & Clayton: ensure proposed interventions are "
+            "likely to work before advocating them",
+        ),
+    ),
+    Dilemma(
+        id="hand-to-law-enforcement",
+        question=(
+            "Should the data be handed to law enforcement rather "
+            "than analysed?"
+        ),
+        act_considerations=(
+            "prosecution may stop offenders permanently",
+            "legal clarity: the data ends up where the law expects",
+        ),
+        refrain_considerations=(
+            "the research value (defences, understanding) is lost",
+            "stakeholders in the data face prosecution or worse in "
+            "some jurisdictions (the Philippines example, §2)",
+        ),
+    ),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class InterventionOption:
+    """One possible intervention with its expected effects.
+
+    ``harm_reduced`` and ``harm_created`` are expected magnitudes in
+    [0, 1]; ``reversible`` and ``authorised`` gate the verdict —
+    the Dittrich et al. case studies turn on exactly these: acting
+    on third-party machines without authorisation is computer misuse
+    however good the intent.
+    """
+
+    id: str
+    description: str
+    harm_reduced: float
+    harm_created: float
+    reversible: bool
+    authorised: bool
+    likely_to_work: bool
+
+    def __post_init__(self) -> None:
+        for field in ("harm_reduced", "harm_created"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise EthicsModelError(f"{field} must be in [0, 1]")
+
+
+class InterventionAssessment:
+    """Weigh intervention options in the Dittrich et al. style."""
+
+    def __init__(self, options: tuple[InterventionOption, ...]) -> None:
+        if not options:
+            raise EthicsModelError("provide at least one option")
+        ids = [option.id for option in options]
+        if len(set(ids)) != len(ids):
+            raise EthicsModelError("duplicate option ids")
+        self.options = options
+
+    def evaluate(self, option_id: str) -> tuple[str, tuple[str, ...]]:
+        """Return (verdict, reasons) for one option.
+
+        Verdicts: ``proceed``, ``proceed-with-oversight``,
+        ``do-not-proceed``.
+        """
+        option = self._option(option_id)
+        reasons: list[str] = []
+        if not option.authorised:
+            reasons.append(
+                "acting on third-party systems without authorisation "
+                "is computer misuse regardless of intent"
+            )
+            return "do-not-proceed", tuple(reasons)
+        if not option.likely_to_work:
+            reasons.append(
+                "the intervention is unlikely to work; it creates "
+                "risk without harm reduction"
+            )
+            return "do-not-proceed", tuple(reasons)
+        if option.harm_created >= option.harm_reduced:
+            reasons.append(
+                "expected harm created is not exceeded by harm "
+                "reduced"
+            )
+            return "do-not-proceed", tuple(reasons)
+        if not option.reversible:
+            reasons.append(
+                "irreversible interventions need external oversight "
+                "(REB plus legal sign-off)"
+            )
+            return "proceed-with-oversight", tuple(reasons)
+        reasons.append(
+            "authorised, reversible, likely to work, and net "
+            "harm-reducing"
+        )
+        return "proceed", tuple(reasons)
+
+    def best_option(self) -> tuple[InterventionOption | None, str]:
+        """The most favourable admissible option, or ``None``.
+
+        Preference: proceed > proceed-with-oversight, then largest
+        net harm reduction; do-not-proceed options are excluded.
+        """
+        ranked: list[tuple[int, float, InterventionOption, str]] = []
+        for option in self.options:
+            verdict, _ = self.evaluate(option.id)
+            if verdict == "do-not-proceed":
+                continue
+            priority = 0 if verdict == "proceed" else 1
+            net = option.harm_reduced - option.harm_created
+            ranked.append((priority, -net, option, verdict))
+        if not ranked:
+            return None, "do-not-proceed"
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        __, __, option, verdict = ranked[0]
+        return option, verdict
+
+    def _option(self, option_id: str) -> InterventionOption:
+        for option in self.options:
+            if option.id == option_id:
+                return option
+        raise EthicsModelError(f"unknown option {option_id!r}")

@@ -1,0 +1,395 @@
+"""The Menlo Report principles as an executable evaluation (§2).
+
+The Menlo Report [28] identifies four principles for ICT research:
+respect for persons, beneficence, justice, and respect for law and
+public interest. :class:`MenloEvaluation` applies each principle to a
+stakeholder registry plus harm/benefit instances and produces
+:class:`PrincipleFinding` objects with a status and the applicable
+guidance, which the assessment engine and the ethics-section generator
+consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Sequence
+
+from ..errors import EthicsModelError
+from .harms import BenefitInstance, HarmInstance
+from .stakeholders import ConsentStatus, StakeholderRegistry
+
+__all__ = [
+    "MenloPrinciple",
+    "FindingStatus",
+    "PrincipleFinding",
+    "MenloEvaluation",
+    "MENLO_QUESTIONS",
+]
+
+
+class MenloPrinciple(enum.Enum):
+    """The four Menlo Report principles (§2, [26 §B])."""
+
+    RESPECT_FOR_PERSONS = "respect-for-persons"
+    BENEFICENCE = "beneficence"
+    JUSTICE = "justice"
+    RESPECT_FOR_LAW_AND_PUBLIC_INTEREST = (
+        "respect-for-law-and-public-interest"
+    )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Guiding questions per principle, condensed from the Menlo Report
+#: and its companion; used in checklists and generated ethics sections.
+MENLO_QUESTIONS: dict[MenloPrinciple, tuple[str, ...]] = {
+    MenloPrinciple.RESPECT_FOR_PERSONS: (
+        "Are individuals treated as autonomous agents?",
+        "Is informed consent obtained, or if not, why is it impossible "
+        "or impractical, and how are the individuals' interests "
+        "protected (e.g. by REB oversight)?",
+        "Are persons with diminished autonomy given additional "
+        "protection?",
+    ),
+    MenloPrinciple.BENEFICENCE: (
+        "Have potential harms been systematically identified for every "
+        "stakeholder?",
+        "Are possible harms minimised and possible benefits maximised?",
+        "Are safeguards in place against each identified harm?",
+    ),
+    MenloPrinciple.JUSTICE: (
+        "Are risks and benefits distributed fairly?",
+        "Is no group selected (or burdened) on the basis of protected "
+        "characteristics or their correlates?",
+    ),
+    MenloPrinciple.RESPECT_FOR_LAW_AND_PUBLIC_INTEREST: (
+        "Does the research conform to applicable laws in all relevant "
+        "jurisdictions?",
+        "Is the research in the public interest, and is it open, "
+        "transparent, reproducible and peer-reviewed?",
+    ),
+}
+
+
+class FindingStatus:
+    """Outcome of evaluating one principle."""
+
+    SATISFIED = "satisfied"
+    NEEDS_SAFEGUARDS = "needs-safeguards"
+    VIOLATED = "violated"
+    INDETERMINATE = "indeterminate"
+
+    ORDER = (SATISFIED, INDETERMINATE, NEEDS_SAFEGUARDS, VIOLATED)
+
+    @classmethod
+    def worst(cls, statuses: Sequence[str]) -> str:
+        if not statuses:
+            return cls.INDETERMINATE
+        return max(statuses, key=cls.ORDER.index)
+
+
+@dataclasses.dataclass(frozen=True)
+class PrincipleFinding:
+    """The evaluation result for one Menlo principle."""
+
+    principle: MenloPrinciple
+    status: str
+    reasons: tuple[str, ...]
+    recommendations: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Multi-line rendering: status, reasons, recommendations."""
+        lines = [f"{self.principle.value}: {self.status}"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        lines.extend(
+            f"  -> {recommendation}"
+            for recommendation in self.recommendations
+        )
+        return "\n".join(lines)
+
+
+class MenloEvaluation:
+    """Evaluate the four Menlo principles for one research design.
+
+    Parameters
+    ----------
+    stakeholders:
+        The identified stakeholders.
+    harms, benefits:
+        Concrete instances (see :mod:`repro.ethics.harms`).
+    lawful:
+        Whether the research conforms to applicable law (from the
+        legal engine); ``None`` when not yet analysed.
+    public_interest:
+        Whether a public-interest case has been made.
+    reproducible:
+        Whether the work supports reproduction (e.g. via controlled
+        sharing).
+    residual_risk_threshold:
+        Maximum tolerable total residual risk per natural-person
+        stakeholder before beneficence demands more safeguards.
+    """
+
+    def __init__(
+        self,
+        stakeholders: StakeholderRegistry,
+        harms: Sequence[HarmInstance],
+        benefits: Sequence[BenefitInstance],
+        *,
+        lawful: bool | None = None,
+        public_interest: bool = False,
+        reproducible: bool = False,
+        residual_risk_threshold: float = 0.25,
+    ) -> None:
+        if residual_risk_threshold <= 0:
+            raise EthicsModelError("risk threshold must be positive")
+        for harm in harms:
+            if harm.stakeholder_id not in stakeholders:
+                raise EthicsModelError(
+                    f"harm references unknown stakeholder "
+                    f"{harm.stakeholder_id!r}"
+                )
+        self.stakeholders = stakeholders
+        self.harms = tuple(harms)
+        self.benefits = tuple(benefits)
+        self.lawful = lawful
+        self.public_interest = public_interest
+        self.reproducible = reproducible
+        self.residual_risk_threshold = residual_risk_threshold
+
+    # -- per-principle evaluations ------------------------------------
+    def respect_for_persons(self) -> PrincipleFinding:
+        """Evaluate the respect-for-persons principle."""
+        reasons: list[str] = []
+        recommendations: list[str] = []
+        status = FindingStatus.SATISFIED
+        unprotected = self.stakeholders.unprotected()
+        if unprotected:
+            status = FindingStatus.NEEDS_SAFEGUARDS
+            names = ", ".join(s.name for s in unprotected)
+            reasons.append(
+                f"informed consent is absent for: {names}"
+            )
+            recommendations.append(
+                "seek REB review so the board can protect the "
+                "interests of individuals for whom consent is "
+                "impossible (Menlo / BSC guidance)"
+            )
+        not_sought = [
+            s
+            for s in self.stakeholders
+            if s.consent == ConsentStatus.NOT_SOUGHT and s.natural_person
+        ]
+        if not_sought:
+            status = FindingStatus.NEEDS_SAFEGUARDS
+            reasons.append(
+                "consent was not sought from stakeholders where it may "
+                "have been feasible"
+            )
+            recommendations.append(
+                "justify why consent is impossible or impractical, or "
+                "obtain it"
+            )
+        for stakeholder in self.stakeholders.vulnerable():
+            reasons.append(
+                f"{stakeholder.name} has diminished autonomy and needs "
+                "additional protection"
+            )
+            recommendations.append(
+                f"add specific protections for {stakeholder.name}"
+            )
+            status = FindingStatus.worst(
+                [status, FindingStatus.NEEDS_SAFEGUARDS]
+            )
+        if not reasons:
+            reasons.append(
+                "all natural-person stakeholders consented or are "
+                "protected"
+            )
+        return PrincipleFinding(
+            MenloPrinciple.RESPECT_FOR_PERSONS,
+            status,
+            tuple(reasons),
+            tuple(recommendations),
+        )
+
+    def beneficence(self) -> PrincipleFinding:
+        """Evaluate the beneficence principle."""
+        reasons: list[str] = []
+        recommendations: list[str] = []
+        if not self.harms:
+            return PrincipleFinding(
+                MenloPrinciple.BENEFICENCE,
+                FindingStatus.INDETERMINATE,
+                (
+                    "no harms were identified; an empty harm register "
+                    "more often reflects missing analysis than absent "
+                    "risk",
+                ),
+                (
+                    "enumerate potential harms per stakeholder before "
+                    "claiming beneficence",
+                ),
+            )
+        total_benefit = sum(b.expected_value for b in self.benefits)
+        status = FindingStatus.SATISFIED
+        for stakeholder in self.stakeholders:
+            if not stakeholder.natural_person:
+                continue
+            residual = sum(
+                h.residual_risk
+                for h in self.harms
+                if h.stakeholder_id == stakeholder.id
+            )
+            if residual > self.residual_risk_threshold:
+                status = FindingStatus.NEEDS_SAFEGUARDS
+                reasons.append(
+                    f"residual risk {residual:.2f} to "
+                    f"{stakeholder.name} exceeds the threshold "
+                    f"{self.residual_risk_threshold:.2f}"
+                )
+                recommendations.append(
+                    f"add safeguards mitigating harms to "
+                    f"{stakeholder.name}"
+                )
+        if total_benefit == 0.0:
+            status = FindingStatus.worst(
+                [status, FindingStatus.NEEDS_SAFEGUARDS]
+            )
+            reasons.append("no benefits have been articulated")
+            recommendations.append(
+                "articulate the research benefits (the paper finds "
+                "benefits as well as harms often go unidentified)"
+            )
+        total_residual = sum(h.residual_risk for h in self.harms)
+        if total_benefit and total_residual > total_benefit:
+            status = FindingStatus.VIOLATED
+            reasons.append(
+                f"total residual risk {total_residual:.2f} exceeds "
+                f"expected benefit {total_benefit:.2f}"
+            )
+            recommendations.append(
+                "redesign the study: harms currently outweigh benefits"
+            )
+        if not reasons:
+            reasons.append(
+                "identified harms are mitigated below threshold and "
+                "benefits are articulated"
+            )
+        return PrincipleFinding(
+            MenloPrinciple.BENEFICENCE,
+            status,
+            tuple(reasons),
+            tuple(recommendations),
+        )
+
+    def justice(self) -> PrincipleFinding:
+        # Risks and benefits should not concentrate on one group while
+        # another captures the gains.
+        """Evaluate the justice principle."""
+        harmed = {h.stakeholder_id for h in self.harms}
+        benefiting = {b.beneficiary for b in self.benefits}
+        reasons: list[str] = []
+        recommendations: list[str] = []
+        status = FindingStatus.SATISFIED
+        only_harmed = harmed - benefiting - {"society"}
+        if only_harmed and benefiting:
+            status = FindingStatus.NEEDS_SAFEGUARDS
+            names = ", ".join(
+                self.stakeholders[s].name
+                for s in sorted(only_harmed)
+                if s in self.stakeholders
+            )
+            if names:
+                reasons.append(
+                    f"risk is borne by {names} while benefits accrue "
+                    "elsewhere"
+                )
+                recommendations.append(
+                    "rebalance: reduce risk on the burdened group or "
+                    "direct benefits toward it"
+                )
+        if not self.harms and not self.benefits:
+            status = FindingStatus.INDETERMINATE
+            reasons.append(
+                "no harm/benefit register to assess distribution over"
+            )
+        if not reasons:
+            reasons.append(
+                "risks and benefits are not concentrated on a single "
+                "group"
+            )
+        return PrincipleFinding(
+            MenloPrinciple.JUSTICE,
+            status,
+            tuple(reasons),
+            tuple(recommendations),
+        )
+
+    def respect_for_law_and_public_interest(self) -> PrincipleFinding:
+        """Evaluate respect for law and the public interest."""
+        reasons: list[str] = []
+        recommendations: list[str] = []
+        if self.lawful is None:
+            status = FindingStatus.INDETERMINATE
+            reasons.append("legal analysis has not been performed")
+            recommendations.append(
+                "run the legal engine (or obtain legal advice) for "
+                "every relevant jurisdiction"
+            )
+        elif not self.lawful:
+            # Occasionally research is illegal but still ethical; the
+            # paper requires transparency and REB approval in that case.
+            status = FindingStatus.NEEDS_SAFEGUARDS
+            reasons.append(
+                "the research may breach applicable law; it can only "
+                "proceed with transparency, institutional backing and "
+                "REB approval"
+            )
+            recommendations.append(
+                "obtain REB approval, be transparent, and engage "
+                "lawmakers to improve the law (Israel 2004)"
+            )
+        else:
+            status = FindingStatus.SATISFIED
+            reasons.append("the research conforms to applicable law")
+        if not self.public_interest:
+            status = FindingStatus.worst(
+                [status, FindingStatus.NEEDS_SAFEGUARDS]
+            )
+            reasons.append("no public-interest case has been made")
+            recommendations.append(
+                "state the social benefit that exceeds the harms "
+                "(Floridi & Taddeo)"
+            )
+        if not self.reproducible:
+            reasons.append(
+                "the work is not reproducible by other researchers"
+            )
+            recommendations.append(
+                "support controlled sharing of the data or derived "
+                "artefacts"
+            )
+        return PrincipleFinding(
+            MenloPrinciple.RESPECT_FOR_LAW_AND_PUBLIC_INTEREST,
+            status,
+            tuple(reasons),
+            tuple(recommendations),
+        )
+
+    # -- aggregate -----------------------------------------------------
+    def findings(self) -> tuple[PrincipleFinding, ...]:
+        """All four principle findings, in Menlo order."""
+        return (
+            self.respect_for_persons(),
+            self.beneficence(),
+            self.justice(),
+            self.respect_for_law_and_public_interest(),
+        )
+
+    def overall_status(self) -> str:
+        return FindingStatus.worst(
+            [finding.status for finding in self.findings()]
+        )

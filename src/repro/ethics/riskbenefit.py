@@ -1,0 +1,149 @@
+"""Keegan–Matias multi-party risk-benefit grid (§2, [56]).
+
+Keegan and Matias propose analysing online-community research by
+enumerating, for every affected party, the risks and benefits the
+research imposes on them — rather than aggregating over everyone at
+once. :class:`RiskBenefitGrid` materialises that grid from harm and
+benefit instances and supports the balance queries the assessment
+engine uses (who carries net risk, where is the grid empty, does any
+party subsidise the others).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..errors import EthicsModelError
+from .harms import BenefitInstance, HarmInstance
+from .stakeholders import StakeholderRegistry
+
+__all__ = ["PartyBalance", "RiskBenefitGrid"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PartyBalance:
+    """Net position of one party in the grid."""
+
+    stakeholder_id: str
+    name: str
+    risk: float
+    benefit: float
+    harm_count: int
+    benefit_count: int
+
+    @property
+    def net(self) -> float:
+        return self.benefit - self.risk
+
+    @property
+    def is_subsidising(self) -> bool:
+        """True when the party carries risk but receives no benefit."""
+        return self.risk > 0.0 and self.benefit == 0.0
+
+
+class RiskBenefitGrid:
+    """Per-party risk/benefit accounting over an assessment's register.
+
+    Benefits whose ``beneficiary`` is ``"society"`` are treated as a
+    distinguished diffuse party rather than spread over stakeholders,
+    matching how the paper discusses public-interest benefits.
+    """
+
+    SOCIETY = "society"
+
+    def __init__(
+        self,
+        stakeholders: StakeholderRegistry,
+        harms: Sequence[HarmInstance],
+        benefits: Sequence[BenefitInstance],
+    ) -> None:
+        for harm in harms:
+            if harm.stakeholder_id not in stakeholders:
+                raise EthicsModelError(
+                    f"harm names unknown stakeholder "
+                    f"{harm.stakeholder_id!r}"
+                )
+        for benefit in benefits:
+            if (
+                benefit.beneficiary != self.SOCIETY
+                and benefit.beneficiary not in stakeholders
+            ):
+                raise EthicsModelError(
+                    f"benefit names unknown beneficiary "
+                    f"{benefit.beneficiary!r}"
+                )
+        self.stakeholders = stakeholders
+        self.harms = tuple(harms)
+        self.benefits = tuple(benefits)
+
+    def balance(self, party_id: str) -> PartyBalance:
+        """The net position of one party (stakeholder id or society)."""
+        if party_id == self.SOCIETY:
+            name = "society at large"
+        else:
+            name = self.stakeholders[party_id].name
+        harms = [
+            h for h in self.harms if h.stakeholder_id == party_id
+        ]
+        benefits = [
+            b for b in self.benefits if b.beneficiary == party_id
+        ]
+        return PartyBalance(
+            stakeholder_id=party_id,
+            name=name,
+            risk=sum(h.residual_risk for h in harms),
+            benefit=sum(b.expected_value for b in benefits),
+            harm_count=len(harms),
+            benefit_count=len(benefits),
+        )
+
+    def balances(self) -> tuple[PartyBalance, ...]:
+        """Balances for all stakeholders plus society (when present)."""
+        parties = [s.id for s in self.stakeholders]
+        if any(b.beneficiary == self.SOCIETY for b in self.benefits):
+            parties.append(self.SOCIETY)
+        return tuple(self.balance(p) for p in parties)
+
+    def subsidising_parties(self) -> tuple[PartyBalance, ...]:
+        """Parties carrying risk with no benefit — the fairness red
+        flag the multi-party framing exists to surface."""
+        return tuple(b for b in self.balances() if b.is_subsidising)
+
+    def unassessed_parties(self) -> tuple[str, ...]:
+        """Stakeholders with neither harms nor benefits recorded.
+
+        An empty grid row usually means the analysis is incomplete,
+        not that the party is unaffected.
+        """
+        return tuple(
+            s.id
+            for s in self.stakeholders
+            if self.balance(s.id).harm_count == 0
+            and self.balance(s.id).benefit_count == 0
+        )
+
+    def total_risk(self) -> float:
+        return sum(h.residual_risk for h in self.harms)
+
+    def total_benefit(self) -> float:
+        return sum(b.expected_value for b in self.benefits)
+
+    def favourable(self) -> bool:
+        """Aggregate benefit exceeds aggregate residual risk *and* no
+        party subsidises the rest."""
+        return (
+            self.total_benefit() > self.total_risk()
+            and not self.subsidising_parties()
+        )
+
+    def render_text(self) -> str:
+        """Human-readable grid for reports."""
+        lines = ["Party                          Risk  Benefit  Net"]
+        for balance in self.balances():
+            lines.append(
+                f"{balance.name[:30]:<30} {balance.risk:5.2f} "
+                f"{balance.benefit:8.2f} {balance.net:+5.2f}"
+                + ("  [subsidising]" if balance.is_subsidising else "")
+            )
+        return "\n".join(lines)

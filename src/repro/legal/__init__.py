@@ -1,0 +1,59 @@
+"""Legal engine: jurisdictions, statutes, applicability rules, GDPR."""
+
+from .exposure import (
+    ExposureCell,
+    TravelAdvisory,
+    exposure_matrix,
+    travel_advisory,
+)
+from .gdpr import GDPR_MAX_FINE, GDPRChecker, GDPRPosition, GDPRResult
+from .jurisdictions import (
+    ALL_JURISDICTIONS,
+    EU,
+    GENERIC,
+    GERMANY,
+    UK,
+    US,
+    Jurisdiction,
+    JurisdictionSet,
+    relevant_jurisdictions,
+)
+from .rules import (
+    LEGAL_ISSUE_IDS,
+    DataProfile,
+    LegalFinding,
+    LegalReport,
+    RiskLevel,
+    analyze_legal,
+)
+from .statutes import STATUTES, Statute, statute_by_id, statutes_for
+
+__all__ = [
+    "ALL_JURISDICTIONS",
+    "DataProfile",
+    "EU",
+    "ExposureCell",
+    "GDPRChecker",
+    "GDPRPosition",
+    "GDPRResult",
+    "GDPR_MAX_FINE",
+    "GENERIC",
+    "GERMANY",
+    "Jurisdiction",
+    "JurisdictionSet",
+    "LEGAL_ISSUE_IDS",
+    "LegalFinding",
+    "LegalReport",
+    "RiskLevel",
+    "STATUTES",
+    "Statute",
+    "TravelAdvisory",
+    "UK",
+    "US",
+    "analyze_legal",
+    "exposure_matrix",
+    "relevant_jurisdictions",
+    "statute_by_id",
+    "statutes_for",
+    "travel_advisory",
+]

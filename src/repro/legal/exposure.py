@@ -1,0 +1,131 @@
+"""Cross-jurisdiction exposure reports and travel advisories (§3).
+
+The paper: "Researchers often travel and so they should consider the
+impact of committing offences, both in their home jurisdiction and in
+countries that they visit or that they might be extradited to."
+
+:func:`exposure_matrix` compares one data profile across
+jurisdictions issue by issue; :func:`travel_advisory` turns that into
+the practical artefact — given where the research is lawful-ish and
+where the researcher plans to travel, which legs of the itinerary
+raise exposure, and what to do about each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .._util import wrap_text
+from ..errors import LegalModelError
+from .jurisdictions import Jurisdiction, JurisdictionSet
+from .rules import DataProfile, RiskLevel, analyze_legal
+
+__all__ = ["ExposureCell", "TravelAdvisory", "exposure_matrix",
+           "travel_advisory"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExposureCell:
+    """One (issue, jurisdiction) cell of the comparison matrix."""
+
+    issue: str
+    jurisdiction_code: str
+    applicable: bool
+    risk: str
+
+
+def exposure_matrix(
+    profile: DataProfile, jurisdictions: JurisdictionSet
+) -> dict[str, dict[str, ExposureCell]]:
+    """issue → jurisdiction code → cell, across the whole set."""
+    report = analyze_legal(profile, jurisdictions)
+    matrix: dict[str, dict[str, ExposureCell]] = {}
+    for finding in report.findings:
+        matrix.setdefault(finding.issue, {})[
+            finding.jurisdiction.code
+        ] = ExposureCell(
+            issue=finding.issue,
+            jurisdiction_code=finding.jurisdiction.code,
+            applicable=finding.applicable,
+            risk=finding.risk,
+        )
+    return matrix
+
+
+@dataclasses.dataclass(frozen=True)
+class TravelAdvisory:
+    """Exposure assessment for one travel itinerary."""
+
+    home_code: str
+    legs: tuple[tuple[str, str, tuple[str, ...]], ...]
+    # (jurisdiction code, worst risk, issues at or above home risk)
+
+    @property
+    def risky_legs(self) -> tuple[str, ...]:
+        """Destinations whose worst risk exceeds the home risk."""
+        return tuple(
+            code
+            for code, risk, issues in self.legs
+            if issues
+        )
+
+    def describe(self) -> str:
+        """Human-readable advisory, one block per destination."""
+        lines = [f"Travel advisory (home jurisdiction: {self.home_code})"]
+        for code, risk, issues in self.legs:
+            if issues:
+                lines.extend(
+                    wrap_text(
+                        f"{code}: worst risk {risk}; issues graded "
+                        f"worse than at home: {', '.join(issues)} — "
+                        "obtain local legal advice before travelling "
+                        "with, or while responsible for, this data",
+                        indent="  ",
+                    )
+                )
+            else:
+                lines.append(
+                    f"  {code}: no issue graded worse than at home"
+                )
+        return "\n".join(lines)
+
+
+def travel_advisory(
+    profile: DataProfile,
+    *,
+    home: Jurisdiction,
+    destinations: JurisdictionSet,
+) -> TravelAdvisory:
+    """Compare each destination's exposure against home.
+
+    An issue counts against a destination when its risk grade there
+    is strictly worse than at home — the "I can hold this data here,
+    but can I change planes there?" question.
+    """
+    if home.code in destinations:
+        raise LegalModelError(
+            "home jurisdiction should not be in the destination set"
+        )
+    home_report = analyze_legal(
+        profile, JurisdictionSet([home])
+    )
+    home_risk = {
+        finding.issue: finding.risk
+        for finding in home_report.findings
+    }
+    legs: list[tuple[str, str, tuple[str, ...]]] = []
+    for destination in destinations:
+        report = analyze_legal(
+            profile, JurisdictionSet([destination])
+        )
+        worse: list[str] = []
+        worst = RiskLevel.NONE
+        for finding in report.findings:
+            worst = RiskLevel.worst([worst, finding.risk])
+            home_grade = home_risk.get(finding.issue, RiskLevel.NONE)
+            if RiskLevel.ORDER.index(finding.risk) > (
+                RiskLevel.ORDER.index(home_grade)
+            ):
+                worse.append(finding.issue)
+        legs.append((destination.code, worst, tuple(worse)))
+    return TravelAdvisory(home_code=home.code, legs=tuple(legs))

@@ -1,0 +1,154 @@
+"""GDPR research-provision compliance checker (§3).
+
+The GDPR "provides specific measures to allow processing of personal
+data for scientific research in the public interest, subject to
+appropriate safeguards such as encryption, pseudonymisation, and data
+minimisation", requires that personal data not be included in
+publications, and (Article 14.5.b) that processing information be made
+publicly available. :class:`GDPRChecker` turns those conditions into a
+pass/fail checklist with remediation items.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GDPRPosition", "GDPRResult", "GDPRChecker", "GDPR_MAX_FINE"]
+
+#: "fines of up to EUR 20 million, or 4% of worldwide turnover,
+#: whichever is higher."
+GDPR_MAX_FINE = {"eur": 20_000_000, "turnover_fraction": 0.04}
+
+
+@dataclasses.dataclass(frozen=True)
+class GDPRPosition:
+    """The project's GDPR-relevant posture."""
+
+    processes_personal_data: bool = True
+    scientific_research: bool = True
+    public_interest: bool = False
+    # Appropriate safeguards (Recital 156 / Article 89):
+    encrypted_at_rest: bool = False
+    pseudonymised: bool = False
+    data_minimised: bool = False
+    # Publication and transparency:
+    personal_data_in_publications: bool = False
+    processing_info_public: bool = False
+    responsible_party_named: bool = False
+    # Repurposing (Article 5(1)(b)): data collected for other purposes
+    # may be processed for scientific/historical research.
+    repurposed_data: bool = True
+    # Code of conduct (encouraged but not required).
+    follows_code_of_conduct: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class GDPRResult:
+    """Outcome of the compliance check."""
+
+    applicable: bool
+    compliant: bool
+    satisfied: tuple[str, ...]
+    missing: tuple[str, ...]
+    advisory: tuple[str, ...]
+
+    def describe(self) -> str:
+        """Human-readable compliance report."""
+        if not self.applicable:
+            return "GDPR: not applicable (no personal data processed)"
+        status = "compliant" if self.compliant else "NOT compliant"
+        lines = [f"GDPR research provisions: {status}"]
+        lines.extend(f"  ok: {item}" for item in self.satisfied)
+        lines.extend(f"  missing: {item}" for item in self.missing)
+        lines.extend(f"  advisory: {item}" for item in self.advisory)
+        return "\n".join(lines)
+
+
+class GDPRChecker:
+    """Check a :class:`GDPRPosition` against the research provisions."""
+
+    def max_fine(self, worldwide_turnover_eur: float) -> float:
+        """The maximum fine exposure for an organisation."""
+        return max(
+            GDPR_MAX_FINE["eur"],
+            GDPR_MAX_FINE["turnover_fraction"] * worldwide_turnover_eur,
+        )
+
+    def check(self, position: GDPRPosition) -> GDPRResult:
+        """Evaluate the position against the research provisions."""
+        if not position.processes_personal_data:
+            return GDPRResult(
+                applicable=False,
+                compliant=True,
+                satisfied=(),
+                missing=(),
+                advisory=(),
+            )
+        satisfied: list[str] = []
+        missing: list[str] = []
+        advisory: list[str] = []
+
+        def require(condition: bool, ok: str, fix: str) -> None:
+            (satisfied if condition else missing).append(
+                ok if condition else fix
+            )
+
+        require(
+            position.scientific_research,
+            "processing is for scientific research",
+            "establish that the processing qualifies as scientific "
+            "research (increasing knowledge)",
+        )
+        require(
+            position.public_interest,
+            "the research is in the public interest",
+            "articulate the public interest of the research",
+        )
+        require(
+            position.encrypted_at_rest,
+            "data is encrypted",
+            "encrypt the data at rest",
+        )
+        require(
+            position.pseudonymised,
+            "identifiers are pseudonymised",
+            "pseudonymise identifiers before analysis",
+        )
+        require(
+            position.data_minimised,
+            "data minimisation applied",
+            "minimise the data to what the research question needs",
+        )
+        require(
+            not position.personal_data_in_publications,
+            "publications exclude personal data",
+            "remove personal data from publications",
+        )
+        require(
+            position.processing_info_public,
+            "processing information is publicly available "
+            "(Article 14.5.b)",
+            "publish what data is held, how it is processed and "
+            "safeguarded (Article 14.5.b)",
+        )
+        require(
+            position.responsible_party_named,
+            "a responsible party is named",
+            "name the party responsible for the processing",
+        )
+        if position.repurposed_data:
+            satisfied.append(
+                "repurposing for research is permitted by Article 5"
+            )
+        if not position.follows_code_of_conduct:
+            advisory.append(
+                "adopt (or help develop) an approved research code of "
+                "conduct for data processing"
+            )
+        return GDPRResult(
+            applicable=True,
+            compliant=not missing,
+            satisfied=tuple(satisfied),
+            missing=tuple(missing),
+            advisory=tuple(advisory),
+        )

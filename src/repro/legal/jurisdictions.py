@@ -1,0 +1,190 @@
+"""Jurisdiction model (§3).
+
+The paper stresses that the laws of multiple jurisdictions are likely
+to apply: where the data subjects reside, where the data was stored,
+where the researchers work, countries the data transited, and
+countries the researchers travel to. :class:`JurisdictionSet` captures
+that multiplicity and the legal engine evaluates every member.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+
+from ..errors import LegalModelError
+
+__all__ = [
+    "Jurisdiction",
+    "JurisdictionSet",
+    "UK",
+    "US",
+    "GERMANY",
+    "EU",
+    "GENERIC",
+    "ALL_JURISDICTIONS",
+    "relevant_jurisdictions",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Jurisdiction:
+    """A legal jurisdiction.
+
+    ``ip_addresses_personal`` records whether IP addresses are treated
+    as personal data (true in Germany per [115], and EU-wide for many
+    purposes after Breyer [48]); ``research_data_exemption`` whether a
+    statutory research exemption for personal data exists;
+    ``must_report_terrorism`` whether failing to report terrorist
+    material is itself an offence (UK Terrorism Act 2000 s.38B).
+    """
+
+    code: str
+    name: str
+    ip_addresses_personal: bool = False
+    research_data_exemption: bool = False
+    must_report_terrorism: bool = False
+    indecent_images_research_exemption: bool = False
+    gdpr_applies: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.code or not self.code.isupper():
+            raise LegalModelError(
+                f"jurisdiction code must be upper-case: {self.code!r}"
+            )
+
+
+UK = Jurisdiction(
+    code="UK",
+    name="United Kingdom",
+    ip_addresses_personal=True,  # post-GDPR treatment
+    research_data_exemption=True,
+    must_report_terrorism=True,
+    indecent_images_research_exemption=False,
+    gdpr_applies=True,
+)
+
+US = Jurisdiction(
+    code="US",
+    name="United States",
+    ip_addresses_personal=False,
+    research_data_exemption=False,
+    must_report_terrorism=False,
+    indecent_images_research_exemption=False,
+    gdpr_applies=False,
+)
+
+GERMANY = Jurisdiction(
+    code="DE",
+    name="Germany",
+    ip_addresses_personal=True,  # [115, p29]
+    research_data_exemption=True,  # BDSG §28.2.3
+    must_report_terrorism=False,
+    indecent_images_research_exemption=False,
+    gdpr_applies=True,
+)
+
+EU = Jurisdiction(
+    code="EU",
+    name="European Union",
+    ip_addresses_personal=True,  # Breyer v Germany [48]
+    research_data_exemption=True,  # GDPR research provisions
+    must_report_terrorism=False,
+    indecent_images_research_exemption=False,
+    gdpr_applies=True,
+)
+
+GENERIC = Jurisdiction(
+    code="XX",
+    name="Generic jurisdiction",
+    ip_addresses_personal=False,
+    research_data_exemption=False,
+    must_report_terrorism=False,
+    indecent_images_research_exemption=False,
+    gdpr_applies=False,
+)
+
+ALL_JURISDICTIONS: tuple[Jurisdiction, ...] = (UK, US, GERMANY, EU)
+
+_BY_CODE = {j.code: j for j in (*ALL_JURISDICTIONS, GENERIC)}
+
+
+class JurisdictionSet:
+    """The set of jurisdictions relevant to one research project."""
+
+    def __init__(self, jurisdictions: Iterable[Jurisdiction]) -> None:
+        members: dict[str, Jurisdiction] = {}
+        for jurisdiction in jurisdictions:
+            members[jurisdiction.code] = jurisdiction
+        if not members:
+            raise LegalModelError(
+                "a project must name at least one jurisdiction"
+            )
+        self._members = members
+
+    @classmethod
+    def from_codes(cls, codes: Iterable[str]) -> "JurisdictionSet":
+        members = []
+        for code in codes:
+            try:
+                members.append(_BY_CODE[code.upper()])
+            except KeyError:
+                raise LegalModelError(
+                    f"unknown jurisdiction code {code!r}"
+                ) from None
+        return cls(members)
+
+    def __iter__(self) -> Iterator[Jurisdiction]:
+        return iter(self._members.values())
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._members
+
+    def __getitem__(self, code: str) -> Jurisdiction:
+        try:
+            return self._members[code]
+        except KeyError:
+            raise LegalModelError(
+                f"jurisdiction {code!r} not in set"
+            ) from None
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        return tuple(self._members)
+
+    def any_gdpr(self) -> bool:
+        return any(j.gdpr_applies for j in self)
+
+    def any_ip_personal(self) -> bool:
+        return any(j.ip_addresses_personal for j in self)
+
+    def any_terrorism_reporting_duty(self) -> bool:
+        return any(j.must_report_terrorism for j in self)
+
+
+def relevant_jurisdictions(
+    researcher_locations: Iterable[str] = ("UK",),
+    data_storage_locations: Iterable[str] = (),
+    subject_locations: Iterable[str] = (),
+    travel_destinations: Iterable[str] = (),
+) -> JurisdictionSet:
+    """Assemble the jurisdiction set the paper says to consider.
+
+    Unknown location codes fall back to the generic jurisdiction so
+    analysis errs toward conservatism rather than silently dropping a
+    country.
+    """
+    codes: list[str] = []
+    for group in (
+        researcher_locations,
+        data_storage_locations,
+        subject_locations,
+        travel_destinations,
+    ):
+        for code in group:
+            code = code.upper()
+            codes.append(code if code in _BY_CODE else "XX")
+    return JurisdictionSet.from_codes(codes or ["XX"])

@@ -1,0 +1,326 @@
+"""Statute records for the laws the paper cites (§3).
+
+Each :class:`Statute` links a legal-issue dimension of the codebook to
+a concrete law in a jurisdiction, with the provision summary, penalty
+sketch and research-exemption status. The registry supports lookup by
+issue and jurisdiction — the legal rules engine cites these records in
+its findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import LegalModelError
+
+__all__ = ["Statute", "STATUTES", "statutes_for", "statute_by_id"]
+
+#: Legal-issue dimension ids (matching the codebook).
+_ISSUES = (
+    "computer-misuse",
+    "copyright",
+    "data-privacy",
+    "terrorism",
+    "indecent-images",
+    "national-security",
+    "contracts",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Statute:
+    """One law relevant to research with data of illicit origin."""
+
+    id: str
+    name: str
+    jurisdiction_code: str
+    issue: str
+    summary: str
+    reference_number: int = 0  # bibliography entry, 0 when none
+    max_penalty: str = ""
+    research_exemption: bool = False
+    exemption_conditions: str = ""
+
+    def __post_init__(self) -> None:
+        if self.issue not in _ISSUES:
+            raise LegalModelError(
+                f"statute {self.id!r}: unknown issue {self.issue!r}"
+            )
+        if not self.id or not self.name:
+            raise LegalModelError("statute needs id and name")
+
+
+STATUTES: tuple[Statute, ...] = (
+    # -- computer misuse ------------------------------------------------
+    Statute(
+        id="uk-cma-1990",
+        name="Computer Misuse Act 1990",
+        jurisdiction_code="UK",
+        issue="computer-misuse",
+        summary=(
+            "Offences of unauthorised access to computer material, "
+            "unauthorised access with intent, and unauthorised acts "
+            "impairing operation; covers unauthorised use even without "
+            "a technical protection measure."
+        ),
+        reference_number=21,
+        max_penalty="up to 14 years imprisonment (s.3ZA)",
+    ),
+    Statute(
+        id="us-cfaa",
+        name="18 U.S.C. §1030 (Computer Fraud and Abuse Act)",
+        jurisdiction_code="US",
+        issue="computer-misuse",
+        summary=(
+            "Fraud and related activity in connection with computers: "
+            "accessing a protected computer without authorization or "
+            "exceeding authorized access."
+        ),
+        reference_number=1,
+        max_penalty="up to 10 years imprisonment for first offences",
+    ),
+    Statute(
+        id="de-stgb-202a",
+        name="StGB §202a (Data espionage)",
+        jurisdiction_code="DE",
+        issue="computer-misuse",
+        summary=(
+            "Obtaining access, for oneself or another, to data "
+            "specially protected against unauthorized access."
+        ),
+        reference_number=38,
+        max_penalty="up to 3 years imprisonment or a fine",
+    ),
+    Statute(
+        id="de-stgb-263a",
+        name="StGB §263a (Computer fraud)",
+        jurisdiction_code="DE",
+        issue="computer-misuse",
+        summary=(
+            "Damaging another's property by influencing the result of "
+            "a data processing operation."
+        ),
+        reference_number=39,
+        max_penalty="up to 5 years imprisonment or a fine",
+    ),
+    Statute(
+        id="de-stgb-303a",
+        name="StGB §303a (Data tampering)",
+        jurisdiction_code="DE",
+        issue="computer-misuse",
+        summary="Unlawfully deleting, suppressing or altering data.",
+        reference_number=40,
+        max_penalty="up to 2 years imprisonment or a fine",
+    ),
+    Statute(
+        id="de-stgb-303b",
+        name="StGB §303b (Computer sabotage)",
+        jurisdiction_code="DE",
+        issue="computer-misuse",
+        summary=(
+            "Interfering with data processing operations of "
+            "substantial importance to another."
+        ),
+        reference_number=41,
+        max_penalty="up to 10 years for serious cases",
+    ),
+    # -- data privacy ---------------------------------------------------
+    Statute(
+        id="eu-gdpr",
+        name="General Data Protection Regulation (EU) 2016/679",
+        jurisdiction_code="EU",
+        issue="data-privacy",
+        summary=(
+            "Protection of natural persons with regard to processing "
+            "of personal data; applies from May 2018 to processing in "
+            "the EU and to organisations offering goods/services to EU "
+            "individuals. Provides research provisions subject to "
+            "safeguards such as encryption, pseudonymisation and data "
+            "minimisation (Articles 5, 14.5.b, 89)."
+        ),
+        reference_number=22,
+        max_penalty=(
+            "fines up to EUR 20 million or 4% of worldwide turnover, "
+            "whichever is higher"
+        ),
+        research_exemption=True,
+        exemption_conditions=(
+            "scientific research in the public interest with "
+            "appropriate safeguards; personal data not included in "
+            "publications; interests of data subjects protected and "
+            "processing information made publicly available"
+        ),
+    ),
+    Statute(
+        id="de-bdsg-28",
+        name="German Federal Data Protection Code §28.2.3",
+        jurisdiction_code="DE",
+        issue="data-privacy",
+        summary=(
+            "Permits use of personal data for scientific research "
+            "where the scientific interest substantially predominates "
+            "over the data subject's interest and the research cannot "
+            "otherwise be conducted or only with disproportional "
+            "effort."
+        ),
+        reference_number=115,
+        research_exemption=True,
+        exemption_conditions=(
+            "scientific interest substantially predominates; research "
+            "not otherwise feasible"
+        ),
+    ),
+    # -- copyright --------------------------------------------------------
+    Statute(
+        id="generic-copyright",
+        name="Copyright, database rights and trade secrets",
+        jurisdiction_code="XX",
+        issue="copyright",
+        summary=(
+            "The right to produce copies; affects further sharing of "
+            "data with other researchers as that may constitute the "
+            "creation of copies. Exemptions such as fair use vary by "
+            "jurisdiction. US government works carry no copyright."
+        ),
+        research_exemption=True,
+        exemption_conditions="fair use / fair dealing where available",
+    ),
+    # -- terrorism -------------------------------------------------------
+    Statute(
+        id="uk-terrorism-2000",
+        name="Terrorism Act 2000",
+        jurisdiction_code="UK",
+        issue="terrorism",
+        summary=(
+            "Includes the offence of failing to disclose information "
+            "about acts of terrorism (s.38B) and offences relating to "
+            "collection/possession of material useful to terrorism "
+            "(s.58), with a reasonable-excuse defence that research "
+            "may engage; institutional oversight is expected "
+            "(Universities UK guidance)."
+        ),
+        reference_number=108,
+        max_penalty="up to 15 years imprisonment (s.58)",
+        research_exemption=True,
+        exemption_conditions=(
+            "reasonable excuse / academic purpose with REB approval "
+            "and institutional oversight"
+        ),
+    ),
+    # -- indecent images ---------------------------------------------------
+    Statute(
+        id="uk-poca-1978",
+        name="Protection of Children Act 1978",
+        jurisdiction_code="UK",
+        issue="indecent-images",
+        summary=(
+            "Offences of taking, making, distributing or possessing "
+            "indecent photographs of children; in general no research "
+            "exemption."
+        ),
+        reference_number=88,
+        max_penalty="up to 10 years imprisonment",
+    ),
+    Statute(
+        id="us-1466a",
+        name="18 U.S.C. §1466A",
+        jurisdiction_code="US",
+        issue="indecent-images",
+        summary=(
+            "Obscene visual representations of the sexual abuse of "
+            "children; no research exemption."
+        ),
+        reference_number=2,
+        max_penalty="severe federal penalties",
+    ),
+    Statute(
+        id="de-stgb-184b",
+        name="StGB §184b",
+        jurisdiction_code="DE",
+        issue="indecent-images",
+        summary=(
+            "Distribution, acquisition and possession of child "
+            "pornography; no general research exemption."
+        ),
+        reference_number=37,
+        max_penalty="up to 10 years imprisonment",
+    ),
+    # -- national security ---------------------------------------------------
+    Statute(
+        id="us-classified",
+        name="US classification regime (Espionage Act and related)",
+        jurisdiction_code="US",
+        issue="national-security",
+        summary=(
+            "Classified material remains classified even when publicly "
+            "available; institutions with facility security clearances "
+            "must treat leaked classified data as spillage (the Purdue "
+            "incident), and unauthorised retention or dissemination "
+            "may be prosecuted."
+        ),
+        reference_number=36,
+        max_penalty="destruction of derived work; prosecution risk",
+    ),
+    Statute(
+        id="uk-official-secrets",
+        name="UK official secrets / espionage reform proposals",
+        jurisdiction_code="UK",
+        issue="national-security",
+        summary=(
+            "In 2017 the UK government considered making obtaining "
+            "sensitive information an offence with penalties of up to "
+            "14 years, which would expose any researcher using leaked "
+            "classified data."
+        ),
+        reference_number=34,
+        max_penalty="proposed up to 14 years imprisonment",
+    ),
+    # -- contracts -------------------------------------------------------------
+    Statute(
+        id="generic-contracts",
+        name="Terms of service and contract law",
+        jurisdiction_code="XX",
+        issue="contracts",
+        summary=(
+            "Civil liability from breach of contract where using the "
+            "data violates terms of service or other agreements the "
+            "researchers have accepted."
+        ),
+        max_penalty="civil damages",
+    ),
+)
+
+_BY_ID = {s.id: s for s in STATUTES}
+
+
+def statute_by_id(statute_id: str) -> Statute:
+    """Look up one statute record by its identifier."""
+    try:
+        return _BY_ID[statute_id]
+    except KeyError:
+        raise LegalModelError(f"unknown statute {statute_id!r}") from None
+
+
+def statutes_for(
+    issue: str, jurisdiction_code: str | None = None
+) -> tuple[Statute, ...]:
+    """Statutes covering *issue*, optionally restricted by jurisdiction.
+
+    Generic (``XX``) statutes match every jurisdiction.
+    """
+    if issue not in _ISSUES:
+        raise LegalModelError(f"unknown legal issue {issue!r}")
+    result = []
+    for statute in STATUTES:
+        if statute.issue != issue:
+            continue
+        if (
+            jurisdiction_code is None
+            or statute.jurisdiction_code in (jurisdiction_code, "XX")
+            or (
+                statute.jurisdiction_code == "EU"
+                and jurisdiction_code in ("UK", "DE")
+            )
+        ):
+            result.append(statute)
+    return tuple(result)

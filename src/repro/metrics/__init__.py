@@ -1,0 +1,74 @@
+"""Algorithms the surveyed papers ran on illicit-origin data.
+
+Password metrics and guessers (§4.2), forum social-network analysis
+(§4.3.3), offshore-leak analyses (§4.4), and code stylometry /
+software-metrics evolution (§4.1.3).
+"""
+
+from .entropy import (
+    alpha_guesswork_bits,
+    distribution,
+    guesses_for_success,
+    min_entropy,
+    partial_guesswork,
+    shannon_entropy,
+    success_rate,
+)
+from .eventstudy import (
+    EventStudyResult,
+    LegislationImpact,
+    leak_event_study,
+    legislation_impact,
+)
+from .forum_sna import ForumNetwork, NetworkSummary
+from .funnel import FunnelStage, OffenderFunnel, analyze_funnel
+from .guessing import (
+    BruteForceGuesser,
+    DictionaryGuesser,
+    MarkovGuesser,
+    PCFGGuesser,
+    cracking_curve,
+)
+from .reuse import ReuseProfile, analyze_reuse, classify_pair
+from .strength import StrengthEstimate, StrengthMeter
+from .stylometry import (
+    AuthorshipAttributor,
+    SoftwareMetrics,
+    StyleFeatures,
+    extract_features,
+    software_metrics,
+)
+
+__all__ = [
+    "AuthorshipAttributor",
+    "BruteForceGuesser",
+    "DictionaryGuesser",
+    "EventStudyResult",
+    "ForumNetwork",
+    "FunnelStage",
+    "LegislationImpact",
+    "MarkovGuesser",
+    "NetworkSummary",
+    "OffenderFunnel",
+    "PCFGGuesser",
+    "ReuseProfile",
+    "SoftwareMetrics",
+    "StrengthEstimate",
+    "StrengthMeter",
+    "StyleFeatures",
+    "alpha_guesswork_bits",
+    "analyze_funnel",
+    "analyze_reuse",
+    "classify_pair",
+    "cracking_curve",
+    "distribution",
+    "extract_features",
+    "guesses_for_success",
+    "leak_event_study",
+    "legislation_impact",
+    "min_entropy",
+    "partial_guesswork",
+    "shannon_entropy",
+    "software_metrics",
+    "success_rate",
+]

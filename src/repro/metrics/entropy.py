@@ -1,0 +1,133 @@
+"""Password distribution metrics, including Bonneau's α-guesswork [13].
+
+Implements, over an observed password frequency distribution:
+
+* Shannon entropy ``H1`` and min-entropy ``H∞``,
+* ``λ_β`` — the probability of success within β guesses,
+* ``μ_α`` — the number of guesses needed to succeed with
+  probability α,
+* ``G_α`` — partial guesswork: the expected guesses per account when
+  attacking until a fraction α of accounts fall,
+* ``G̃_α`` — α-guesswork converted to bits (Bonneau's effective key
+  length), the metric his paper uses to compare distributions.
+
+Bonneau's key observation, testable here: for human-chosen password
+distributions the effective key length at small α is far below the
+Shannon entropy — Shannon overstates resistance to partial attacks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from ..errors import MetricError
+
+__all__ = [
+    "distribution",
+    "shannon_entropy",
+    "min_entropy",
+    "success_rate",
+    "guesses_for_success",
+    "partial_guesswork",
+    "alpha_guesswork_bits",
+]
+
+
+def distribution(passwords: Iterable[str]) -> list[float]:
+    """Sorted (descending) probability distribution of passwords."""
+    counts = Counter(passwords)
+    total = sum(counts.values())
+    if total == 0:
+        raise MetricError("empty password corpus")
+    return sorted(
+        (count / total for count in counts.values()), reverse=True
+    )
+
+
+def _check_probs(probabilities: Sequence[float]) -> None:
+    if not probabilities:
+        raise MetricError("empty distribution")
+    if any(p <= 0 for p in probabilities):
+        raise MetricError("probabilities must be positive")
+    if abs(sum(probabilities) - 1.0) > 1e-6:
+        raise MetricError("probabilities must sum to 1")
+
+
+def shannon_entropy(probabilities: Sequence[float]) -> float:
+    """H1 in bits."""
+    _check_probs(probabilities)
+    return -sum(p * math.log2(p) for p in probabilities)
+
+
+def min_entropy(probabilities: Sequence[float]) -> float:
+    """H∞ = -log2(max p): resistance to a single optimal guess."""
+    _check_probs(probabilities)
+    return -math.log2(max(probabilities))
+
+
+def success_rate(
+    probabilities: Sequence[float], beta: int
+) -> float:
+    """λ_β: probability the password falls within the β most common."""
+    _check_probs(probabilities)
+    if beta < 1:
+        raise MetricError("beta must be at least 1")
+    ordered = sorted(probabilities, reverse=True)
+    return min(1.0, sum(ordered[:beta]))
+
+
+def guesses_for_success(
+    probabilities: Sequence[float], alpha: float
+) -> int:
+    """μ_α: smallest number of guesses achieving success rate ≥ α."""
+    _check_probs(probabilities)
+    if not 0.0 < alpha <= 1.0:
+        raise MetricError("alpha must be in (0, 1]")
+    ordered = sorted(probabilities, reverse=True)
+    cumulative = 0.0
+    for index, p in enumerate(ordered, start=1):
+        cumulative += p
+        if cumulative >= alpha - 1e-12:
+            return index
+    return len(ordered)
+
+
+def partial_guesswork(
+    probabilities: Sequence[float], alpha: float
+) -> float:
+    """G_α: expected guesses per account for a partial attack.
+
+    The attacker guesses in popularity order, stopping after μ_α
+    guesses; accounts not cracked by then cost μ_α guesses each:
+
+        G_α = (1 - λ_{μ_α}) · μ_α + Σ_{i=1}^{μ_α} p_i · i
+    """
+    _check_probs(probabilities)
+    mu = guesses_for_success(probabilities, alpha)
+    ordered = sorted(probabilities, reverse=True)
+    lam = sum(ordered[:mu])
+    expected = sum(p * i for i, p in enumerate(ordered[:mu], start=1))
+    return (1.0 - lam) * mu + expected
+
+
+def alpha_guesswork_bits(
+    probabilities: Sequence[float], alpha: float
+) -> float:
+    """G̃_α: α-guesswork as an effective key length in bits.
+
+    Bonneau's normalisation: G̃_α = log2(2·G_α/λ_{μ_α} − 1)
+    − log2(2 − λ_{μ_α}), which equals the real key length for a
+    uniform distribution at any α.
+    """
+    _check_probs(probabilities)
+    mu = guesses_for_success(probabilities, alpha)
+    ordered = sorted(probabilities, reverse=True)
+    lam = sum(ordered[:mu])
+    g_alpha = partial_guesswork(probabilities, alpha)
+    if lam <= 0:
+        raise MetricError("degenerate distribution")
+    return math.log2(2.0 * g_alpha / lam - 1.0) - math.log2(
+        2.0 - lam
+    )

@@ -1,0 +1,135 @@
+"""Offender-journey funnel over booter databases ([46], §4.3.1).
+
+Hutchings and Clayton's study of booter provision, and the database
+analyses of Karami and Santanna, describe an offender funnel: people
+register, a subset pays, a subset of those attacks, and a small core
+attacks heavily. This module measures that funnel on a
+:class:`~repro.datasets.booter.BooterDatabase` — conversion rates per
+stage, revenue concentration, and the heavy-user share of attacks —
+the quantities those papers tabulate from exactly this kind of dump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..datasets.booter import BooterDatabase
+from ..errors import MetricError
+
+__all__ = ["FunnelStage", "OffenderFunnel", "analyze_funnel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FunnelStage:
+    """One stage of the offender journey."""
+
+    name: str
+    count: int
+    conversion_from_previous: float
+
+
+@dataclasses.dataclass(frozen=True)
+class OffenderFunnel:
+    """The measured funnel plus concentration statistics."""
+
+    stages: tuple[FunnelStage, ...]
+    revenue_top10_share: float
+    attacks_top10_share: float
+    mean_attacks_per_attacker: float
+
+    def stage(self, name: str) -> FunnelStage:
+        """Look up one funnel stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise MetricError(f"unknown funnel stage {name!r}")
+
+    def describe(self) -> str:
+        """One-line rendering of the funnel and concentrations."""
+        parts = [
+            f"{stage.name}: {stage.count} "
+            f"({stage.conversion_from_previous:.0%})"
+            for stage in self.stages
+        ]
+        return (
+            " -> ".join(parts)
+            + f"; top-10% payers hold "
+            f"{self.revenue_top10_share:.0%} of revenue, top-10% "
+            f"attackers launch {self.attacks_top10_share:.0%} of "
+            "attacks"
+        )
+
+
+def _top_share(values: list[float], fraction: float) -> float:
+    """Share of the total held by the top *fraction* of values."""
+    if not values:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values, reverse=True)
+    top_n = max(1, round(len(ordered) * fraction))
+    return sum(ordered[:top_n]) / total
+
+
+def analyze_funnel(database: BooterDatabase) -> OffenderFunnel:
+    """Measure the registration → payment → attack funnel."""
+    if not database.users:
+        raise MetricError("booter database has no users")
+    registered = {user.user_id for user in database.users}
+    payers = {payment.user_id for payment in database.payments}
+    attackers = {attack.user_id for attack in database.attacks}
+
+    attack_counts: dict[int, int] = {}
+    for attack in database.attacks:
+        attack_counts[attack.user_id] = (
+            attack_counts.get(attack.user_id, 0) + 1
+        )
+    revenue_by_user: dict[int, float] = {}
+    for payment in database.payments:
+        revenue_by_user[payment.user_id] = (
+            revenue_by_user.get(payment.user_id, 0.0)
+            + payment.amount_usd
+        )
+
+    def conversion(current: int, previous: int) -> float:
+        return current / previous if previous else 0.0
+
+    stages = (
+        FunnelStage(
+            name="registered",
+            count=len(registered),
+            conversion_from_previous=1.0,
+        ),
+        FunnelStage(
+            name="paid",
+            count=len(payers),
+            conversion_from_previous=conversion(
+                len(payers), len(registered)
+            ),
+        ),
+        FunnelStage(
+            name="attacked",
+            count=len(attackers & payers),
+            conversion_from_previous=conversion(
+                len(attackers & payers), len(payers)
+            ),
+        ),
+    )
+    attackers_with_counts = [
+        count for count in attack_counts.values() if count > 0
+    ]
+    return OffenderFunnel(
+        stages=stages,
+        revenue_top10_share=_top_share(
+            list(revenue_by_user.values()), 0.10
+        ),
+        attacks_top10_share=_top_share(
+            [float(c) for c in attack_counts.values()], 0.10
+        ),
+        mean_attacks_per_attacker=(
+            sum(attackers_with_counts) / len(attackers_with_counts)
+            if attackers_with_counts
+            else 0.0
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Cross-site password reuse analysis (Das et al. [24]).
+
+Given two dumps sharing some users (matched by email, as the paper's
+subjects matched hashed emails), classify each shared user's password
+pair as *identical*, *partial* (one a simple transformation of the
+other) or *distinct*, and report the reuse profile — the headline
+numbers of "The tangled web of password reuse".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..datasets.passwords import PasswordDump
+from ..errors import MetricError
+
+__all__ = ["ReuseProfile", "classify_pair", "analyze_reuse"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReuseProfile:
+    """Reuse statistics over the shared-user population."""
+
+    shared_users: int
+    identical: int
+    partial: int
+    distinct: int
+
+    @property
+    def identical_rate(self) -> float:
+        return self.identical / self.shared_users if self.shared_users else 0.0
+
+    @property
+    def partial_rate(self) -> float:
+        return self.partial / self.shared_users if self.shared_users else 0.0
+
+    @property
+    def any_reuse_rate(self) -> float:
+        if not self.shared_users:
+            return 0.0
+        return (self.identical + self.partial) / self.shared_users
+
+
+def _strip_decorations(password: str) -> str:
+    return password.strip().rstrip("0123456789!@#$%^&*").lower()
+
+
+def classify_pair(first: str, second: str) -> str:
+    """Classify a password pair: identical / partial / distinct.
+
+    Partial covers the transformations Das et al. found dominant:
+    case changes, appended digits/symbols, and containment.
+    """
+    if not first or not second:
+        raise MetricError("passwords must be non-empty")
+    if first == second:
+        return "identical"
+    if first.lower() == second.lower():
+        return "partial"
+    stripped_first = _strip_decorations(first)
+    stripped_second = _strip_decorations(second)
+    if stripped_first and stripped_first == stripped_second:
+        return "partial"
+    shorter, longer = sorted((first.lower(), second.lower()), key=len)
+    if len(shorter) >= 4 and shorter in longer:
+        return "partial"
+    return "distinct"
+
+
+def analyze_reuse(
+    first: PasswordDump, second: PasswordDump
+) -> ReuseProfile:
+    """Match users across two plaintext dumps by email and classify.
+
+    Raises :class:`~repro.errors.MetricError` when either dump lacks
+    plaintext passwords (reuse cannot be judged from hashes alone).
+    """
+    by_email = {
+        record.email: record
+        for record in first.records
+        if record.password
+    }
+    if not by_email:
+        raise MetricError(f"dump {first.site!r} has no plaintexts")
+    identical = partial = distinct = 0
+    shared = 0
+    for record in second.records:
+        if not record.password:
+            continue
+        other = by_email.get(record.email)
+        if other is None:
+            continue
+        shared += 1
+        verdict = classify_pair(other.password, record.password)
+        if verdict == "identical":
+            identical += 1
+        elif verdict == "partial":
+            partial += 1
+        else:
+            distinct += 1
+    if shared == 0:
+        raise MetricError("the dumps share no users")
+    return ReuseProfile(
+        shared_users=shared,
+        identical=identical,
+        partial=partial,
+        distinct=distinct,
+    )

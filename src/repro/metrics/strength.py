@@ -1,0 +1,130 @@
+"""Password strength estimation via model guess numbers.
+
+Ur et al. [114] evaluate strength by the *guess number* — how many
+guesses a cracker makes before reaching a password. Enumerating
+guessers to large guess numbers is slow, so meters estimate the guess
+number from the model probability instead. :class:`StrengthMeter`
+does this with the same order-2 Markov model as
+:class:`~repro.metrics.guessing.MarkovGuesser`: strength is the
+model's -log2 probability, and passwords are banded like the policy
+advice the surveyed work feeds into.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from ..errors import MetricError
+
+__all__ = ["StrengthEstimate", "StrengthMeter"]
+
+_START = "\x02"
+_END = "\x03"
+
+_BANDS = (
+    (20.0, "very-weak"),
+    (35.0, "weak"),
+    (50.0, "fair"),
+    (65.0, "strong"),
+    (math.inf, "very-strong"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StrengthEstimate:
+    """Strength of one password under the trained model."""
+
+    password: str
+    log2_guess_number: float
+    band: str
+
+    @property
+    def estimated_guesses(self) -> float:
+        return 2.0 ** self.log2_guess_number
+
+
+class StrengthMeter:
+    """Markov-model password strength meter.
+
+    Train on a (synthetic) dump representing the attacker's
+    knowledge; :meth:`estimate` then scores candidate passwords. The
+    defining property, tested in the suite: passwords common in the
+    training corpus score strictly weaker than long random strings.
+    """
+
+    def __init__(
+        self, training: Iterable[str], *, smoothing: float = 0.1
+    ) -> None:
+        passwords = [p for p in training if p]
+        if not passwords:
+            raise MetricError("empty training corpus")
+        if smoothing <= 0:
+            raise MetricError("smoothing must be positive")
+        self._smoothing = smoothing
+        transitions: dict[str, Counter] = defaultdict(Counter)
+        alphabet: set[str] = {_END}
+        for password in passwords:
+            chain = _START + password + _END
+            alphabet.update(password)
+            for a, b in zip(chain, chain[1:]):
+                transitions[a][b] += 1
+        self._alphabet_size = len(alphabet)
+        self._transitions = {
+            context: dict(counts)
+            for context, counts in transitions.items()
+        }
+        self._totals = {
+            context: sum(counts.values())
+            for context, counts in transitions.items()
+        }
+
+    def _log2_prob(self, password: str) -> float:
+        chain = _START + password + _END
+        log_prob = 0.0
+        vocabulary = self._alphabet_size + 1
+        for a, b in zip(chain, chain[1:]):
+            count = self._transitions.get(a, {}).get(b, 0)
+            total = self._totals.get(a, 0)
+            probability = (count + self._smoothing) / (
+                total + self._smoothing * vocabulary
+            )
+            log_prob += math.log2(probability)
+        return log_prob
+
+    def estimate(self, password: str) -> StrengthEstimate:
+        """Estimate strength of one password.
+
+        The guess-number estimate is ``-log2 P(password)`` — the
+        index the password would have in a probability-ordered
+        enumeration, up to the usual constant factors.
+        """
+        if not password:
+            raise MetricError("password must be non-empty")
+        bits = -self._log2_prob(password)
+        for limit, band in _BANDS:
+            if bits < limit:
+                return StrengthEstimate(
+                    password=password,
+                    log2_guess_number=bits,
+                    band=band,
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def rank(self, passwords: Iterable[str]) -> list[StrengthEstimate]:
+        """Estimates sorted weakest first."""
+        estimates = [self.estimate(p) for p in passwords]
+        estimates.sort(key=lambda e: e.log2_guess_number)
+        return estimates
+
+    def meets_policy(
+        self, password: str, *, minimum_bits: float = 35.0
+    ) -> bool:
+        """A model-based composition policy: the defence mechanism
+        the password case studies motivate (replace "8 chars + digit"
+        rules with guess-number thresholds)."""
+        if minimum_bits <= 0:
+            raise MetricError("minimum_bits must be positive")
+        return self.estimate(password).log2_guess_number >= minimum_bits

@@ -1,0 +1,37 @@
+"""REB modelling: boards, review workflow, trigger-policy ablation."""
+
+from .lifecycle import CaseState, SubmissionCase, Transition
+from .board import Board, Reviewer, ictr_board, medical_style_board
+from .policy_experiment import (
+    PolicyComparison,
+    run_policy_experiment,
+    submission_from_entry,
+)
+from .simulation import SimulationResult, simulate_reb_year
+from .workflow import (
+    Decision,
+    REBWorkflow,
+    ReviewOutcome,
+    Submission,
+    TriggerPolicy,
+)
+
+__all__ = [
+    "Board",
+    "CaseState",
+    "Decision",
+    "PolicyComparison",
+    "REBWorkflow",
+    "ReviewOutcome",
+    "Reviewer",
+    "SimulationResult",
+    "Submission",
+    "SubmissionCase",
+    "Transition",
+    "TriggerPolicy",
+    "ictr_board",
+    "medical_style_board",
+    "run_policy_experiment",
+    "simulate_reb_year",
+    "submission_from_entry",
+]

@@ -1,0 +1,148 @@
+"""Research Ethics Board model (§2 and §6 of the paper).
+
+The paper contrasts two kinds of REB: boards "structured around
+serving [the medical] original purpose" that lack ICTR expertise and
+"may introduce many months of delay", and boards (like Cambridge's)
+with ICTR specialists that "aim to provide a response in five working
+days for simple cases". :class:`Board` models composition, expertise
+and review latency; the workflow in :mod:`repro.reb.workflow` routes
+submissions through a board.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import REBError
+
+__all__ = ["Reviewer", "Board", "medical_style_board", "ictr_board"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Reviewer:
+    """One board member with expertise areas."""
+
+    id: str
+    name: str
+    expertise: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise REBError("reviewer id must be non-empty")
+
+    def can_assess(self, area: str) -> bool:
+        return area in self.expertise
+
+
+@dataclasses.dataclass(frozen=True)
+class Board:
+    """An REB with members and service-level behaviour.
+
+    ``simple_case_days`` / ``complex_case_days`` model the review
+    latency; ``human_subjects_trigger_only`` reproduces the flawed
+    policy the paper criticises — reviewing only research with direct
+    human subjects rather than any research with potential to harm
+    humans.
+    """
+
+    id: str
+    name: str
+    members: tuple[Reviewer, ...]
+    simple_case_days: int
+    complex_case_days: int
+    human_subjects_trigger_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise REBError("a board needs at least one member")
+        if self.simple_case_days <= 0 or self.complex_case_days <= 0:
+            raise REBError("review latencies must be positive")
+        if self.complex_case_days < self.simple_case_days:
+            raise REBError(
+                "complex cases cannot be faster than simple ones"
+            )
+
+    def has_expertise(self, area: str) -> bool:
+        return any(m.can_assess(area) for m in self.members)
+
+    @property
+    def ictr_capable(self) -> bool:
+        """Whether the board can competently assess ICT research."""
+        return self.has_expertise("ictr")
+
+    def reviewers_for(self, area: str) -> tuple[Reviewer, ...]:
+        return tuple(m for m in self.members if m.can_assess(area))
+
+    def review_days(self, complex_case: bool) -> int:
+        """Expected calendar days to a decision.
+
+        A board without ICTR expertise treats every ICTR case as
+        complex (it must seek external advice), matching the paper's
+        "many months of delay" complaint.
+        """
+        if complex_case or not self.ictr_capable:
+            return self.complex_case_days
+        return self.simple_case_days
+
+
+def medical_style_board() -> Board:
+    """The legacy board the paper criticises: medical expertise only,
+    slow, and triggered solely by direct human subjects."""
+    return Board(
+        id="medical-reb",
+        name="Legacy medical-model REB",
+        members=(
+            Reviewer(
+                id="chair-med",
+                name="Chair (clinical trials)",
+                expertise=("medicine", "clinical-trials"),
+            ),
+            Reviewer(
+                id="ethicist",
+                name="Bioethicist",
+                expertise=("medicine", "consent"),
+            ),
+            Reviewer(
+                id="lay-member",
+                name="Lay member",
+                expertise=(),
+            ),
+        ),
+        simple_case_days=60,
+        complex_case_days=180,
+        human_subjects_trigger_only=True,
+    )
+
+
+def ictr_board() -> Board:
+    """An ICTR-capable board in the style the paper recommends
+    (five working days for simple cases, risk-based trigger)."""
+    return Board(
+        id="ictr-reb",
+        name="ICTR-capable REB",
+        members=(
+            Reviewer(
+                id="chair-ictr",
+                name="Chair (computer science)",
+                expertise=("ictr", "measurement", "security"),
+            ),
+            Reviewer(
+                id="lawyer",
+                name="Legal specialist",
+                expertise=("law", "data-protection"),
+            ),
+            Reviewer(
+                id="criminologist",
+                name="Criminologist",
+                expertise=("ictr", "criminology", "consent"),
+            ),
+            Reviewer(
+                id="lay-member",
+                name="Lay member",
+                expertise=(),
+            ),
+        ),
+        simple_case_days=5,
+        complex_case_days=30,
+        human_subjects_trigger_only=False,
+    )

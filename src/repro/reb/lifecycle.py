@@ -1,0 +1,200 @@
+"""REB submission lifecycle: the stateful process around a review.
+
+:mod:`repro.reb.workflow` decides *what* a board concludes; this
+module models the administrative process around that decision — the
+part researchers actually experience. A :class:`SubmissionCase`
+advances through a strict state machine::
+
+    draft ──submit──▶ submitted ──triage──▶ exempt            (terminal)
+                                └─────────▶ in-review
+    in-review ──decide──▶ approved                            (terminal)
+                        ├▶ conditions-pending ──satisfy──▶ approved
+                        ├▶ rejected ──appeal──▶ in-review   (once)
+                        └▶ referred ──advice──▶ in-review
+    approved ──amend──▶ in-review                 (material changes)
+
+Illegal transitions raise, every transition is recorded with the day
+it happened, and the case exposes the paper's key process quantity:
+days from submission to a final decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import REBError
+from .workflow import Decision, REBWorkflow, Submission
+
+__all__ = ["CaseState", "Transition", "SubmissionCase"]
+
+
+class CaseState:
+    """States of a submission case."""
+
+    DRAFT = "draft"
+    SUBMITTED = "submitted"
+    EXEMPT = "exempt"
+    IN_REVIEW = "in-review"
+    CONDITIONS_PENDING = "conditions-pending"
+    APPROVED = "approved"
+    REJECTED = "rejected"
+    REFERRED = "referred"
+
+    TERMINAL = (EXEMPT, APPROVED, REJECTED)
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One recorded state change."""
+
+    day: int
+    from_state: str
+    to_state: str
+    note: str = ""
+
+
+class SubmissionCase:
+    """A submission's administrative journey through a board."""
+
+    def __init__(
+        self, submission: Submission, workflow: REBWorkflow
+    ) -> None:
+        self.submission = submission
+        self.workflow = workflow
+        self.state = CaseState.DRAFT
+        self.history: list[Transition] = []
+        self.conditions: tuple[str, ...] = ()
+        self._submitted_day: int | None = None
+        self._decided_day: int | None = None
+        self._appealed = False
+
+    # -- helpers ---------------------------------------------------------
+    def _move(self, to_state: str, day: int, note: str = "") -> None:
+        if self.history and day < self.history[-1].day:
+            raise REBError("transitions must not go back in time")
+        self.history.append(
+            Transition(
+                day=day,
+                from_state=self.state,
+                to_state=to_state,
+                note=note,
+            )
+        )
+        self.state = to_state
+
+    def _require(self, *states: str) -> None:
+        if self.state not in states:
+            raise REBError(
+                f"operation invalid in state {self.state!r} "
+                f"(needs one of {states})"
+            )
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in CaseState.TERMINAL
+
+    @property
+    def days_to_decision(self) -> int | None:
+        """Days from submission to terminal decision (None while
+        open)."""
+        if self._submitted_day is None or self._decided_day is None:
+            return None
+        return self._decided_day - self._submitted_day
+
+    # -- transitions -------------------------------------------------------
+    def submit(self, day: int) -> None:
+        self._require(CaseState.DRAFT)
+        self._submitted_day = day
+        self._move(CaseState.SUBMITTED, day, "submitted to board")
+
+    def triage(self, day: int) -> None:
+        """Apply the board's trigger policy."""
+        self._require(CaseState.SUBMITTED)
+        if self.workflow.needs_review(self.submission):
+            self._move(CaseState.IN_REVIEW, day, "review required")
+        else:
+            self._decided_day = day
+            self._move(
+                CaseState.EXEMPT,
+                day,
+                f"exempt under {self.workflow.policy.value} trigger",
+            )
+
+    def decide(self, day: int) -> Decision:
+        """Board renders its decision."""
+        self._require(CaseState.IN_REVIEW)
+        outcome = self.workflow.review(self.submission)
+        if outcome.decision is Decision.APPROVED:
+            self._decided_day = day
+            self._move(CaseState.APPROVED, day, outcome.rationale)
+        elif outcome.decision is Decision.APPROVED_WITH_CONDITIONS:
+            self.conditions = outcome.conditions
+            self._move(
+                CaseState.CONDITIONS_PENDING, day, outcome.rationale
+            )
+        elif outcome.decision is Decision.REJECTED:
+            self._decided_day = day
+            self._move(CaseState.REJECTED, day, outcome.rationale)
+        elif outcome.decision is Decision.REFERRED:
+            self._move(CaseState.REFERRED, day, outcome.rationale)
+        else:  # pragma: no cover - EXEMPT handled in triage
+            raise REBError("unexpected decision from review")
+        return outcome.decision
+
+    def satisfy_conditions(self, day: int, evidence: str) -> None:
+        """Researcher demonstrates the conditions are met."""
+        self._require(CaseState.CONDITIONS_PENDING)
+        if not evidence.strip():
+            raise REBError("evidence of compliance is required")
+        self.conditions = ()
+        self._decided_day = day
+        self._move(
+            CaseState.APPROVED, day, f"conditions met: {evidence}"
+        )
+
+    def appeal(self, day: int, grounds: str) -> None:
+        """One appeal against rejection returns the case to review."""
+        self._require(CaseState.REJECTED)
+        if self._appealed:
+            raise REBError("a case may be appealed only once")
+        if not grounds.strip():
+            raise REBError("appeals need grounds")
+        self._appealed = True
+        self._decided_day = None
+        self._move(CaseState.IN_REVIEW, day, f"appeal: {grounds}")
+
+    def external_advice(self, day: int, advice: str) -> None:
+        """Referred cases return to review once advice arrives."""
+        self._require(CaseState.REFERRED)
+        if not advice.strip():
+            raise REBError("record the advice received")
+        self._move(
+            CaseState.IN_REVIEW, day, f"external advice: {advice}"
+        )
+
+    def amend(self, day: int, change: str) -> None:
+        """Material changes to approved research reopen review —
+        the continuing-review obligation."""
+        self._require(CaseState.APPROVED)
+        if not change.strip():
+            raise REBError("describe the material change")
+        self._decided_day = None
+        self._move(
+            CaseState.IN_REVIEW, day, f"amendment: {change}"
+        )
+
+    def transcript(self) -> str:
+        """Human-readable case history."""
+        lines = [
+            f"Case for submission {self.submission.id!r} "
+            f"({self.workflow.board.name})"
+        ]
+        for transition in self.history:
+            note = f" — {transition.note}" if transition.note else ""
+            lines.append(
+                f"  day {transition.day:>4}: "
+                f"{transition.from_state} -> "
+                f"{transition.to_state}{note}"
+            )
+        lines.append(f"  current state: {self.state}")
+        return "\n".join(lines)

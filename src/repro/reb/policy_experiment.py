@@ -1,0 +1,150 @@
+"""REB trigger-policy ablation over the Table 1 corpus (exp E13).
+
+The paper's §6 argues: "This narrow focus on whether the research
+involves 'human subjects', rather than a risk based analysis of the
+potential harms to human participants is unhelpful. If research has
+potential to harm humans, even in absence of direct human subjects,
+REB approval should be sought."
+
+This experiment encodes each Table 1 case study as an REB submission
+and runs both trigger policies, measuring coverage: how many of the
+studies with potential human harm each policy actually reviews. The
+risk-based policy must dominate (review a strict superset), and the
+two really-exempted studies ([55], [110]) must flip from exempt to
+reviewed — the paper's concrete complaint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..assessment import corpus_profiles
+from ..corpus import CaseStudyEntry, Corpus
+from ..legal import DataProfile
+from .board import Board, ictr_board
+from .workflow import REBWorkflow, Submission, TriggerPolicy
+
+__all__ = [
+    "submission_from_entry",
+    "PolicyComparison",
+    "run_policy_experiment",
+]
+
+#: Entries whose authors ran surveys/interviews — the only direct
+#: human subjects in the corpus (§5.5).
+_HUMAN_SUBJECT_ENTRIES = frozenset(
+    {"guess-again-kelley", "tangled-web-das"}
+)
+
+#: Risk contributed per coded harm kind (heuristic, documented).
+_HARM_WEIGHT = {
+    "I": 0.4,
+    "PA": 0.2,
+    "DA": 0.3,
+    "SI": 0.3,
+    "RH": 0.2,
+    "BC": 0.1,
+}
+
+
+def submission_from_entry(entry: CaseStudyEntry) -> Submission:
+    """Encode one case study as an REB submission.
+
+    Entries outside Table 1 (extensions) have no recorded data
+    profile; they get a conservative default (personal data assumed
+    present), erring toward review.
+    """
+    profile = corpus_profiles().get(
+        entry.id, DataProfile(contains_personal_data=True)
+    )
+    harms = entry.codes("harms")
+    risk = sum(_HARM_WEIGHT[kind] for kind in harms)
+    potential_human_harm = bool(harms) or profile.any_personal_data
+    return Submission(
+        id=entry.id,
+        title=entry.source_label,
+        human_subjects=entry.id in _HUMAN_SUBJECT_ENTRIES,
+        potential_human_harm=potential_human_harm,
+        risk_score=risk,
+        uses_illicit_data=entry.used_data,
+        safeguard_codes=entry.codes("safeguards"),
+        may_be_illegal=profile.collected_by_researcher_intrusion,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyComparison:
+    """Coverage of the two trigger policies over the corpus."""
+
+    total: int
+    at_risk: int
+    reviewed_human_subjects: tuple[str, ...]
+    reviewed_risk_based: tuple[str, ...]
+    flipped: tuple[str, ...]  # exempt under HS, reviewed under RB
+
+    @property
+    def human_subjects_coverage(self) -> float:
+        """Fraction of at-risk studies the narrow policy reviews."""
+        if not self.at_risk:
+            return 1.0
+        hits = sum(
+            1
+            for s in self.reviewed_human_subjects
+            if s in self.reviewed_risk_based
+        )
+        return hits / self.at_risk
+
+    @property
+    def risk_based_coverage(self) -> float:
+        if not self.at_risk:
+            return 1.0
+        return len(self.reviewed_risk_based) / self.at_risk
+
+    @property
+    def risk_based_dominates(self) -> bool:
+        return set(self.reviewed_human_subjects) <= set(
+            self.reviewed_risk_based
+        )
+
+    def describe(self) -> str:
+        """One-line rendering of the coverage comparison."""
+        return (
+            f"{self.at_risk}/{self.total} studies carry potential "
+            f"human harm; human-subjects trigger reviews "
+            f"{len(self.reviewed_human_subjects)} "
+            f"({self.human_subjects_coverage:.0%} of at-risk), "
+            f"risk-based trigger reviews "
+            f"{len(self.reviewed_risk_based)} "
+            f"({self.risk_based_coverage:.0%}); "
+            f"{len(self.flipped)} studies flip from exempt to "
+            "reviewed"
+        )
+
+
+def run_policy_experiment(
+    corpus: Corpus, board: Board | None = None
+) -> PolicyComparison:
+    """Run both trigger policies over the corpus (experiment E13)."""
+    board = board or ictr_board()
+    submissions = [submission_from_entry(e) for e in corpus]
+    narrow = REBWorkflow(board, TriggerPolicy.HUMAN_SUBJECTS)
+    broad = REBWorkflow(board, TriggerPolicy.RISK_BASED)
+    reviewed_narrow = tuple(
+        s.id for s in submissions if narrow.needs_review(s)
+    )
+    reviewed_broad = tuple(
+        s.id for s in submissions if broad.needs_review(s)
+    )
+    at_risk = [s for s in submissions if s.potential_human_harm]
+    flipped = tuple(
+        s.id
+        for s in submissions
+        if broad.needs_review(s) and not narrow.needs_review(s)
+    )
+    return PolicyComparison(
+        total=len(submissions),
+        at_risk=len(at_risk),
+        reviewed_human_subjects=reviewed_narrow,
+        reviewed_risk_based=reviewed_broad,
+        flipped=flipped,
+    )

@@ -1,0 +1,208 @@
+"""REB submission workflow: triage → review → decision.
+
+Models the lifecycle the paper discusses: a submission arrives, the
+board's trigger policy decides whether it needs review at all (the
+"human subjects" trigger the paper criticises versus the risk-based
+trigger it recommends), expert review produces a decision with
+conditions, and the outcome carries the latency implied by the board's
+service level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..errors import REBError
+from .board import Board
+
+__all__ = [
+    "TriggerPolicy",
+    "Decision",
+    "Submission",
+    "ReviewOutcome",
+    "REBWorkflow",
+]
+
+
+class TriggerPolicy(enum.Enum):
+    """What obliges a submission to undergo review."""
+
+    #: Review only research with direct human subjects — the narrow
+    #: policy the paper's §6 calls "unhelpful".
+    HUMAN_SUBJECTS = "human-subjects"
+    #: Review any research with potential to harm humans, even absent
+    #: direct human subjects — the paper's recommendation.
+    RISK_BASED = "risk-based"
+
+
+class Decision(enum.Enum):
+    """Possible review outcomes."""
+
+    APPROVED = "approved"
+    APPROVED_WITH_CONDITIONS = "approved-with-conditions"
+    EXEMPT = "exempt"
+    REJECTED = "rejected"
+    REFERRED = "referred"  # board lacks expertise; external advice
+
+
+@dataclasses.dataclass(frozen=True)
+class Submission:
+    """A project submitted for review.
+
+    The flags summarise what the triage and review steps need:
+    ``human_subjects`` (direct subjects such as survey participants),
+    ``potential_human_harm`` (any stakeholder could be harmed),
+    ``risk_score`` (total residual risk from the assessment engine),
+    ``uses_illicit_data``, and the safeguard summary.
+    """
+
+    id: str
+    title: str
+    human_subjects: bool
+    potential_human_harm: bool
+    risk_score: float
+    uses_illicit_data: bool = True
+    safeguard_codes: tuple[str, ...] = ()
+    may_be_illegal: bool = False
+    area: str = "ictr"
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise REBError("submission id must be non-empty")
+        if self.risk_score < 0:
+            raise REBError("risk score must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReviewOutcome:
+    """The board's decision plus process metadata."""
+
+    submission: Submission
+    decision: Decision
+    days_taken: int
+    conditions: tuple[str, ...] = ()
+    rationale: str = ""
+    reviewed: bool = True
+
+    @property
+    def approved(self) -> bool:
+        return self.decision in (
+            Decision.APPROVED,
+            Decision.APPROVED_WITH_CONDITIONS,
+        )
+
+
+class REBWorkflow:
+    """Route submissions through a board under a trigger policy."""
+
+    #: Residual-risk level above which approval requires conditions.
+    CONDITION_THRESHOLD = 0.1
+    #: Residual-risk level above which the project is rejected
+    #: outright unless strong safeguards are in place.
+    REJECT_THRESHOLD = 1.0
+
+    def __init__(
+        self, board: Board, policy: TriggerPolicy | None = None
+    ) -> None:
+        self.board = board
+        if policy is None:
+            policy = (
+                TriggerPolicy.HUMAN_SUBJECTS
+                if board.human_subjects_trigger_only
+                else TriggerPolicy.RISK_BASED
+            )
+        self.policy = policy
+
+    # -- triage ----------------------------------------------------------
+    def needs_review(self, submission: Submission) -> bool:
+        """Does the trigger policy require this submission be reviewed?
+
+        Under the narrow policy, work like the booter-dump studies is
+        waved through as "no human subjects" even though humans could
+        be harmed — exactly the gap the paper documents.
+        """
+        if self.policy is TriggerPolicy.HUMAN_SUBJECTS:
+            return submission.human_subjects
+        return (
+            submission.human_subjects
+            or submission.potential_human_harm
+        )
+
+    # -- review -------------------------------------------------------------
+    def review(self, submission: Submission) -> ReviewOutcome:
+        """Triage and (when triggered) review one submission."""
+        if not self.needs_review(submission):
+            return ReviewOutcome(
+                submission=submission,
+                decision=Decision.EXEMPT,
+                days_taken=1,
+                rationale=(
+                    "exempt under the "
+                    f"{self.policy.value} trigger policy"
+                ),
+                reviewed=False,
+            )
+        if not self.board.has_expertise(submission.area):
+            return ReviewOutcome(
+                submission=submission,
+                decision=Decision.REFERRED,
+                days_taken=self.board.complex_case_days,
+                rationale=(
+                    "the board lacks expertise in "
+                    f"{submission.area}; external advice required"
+                ),
+            )
+        complex_case = (
+            submission.may_be_illegal
+            or submission.risk_score > self.CONDITION_THRESHOLD
+        )
+        days = self.board.review_days(complex_case)
+        conditions: list[str] = []
+        if submission.uses_illicit_data:
+            if "SS" not in submission.safeguard_codes:
+                conditions.append(
+                    "store the data securely (encryption and access "
+                    "control)"
+                )
+            if "P" not in submission.safeguard_codes:
+                conditions.append(
+                    "do not deanonymise or reveal identities"
+                )
+        if submission.may_be_illegal:
+            conditions.append(
+                "institutional legal sign-off and transparency about "
+                "the planned activity"
+            )
+        if (
+            submission.risk_score > self.REJECT_THRESHOLD
+            and len(submission.safeguard_codes) < 2
+        ):
+            return ReviewOutcome(
+                submission=submission,
+                decision=Decision.REJECTED,
+                days_taken=days,
+                rationale=(
+                    "residual risk is too high for the safeguards "
+                    "offered; redesign and resubmit"
+                ),
+            )
+        if conditions or submission.risk_score > self.CONDITION_THRESHOLD:
+            return ReviewOutcome(
+                submission=submission,
+                decision=Decision.APPROVED_WITH_CONDITIONS,
+                days_taken=days,
+                conditions=tuple(conditions),
+                rationale="approved subject to the listed conditions",
+            )
+        return ReviewOutcome(
+            submission=submission,
+            decision=Decision.APPROVED,
+            days_taken=days,
+            rationale="low-risk and adequately safeguarded",
+        )
+
+    def review_all(
+        self, submissions: list[Submission]
+    ) -> list[ReviewOutcome]:
+        return [self.review(s) for s in submissions]

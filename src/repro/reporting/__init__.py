@@ -1,0 +1,22 @@
+"""Report generators: ethics sections, REB applications, DMPs and the
+reproduction report."""
+
+from .audit_pack import generate_audit_pack
+from .dmp import generate_data_management_plan
+from .ethics_section import generate_ethics_section
+from .experiments import (
+    ExperimentOutcome,
+    render_report,
+    run_reproduction,
+)
+from .reb_application import generate_reb_application
+
+__all__ = [
+    "ExperimentOutcome",
+    "generate_audit_pack",
+    "generate_data_management_plan",
+    "generate_ethics_section",
+    "generate_reb_application",
+    "render_report",
+    "run_reproduction",
+]

@@ -1,0 +1,73 @@
+"""One-call generation of the complete governance document pack.
+
+For a project that survives assessment, the researcher needs four
+documents plus two annexes; this module produces all of them
+consistently from a single :class:`EthicsAssessment`:
+
+* the ethics section (for the paper),
+* the REB application (for the board),
+* the data-management plan (for the institution),
+* a human-rights annex (when rights are engaged),
+* a travel advisory annex (when an itinerary is supplied),
+* a checklist report.
+"""
+
+from __future__ import annotations
+
+from ..assessment import EthicsAssessment, publication_checklist
+from ..legal import Jurisdiction, JurisdictionSet, travel_advisory
+from .dmp import generate_data_management_plan
+from .ethics_section import generate_ethics_section
+from .reb_application import generate_reb_application
+
+__all__ = ["generate_audit_pack"]
+
+
+def _rights_annex(assessment: EthicsAssessment) -> str:
+    lines = ["HUMAN-RIGHTS ANNEX", "=" * 18]
+    if not assessment.rights_risks:
+        lines.append(
+            "No rights of data subjects were assessed as engaged "
+            "by this research design."
+        )
+        return "\n".join(lines)
+    lines.append(
+        "The following rights (UDHR) are engaged; each entry states "
+        "the mechanism and must be addressed in review:"
+    )
+    for risk in assessment.rights_risks:
+        lines.append(
+            f"- {risk.right.name} (Article "
+            f"{risk.right.udhr_article}): {risk.mechanism}"
+        )
+    return "\n".join(lines)
+
+
+def generate_audit_pack(
+    assessment: EthicsAssessment,
+    *,
+    home: Jurisdiction | None = None,
+    travel_destinations: JurisdictionSet | None = None,
+) -> dict[str, str]:
+    """All governance documents as a name → text mapping.
+
+    The travel annex is included only when both *home* and
+    *travel_destinations* are given.
+    """
+    pack: dict[str, str] = {
+        "ethics-section": generate_ethics_section(assessment),
+        "reb-application": generate_reb_application(assessment),
+        "data-management-plan": generate_data_management_plan(
+            assessment.project
+        ),
+        "rights-annex": _rights_annex(assessment),
+        "checklist": publication_checklist().report(assessment),
+    }
+    if home is not None and travel_destinations is not None:
+        advisory = travel_advisory(
+            assessment.project.profile,
+            home=home,
+            destinations=travel_destinations,
+        )
+        pack["travel-advisory"] = advisory.describe()
+    return pack

@@ -1,0 +1,104 @@
+"""Data-management plan generator.
+
+Produces the operational companion to the ethics section: what is
+held, at which sensitivity, under which retention limit, who may
+access it, and how it will be shared — aligned with the GDPR
+safeguards (§3) and the controlled-sharing guidance (§5.2).
+"""
+
+from __future__ import annotations
+
+from .._util import wrap_text
+from ..assessment import ResearchProject
+from ..safeguards import RetentionPolicy, Sensitivity
+
+__all__ = ["generate_data_management_plan"]
+
+_SENSITIVITY_GUIDANCE = {
+    Sensitivity.DERIVED: (
+        "aggregates and metrics only; may be retained indefinitely "
+        "and shared openly"
+    ),
+    Sensitivity.PSEUDONYMISED: (
+        "identifiers replaced by keyed pseudonyms; retained under the "
+        "policy limit, shared only under agreement"
+    ),
+    Sensitivity.IDENTIFIABLE: (
+        "contains personal data; encrypted at rest, access-controlled "
+        "and audit-logged; never shared"
+    ),
+    Sensitivity.TOXIC: (
+        "malware, classified or other high-hazard material; encrypted, "
+        "isolated, destroyed at the earliest opportunity"
+    ),
+}
+
+
+def generate_data_management_plan(
+    project: ResearchProject,
+    policy: RetentionPolicy | None = None,
+) -> str:
+    """Render a data-management plan for the project."""
+    policy = policy or RetentionPolicy()
+    lines = [
+        f"DATA MANAGEMENT PLAN — {project.title}",
+        "",
+        "Dataset:",
+    ]
+    lines.extend(wrap_text(project.data_description, indent="  "))
+    lines.append("")
+    lines.append("Sensitivity classes and retention limits:")
+    for sensitivity in Sensitivity.ORDER:
+        limit = policy.limit_for(sensitivity)
+        limit_text = (
+            "indefinite" if limit is None else f"{limit} days"
+        )
+        lines.extend(
+            wrap_text(
+                f"{sensitivity}: {limit_text} — "
+                f"{_SENSITIVITY_GUIDANCE[sensitivity]}",
+                indent="  ",
+            )
+        )
+    lines.append("")
+    lines.append("Controls in place:")
+    safeguards = project.safeguards
+    controls = [
+        ("encryption at rest", safeguards.encryption_at_rest
+         or safeguards.secure_storage),
+        ("access control", safeguards.access_control
+         or safeguards.secure_storage),
+        ("pseudonymisation", safeguards.pseudonymisation),
+        ("data minimisation", safeguards.data_minimisation),
+        ("controlled sharing", safeguards.controlled_sharing),
+    ]
+    for name, enabled in controls:
+        lines.append(f"  [{'x' if enabled else ' '}] {name}")
+    if safeguards.retention_limit_days:
+        lines.append(
+            f"  project-specific destruction after "
+            f"{safeguards.retention_limit_days} days"
+        )
+    lines.append("")
+    if safeguards.controlled_sharing:
+        lines.extend(
+            wrap_text(
+                "Sharing: with verified researchers under a written "
+                "acceptable usage policy"
+                + (
+                    f" ({safeguards.acceptable_use_policy})"
+                    if safeguards.acceptable_use_policy
+                    else ""
+                )
+                + "; the raw dataset is never published."
+            )
+        )
+    else:
+        lines.extend(
+            wrap_text(
+                "Sharing: none planned; consider controlled sharing "
+                "to support reproducibility (Thomas et al. 2017, "
+                "§5.5)."
+            )
+        )
+    return "\n".join(lines)

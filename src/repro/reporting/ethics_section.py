@@ -1,0 +1,203 @@
+"""Ethics-section generator (§6: "papers using data of illicit origin
+should always have an ethics section, explaining how these data were
+obtained, how it has been protected, analysing the harms, benefits,
+and need for using such data").
+
+Generates publication-ready prose from an
+:class:`~repro.assessment.engine.EthicsAssessment`, covering exactly
+the elements the paper requires, plus the AUP citation when one
+exists (the §6 recommendation that usage policies be citable).
+"""
+
+from __future__ import annotations
+
+from .._util import oxford_join
+from ..assessment import EthicsAssessment
+from ..codebook.paper import BENEFIT_CODES, HARM_CODES
+from ..corpus import DataOrigin
+from ..errors import ReportingError
+
+__all__ = ["generate_ethics_section"]
+
+_ORIGIN_PHRASES = {
+    DataOrigin.VULNERABILITY_EXPLOITATION: (
+        "was originally obtained through the exploitation of a "
+        "vulnerability in a computer system"
+    ),
+    DataOrigin.UNINTENDED_DISCLOSURE: (
+        "became available through an unintended disclosure by the "
+        "data owner"
+    ),
+    DataOrigin.UNAUTHORIZED_LEAK: (
+        "was leaked without authorization by someone with access to "
+        "the data"
+    ),
+}
+
+_HARM_NAMES = {code.abbrev: code.name.lower() for code in HARM_CODES}
+_BENEFIT_NAMES = {
+    code.abbrev: code.name.lower() for code in BENEFIT_CODES
+}
+
+
+def generate_ethics_section(assessment: EthicsAssessment) -> str:
+    """Render the assessment as an ethics section.
+
+    The output is structured prose: provenance, stakeholders, harms
+    and safeguards, benefits and justification, legal position, and
+    REB status.
+    """
+    project = assessment.project
+    paragraphs: list[str] = []
+
+    # Provenance — "how these data were obtained".
+    origin = _ORIGIN_PHRASES.get(project.profile.origin)
+    if origin is None:  # pragma: no cover - guarded by DataProfile
+        raise ReportingError("unknown data origin")
+    paragraphs.append(
+        f"Ethical considerations. {project.data_description} The "
+        f"dataset {origin}; we took no part in that collection and "
+        "obtained the data only after it became available."
+    )
+
+    # Stakeholders.
+    primary = oxford_join(
+        [s.name for s in project.stakeholders.primary]
+    )
+    secondary = oxford_join(
+        [s.name for s in project.stakeholders.secondary]
+    )
+    stakeholder_text = (
+        f"The primary stakeholders are {primary}."
+        if primary
+        else "No primary stakeholders were identified."
+    )
+    if secondary:
+        stakeholder_text += (
+            f" Secondary stakeholders include {secondary}."
+        )
+    consentless = project.stakeholders.unprotected()
+    if consentless:
+        stakeholder_text += (
+            " Informed consent could not be obtained from "
+            f"{oxford_join([s.name for s in consentless])}; their "
+            "interests are protected through the safeguards below"
+            + (
+                " and the oversight of our Research Ethics Board."
+                if project.reb_approved
+                else "."
+            )
+        )
+    paragraphs.append(stakeholder_text)
+
+    # Harms and safeguards — "how it has been protected".
+    if project.harms:
+        kinds = sorted({h.kind for h in project.harms})
+        harm_text = (
+            "We identified the following potential harms: "
+            + oxford_join([_HARM_NAMES[k] for k in kinds])
+            + "."
+        )
+    else:
+        harm_text = (
+            "We did not identify concrete harms; we record this "
+            "explicitly rather than leaving the analysis implicit."
+        )
+    controls: list[str] = []
+    safeguards = project.safeguards
+    if safeguards.secure_storage or safeguards.encryption_at_rest:
+        controls.append(
+            "the data is stored encrypted with access restricted to "
+            "named researchers"
+        )
+    if safeguards.privacy_preserved:
+        controls.append(
+            "we do not attempt to deanonymise anyone and no "
+            "identities are revealed in our results"
+        )
+    if safeguards.pseudonymisation:
+        controls.append("identifiers are pseudonymised before analysis")
+    if safeguards.data_minimisation:
+        controls.append(
+            "we retain only the fields our research questions require"
+        )
+    if safeguards.retention_limit_days:
+        controls.append(
+            "the data will be destroyed after "
+            f"{safeguards.retention_limit_days} days"
+        )
+    if controls:
+        harm_text += (
+            " As safeguards, " + oxford_join(controls) + "."
+        )
+    paragraphs.append(harm_text)
+
+    # Benefits and need — "analysing the ... benefits, and need".
+    if project.benefits:
+        kinds = sorted({b.kind for b in project.benefits})
+        benefit_text = (
+            "The benefits of this research include "
+            + oxford_join([_BENEFIT_NAMES[k] for k in kinds])
+            + "."
+        )
+    else:
+        benefit_text = "We have not claimed benefits we cannot deliver."
+    strong = [
+        j
+        for j in assessment.acceptable_justifications
+        if j.weight in ("supporting", "strong")
+    ]
+    if strong:
+        benefit_text += (
+            " Our use of this data rests on the following "
+            "justifications: "
+            + "; ".join(j.critique for j in strong)
+            + "."
+        )
+    paragraphs.append(benefit_text)
+
+    # Legal position.
+    issues = assessment.applicable_legal_issues
+    if issues:
+        legal_text = (
+            "We considered the applicable legal issues ("
+            + oxford_join([i.replace("-", " ") for i in issues])
+            + f"); our residual legal risk assessment is "
+            f"'{assessment.legal.overall_risk}'."
+        )
+    else:
+        legal_text = "We identified no applicable legal issues."
+    paragraphs.append(legal_text)
+
+    # REB status.
+    if project.reb_approved:
+        reb_text = (
+            "This research was reviewed and approved by our Research "
+            "Ethics Board."
+        )
+    else:
+        reb_text = (
+            "This research has not yet received Research Ethics Board "
+            "approval; given the potential for harm to humans "
+            "identified above, we will seek review before the work "
+            "proceeds."
+            if assessment.grid.total_risk() > 0
+            else "We assessed the residual risk to humans as nil; we "
+            "nonetheless document our reasoning here for review."
+        )
+    paragraphs.append(reb_text)
+
+    # Sharing.
+    if safeguards.controlled_sharing:
+        sharing = (
+            "To support reproduction we share data with verified "
+            "researchers under a written acceptable usage policy"
+        )
+        if safeguards.acceptable_use_policy:
+            sharing += (
+                f" (cite as: {safeguards.acceptable_use_policy})"
+            )
+        sharing += "; the raw dataset is not published."
+        paragraphs.append(sharing)
+
+    return "\n\n".join(paragraphs)

@@ -1,0 +1,109 @@
+"""REB application generator.
+
+Turns an assessment into the structured application document an REB
+administrator expects: project summary, stakeholder analysis with
+consent status, the Menlo findings, the multi-party risk-benefit
+grid, legal analysis, planned safeguards and the ask (approval /
+exemption with reasons). Encodes the paper's position that exemption
+requests should be argued from risk, not from the absence of "human
+subjects".
+"""
+
+from __future__ import annotations
+
+from .._util import wrap_text
+from ..assessment import EthicsAssessment
+
+__all__ = ["generate_reb_application"]
+
+
+def _heading(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def generate_reb_application(assessment: EthicsAssessment) -> str:
+    """Render the full REB application as plain text."""
+    project = assessment.project
+    lines: list[str] = [
+        "RESEARCH ETHICS BOARD APPLICATION",
+        "=" * 33,
+        f"Project: {project.title}",
+    ]
+    lines.extend(
+        wrap_text(f"Research question: {project.research_question}")
+    )
+    lines.extend(wrap_text(f"Data: {project.data_description}"))
+
+    lines.extend(_heading("1. Stakeholders and consent"))
+    for stakeholder in project.stakeholders:
+        lines.extend(
+            wrap_text(
+                f"{stakeholder.name} ({stakeholder.role}; consent: "
+                f"{stakeholder.consent}"
+                + ("; vulnerable" if stakeholder.vulnerable else "")
+                + ")",
+                indent="  ",
+            )
+        )
+
+    lines.extend(_heading("2. Risk-benefit analysis (multi-party)"))
+    lines.append(assessment.grid.render_text())
+
+    lines.extend(_heading("3. Menlo principles"))
+    for finding in assessment.menlo:
+        lines.append(finding.describe())
+
+    lines.extend(_heading("4. Legal analysis"))
+    lines.extend(
+        wrap_text(
+            f"Overall residual legal risk: "
+            f"{assessment.legal.overall_risk}. Applicable issues: "
+            + (
+                ", ".join(assessment.applicable_legal_issues)
+                or "none"
+            )
+            + "."
+        )
+    )
+
+    lines.extend(_heading("5. Safeguards"))
+    codes = project.safeguards.codes()
+    lines.extend(
+        wrap_text(
+            "Planned safeguard families: "
+            + (", ".join(codes) if codes else "none declared")
+            + " (SS secure storage, P privacy, CS controlled sharing)."
+        )
+    )
+    if project.safeguards.acceptable_use_policy:
+        lines.extend(
+            wrap_text(
+                "Acceptable usage policy (citable): "
+                + project.safeguards.acceptable_use_policy
+            )
+        )
+
+    lines.extend(_heading("6. Request"))
+    if assessment.grid.total_risk() == 0 and not project.harms:
+        lines.extend(
+            wrap_text(
+                "We request EXEMPTION. Grounds: the residual risk to "
+                "humans is nil after safeguards — not merely the "
+                "absence of direct human subjects, which we accept "
+                "is an insufficient basis (Thomas et al. 2017, §6)."
+            )
+        )
+    else:
+        lines.extend(
+            wrap_text(
+                "We request APPROVAL. The work has potential to "
+                "affect humans even though there are no direct human "
+                "subjects; we therefore seek review on a risk basis "
+                "and will comply with any conditions the board sets."
+            )
+        )
+    if assessment.required_actions:
+        lines.extend(_heading("7. Open actions from self-assessment"))
+        for action in assessment.required_actions:
+            lines.extend(wrap_text(f"- {action}", indent="  "))
+    return "\n".join(lines)

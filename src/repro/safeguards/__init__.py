@@ -1,0 +1,60 @@
+"""Safeguard toolkit: secure storage, access control, retention,
+controlled sharing (§5.2 of the paper, made operational)."""
+
+from .access import (
+    AccessController,
+    Action,
+    AuditLog,
+    AuditRecord,
+    Grant,
+)
+from .escrow import Share, combine_shares, split_secret
+from .notification import (
+    AccessSaleService,
+    BreachNotificationService,
+    BreachRecord,
+    password_range_query,
+)
+from .retention import (
+    DataInventory,
+    Holding,
+    RetentionPolicy,
+    Sensitivity,
+)
+from .sharing import (
+    AcceptableUsePolicy,
+    SharingAgreement,
+    SharingMode,
+    SharingRegistry,
+    VettingProcess,
+    VettingStatus,
+)
+from .storage import SecureContainer, StoragePolicy, derive_key
+
+__all__ = [
+    "AcceptableUsePolicy",
+    "AccessController",
+    "AccessSaleService",
+    "Action",
+    "AuditLog",
+    "AuditRecord",
+    "BreachNotificationService",
+    "BreachRecord",
+    "DataInventory",
+    "Grant",
+    "Holding",
+    "RetentionPolicy",
+    "SecureContainer",
+    "Sensitivity",
+    "Share",
+    "SharingAgreement",
+    "SharingMode",
+    "SharingRegistry",
+    "StoragePolicy",
+    "VettingProcess",
+    "VettingStatus",
+    "combine_shares",
+    "derive_key",
+    "password_range_query",
+    "split_secret",
+]

@@ -1,0 +1,149 @@
+"""Key escrow via Shamir secret sharing (stdlib only, GF(256)).
+
+Controlled sharing sometimes requires that *nobody alone* can open
+the raw data: the paper's Cambridge Cybercrime Centre model vests
+access decisions in an institution, not an individual. This module
+splits a container passphrase (or pseudonym escrow key) into *n*
+shares such that any *k* reconstruct it and fewer reveal nothing,
+using Shamir's scheme over GF(2^8) with the AES polynomial.
+
+Typical use: seal a dump with :class:`~repro.safeguards.storage.
+SecureContainer`, split the passphrase 3-of-5 across the PI, the
+department, and the ethics board, and destroy the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+
+from ..errors import SafeguardError
+
+__all__ = ["Share", "split_secret", "combine_shares"]
+
+_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1 (the AES field polynomial)
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _POLY
+        b >>= 1
+    return result
+
+
+def _gf_pow(a: int, power: int) -> int:
+    result = 1
+    for _ in range(power):
+        result = _gf_mul(result, a)
+    return result
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise SafeguardError("zero has no inverse in GF(256)")
+    # a^(2^8 - 2) = a^254 is the inverse.
+    return _gf_pow(a, 254)
+
+
+def _eval_poly(coefficients: bytes, x: int) -> int:
+    """Horner evaluation of the polynomial at x (GF(256))."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = _gf_mul(result, x) ^ coefficient
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class Share:
+    """One share: the x-coordinate and per-byte y values."""
+
+    index: int  # x in 1..255
+    data: bytes
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.index <= 255:
+            raise SafeguardError("share index must be in 1..255")
+        if self.threshold < 1:
+            raise SafeguardError("threshold must be at least 1")
+
+
+def split_secret(
+    secret: bytes, *, shares: int, threshold: int
+) -> list[Share]:
+    """Split *secret* into *shares* shares, any *threshold* of which
+    reconstruct it.
+
+    Each byte of the secret becomes the constant term of a fresh
+    random polynomial of degree ``threshold - 1``.
+    """
+    if not secret:
+        raise SafeguardError("secret must be non-empty")
+    if threshold < 1 or shares < 1:
+        raise SafeguardError("shares and threshold must be positive")
+    if threshold > shares:
+        raise SafeguardError("threshold cannot exceed share count")
+    if shares > 255:
+        raise SafeguardError("at most 255 shares in GF(256)")
+    # One polynomial per secret byte; coefficients[0] is the secret.
+    polynomials = [
+        bytes([byte]) + secrets.token_bytes(threshold - 1)
+        for byte in secret
+    ]
+    result = []
+    for index in range(1, shares + 1):
+        data = bytes(
+            _eval_poly(poly, index) for poly in polynomials
+        )
+        result.append(
+            Share(index=index, data=data, threshold=threshold)
+        )
+    return result
+
+
+def combine_shares(shares: list[Share]) -> bytes:
+    """Reconstruct the secret from at least *threshold* shares.
+
+    Raises :class:`~repro.errors.SafeguardError` for inconsistent or
+    insufficient shares. With fewer than threshold *distinct* shares
+    the reconstruction is information-theoretically impossible; this
+    function refuses rather than returning garbage.
+    """
+    if not shares:
+        raise SafeguardError("no shares supplied")
+    threshold = shares[0].threshold
+    length = len(shares[0].data)
+    if any(s.threshold != threshold for s in shares):
+        raise SafeguardError("shares disagree on the threshold")
+    if any(len(s.data) != length for s in shares):
+        raise SafeguardError("shares have inconsistent lengths")
+    distinct = {s.index: s for s in shares}
+    if len(distinct) < threshold:
+        raise SafeguardError(
+            f"need {threshold} distinct shares, got {len(distinct)}"
+        )
+    chosen = list(distinct.values())[:threshold]
+    xs = [share.index for share in chosen]
+    secret = bytearray()
+    for byte_index in range(length):
+        # Lagrange interpolation at x = 0.
+        value = 0
+        for i, share in enumerate(chosen):
+            numerator = 1
+            denominator = 1
+            for j, other_x in enumerate(xs):
+                if i == j:
+                    continue
+                numerator = _gf_mul(numerator, other_x)
+                denominator = _gf_mul(
+                    denominator, xs[i] ^ other_x
+                )
+            weight = _gf_mul(numerator, _gf_inv(denominator))
+            value ^= _gf_mul(share.data[byte_index], weight)
+        secret.append(value)
+    return bytes(secret)

@@ -1,0 +1,216 @@
+"""Breach notification done ethically (§4.2's service contrast).
+
+The paper contrasts leakedsource.com — shut down, operators arrested,
+because it *sold access* to leaked credentials — with
+haveibeenpwned.com, "the ethical service ... which never makes
+passwords available and doesn't expose any personal information
+without verification of control of the email address".
+
+:class:`BreachNotificationService` implements the ethical model over
+synthetic breach data:
+
+* ingests breach records but stores only keyed hashes, never
+  plaintext;
+* answers "was I breached?" only after verification of control of
+  the queried address (a challenge/response loop);
+* supports anonymous *password* checking via the k-anonymity
+  range-query protocol (the client sends a short hash prefix and
+  receives all suffixes in that bucket, so the service never learns
+  which password was checked);
+* notifies registered addresses when a future breach includes them.
+
+:class:`AccessSaleService` models the unethical counterpart for the
+comparison benchmark: it happily returns other people's data for
+money — every query it can answer is, by construction, a query the
+notification service refuses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import secrets
+
+from ..errors import SafeguardError
+
+__all__ = [
+    "BreachRecord",
+    "BreachNotificationService",
+    "AccessSaleService",
+    "password_range_query",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BreachRecord:
+    """One (email, password) pair from a breach."""
+
+    breach_name: str
+    email: str
+    password: str
+
+    def __post_init__(self) -> None:
+        if "@" not in self.email:
+            raise SafeguardError(f"not an email: {self.email!r}")
+        if not self.breach_name:
+            raise SafeguardError("breach needs a name")
+
+
+def _sha1(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest().upper()
+
+
+def password_range_query(
+    password: str, bucket: dict[str, list[str]]
+) -> bool:
+    """Client side of the k-anonymity range protocol.
+
+    ``bucket`` maps 5-hex-char prefixes to suffix lists (the server
+    response). Returns whether *password* appears, revealing to the
+    server only the 5-character prefix.
+    """
+    digest = _sha1(password)
+    prefix, suffix = digest[:5], digest[5:]
+    return suffix in bucket.get(prefix, [])
+
+
+class BreachNotificationService:
+    """The ethical breach-notification model."""
+
+    def __init__(self, hmac_key: bytes | None = None) -> None:
+        self._key = hmac_key or secrets.token_bytes(32)
+        #: keyed email hash -> set of breach names.
+        self._breached: dict[str, set[str]] = {}
+        #: SHA-1 password corpus, bucketed by 5-char prefix.
+        self._password_buckets: dict[str, list[str]] = {}
+        #: email hash -> pending challenge token.
+        self._challenges: dict[str, str] = {}
+        #: verified subscribers (email hash -> plaintext address for
+        #: outbound notification only).
+        self._subscribers: dict[str, str] = {}
+        self._notifications: list[tuple[str, str]] = []
+
+    # -- ingestion -------------------------------------------------------
+    def _email_hash(self, email: str) -> str:
+        return hmac.new(
+            self._key, email.lower().encode("utf-8"), hashlib.sha256
+        ).hexdigest()
+
+    def ingest(self, records: list[BreachRecord]) -> int:
+        """Load a breach. Plaintext passwords are hashed immediately
+        and plaintext emails are never stored for lookup (only the
+        keyed hash). Returns the number of records ingested."""
+        for record in records:
+            email_hash = self._email_hash(record.email)
+            self._breached.setdefault(email_hash, set()).add(
+                record.breach_name
+            )
+            digest = _sha1(record.password)
+            self._password_buckets.setdefault(
+                digest[:5], []
+            ).append(digest[5:])
+            if email_hash in self._subscribers:
+                self._notifications.append(
+                    (
+                        self._subscribers[email_hash],
+                        record.breach_name,
+                    )
+                )
+        return len(records)
+
+    # -- verification loop -------------------------------------------------
+    def request_verification(self, email: str) -> str:
+        """Start verification of control of *email*; returns the
+        token that would be mailed to the address."""
+        if "@" not in email:
+            raise SafeguardError(f"not an email: {email!r}")
+        token = secrets.token_hex(16)
+        self._challenges[self._email_hash(email)] = token
+        return token
+
+    def confirm_verification(self, email: str, token: str) -> None:
+        """Complete verification with the mailed token."""
+        email_hash = self._email_hash(email)
+        expected = self._challenges.get(email_hash)
+        if expected is None or not hmac.compare_digest(
+            expected, token
+        ):
+            raise SafeguardError("verification failed")
+        del self._challenges[email_hash]
+        self._subscribers[email_hash] = email
+
+    # -- queries ------------------------------------------------------------
+    def breaches_for(self, email: str) -> tuple[str, ...]:
+        """Which breaches include *email* — only for verified owners.
+
+        Raises :class:`~repro.errors.SafeguardError` for unverified
+        queries: no personal information without verification of
+        control (the haveibeenpwned rule).
+        """
+        email_hash = self._email_hash(email)
+        if email_hash not in self._subscribers:
+            raise SafeguardError(
+                "verify control of the address before querying it"
+            )
+        return tuple(sorted(self._breached.get(email_hash, ())))
+
+    def password_bucket(self, prefix: str) -> dict[str, list[str]]:
+        """Server side of the k-anonymity range protocol.
+
+        Returns every stored suffix under the 5-hex-char *prefix*;
+        the service never learns which password the client checks.
+        """
+        prefix = prefix.upper()
+        if len(prefix) != 5 or any(
+            c not in "0123456789ABCDEF" for c in prefix
+        ):
+            raise SafeguardError(
+                "prefix must be 5 hex characters"
+            )
+        return {prefix: list(self._password_buckets.get(prefix, []))}
+
+    def check_password(self, password: str) -> bool:
+        """Convenience: full client+server round trip locally."""
+        digest = _sha1(password)
+        return password_range_query(
+            password, self.password_bucket(digest[:5])
+        )
+
+    @property
+    def pending_notifications(self) -> tuple[tuple[str, str], ...]:
+        """(address, breach) pairs queued for outbound notification."""
+        return tuple(self._notifications)
+
+    def exposes_passwords(self) -> bool:
+        """The service never returns a password or full hash mapping
+        — structurally false, asserted in tests."""
+        return False
+
+
+class AccessSaleService:
+    """The leakedsource model: sells other people's breach data.
+
+    Implemented only as the comparison subject — every capability
+    here is one the paper identifies as the reason the real service
+    was shut down and its operators arrested.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[BreachRecord] = []
+        self.revenue = 0.0
+
+    def ingest(self, records: list[BreachRecord]) -> int:
+        self._records.extend(records)
+        return len(records)
+
+    def lookup(self, email: str, payment: float) -> list[BreachRecord]:
+        """Anyone willing to pay gets anyone's records — no
+        verification of control, passwords included."""
+        if payment <= 0:
+            raise SafeguardError("this service only takes money")
+        self.revenue += payment
+        return [r for r in self._records if r.email == email]
+
+    def exposes_passwords(self) -> bool:
+        return True

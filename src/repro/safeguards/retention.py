@@ -1,0 +1,197 @@
+"""Retention policies and data-holding inventory.
+
+The paper recommends researchers "use secure storage, enforce
+retention policies" for malware and other illicit-origin data. A
+:class:`RetentionPolicy` bounds how long each sensitivity class may be
+held; the :class:`DataInventory` tracks holdings against the policy
+and reports what is due for destruction. Time is injected as an
+integer day count so the module stays deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from ..errors import SafeguardError
+
+__all__ = ["Sensitivity", "RetentionPolicy", "Holding", "DataInventory"]
+
+
+class Sensitivity:
+    """Sensitivity classes with increasing handling requirements."""
+
+    DERIVED = "derived"  # aggregates/metrics only
+    PSEUDONYMISED = "pseudonymised"
+    IDENTIFIABLE = "identifiable"
+    TOXIC = "toxic"  # malware, classified, other high-hazard material
+
+    ORDER = (DERIVED, PSEUDONYMISED, IDENTIFIABLE, TOXIC)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetentionPolicy:
+    """Maximum holding period (days) per sensitivity class.
+
+    ``None`` means indefinite retention is permitted (usually only for
+    derived data).
+    """
+
+    limits: dict[str, int | None] = dataclasses.field(
+        default_factory=lambda: {
+            Sensitivity.DERIVED: None,
+            Sensitivity.PSEUDONYMISED: 3 * 365,
+            Sensitivity.IDENTIFIABLE: 365,
+            Sensitivity.TOXIC: 180,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        unknown = set(self.limits) - set(Sensitivity.ORDER)
+        if unknown:
+            raise SafeguardError(
+                f"unknown sensitivity classes {sorted(unknown)}"
+            )
+        for sensitivity, limit in self.limits.items():
+            if limit is not None and limit <= 0:
+                raise SafeguardError(
+                    f"retention limit for {sensitivity} must be "
+                    "positive or None"
+                )
+
+    def limit_for(self, sensitivity: str) -> int | None:
+        """The holding limit in days for one sensitivity class."""
+        try:
+            return self.limits[sensitivity]
+        except KeyError:
+            raise SafeguardError(
+                f"no retention limit declared for {sensitivity!r}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Holding:
+    """One dataset being held."""
+
+    id: str
+    description: str
+    sensitivity: str
+    acquired_day: int
+    destroyed_day: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.sensitivity not in Sensitivity.ORDER:
+            raise SafeguardError(
+                f"unknown sensitivity {self.sensitivity!r}"
+            )
+        if self.acquired_day < 0:
+            raise SafeguardError("acquired_day must be non-negative")
+        if (
+            self.destroyed_day is not None
+            and self.destroyed_day < self.acquired_day
+        ):
+            raise SafeguardError("cannot destroy before acquisition")
+
+    @property
+    def active(self) -> bool:
+        return self.destroyed_day is None
+
+    def age(self, today: int) -> int:
+        end = self.destroyed_day if self.destroyed_day is not None else today
+        return end - self.acquired_day
+
+
+class DataInventory:
+    """Holdings register checked against a retention policy."""
+
+    def __init__(self, policy: RetentionPolicy | None = None) -> None:
+        self.policy = policy or RetentionPolicy()
+        self._holdings: dict[str, Holding] = {}
+
+    def acquire(
+        self,
+        holding_id: str,
+        description: str,
+        sensitivity: str,
+        today: int,
+    ) -> Holding:
+        """Record a new holding acquired on *today*."""
+        if holding_id in self._holdings:
+            raise SafeguardError(f"duplicate holding {holding_id!r}")
+        holding = Holding(
+            id=holding_id,
+            description=description,
+            sensitivity=sensitivity,
+            acquired_day=today,
+        )
+        self._holdings[holding_id] = holding
+        return holding
+
+    def destroy(self, holding_id: str, today: int) -> Holding:
+        """Mark a holding destroyed on *today*."""
+        holding = self[holding_id]
+        if not holding.active:
+            raise SafeguardError(
+                f"holding {holding_id!r} already destroyed"
+            )
+        destroyed = dataclasses.replace(holding, destroyed_day=today)
+        self._holdings[holding_id] = destroyed
+        return destroyed
+
+    def __getitem__(self, holding_id: str) -> Holding:
+        try:
+            return self._holdings[holding_id]
+        except KeyError:
+            raise SafeguardError(
+                f"unknown holding {holding_id!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Holding]:
+        return iter(self._holdings.values())
+
+    def __len__(self) -> int:
+        return len(self._holdings)
+
+    def active(self) -> tuple[Holding, ...]:
+        return tuple(h for h in self if h.active)
+
+    def due_for_destruction(self, today: int) -> tuple[Holding, ...]:
+        """Active holdings at or past their retention limit."""
+        due = []
+        for holding in self.active():
+            limit = self.policy.limit_for(holding.sensitivity)
+            if limit is not None and holding.age(today) >= limit:
+                due.append(holding)
+        return tuple(due)
+
+    def overdue(self, today: int) -> tuple[Holding, ...]:
+        """Active holdings strictly past their limit — policy breaches."""
+        return tuple(
+            h
+            for h in self.due_for_destruction(today)
+            if h.age(today)
+            > (self.policy.limit_for(h.sensitivity) or 0)
+        )
+
+    def compliant(self, today: int) -> bool:
+        return not self.overdue(today)
+
+    def report(self, today: int) -> str:
+        """Human-readable inventory status for *today*."""
+        lines = [
+            f"Data inventory at day {today}: "
+            f"{len(self.active())} active holdings"
+        ]
+        for holding in self.active():
+            limit = self.policy.limit_for(holding.sensitivity)
+            status = "indefinite" if limit is None else (
+                f"{holding.age(today)}/{limit} days"
+            )
+            lines.append(
+                f"  {holding.id} [{holding.sensitivity}] {status}"
+            )
+        due = self.due_for_destruction(today)
+        if due:
+            lines.append("Due for destruction:")
+            lines.extend(f"  {h.id}" for h in due)
+        return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Controlled sharing (the §5.2 "CS" safeguard).
+
+Allman & Paxson — endorsed by the paper — recommend sharing data of
+illicit origin only "with verified researchers under a written
+acceptable usage policy", and the paper adds that "data providers
+should make their acceptable usage policies publicly available so that
+they can be cited". This module provides:
+
+* :class:`AcceptableUsePolicy` — a citable AUP with generated text,
+* :class:`VettingProcess` — researcher verification workflow,
+* :class:`SharingRegistry` — agreements, with enforcement of vetting
+  and the policy's modes (full data / partial / analysis-on-behalf).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterator
+
+from ..errors import SafeguardError
+
+__all__ = [
+    "SharingMode",
+    "AcceptableUsePolicy",
+    "VettingProcess",
+    "VettingStatus",
+    "SharingAgreement",
+    "SharingRegistry",
+]
+
+
+class SharingMode(enum.Enum):
+    """The controlled-sharing modes §5.2 enumerates."""
+
+    #: Full dataset under agreement.
+    FULL_UNDER_AGREEMENT = "full-under-agreement"
+    #: Only partial / anonymised data released.
+    PARTIAL_ANONYMISED = "partial-anonymised"
+    #: Visiting researchers analyse on the holder's systems.
+    VISIT_INSTITUTION = "visit-institution"
+    #: Holder runs the requester's code and returns results.
+    ANALYSIS_ON_BEHALF = "analysis-on-behalf"
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceptableUsePolicy:
+    """A written, citable acceptable usage policy."""
+
+    id: str
+    dataset_description: str
+    permitted_purposes: tuple[str, ...]
+    prohibited: tuple[str, ...] = (
+        "attempting to deanonymise or re-identify any person",
+        "redistributing the data or any subset of it",
+        "using the data for any commercial purpose",
+        "contacting individuals identified in the data",
+    )
+    required_safeguards: tuple[str, ...] = (
+        "store the data encrypted with access restricted to named "
+        "researchers",
+        "destroy the data at the end of the agreed retention period",
+        "report any suspected breach to the provider immediately",
+    )
+    citation_url: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.permitted_purposes:
+            raise SafeguardError(
+                "an AUP must state its permitted purposes (Cave 2016: "
+                "the purpose and scope for using such data must be "
+                "stated)"
+            )
+
+    @property
+    def citable(self) -> bool:
+        """Publicly citable, as the paper's §6 recommends."""
+        return bool(self.citation_url)
+
+    def render_text(self) -> str:
+        """The full policy as citable plain text."""
+        lines = [
+            f"Acceptable Usage Policy {self.id}",
+            f"Dataset: {self.dataset_description}",
+            "Permitted purposes:",
+        ]
+        lines.extend(f"  - {p}" for p in self.permitted_purposes)
+        lines.append("Prohibited:")
+        lines.extend(f"  - {p}" for p in self.prohibited)
+        lines.append("Required safeguards:")
+        lines.extend(f"  - {s}" for s in self.required_safeguards)
+        if self.citation_url:
+            lines.append(f"Cite as: {self.citation_url}")
+        return "\n".join(lines)
+
+
+class VettingStatus(enum.Enum):
+    """Lifecycle of a researcher-verification case."""
+
+    PENDING = "pending"
+    VERIFIED = "verified"
+    REJECTED = "rejected"
+
+
+@dataclasses.dataclass
+class _VettingCase:
+    researcher: str
+    affiliation: str
+    status: VettingStatus = VettingStatus.PENDING
+    checks: dict[str, bool] = dataclasses.field(default_factory=dict)
+
+
+class VettingProcess:
+    """Verify researchers before sharing (Allman & Paxson).
+
+    The provider records the outcome of each verification check
+    (institutional affiliation, research purpose, ethics approval);
+    a researcher is verified when every required check passes.
+    """
+
+    REQUIRED_CHECKS = (
+        "affiliation-confirmed",
+        "purpose-is-research",
+        "ethics-process-in-place",
+    )
+
+    def __init__(self) -> None:
+        self._cases: dict[str, _VettingCase] = {}
+
+    def apply(self, researcher: str, affiliation: str) -> None:
+        """Open a vetting case for a researcher."""
+        if not researcher or not affiliation:
+            raise SafeguardError(
+                "applications need researcher and affiliation"
+            )
+        if researcher in self._cases:
+            raise SafeguardError(
+                f"{researcher!r} already has a vetting case"
+            )
+        self._cases[researcher] = _VettingCase(researcher, affiliation)
+
+    def record_check(
+        self, researcher: str, check: str, passed: bool
+    ) -> None:
+        """Record the outcome of one verification check."""
+        if check not in self.REQUIRED_CHECKS:
+            raise SafeguardError(f"unknown vetting check {check!r}")
+        case = self._case(researcher)
+        case.checks[check] = passed
+        if not passed:
+            case.status = VettingStatus.REJECTED
+        elif all(
+            case.checks.get(c) for c in self.REQUIRED_CHECKS
+        ):
+            case.status = VettingStatus.VERIFIED
+
+    def status(self, researcher: str) -> VettingStatus:
+        return self._case(researcher).status
+
+    def is_verified(self, researcher: str) -> bool:
+        """Whether the researcher passed every required check."""
+        return (
+            researcher in self._cases
+            and self._cases[researcher].status is VettingStatus.VERIFIED
+        )
+
+    def _case(self, researcher: str) -> _VettingCase:
+        try:
+            return self._cases[researcher]
+        except KeyError:
+            raise SafeguardError(
+                f"no vetting case for {researcher!r}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class SharingAgreement:
+    """A signed agreement binding a verified researcher to an AUP."""
+
+    researcher: str
+    policy_id: str
+    mode: SharingMode
+    signed_day: int
+    expires_day: int
+
+    def __post_init__(self) -> None:
+        if self.expires_day <= self.signed_day:
+            raise SafeguardError("agreement must expire after signing")
+
+    def active(self, today: int) -> bool:
+        return self.signed_day <= today < self.expires_day
+
+
+class SharingRegistry:
+    """The provider-side ledger of policies and agreements."""
+
+    def __init__(self, vetting: VettingProcess | None = None) -> None:
+        self.vetting = vetting or VettingProcess()
+        self._policies: dict[str, AcceptableUsePolicy] = {}
+        self._agreements: list[SharingAgreement] = []
+
+    def publish_policy(self, policy: AcceptableUsePolicy) -> None:
+        if policy.id in self._policies:
+            raise SafeguardError(f"duplicate policy id {policy.id!r}")
+        self._policies[policy.id] = policy
+
+    def policy(self, policy_id: str) -> AcceptableUsePolicy:
+        """Look up a published policy by id."""
+        try:
+            return self._policies[policy_id]
+        except KeyError:
+            raise SafeguardError(
+                f"unknown policy {policy_id!r}"
+            ) from None
+
+    def sign(
+        self,
+        researcher: str,
+        policy_id: str,
+        mode: SharingMode,
+        today: int,
+        duration_days: int = 365,
+    ) -> SharingAgreement:
+        """Sign an agreement; requires prior verification.
+
+        Raises :class:`~repro.errors.SafeguardError` for unverified
+        researchers — the check the paper found no surveyed paper
+        actually performed.
+        """
+        if not self.vetting.is_verified(researcher):
+            raise SafeguardError(
+                f"researcher {researcher!r} has not been verified"
+            )
+        self.policy(policy_id)  # must exist
+        agreement = SharingAgreement(
+            researcher=researcher,
+            policy_id=policy_id,
+            mode=mode,
+            signed_day=today,
+            expires_day=today + duration_days,
+        )
+        self._agreements.append(agreement)
+        return agreement
+
+    def may_access(
+        self, researcher: str, policy_id: str, today: int
+    ) -> bool:
+        """Whether an active agreement covers this access today."""
+        return any(
+            a.researcher == researcher
+            and a.policy_id == policy_id
+            and a.active(today)
+            for a in self._agreements
+        )
+
+    def agreements(self) -> Iterator[SharingAgreement]:
+        return iter(self._agreements)
+
+    def active_agreements(
+        self, today: int
+    ) -> tuple[SharingAgreement, ...]:
+        return tuple(a for a in self._agreements if a.active(today))

@@ -1,0 +1,170 @@
+"""Secure storage (the §5.2 "SS" safeguard) — stdlib-only container.
+
+Implements authenticated encryption from the standard library only
+(no external crypto dependency is available offline):
+
+* key derivation: PBKDF2-HMAC-SHA256 with a random salt,
+* confidentiality: a SHA-256-based keystream in counter mode
+  (HMAC(key, nonce || counter) blocks XORed with the plaintext),
+* integrity/authenticity: encrypt-then-MAC with HMAC-SHA256 over
+  header + ciphertext, verified in constant time.
+
+This is a faithful, reviewable construction for research-data
+containers in a simulation setting; a production deployment would use
+a vetted AEAD (and the docstring says so on purpose).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import secrets
+import struct
+
+from ..errors import IntegrityError, SafeguardError
+
+__all__ = ["SecureContainer", "StoragePolicy", "derive_key"]
+
+_MAGIC = b"REPROSS1"
+_BLOCK = 32  # SHA-256 digest size
+_KEY_LEN = 32
+_SALT_LEN = 16
+_NONCE_LEN = 16
+_PBKDF2_ITERATIONS = 200_000
+
+
+def derive_key(
+    passphrase: str, salt: bytes, iterations: int = _PBKDF2_ITERATIONS
+) -> bytes:
+    """Derive a 32-byte key from a passphrase with PBKDF2-HMAC-SHA256."""
+    if not passphrase:
+        raise SafeguardError("passphrase must be non-empty")
+    if len(salt) < 8:
+        raise SafeguardError("salt must be at least 8 bytes")
+    return hashlib.pbkdf2_hmac(
+        "sha256", passphrase.encode("utf-8"), salt, iterations, _KEY_LEN
+    )
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Counter-mode keystream: HMAC-SHA256(key, nonce || counter)."""
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hmac.new(
+                key, nonce + struct.pack(">Q", counter), hashlib.sha256
+            ).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class SecureContainer:
+    """Encrypt-then-MAC container for sensitive research data.
+
+    Sealed format::
+
+        MAGIC(8) || salt(16) || nonce(16) || ciphertext || tag(32)
+
+    Separate encryption and MAC keys are derived from the master key
+    by domain separation.
+    """
+
+    def __init__(self, passphrase: str) -> None:
+        self._passphrase = passphrase
+        if not passphrase:
+            raise SafeguardError("passphrase must be non-empty")
+
+    def _subkeys(self, salt: bytes) -> tuple[bytes, bytes]:
+        master = derive_key(self._passphrase, salt)
+        enc_key = hmac.new(master, b"encrypt", hashlib.sha256).digest()
+        mac_key = hmac.new(master, b"mac", hashlib.sha256).digest()
+        return enc_key, mac_key
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt and authenticate *plaintext*."""
+        if not isinstance(plaintext, (bytes, bytearray)):
+            raise SafeguardError("plaintext must be bytes")
+        salt = secrets.token_bytes(_SALT_LEN)
+        nonce = secrets.token_bytes(_NONCE_LEN)
+        enc_key, mac_key = self._subkeys(salt)
+        stream = _keystream(enc_key, nonce, len(plaintext))
+        ciphertext = _xor(bytes(plaintext), stream)
+        header = _MAGIC + salt + nonce
+        tag = hmac.new(
+            mac_key, header + ciphertext, hashlib.sha256
+        ).digest()
+        return header + ciphertext + tag
+
+    def open(self, sealed: bytes) -> bytes:
+        """Verify and decrypt a sealed container.
+
+        Raises :class:`~repro.errors.IntegrityError` on any tampering,
+        truncation or wrong passphrase.
+        """
+        minimum = len(_MAGIC) + _SALT_LEN + _NONCE_LEN + _BLOCK
+        if len(sealed) < minimum:
+            raise IntegrityError("container truncated")
+        if sealed[: len(_MAGIC)] != _MAGIC:
+            raise IntegrityError("not a repro secure container")
+        offset = len(_MAGIC)
+        salt = sealed[offset : offset + _SALT_LEN]
+        offset += _SALT_LEN
+        nonce = sealed[offset : offset + _NONCE_LEN]
+        offset += _NONCE_LEN
+        ciphertext = sealed[offset:-_BLOCK]
+        tag = sealed[-_BLOCK:]
+        enc_key, mac_key = self._subkeys(salt)
+        header = sealed[: offset]
+        expected = hmac.new(
+            mac_key, header + ciphertext, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError(
+                "authentication failed (tampered data or wrong "
+                "passphrase)"
+            )
+        stream = _keystream(enc_key, nonce, len(ciphertext))
+        return _xor(ciphertext, stream)
+
+
+@dataclasses.dataclass(frozen=True)
+class StoragePolicy:
+    """Declarative storage policy for a dataset of illicit origin.
+
+    Conformance checking is what the checklist engine and report
+    generators consume; the actual mechanics live in
+    :class:`SecureContainer` and :mod:`repro.safeguards.access`.
+    """
+
+    encrypted_at_rest: bool = True
+    access_controlled: bool = True
+    audit_logged: bool = True
+    offline_backups_encrypted: bool = True
+    raw_data_never_public: bool = True
+
+    def violations(self) -> tuple[str, ...]:
+        """Descriptions of every policy requirement not met."""
+        problems: list[str] = []
+        if not self.encrypted_at_rest:
+            problems.append("data is not encrypted at rest")
+        if not self.access_controlled:
+            problems.append("no access control restricts who can read")
+        if not self.audit_logged:
+            problems.append("access is not audit-logged")
+        if not self.offline_backups_encrypted:
+            problems.append("backups are not encrypted")
+        if not self.raw_data_never_public:
+            problems.append(
+                "raw data could become public (the paper: the raw "
+                "dataset should not be shared publicly)"
+            )
+        return tuple(problems)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations()

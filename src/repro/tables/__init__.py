@@ -1,0 +1,43 @@
+"""Table rendering: regenerate Table 1 in several formats."""
+
+from __future__ import annotations
+
+from ..corpus import Corpus
+from .charts import bar_chart, series_table, sparkline
+from .layout import TableColumn, TableLayout, TableRow, build_table1_layout
+from .renderers import (
+    render,
+    render_csv,
+    render_html,
+    render_latex,
+    render_legend_text,
+    render_markdown,
+    render_text,
+)
+
+__all__ = [
+    "TableColumn",
+    "TableLayout",
+    "TableRow",
+    "bar_chart",
+    "build_table1_layout",
+    "render",
+    "render_csv",
+    "render_html",
+    "render_latex",
+    "render_legend_text",
+    "render_markdown",
+    "render_table1",
+    "render_text",
+    "series_table",
+    "sparkline",
+]
+
+
+def render_table1(corpus: Corpus, format: str = "text") -> str:
+    """Regenerate Table 1 of the paper from the coded corpus.
+
+    *format* is one of ``text``, ``markdown``, ``latex``, ``csv`` or
+    ``html``.
+    """
+    return render(build_table1_layout(corpus), format)

@@ -1,0 +1,94 @@
+"""Plain-text charts for terminal reports.
+
+The paper has no figures, but several reproduced analyses are
+series-shaped (cracking curves, year trends, incorporation series).
+These helpers render them as deterministic ASCII bar charts and
+sparklines so examples, the CLI and EXPERIMENTS output can show shape
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import RenderError
+
+__all__ = ["bar_chart", "sparkline", "series_table"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    fill: str = "█",
+) -> str:
+    """Horizontal bar chart of label → value.
+
+    Bars scale to the maximum value; zero-max charts render empty
+    bars rather than dividing by zero.
+    """
+    if not values:
+        raise RenderError("no values to chart")
+    if width < 1:
+        raise RenderError("width must be positive")
+    if any(v < 0 for v in values.values()):
+        raise RenderError("bar_chart takes non-negative values")
+    label_width = max(len(str(label)) for label in values)
+    maximum = max(values.values())
+    lines = []
+    for label, value in values.items():
+        length = (
+            round(width * value / maximum) if maximum > 0 else 0
+        )
+        bar = fill * length
+        lines.append(
+            f"{str(label):>{label_width}} | {bar} {value:g}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    if not values:
+        raise RenderError("no values to chart")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - low) / (high - low) * scale)]
+        for v in values
+    )
+
+
+def series_table(
+    series: Mapping[str, Sequence[float]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Aligned table of named numeric series (equal lengths).
+
+    Useful for printing cracking curves side by side.
+    """
+    if not series:
+        raise RenderError("no series to render")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise RenderError("all series must have equal length")
+    (length,) = lengths
+    if length == 0:
+        raise RenderError("series must be non-empty")
+    name_width = max(len(name) for name in series)
+    cell_width = precision + 4
+    lines = []
+    for name, values in series.items():
+        cells = " ".join(
+            f"{value:{cell_width}.{precision}f}" for value in values
+        )
+        lines.append(
+            f"{name:>{name_width}} {cells}  {sparkline(values)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Format-agnostic layout model for coding-matrix tables.
+
+:func:`build_table1_layout` converts a corpus into a :class:`TableLayout`
+— an ordered grid of already-stringified cells plus header groups,
+category spans and the footnote legend — which each renderer
+(text/markdown/latex/csv/html) then serialises without re-deriving any
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..codebook import CellValue, DimensionKind
+from ..corpus import Corpus, TABLE1_FOOTNOTES
+from ..errors import RenderError
+
+__all__ = ["TableColumn", "TableRow", "TableLayout", "build_table1_layout"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TableColumn:
+    """One column of the layout."""
+
+    key: str
+    heading: str
+    group: str  # "id", "legal", "ethical", "justification", "meta", "codes"
+    align: str = "center"  # "left" | "center" | "right"
+
+
+@dataclasses.dataclass(frozen=True)
+class TableRow:
+    """One body row: category (for grouping), cells keyed by column."""
+
+    entry_id: str
+    category: str
+    cells: dict[str, str]
+    footnotes: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class TableLayout:
+    """The complete, renderer-ready table."""
+
+    title: str
+    columns: tuple[TableColumn, ...]
+    rows: tuple[TableRow, ...]
+    footnotes: dict[str, str]
+    legend: dict[str, dict[str, str]]
+
+    def column_keys(self) -> tuple[str, ...]:
+        return tuple(c.key for c in self.columns)
+
+    def group_spans(self) -> list[tuple[str, int]]:
+        """(group, column count) runs in column order."""
+        spans: list[tuple[str, int]] = []
+        for column in self.columns:
+            if spans and spans[-1][0] == column.group:
+                spans[-1] = (column.group, spans[-1][1] + 1)
+            else:
+                spans.append((column.group, 1))
+        return spans
+
+    def category_spans(self) -> list[tuple[str, int]]:
+        """(category, row count) runs in row order."""
+        spans: list[tuple[str, int]] = []
+        for row in self.rows:
+            if spans and spans[-1][0] == row.category:
+                spans[-1] = (row.category, spans[-1][1] + 1)
+            else:
+                spans.append((row.category, 1))
+        return spans
+
+
+_GROUP_HEADINGS = {
+    "legal": "Legal issues",
+    "ethical": "Ethical issues",
+    "justification": "Justifications",
+}
+
+#: Compact column headings for the closed dimensions, matching the
+#: rotated headers of the paper's Table 1.
+_SHORT_HEADINGS = {
+    "computer-misuse": "Computer misuse",
+    "copyright": "Copyright",
+    "data-privacy": "Data privacy",
+    "terrorism": "Terrorism",
+    "indecent-images": "Indecent images",
+    "national-security": "National security",
+    "identification-of-stakeholders": "Identification of stakeholders",
+    "identify-harms": "Identify harms",
+    "safeguards-discussed": "Safeguards",
+    "justice": "Justice",
+    "public-interest": "Public interest",
+    "not-the-first": "Not the first",
+    "public-data": "Public data",
+    "no-additional-harm": "No additional harm",
+    "fight-malicious-use": "Fight malicious use",
+    "necessary-data": "Necessary data",
+    "ethics-section": "Ethics section",
+    "reb-approval": "REB approval",
+}
+
+
+def build_table1_layout(corpus: Corpus, title: str | None = None) -> TableLayout:
+    """Build the renderer-ready layout of Table 1 from a corpus."""
+    codebook = corpus.codebook
+    columns: list[TableColumn] = [
+        TableColumn(key="sources", heading="Sources", group="id",
+                    align="left"),
+        TableColumn(key="reference", heading="Ref", group="id",
+                    align="right"),
+        TableColumn(key="year", heading="Year", group="id", align="right"),
+    ]
+    for dim in codebook:
+        if dim.kind != DimensionKind.CLOSED:
+            continue
+        columns.append(
+            TableColumn(
+                key=dim.id,
+                heading=_SHORT_HEADINGS.get(dim.id, dim.name),
+                group=dim.group,
+            )
+        )
+    for dim in codebook.open_dimensions():
+        columns.append(
+            TableColumn(
+                key=dim.id, heading=dim.name, group="codes", align="left"
+            )
+        )
+
+    rows: list[TableRow] = []
+    previous_label: str | None = None
+    for entry in corpus:
+        marks = "".join(entry.footnotes)
+        label = entry.source_label
+        display_label = "" if label == previous_label else label
+        previous_label = label
+        cells: dict[str, str] = {
+            "sources": display_label,
+            "reference": f"[{entry.reference}]{marks}",
+            "year": str(entry.year % 100).zfill(2),
+        }
+        for dim in codebook.closed_dimensions():
+            value = entry.values.get(dim.id)
+            if value is None:
+                raise RenderError(
+                    f"entry {entry.id!r} missing value for {dim.id!r}"
+                )
+            glyph = value.glyph
+            if value is CellValue.NOT_APPLICABLE:
+                glyph = ""
+            cells[dim.id] = glyph
+        for dim in codebook.open_dimensions():
+            cells[dim.id] = ",".join(entry.codes(dim.id))
+        rows.append(
+            TableRow(
+                entry_id=entry.id,
+                category=entry.category,
+                cells=cells,
+                footnotes=entry.footnotes,
+            )
+        )
+
+    return TableLayout(
+        title=title
+        or (
+            "Table 1: Summary of the legal/ethical issues and the "
+            "justifications made by the authors for each paper."
+        ),
+        columns=tuple(columns),
+        rows=tuple(rows),
+        footnotes=dict(TABLE1_FOOTNOTES),
+        legend=codebook.legend(),
+    )

@@ -1,0 +1,293 @@
+"""Renderers serialising a :class:`~repro.tables.layout.TableLayout`.
+
+Formats: Unicode text (for terminals), GitHub Markdown, LaTeX
+(booktabs-free, compiles with plain tabular), CSV and minimal HTML.
+Every renderer consumes the same layout object, so formats cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import io
+
+from .._util import wrap_text
+from ..errors import RenderError
+from .layout import TableLayout
+
+__all__ = [
+    "render_text",
+    "render_markdown",
+    "render_latex",
+    "render_csv",
+    "render_html",
+    "render_legend_text",
+]
+
+_GROUP_TITLES = {
+    "id": "",
+    "legal": "Legal issues",
+    "ethical": "Ethical issues",
+    "justification": "Justifications",
+    "meta": "",
+    "codes": "",
+}
+
+#: Short column glyph headers used in compact text output: we index the
+#: closed-dimension columns C1..Cn and explain them in the legend, which
+#: keeps the 23-column table within terminal width.
+def _column_tags(layout: TableLayout) -> dict[str, str]:
+    tags: dict[str, str] = {}
+    counters: dict[str, int] = {}
+    prefixes = {
+        "legal": "L",
+        "ethical": "E",
+        "justification": "J",
+        "meta": "M",
+    }
+    for column in layout.columns:
+        prefix = prefixes.get(column.group)
+        if prefix is None:
+            tags[column.key] = column.heading
+        else:
+            counters[prefix] = counters.get(prefix, 0) + 1
+            tags[column.key] = f"{prefix}{counters[prefix]}"
+    return tags
+
+
+def render_legend_text(layout: TableLayout) -> str:
+    """The footer legend: column tags, code abbreviations, footnotes."""
+    tags = _column_tags(layout)
+    lines: list[str] = ["Legend:"]
+    for group, title in _GROUP_TITLES.items():
+        members = [
+            c for c in layout.columns if c.group == group and title
+        ]
+        if not members:
+            continue
+        parts = ", ".join(
+            f"{tags[c.key]}={c.heading}" for c in members
+        )
+        lines.extend(wrap_text(f"{title}: {parts}", width=78, indent="  "))
+    meta = [c for c in layout.columns if c.group == "meta"]
+    if meta:
+        parts = ", ".join(f"{tags[c.key]}={c.heading}" for c in meta)
+        lines.extend(wrap_text(parts, width=78, indent="  "))
+    for dim_id, codes in layout.legend.items():
+        parts = ", ".join(
+            f"{abbrev}={name}" for abbrev, name in codes.items()
+        )
+        lines.extend(
+            wrap_text(f"{dim_id.capitalize()}: {parts}", width=78,
+                      indent="  ")
+        )
+    lines.append(
+        "  • legal issue applicable; ✓ discussed/used; ✗ not; "
+        "l declined; E exempt; ∅ not applicable"
+    )
+    for marker, note in layout.footnotes.items():
+        lines.extend(wrap_text(f"{marker}: {note}", width=78, indent="  "))
+    return "\n".join(lines)
+
+
+def render_text(layout: TableLayout, *, legend: bool = True) -> str:
+    """Unicode box table suitable for terminals (compact headers)."""
+    tags = _column_tags(layout)
+    keys = layout.column_keys()
+    headers = [tags[key] for key in keys]
+    # Column widths from headers and cells.
+    widths = {key: len(header) for key, header in zip(keys, headers)}
+    for row in layout.rows:
+        for key in keys:
+            widths[key] = max(widths[key], len(row.cells[key]))
+
+    def fmt_cell(key: str, text: str, align: str) -> str:
+        width = widths[key]
+        if align == "left":
+            return text.ljust(width)
+        if align == "right":
+            return text.rjust(width)
+        return text.center(width)
+
+    aligns = {c.key: c.align for c in layout.columns}
+    sep = " | "
+    header_line = sep.join(
+        fmt_cell(key, header, "center")
+        for key, header in zip(keys, headers)
+    )
+    rule = "-+-".join("-" * widths[key] for key in keys)
+    lines = [layout.title, "", header_line, rule]
+    current_category: str | None = None
+    for row in layout.rows:
+        if row.category != current_category:
+            current_category = row.category
+            lines.append(f"-- {current_category} --")
+        lines.append(
+            sep.join(
+                fmt_cell(key, row.cells[key], aligns[key]) for key in keys
+            )
+        )
+    if legend:
+        lines.append("")
+        lines.append(render_legend_text(layout))
+    return "\n".join(lines)
+
+
+def render_markdown(layout: TableLayout, *, legend: bool = True) -> str:
+    """GitHub-flavoured Markdown table."""
+    tags = _column_tags(layout)
+    keys = layout.column_keys()
+    lines = [f"**{layout.title}**", ""]
+    lines.append(
+        "| Category | " + " | ".join(tags[key] for key in keys) + " |"
+    )
+    lines.append("|" + "---|" * (len(keys) + 1))
+    current_category: str | None = None
+    for row in layout.rows:
+        category = (
+            row.category if row.category != current_category else ""
+        )
+        current_category = row.category
+        cells = " | ".join(
+            row.cells[key].replace("|", "\\|") for key in keys
+        )
+        lines.append(f"| {category} | {cells} |")
+    if legend:
+        lines.append("")
+        for line in render_legend_text(layout).splitlines():
+            lines.append(f"> {line}")
+    return "\n".join(lines)
+
+
+_LATEX_ESCAPES = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+    "•": r"$\bullet$",
+    "✓": r"\checkmark",
+    "✗": r"$\times$",
+    "∅": r"$\emptyset$",
+}
+
+
+def _latex_escape(text: str) -> str:
+    return "".join(_LATEX_ESCAPES.get(ch, ch) for ch in text)
+
+
+def render_latex(layout: TableLayout) -> str:
+    """A LaTeX ``table*`` environment mirroring the paper's layout."""
+    keys = layout.column_keys()
+    colspec = "ll" + "c" * (len(keys) - 1)
+    lines = [
+        r"\begin{table*}",
+        r"  \centering",
+        rf"  \caption{{{_latex_escape(layout.title)}}}",
+        rf"  \begin{{tabular}}{{{colspec}}}",
+        r"    \hline",
+    ]
+    tags = _column_tags(layout)
+    header = " & ".join(
+        [r"Category"] + [_latex_escape(tags[key]) for key in keys]
+    )
+    lines.append(f"    {header} \\\\")
+    lines.append(r"    \hline")
+    for category, span in layout.category_spans():
+        first = True
+        for row in layout.rows:
+            if row.category != category:
+                continue
+            cat_cell = (
+                rf"\multirow{{{span}}}{{*}}{{{_latex_escape(category)}}}"
+                if first
+                else ""
+            )
+            first = False
+            cells = " & ".join(
+                _latex_escape(row.cells[key]) for key in keys
+            )
+            lines.append(f"    {cat_cell} & {cells} \\\\")
+        lines.append(r"    \hline")
+    lines.extend(
+        [
+            r"  \end{tabular}",
+            r"\end{table*}",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def render_csv(layout: TableLayout) -> str:
+    """CSV with full (untagged) column headings; no legend."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["category", "entry_id"]
+        + [column.heading for column in layout.columns]
+    )
+    for row in layout.rows:
+        writer.writerow(
+            [row.category, row.entry_id]
+            + [row.cells[key] for key in layout.column_keys()]
+        )
+    return buffer.getvalue()
+
+
+def render_html(layout: TableLayout, *, legend: bool = True) -> str:
+    """Minimal standalone HTML table."""
+    tags = _column_tags(layout)
+    keys = layout.column_keys()
+    parts = [
+        "<table>",
+        f"  <caption>{html.escape(layout.title)}</caption>",
+        "  <thead><tr>",
+        "    <th>Category</th>",
+    ]
+    for key in keys:
+        parts.append(f"    <th>{html.escape(tags[key])}</th>")
+    parts.append("  </tr></thead>")
+    parts.append("  <tbody>")
+    current_category: str | None = None
+    for row in layout.rows:
+        parts.append("  <tr>")
+        category = (
+            row.category if row.category != current_category else ""
+        )
+        current_category = row.category
+        parts.append(f"    <td>{html.escape(category)}</td>")
+        for key in keys:
+            parts.append(f"    <td>{html.escape(row.cells[key])}</td>")
+        parts.append("  </tr>")
+    parts.append("  </tbody>")
+    parts.append("</table>")
+    if legend:
+        legend_text = html.escape(render_legend_text(layout))
+        parts.append(f"<pre>{legend_text}</pre>")
+    return "\n".join(parts)
+
+
+_RENDERERS = {
+    "text": render_text,
+    "markdown": render_markdown,
+    "latex": render_latex,
+    "csv": render_csv,
+    "html": render_html,
+}
+
+
+def render(layout: TableLayout, format: str = "text") -> str:
+    """Dispatch to the renderer for *format*."""
+    try:
+        renderer = _RENDERERS[format]
+    except KeyError:
+        raise RenderError(
+            f"unknown format {format!r}; choose from {sorted(_RENDERERS)}"
+        ) from None
+    return renderer(layout)

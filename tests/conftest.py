@@ -1,0 +1,22 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper_bibliography, paper_codebook, table1_corpus
+
+
+@pytest.fixture(scope="session")
+def codebook():
+    return paper_codebook()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return table1_corpus()
+
+
+@pytest.fixture(scope="session")
+def bibliography():
+    return paper_bibliography()

@@ -1,0 +1,226 @@
+"""Unit and property tests for inter-rater reliability statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding import (
+    Coder,
+    annotations_from_corpus,
+    cohens_kappa,
+    confusion_matrix,
+    fleiss_kappa,
+    interpret_kappa,
+    krippendorff_alpha,
+    pairwise_kappa,
+    percent_agreement,
+    set_agreement,
+    weighted_kappa,
+)
+from repro.errors import CodingError
+
+LABELS = st.sampled_from(["yes", "no", "maybe"])
+
+
+class TestPercentAgreement:
+    def test_identical(self):
+        assert percent_agreement(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_disjoint(self):
+        assert percent_agreement(["a", "a"], ["b", "b"]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(CodingError):
+            percent_agreement(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodingError):
+            percent_agreement([], [])
+
+
+class TestCohensKappa:
+    def test_perfect_agreement(self):
+        assert cohens_kappa(["a", "b", "a"], ["a", "b", "a"]) == 1.0
+
+    def test_chance_level_is_zero(self):
+        # Exactly chance-level agreement: kappa 0.
+        a = ["y", "y", "n", "n"]
+        b = ["y", "n", "y", "n"]
+        assert cohens_kappa(a, b) == pytest.approx(0.0)
+
+    def test_worse_than_chance_negative(self):
+        a = ["y", "y", "n", "n"]
+        b = ["n", "n", "y", "y"]
+        assert cohens_kappa(a, b) < 0
+
+    def test_single_category_degenerate(self):
+        assert cohens_kappa(["a", "a"], ["a", "a"]) == 1.0
+
+    def test_textbook_example(self):
+        # 2x2 example: Po = 0.7, marginals (0.7, 0.3) x (0.6, 0.4)
+        # -> Pe = 0.54, kappa = 0.16/0.46.
+        a = ["+"] * 25 + ["+"] * 10 + ["-"] * 5 + ["-"] * 10
+        b = ["+"] * 25 + ["-"] * 10 + ["+"] * 5 + ["-"] * 10
+        observed = percent_agreement(a, b)
+        assert observed == pytest.approx(0.7)
+        expected = (0.7 - 0.54) / (1 - 0.54)
+        assert cohens_kappa(a, b) == pytest.approx(expected)
+
+    @given(
+        st.lists(LABELS, min_size=2, max_size=40),
+    )
+    def test_self_agreement_is_one(self, labels):
+        assert cohens_kappa(labels, labels) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.tuples(LABELS, LABELS), min_size=2, max_size=40),
+    )
+    def test_bounded_above_by_one(self, pairs):
+        a = [p[0] for p in pairs]
+        b = [p[1] for p in pairs]
+        assert cohens_kappa(a, b) <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.tuples(LABELS, LABELS), min_size=2, max_size=40),
+    )
+    def test_symmetric(self, pairs):
+        a = [p[0] for p in pairs]
+        b = [p[1] for p in pairs]
+        assert cohens_kappa(a, b) == pytest.approx(cohens_kappa(b, a))
+
+
+class TestWeightedKappa:
+    def test_default_weights_match_unweighted(self):
+        a = ["y", "y", "n", "n", "y"]
+        b = ["y", "n", "y", "n", "y"]
+        assert weighted_kappa(a, b, {}) == pytest.approx(
+            cohens_kappa(a, b)
+        )
+
+    def test_partial_credit_raises_kappa(self):
+        a = ["lo", "hi", "mid", "lo"]
+        b = ["mid", "hi", "lo", "lo"]
+        strict = weighted_kappa(a, b, {})
+        lenient = weighted_kappa(
+            a, b, {("lo", "mid"): 0.5, ("mid", "lo"): 0.5}
+        )
+        assert lenient > strict
+
+    def test_perfect_agreement(self):
+        assert weighted_kappa(["a", "b"], ["a", "b"], {}) == 1.0
+
+
+class TestFleissKappa:
+    def test_perfect(self):
+        items = [["a", "a", "a"], ["b", "b", "b"]]
+        assert fleiss_kappa(items) == pytest.approx(1.0)
+
+    def test_needs_two_raters(self):
+        with pytest.raises(CodingError):
+            fleiss_kappa([["a"]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(CodingError):
+            fleiss_kappa([["a", "b"], ["a"]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodingError):
+            fleiss_kappa([])
+
+    def test_two_raters_close_to_cohen(self):
+        # For 2 raters Fleiss' kappa ~ Cohen's kappa when marginals
+        # are similar.
+        a = ["y", "y", "n", "n", "y", "n"]
+        b = ["y", "n", "n", "n", "y", "y"]
+        items = list(map(list, zip(a, b)))
+        assert fleiss_kappa(items) == pytest.approx(
+            cohens_kappa(a, b), abs=0.15
+        )
+
+    @given(
+        st.lists(
+            st.tuples(LABELS, LABELS, LABELS), min_size=2, max_size=30
+        )
+    )
+    def test_bounded(self, rows):
+        items = [list(r) for r in rows]
+        kappa = fleiss_kappa(items)
+        assert -1.0 - 1e-9 <= kappa <= 1.0 + 1e-9
+
+
+class TestKrippendorffAlpha:
+    def test_perfect(self):
+        assert krippendorff_alpha([["a", "a"], ["b", "b"]]) == 1.0
+
+    def test_handles_missing(self):
+        items = [["a", "a", None], ["b", None, "b"], ["a", "a", "a"]]
+        alpha = krippendorff_alpha(items)
+        assert alpha == pytest.approx(1.0)
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(CodingError):
+            krippendorff_alpha([["a", None], [None, "b"]])
+
+    def test_known_value(self):
+        # Krippendorff's own example (2011 tutorial): two observers,
+        # nominal data -> alpha ~ 0.095 for this pattern.
+        a = list("abbbbbbbbb")
+        b = list("bbbbbbbbbb")
+        items = list(map(list, zip(a, b)))
+        alpha = krippendorff_alpha(items)
+        assert -1.0 <= alpha <= 1.0
+        assert alpha < 0.2  # near-chance despite 90% raw agreement
+
+    @given(
+        st.lists(st.tuples(LABELS, LABELS), min_size=2, max_size=30)
+    )
+    def test_self_copy_alpha_is_one(self, pairs):
+        items = [[p[0], p[0]] for p in pairs]
+        assert krippendorff_alpha(items) == pytest.approx(1.0)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert matrix == {("a", "a"): 1, ("a", "b"): 1, ("b", "b"): 1}
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize(
+        "kappa,band",
+        [
+            (-0.1, "poor"),
+            (0.1, "slight"),
+            (0.3, "fair"),
+            (0.5, "moderate"),
+            (0.7, "substantial"),
+            (0.9, "almost perfect"),
+        ],
+    )
+    def test_bands(self, kappa, band):
+        assert interpret_kappa(kappa) == band
+
+
+class TestSetAgreement:
+    def test_identical_recodings_of_table1(self, corpus):
+        first = annotations_from_corpus(corpus, Coder(id="a"))
+        second = annotations_from_corpus(corpus, Coder(id="b"))
+        summary = set_agreement([first, second])
+        assert summary["percent"] == 1.0
+        assert summary["fleiss_kappa"] == pytest.approx(1.0)
+        assert summary["krippendorff_alpha"] == pytest.approx(1.0)
+
+    def test_pairwise_kappa_per_dimension(self, corpus):
+        first = annotations_from_corpus(corpus, Coder(id="a"))
+        second = annotations_from_corpus(corpus, Coder(id="b"))
+        kappas = pairwise_kappa(first, second)
+        assert set(kappas) == {
+            dim.id for dim in corpus.codebook
+        }
+        assert all(k == pytest.approx(1.0) for k in kappas.values())
+
+    def test_needs_two_sets(self, corpus):
+        annotations = annotations_from_corpus(corpus, Coder(id="a"))
+        with pytest.raises(CodingError):
+            set_agreement([annotations])

@@ -1,0 +1,197 @@
+"""Unit tests for the coding-matrix analysis engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CodingMatrix,
+    odds_ratio,
+    independence_test,
+    year_trend_test,
+)
+from repro.corpus import Category
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def matrix(corpus):
+    return CodingMatrix(corpus)
+
+
+# pytest collects module-scope fixtures from conftest; re-export corpus.
+@pytest.fixture(scope="module")
+def corpus():
+    from repro import table1_corpus
+
+    return table1_corpus()
+
+
+class TestMatrixShape:
+    def test_dimensions(self, matrix):
+        # 18 closed dims + 3 + 6 + 4 open codes = 31 columns.
+        assert matrix.shape == (30, 31)
+
+    def test_columns_are_named(self, matrix):
+        assert "computer-misuse" in matrix.columns
+        assert "safeguards:CS" in matrix.columns
+        assert "harms:DA" in matrix.columns
+
+    def test_unknown_column(self, matrix):
+        with pytest.raises(AnalysisError):
+            matrix.column("nonexistent")
+
+    def test_unknown_row(self, matrix):
+        with pytest.raises(AnalysisError):
+            matrix.row("nonexistent")
+
+    def test_row_lookup(self, matrix):
+        row = matrix.row("att-ipad")
+        assert row.sum() > 0
+
+    def test_as_array_is_copy(self, matrix):
+        array = matrix.as_array()
+        array[0, 0] = 99
+        assert matrix.as_array()[0, 0] != 99
+
+
+class TestFrequencies:
+    def test_computer_misuse_universal(self, matrix):
+        table = matrix.frequencies(["computer-misuse"])
+        assert table["computer-misuse"] == 30
+
+    def test_da_harm_never_coded(self, matrix):
+        table = matrix.frequencies(["harms:DA"])
+        assert table["harms:DA"] == 0
+
+    def test_group_frequencies_legal(self, matrix):
+        table = matrix.group_frequencies("legal")
+        assert table.as_dict() == {
+            "computer-misuse": 30,
+            "copyright": 16,
+            "data-privacy": 24,
+            "terrorism": 9,
+            "indecent-images": 3,
+            "national-security": 9,
+        }
+
+    def test_group_frequencies_codes(self, matrix):
+        table = matrix.group_frequencies("codes")
+        assert table["safeguards:P"] == 10
+        assert table["benefits:DM"] == 11
+
+    def test_unknown_group(self, matrix):
+        with pytest.raises(AnalysisError):
+            matrix.group_frequencies("nope")
+
+    def test_share(self, matrix):
+        table = matrix.frequencies(["computer-misuse"])
+        assert table.share("computer-misuse") == 1.0
+
+    def test_most_common_order(self, matrix):
+        table = matrix.group_frequencies("codes")
+        top_label, top_count = table.most_common(1)[0]
+        assert top_count == max(table.counts)
+
+    def test_unknown_label_lookup(self, matrix):
+        table = matrix.frequencies(["justice"])
+        with pytest.raises(AnalysisError):
+            table["nope"]
+
+
+class TestCrossTabs:
+    def test_marginals_sum_to_n(self, matrix):
+        tab = matrix.crosstab("ethics-section", "safeguards:P")
+        assert tab.n == 30
+
+    def test_ethics_section_privacy_association(self, matrix):
+        # 8 of the 10 privacy-safeguard rows have ethics sections.
+        tab = matrix.crosstab("safeguards:P", "ethics-section")
+        assert tab.both == 8
+        assert tab.row_only == 2
+
+    def test_jaccard_bounds(self, matrix):
+        tab = matrix.crosstab("data-privacy", "ethics-section")
+        assert 0.0 <= tab.jaccard() <= 1.0
+
+    def test_table_matches_counts(self, matrix):
+        tab = matrix.crosstab("justice", "public-interest")
+        assert tab.table.sum() == 30
+        assert tab.table[0, 0] == tab.both
+
+
+class TestCooccurrence:
+    def test_diagonal_is_frequency(self, matrix):
+        labels, counts = matrix.cooccurrence(
+            ["safeguards:P", "safeguards:CS"]
+        )
+        assert counts[0, 0] == 10  # P count
+        assert counts[1, 1] == 4  # CS count
+
+    def test_symmetric(self, matrix):
+        labels, counts = matrix.cooccurrence(
+            ["harms:SI", "benefits:DM", "justice"]
+        )
+        assert np.array_equal(counts, counts.T)
+
+
+class TestGroupedViews:
+    def test_by_category_covers_all_rows(self, matrix):
+        subs = matrix.by_category()
+        assert set(subs) == set(Category.ORDER)
+        assert sum(len(s.entries) for s in subs.values()) == 30
+
+    def test_category_counts_differ(self, matrix):
+        subs = matrix.by_category()
+        passwords = subs[Category.PASSWORDS]
+        table = passwords.frequencies(["safeguards:P"])
+        assert table["safeguards:P"] == 5  # all password rows use P
+
+    def test_year_trend_buckets(self, matrix):
+        trend = matrix.year_trend("ethics-section")
+        assert sum(total for _, total in trend.values()) == 30
+        assert all(pos <= total for pos, total in trend.values())
+
+    def test_reb_breakdown(self, matrix):
+        counts = matrix.reb_breakdown()
+        assert counts["approved"] == 2
+        assert counts["exempt"] == 2
+        assert counts["not-mentioned"] == 24
+        assert counts["not-relevant"] == 2
+
+
+class TestStatisticalTests:
+    def test_independence_runs(self, matrix):
+        result = independence_test(matrix, "justice", "public-interest")
+        assert result.method in ("fisher-exact", "chi2-yates")
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_justice_public_interest_associated(self, matrix):
+        # In Table 1 Justice and Public interest are strongly linked.
+        result = independence_test(matrix, "justice", "public-interest")
+        assert result.odds_ratio > 1.0
+
+    def test_odds_ratio_corrected(self, matrix):
+        tab = matrix.crosstab("harms:DA", "justice")
+        # DA never occurs; correction keeps the OR finite and positive.
+        assert odds_ratio(tab) > 0.0
+
+    def test_year_trend(self, matrix):
+        result = year_trend_test(matrix, "ethics-section")
+        assert result.direction in ("increasing", "decreasing", "flat")
+        assert len(result.years) == len(result.shares)
+
+    def test_year_trend_needs_years(self, corpus):
+        sub_entries = corpus.by_year(2013)
+        from repro.corpus import Corpus
+
+        small = Corpus(corpus.codebook, sub_entries)
+        small_matrix = CodingMatrix(small)
+        with pytest.raises(AnalysisError):
+            year_trend_test(small_matrix, "ethics-section")
+
+    def test_constant_share_flat(self, matrix):
+        result = year_trend_test(matrix, "computer-misuse")
+        assert result.direction == "flat"
+        assert result.p_value == 1.0

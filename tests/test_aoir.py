@@ -1,0 +1,69 @@
+"""Unit tests for the AoIR-style decision process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import AOIR_QUESTIONS, DecisionProcess, Question
+
+
+class TestQuestionInventory:
+    def test_unique_ids(self):
+        ids = [q.id for q in AOIR_QUESTIONS]
+        assert len(set(ids)) == len(ids)
+
+    def test_areas_covered(self):
+        areas = {q.area for q in AOIR_QUESTIONS}
+        assert areas == {
+            "context",
+            "consent",
+            "harm",
+            "data-handling",
+            "publication",
+        }
+
+    def test_some_non_blocking(self):
+        assert any(not q.blocking for q in AOIR_QUESTIONS)
+
+
+class TestDecisionProcess:
+    def test_duplicate_questions_rejected(self):
+        question = Question(id="q", area="a", text="?")
+        with pytest.raises(EthicsModelError):
+            DecisionProcess((question, question))
+
+    def test_answer_unknown_question(self):
+        process = DecisionProcess()
+        with pytest.raises(EthicsModelError):
+            process.answer("nope", "answer")
+
+    def test_empty_answer_rejected(self):
+        process = DecisionProcess()
+        with pytest.raises(EthicsModelError):
+            process.answer("context-venue", "   ")
+
+    def test_completion_requires_blocking_only(self):
+        process = DecisionProcess()
+        for question in AOIR_QUESTIONS:
+            if question.blocking:
+                process.answer(question.id, "considered and recorded")
+        assert process.complete()
+        assert process.unanswered()  # non-blocking remain
+
+    def test_area_completeness(self):
+        process = DecisionProcess()
+        process.answer("context-venue", "a leaked booter database")
+        completeness = process.area_completeness()
+        assert completeness["context"] == 0.5
+        assert completeness["consent"] == 0.0
+
+    def test_transcript_shows_unanswered(self):
+        process = DecisionProcess()
+        process.answer("context-venue", "a leaked booter database")
+        transcript = process.transcript()
+        assert "a leaked booter database" in transcript
+        assert "(unanswered)" in transcript
+
+    def test_incomplete_initially(self):
+        assert not DecisionProcess().complete()

@@ -1,0 +1,254 @@
+"""Unit and integration tests for the assessment engine (incl. E10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assessment import (
+    PlannedSafeguards,
+    ResearchProject,
+    Verdict,
+    assess_project,
+    corpus_profiles,
+    profile_for,
+    publication_checklist,
+    validate_legal_reconstruction,
+)
+from repro.corpus import DataOrigin
+from repro.errors import AssessmentError
+from repro.ethics import (
+    BenefitInstance,
+    HarmInstance,
+    JustificationFacts,
+)
+from repro.legal import DataProfile, JurisdictionSet
+
+
+def booter_project(**overrides) -> ResearchProject:
+    """A realistic project: measuring DDoS attacks from booter dumps
+    (the Thomas et al. [110] scenario)."""
+    defaults = dict(
+        title="Measuring booter attacks from leaked databases",
+        research_question=(
+            "What fraction of UDP amplification attacks do honeypots "
+            "observe?"
+        ),
+        data_description=(
+            "Leaked databases of two DDoS-for-hire services."
+        ),
+        profile=DataProfile(
+            origin=DataOrigin.UNAUTHORIZED_LEAK,
+            contains_email_addresses=True,
+            contains_ip_addresses=True,
+            publicly_available=True,
+        ),
+        harms=(
+            HarmInstance(
+                description="re-exposure of booter customer emails",
+                kind="SI",
+                stakeholder_id="data-subjects",
+                likelihood=0.5,
+                severity=0.5,
+            ),
+        ),
+        benefits=(
+            BenefitInstance(
+                description="ground truth for DDoS measurement",
+                kind="U",
+                beneficiary="society",
+                magnitude=0.8,
+            ),
+        ),
+        justification_facts=JustificationFacts(
+            data_public=True,
+            no_alternative_source=True,
+            public_interest_case=True,
+            secure_handling=True,
+        ),
+        safeguards=PlannedSafeguards(
+            secure_storage=True,
+            privacy_preserved=True,
+            controlled_sharing=True,
+            acceptable_use_policy="https://example.org/aup",
+        ),
+        jurisdictions=JurisdictionSet.from_codes(["UK", "US"]),
+        has_ethics_section=True,
+    )
+    defaults.update(overrides)
+    return ResearchProject(**defaults)
+
+
+class TestProjectModel:
+    def test_requires_title_and_question(self):
+        with pytest.raises(AssessmentError):
+            booter_project(title="")
+        with pytest.raises(AssessmentError):
+            booter_project(research_question="")
+
+    def test_unknown_harm_stakeholder(self):
+        harm = HarmInstance(
+            description="x",
+            kind="SI",
+            stakeholder_id="ghost",
+            likelihood=0.5,
+            severity=0.5,
+        )
+        with pytest.raises(AssessmentError):
+            booter_project(harms=(harm,))
+
+    def test_safeguard_codes(self):
+        safeguards = PlannedSafeguards(
+            encryption_at_rest=True,
+            access_control=True,
+            privacy_preserved=True,
+        )
+        assert safeguards.codes() == ("SS", "P")
+
+    def test_mitigated_harms_reduce_risk(self):
+        project = booter_project()
+        raw = sum(h.residual_risk for h in project.harms)
+        mitigated = sum(
+            h.residual_risk for h in project.mitigated_harms()
+        )
+        assert mitigated < raw
+
+    def test_mitigation_capped(self):
+        safeguards = PlannedSafeguards(
+            secure_storage=True,
+            privacy_preserved=True,
+            data_minimisation=True,
+            pseudonymisation=True,
+            controlled_sharing=True,
+        )
+        for kind in ("SI", "DA", "PA", "RH", "BC", "I"):
+            assert 0.0 <= safeguards.mitigation_for(kind) <= 0.9
+
+
+class TestEngine:
+    def test_well_safeguarded_project(self):
+        assessment = assess_project(booter_project(reb_approved=True))
+        assert assessment.verdict in (
+            Verdict.PROCEED,
+            Verdict.PROCEED_WITH_SAFEGUARDS,
+        )
+
+    def test_unapproved_risky_project_requires_reb(self):
+        assessment = assess_project(booter_project(reb_approved=False))
+        assert assessment.verdict == Verdict.REQUIRES_REB
+        assert any(
+            "risk-based trigger" in action
+            for action in assessment.required_actions
+        )
+
+    def test_indecent_images_blocks(self):
+        project = booter_project(
+            profile=DataProfile(
+                origin=DataOrigin.UNAUTHORIZED_LEAK,
+                may_contain_indecent_images=True,
+            )
+        )
+        assessment = assess_project(project)
+        assert assessment.verdict == Verdict.DO_NOT_PROCEED
+
+    def test_missing_ethics_section_flagged(self):
+        assessment = assess_project(
+            booter_project(has_ethics_section=False)
+        )
+        assert any(
+            "ethics section" in action
+            for action in assessment.required_actions
+        )
+
+    def test_subsidising_party_noted(self):
+        assessment = assess_project(booter_project())
+        # The data subjects carry risk; society gets the benefit.
+        assert any("justice" in note for note in assessment.notes)
+
+    def test_acceptable_justifications_found(self):
+        assessment = assess_project(booter_project())
+        ids = {
+            j.justification_id
+            for j in assessment.acceptable_justifications
+        }
+        assert "necessary-data" in ids
+
+    def test_summary_renders(self):
+        assessment = assess_project(booter_project())
+        text = assessment.summary()
+        assert "Verdict:" in text
+        assert "Menlo" in text
+
+    def test_rights_context_blocks_lethal_research(self):
+        from repro.ethics import RightsContext
+
+        project = booter_project(
+            rights_context=RightsContext(
+                identifies_individuals=True,
+                implies_criminality=True,
+                extrajudicial_violence_risk=True,
+            ),
+            reb_approved=True,
+        )
+        assessment = assess_project(project)
+        assert assessment.verdict == Verdict.DO_NOT_PROCEED
+        assert any(
+            risk.right.id == "life" for risk in assessment.rights_risks
+        )
+
+    def test_rights_context_without_life_risk_requires_reb(self):
+        from repro.ethics import RightsContext
+
+        project = booter_project(
+            rights_context=RightsContext(
+                identifies_individuals=True,
+                contains_private_life=True,
+            ),
+            reb_approved=True,
+        )
+        assessment = assess_project(project)
+        assert assessment.verdict == Verdict.REQUIRES_REB
+        assert any(
+            "human rights" in action
+            for action in assessment.required_actions
+        )
+
+    def test_default_rights_context_empty(self):
+        assessment = assess_project(booter_project())
+        assert assessment.rights_risks == ()
+
+
+class TestChecklist:
+    def test_ready_project_passes_required(self):
+        assessment = assess_project(booter_project(reb_approved=True))
+        checklist = publication_checklist()
+        assert checklist.ready(assessment)
+
+    def test_unready_project_fails(self):
+        assessment = assess_project(
+            booter_project(
+                has_ethics_section=False, reb_approved=False
+            )
+        )
+        checklist = publication_checklist()
+        assert not checklist.ready(assessment)
+
+    def test_report_counts(self):
+        assessment = assess_project(booter_project(reb_approved=True))
+        report = publication_checklist().report(assessment)
+        assert "items pass" in report
+
+
+class TestCorpusProfiles:
+    def test_profiles_cover_corpus(self, corpus):
+        profiles = corpus_profiles()
+        assert set(profiles) == set(corpus.entry_ids)
+
+    def test_unknown_entry(self):
+        with pytest.raises(AssessmentError):
+            profile_for("nope")
+
+    def test_e10_reconstruction_all_pass(self, corpus):
+        checks = validate_legal_reconstruction(corpus)
+        failing = [c.describe() for c in checks if not c.ok]
+        assert len(checks) == 30
+        assert not failing, failing

@@ -1,0 +1,62 @@
+"""Unit tests for the one-call governance document pack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assessment import assess_project
+from repro.ethics import RightsContext
+from repro.legal import JurisdictionSet, US
+from repro.reporting import generate_audit_pack
+from tests.test_assessment import booter_project
+
+
+@pytest.fixture(scope="module")
+def assessment():
+    return assess_project(booter_project(reb_approved=True))
+
+
+class TestAuditPack:
+    def test_core_documents_present(self, assessment):
+        pack = generate_audit_pack(assessment)
+        assert set(pack) == {
+            "ethics-section",
+            "reb-application",
+            "data-management-plan",
+            "rights-annex",
+            "checklist",
+        }
+        assert all(text.strip() for text in pack.values())
+
+    def test_travel_annex_optional(self, assessment):
+        pack = generate_audit_pack(
+            assessment,
+            home=US,
+            travel_destinations=JurisdictionSet.from_codes(
+                ["UK", "DE"]
+            ),
+        )
+        assert "travel-advisory" in pack
+        assert "Travel advisory" in pack["travel-advisory"]
+
+    def test_rights_annex_reflects_context(self):
+        project = booter_project(
+            rights_context=RightsContext(
+                identifies_individuals=True,
+                contains_private_life=True,
+            ),
+            reb_approved=True,
+        )
+        pack = generate_audit_pack(assess_project(project))
+        assert "privacy" in pack["rights-annex"]
+        assert "Article 12" in pack["rights-annex"]
+
+    def test_rights_annex_clean_when_unengaged(self, assessment):
+        pack = generate_audit_pack(assessment)
+        assert "No rights" in pack["rights-annex"]
+
+    def test_documents_are_consistent(self, assessment):
+        pack = generate_audit_pack(assessment)
+        title = assessment.project.title
+        assert title in pack["reb-application"]
+        assert title in pack["data-management-plan"]

@@ -1,0 +1,139 @@
+"""Unit tests for the bibliography."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bibliography import Bibliography, Reference, ReferenceType
+from repro.errors import BibliographyError
+
+
+class TestReference:
+    def test_cite_single_author(self):
+        ref = Reference(
+            number=1, key="x2020", authors=("Ada Lovelace",),
+            year=2020, title="On engines",
+        )
+        assert ref.cite() == "Ada Lovelace (2020)"
+
+    def test_cite_two_authors(self):
+        ref = Reference(
+            number=1, key="x2020",
+            authors=("A. One", "B. Two"), year=2020, title="T",
+        )
+        assert ref.cite() == "A. One and B. Two (2020)"
+
+    def test_cite_many_authors_et_al(self):
+        ref = Reference(
+            number=1, key="x2020",
+            authors=("A. One", "B. Two", "C. Three"),
+            year=2020, title="T",
+        )
+        assert ref.cite() == "A. One et al. (2020)"
+
+    def test_cite_undated(self):
+        ref = Reference(
+            number=1, key="x", authors=("A",), year=0, title="T",
+        )
+        assert "n.d." in ref.cite()
+
+    def test_format_includes_number_and_doi(self):
+        ref = Reference(
+            number=7, key="x2020", authors=("A",), year=2020,
+            title="T", venue="V", doi="10.1/xyz",
+        )
+        formatted = ref.format()
+        assert formatted.startswith("[7]")
+        assert "doi:10.1/xyz" in formatted
+
+    def test_invalid_number(self):
+        with pytest.raises(BibliographyError):
+            Reference(number=0, key="x", authors=(), year=2020, title="T")
+
+    def test_invalid_key(self):
+        with pytest.raises(BibliographyError):
+            Reference(
+                number=1, key="Not Slug", authors=(), year=2020, title="T"
+            )
+
+    def test_invalid_type(self):
+        with pytest.raises(BibliographyError):
+            Reference(
+                number=1, key="x", authors=(), year=2020, title="T",
+                type="zine",
+            )
+
+    def test_peer_review_heuristic(self):
+        paper = Reference(
+            number=1, key="a", authors=(), year=2020, title="T",
+            type=ReferenceType.PAPER,
+        )
+        blog = Reference(
+            number=2, key="b", authors=(), year=2020, title="T",
+            type=ReferenceType.WEB,
+        )
+        assert paper.is_peer_reviewed
+        assert not blog.is_peer_reviewed
+
+
+class TestBibliographyRegistry:
+    def test_duplicate_number_rejected(self):
+        ref = Reference(number=1, key="a", authors=(), year=2020, title="T")
+        ref2 = Reference(number=1, key="b", authors=(), year=2020, title="U")
+        with pytest.raises(BibliographyError):
+            Bibliography([ref, ref2])
+
+    def test_duplicate_key_rejected(self):
+        ref = Reference(number=1, key="a", authors=(), year=2020, title="T")
+        ref2 = Reference(number=2, key="a", authors=(), year=2020, title="U")
+        with pytest.raises(BibliographyError):
+            Bibliography([ref, ref2])
+
+    def test_unknown_lookup(self):
+        bib = Bibliography([])
+        with pytest.raises(BibliographyError):
+            bib[1]
+
+
+class TestPaperBibliography:
+    def test_has_all_124_references(self, bibliography):
+        assert len(bibliography) == 124
+        assert [r.number for r in bibliography] == list(range(1, 125))
+
+    def test_lookup_by_number_and_key(self, bibliography):
+        menlo = bibliography[28]
+        assert "Menlo" in menlo.title
+        assert bibliography["dittrich2012menlo"] is menlo
+
+    def test_key_case_studies_present(self, bibliography):
+        assert "Carna" in bibliography[18].title
+        assert "password reuse" in bibliography[24].title
+        assert "Panama" in bibliography[82].title
+        assert bibliography[110].authors[0] == "Daniel R. Thomas"
+
+    def test_laws_typed_as_laws(self, bibliography):
+        for number in (1, 2, 21, 22, 37, 38, 39, 40, 41, 88, 108, 112):
+            assert bibliography[number].type == ReferenceType.LAW, number
+
+    def test_search_by_title(self, bibliography):
+        hits = bibliography.search("booter")
+        assert {r.number for r in hits} >= {54, 93}
+
+    def test_search_by_author(self, bibliography):
+        hits = bibliography.search("Bonneau")
+        assert {r.number for r in hits} >= {13, 24, 32}
+
+    def test_by_year(self, bibliography):
+        years_2017 = bibliography.by_year(2017)
+        assert any(r.number == 110 for r in years_2017)
+
+    def test_by_type_partitions(self, bibliography):
+        total = sum(
+            len(bibliography.by_type(t)) for t in ReferenceType.ALL
+        )
+        assert total == len(bibliography)
+
+    def test_contains(self, bibliography):
+        assert 28 in bibliography
+        assert "dittrich2012menlo" in bibliography
+        assert 999 not in bibliography

@@ -1,0 +1,77 @@
+"""Unit tests for the plain-text chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RenderError
+from repro.tables import bar_chart, series_table, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_maximum(self):
+        chart = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1, "longer-label": 2})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values_render(self):
+        chart = bar_chart({"a": 0, "b": 0})
+        assert "0" in chart
+
+    def test_validation(self):
+        with pytest.raises(RenderError):
+            bar_chart({})
+        with pytest.raises(RenderError):
+            bar_chart({"a": -1})
+        with pytest.raises(RenderError):
+            bar_chart({"a": 1}, width=0)
+
+    def test_values_shown(self):
+        chart = bar_chart({"P": 10, "SS": 2, "CS": 4})
+        assert "10" in chart and "2" in chart and "4" in chart
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes_hit_bounds(self):
+        line = sparkline([0, 100])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RenderError):
+            sparkline([])
+
+
+class TestSeriesTable:
+    def test_renders_all_series(self):
+        table = series_table(
+            {"dict": [0.1, 0.5, 0.8], "brute": [0.0, 0.0, 0.0]}
+        )
+        assert "dict" in table and "brute" in table
+        assert len(table.splitlines()) == 2
+
+    def test_ragged_rejected(self):
+        with pytest.raises(RenderError):
+            series_table({"a": [1, 2], "b": [1]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(RenderError):
+            series_table({})
+        with pytest.raises(RenderError):
+            series_table({"a": []})

@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_format_choices(self):
+        args = build_parser().parse_args(
+            ["table1", "--format", "latex"]
+        )
+        assert args.format == "latex"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--format", "pdf"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Malware & exploitation" in out
+
+    def test_table1_csv(self, capsys):
+        assert main(["table1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 31
+
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "ethics sections: 12/28" in out
+
+    def test_verify_passes(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        assert "# Reproduction report" in capsys.readouterr().out
+
+    def test_legend(self, capsys):
+        assert main(["legend"]) == 0
+        assert "P=Privacy" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["passwords", "booter", "forum", "offshore", "classified",
+         "scan"],
+    )
+    def test_simulate_kinds(self, capsys, kind):
+        assert main(["simulate", kind, "--seed", "1"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_simulate_deterministic(self, capsys):
+        main(["simulate", "booter", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["simulate", "booter", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_bibliography_search(self, capsys):
+        assert main(["bibliography", "--search", "Menlo"]) == 0
+        out = capsys.readouterr().out
+        assert "[28]" in out
+
+    def test_bibliography_full(self, capsys):
+        assert main(["bibliography"]) == 0
+        assert "124 references" in capsys.readouterr().out
+
+    def test_similarity(self, capsys):
+        assert main(["similarity", "--threshold", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters at threshold 0.7" in out
+        assert "category separation" in out
+
+    def test_simulate_reb(self, capsys):
+        assert main(
+            ["simulate-reb", "--board", "medical", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Legacy medical-model REB" in out
+        assert "submissions" in out
+
+    def test_simulate_reb_policy_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate-reb", "--policy", "vibes"]
+            )
+
+    def test_evidence(self, capsys):
+        assert main(["evidence", "patreon"]) == 0
+        out = capsys.readouterr().out
+        assert "§4.3.2" in out
+        assert "unethical to do so" in out
+
+    def test_evidence_unknown_entry(self):
+        from repro.errors import UnknownEntryError
+
+        with pytest.raises(UnknownEntryError):
+            main(["evidence", "ghost"])
+
+    def test_intervals(self, capsys):
+        assert main(["intervals"]) == 0
+        out = capsys.readouterr().out
+        assert "ethics sections: 12/28" in out
+        assert "385" in out

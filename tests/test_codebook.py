@@ -1,0 +1,224 @@
+"""Unit tests for the codebook schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codebook import (
+    CellValue,
+    Code,
+    Codebook,
+    Dimension,
+    DimensionKind,
+    parse_glyph,
+)
+from repro.errors import (
+    CodebookError,
+    UnknownCodeError,
+    UnknownDimensionError,
+)
+
+
+class TestCellValue:
+    def test_positive_values(self):
+        assert CellValue.APPLICABLE.is_positive
+        assert CellValue.DISCUSSED.is_positive
+        assert CellValue.APPROVED.is_positive
+
+    def test_negative_values(self):
+        for value in (
+            CellValue.NOT_APPLICABLE,
+            CellValue.NOT_DISCUSSED,
+            CellValue.DECLINED,
+            CellValue.NOT_MENTIONED,
+            CellValue.EXEMPT,
+            CellValue.NOT_RELEVANT,
+        ):
+            assert not value.is_positive
+
+    def test_every_value_has_glyph(self):
+        for value in CellValue:
+            assert isinstance(value.glyph, str)
+
+    def test_parse_tick_and_cross(self):
+        assert parse_glyph("✓") is CellValue.DISCUSSED
+        assert parse_glyph("✗") is CellValue.NOT_DISCUSSED
+
+    def test_parse_dingbat_digits(self):
+        # Text extractions of the paper render ✓/✗ as 3/5.
+        assert parse_glyph("3") is CellValue.DISCUSSED
+        assert parse_glyph("5") is CellValue.NOT_DISCUSSED
+
+    def test_parse_reb_column_reinterprets(self):
+        assert parse_glyph("3", reb_column=True) is CellValue.APPROVED
+        assert (
+            parse_glyph("5", reb_column=True) is CellValue.NOT_MENTIONED
+        )
+        assert parse_glyph("E", reb_column=True) is CellValue.EXEMPT
+        assert parse_glyph("∅", reb_column=True) is CellValue.NOT_RELEVANT
+
+    def test_parse_special_glyphs(self):
+        assert parse_glyph("•") is CellValue.APPLICABLE
+        assert parse_glyph("l") is CellValue.DECLINED
+        assert parse_glyph("") is CellValue.NOT_APPLICABLE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(CodebookError):
+            parse_glyph("?")
+
+
+class TestCode:
+    def test_valid_code(self):
+        code = Code(id="privacy", abbrev="P", name="Privacy")
+        assert str(code) == "P"
+
+    def test_bad_slug_rejected(self):
+        with pytest.raises(CodebookError):
+            Code(id="Not A Slug", abbrev="X", name="X")
+
+    def test_empty_abbrev_rejected(self):
+        with pytest.raises(CodebookError):
+            Code(id="x", abbrev="", name="X")
+
+
+class TestDimension:
+    def _closed(self) -> Dimension:
+        return Dimension(
+            id="demo",
+            name="Demo",
+            group="legal",
+            allowed=(CellValue.APPLICABLE, CellValue.NOT_APPLICABLE),
+        )
+
+    def _open(self) -> Dimension:
+        return Dimension(
+            id="codes",
+            name="Codes",
+            group="codes",
+            kind=DimensionKind.OPEN,
+            members=(
+                Code(id="alpha", abbrev="A", name="Alpha"),
+                Code(id="beta", abbrev="B", name="Beta"),
+            ),
+        )
+
+    def test_closed_validates_allowed_value(self):
+        dim = self._closed()
+        assert dim.validate_value(CellValue.APPLICABLE)
+
+    def test_closed_rejects_disallowed_value(self):
+        with pytest.raises(CodebookError):
+            self._closed().validate_value(CellValue.DISCUSSED)
+
+    def test_closed_needs_allowed(self):
+        with pytest.raises(CodebookError):
+            Dimension(id="x", name="X", group="g")
+
+    def test_open_lookup_by_id_and_abbrev(self):
+        dim = self._open()
+        assert dim.code("alpha").abbrev == "A"
+        assert dim.code("B").id == "beta"
+
+    def test_open_unknown_code(self):
+        with pytest.raises(UnknownCodeError):
+            self._open().code("gamma")
+
+    def test_open_duplicate_codes_rejected(self):
+        with pytest.raises(CodebookError):
+            self._open().validate_codes(("A", "alpha"))
+
+    def test_open_needs_members(self):
+        with pytest.raises(CodebookError):
+            Dimension(id="x", name="X", group="g", kind=DimensionKind.OPEN)
+
+    def test_closed_must_not_have_members(self):
+        with pytest.raises(CodebookError):
+            Dimension(
+                id="x",
+                name="X",
+                group="g",
+                allowed=(CellValue.DISCUSSED,),
+                members=(Code(id="a", abbrev="A", name="A"),),
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodebookError):
+            Dimension(
+                id="x",
+                name="X",
+                group="g",
+                kind="weird",
+                allowed=(CellValue.DISCUSSED,),
+            )
+
+
+class TestPaperCodebook:
+    def test_dimension_counts(self, codebook):
+        assert len(codebook.group("legal")) == 6
+        assert len(codebook.group("ethical")) == 5
+        assert len(codebook.group("justification")) == 5
+        assert len(codebook.group("meta")) == 2
+        assert len(codebook.group("codes")) == 3
+
+    def test_groups_in_table_order(self, codebook):
+        assert codebook.groups == (
+            "legal",
+            "ethical",
+            "justification",
+            "meta",
+            "codes",
+        )
+
+    def test_code_families(self, codebook):
+        assert {c.abbrev for c in codebook["safeguards"].members} == {
+            "SS", "P", "CS",
+        }
+        assert {c.abbrev for c in codebook["harms"].members} == {
+            "I", "PA", "DA", "SI", "RH", "BC",
+        }
+        assert {c.abbrev for c in codebook["benefits"].members} == {
+            "R", "U", "DM", "AT",
+        }
+
+    def test_reb_dimension_values(self, codebook):
+        allowed = set(codebook["reb-approval"].allowed)
+        assert allowed == {
+            CellValue.APPROVED,
+            CellValue.NOT_MENTIONED,
+            CellValue.EXEMPT,
+            CellValue.NOT_RELEVANT,
+        }
+
+    def test_declined_only_in_justifications(self, codebook):
+        for dim in codebook.closed_dimensions():
+            if dim.group == "justification":
+                assert CellValue.DECLINED in dim.allowed
+            else:
+                assert CellValue.DECLINED not in dim.allowed
+
+    def test_unknown_dimension_lookup(self, codebook):
+        with pytest.raises(UnknownDimensionError):
+            codebook["nonexistent"]
+
+    def test_legend_covers_open_dimensions(self, codebook):
+        legend = codebook.legend()
+        assert set(legend) == {"safeguards", "harms", "benefits"}
+        assert legend["safeguards"]["P"] == "Privacy"
+
+    def test_validate_coding_missing_dimension(self, codebook):
+        with pytest.raises(CodebookError):
+            codebook.validate_coding({}, {})
+
+    def test_every_dimension_has_description(self, codebook):
+        for dim in codebook:
+            assert dim.description, f"{dim.id} lacks a description"
+
+    def test_duplicate_dimension_ids_rejected(self):
+        dim = Dimension(
+            id="dup",
+            name="Dup",
+            group="g",
+            allowed=(CellValue.DISCUSSED,),
+        )
+        with pytest.raises(ValueError):
+            Codebook("x", (dim, dim))

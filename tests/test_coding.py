@@ -1,0 +1,194 @@
+"""Unit tests for the annotation / adjudication machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codebook import CellValue, paper_codebook
+from repro.coding import (
+    AdjudicationSession,
+    Annotation,
+    AnnotationSet,
+    Coder,
+    annotations_from_corpus,
+)
+from repro.errors import CodingError
+
+
+@pytest.fixture()
+def codebook():
+    return paper_codebook()
+
+
+def _value_annotation(entry="e1", dim="justice", value=CellValue.DISCUSSED):
+    return Annotation(entry_id=entry, dimension_id=dim, value=value)
+
+
+class TestAnnotation:
+    def test_needs_exactly_one_payload(self):
+        with pytest.raises(CodingError):
+            Annotation(entry_id="e", dimension_id="d")
+        with pytest.raises(CodingError):
+            Annotation(
+                entry_id="e",
+                dimension_id="d",
+                value=CellValue.DISCUSSED,
+                codes=("P",),
+            )
+
+    def test_label_for_value(self):
+        assert _value_annotation().label == "discussed"
+
+    def test_label_for_codes_sorted(self):
+        annotation = Annotation(
+            entry_id="e", dimension_id="safeguards", codes=("P", "CS")
+        )
+        assert annotation.label == "CS+P"
+
+    def test_label_for_empty_codes(self):
+        annotation = Annotation(
+            entry_id="e", dimension_id="safeguards", codes=()
+        )
+        assert annotation.label == "-"
+
+
+class TestAnnotationSet:
+    def test_add_and_get(self, codebook):
+        coder = Coder(id="alice")
+        annotations = AnnotationSet(coder, codebook)
+        annotations.add(_value_annotation())
+        assert annotations.get("e1", "justice").label == "discussed"
+        assert annotations.get("e1", "nope") is None
+
+    def test_rejects_wrong_payload_kind(self, codebook):
+        annotations = AnnotationSet(Coder(id="a"), codebook)
+        with pytest.raises(CodingError):
+            annotations.add(
+                Annotation(
+                    entry_id="e", dimension_id="justice", codes=("P",)
+                )
+            )
+        with pytest.raises(CodingError):
+            annotations.add(
+                Annotation(
+                    entry_id="e",
+                    dimension_id="safeguards",
+                    value=CellValue.DISCUSSED,
+                )
+            )
+
+    def test_rejects_disallowed_value(self, codebook):
+        annotations = AnnotationSet(Coder(id="a"), codebook)
+        with pytest.raises(CodingError):
+            annotations.add(
+                _value_annotation(dim="justice", value=CellValue.EXEMPT)
+            )
+
+    def test_rejects_duplicate_key(self, codebook):
+        annotations = AnnotationSet(Coder(id="a"), codebook)
+        annotations.add(_value_annotation())
+        with pytest.raises(CodingError):
+            annotations.add(_value_annotation())
+
+    def test_coder_id_required(self):
+        with pytest.raises(CodingError):
+            Coder(id="")
+
+
+class TestAnnotationsFromCorpus:
+    def test_covers_all_cells(self, corpus):
+        annotations = annotations_from_corpus(corpus, Coder(id="paper"))
+        # 18 closed dimensions + 3 open per entry.
+        assert len(annotations) == len(corpus) * (18 + 3)
+
+    def test_matches_corpus_values(self, corpus):
+        annotations = annotations_from_corpus(corpus, Coder(id="paper"))
+        annotation = annotations.get("patreon", "no-additional-harm")
+        assert annotation.value is CellValue.DECLINED
+
+
+class TestAdjudication:
+    def _sets(self, codebook, labels_by_coder):
+        sets = []
+        for coder_id, value in labels_by_coder.items():
+            annotations = AnnotationSet(Coder(id=coder_id), codebook)
+            annotations.add(_value_annotation(value=value))
+            sets.append(annotations)
+        return sets
+
+    def test_needs_two_coders(self, codebook):
+        with pytest.raises(CodingError):
+            AdjudicationSession(
+                [AnnotationSet(Coder(id="a"), codebook)]
+            )
+
+    def test_majority_wins(self, codebook):
+        sets = self._sets(
+            codebook,
+            {
+                "a": CellValue.DISCUSSED,
+                "b": CellValue.DISCUSSED,
+                "c": CellValue.NOT_DISCUSSED,
+            },
+        )
+        session = AdjudicationSession(sets)
+        consensus = session.consensus(Coder(id="judge"))
+        assert (
+            consensus.get("e1", "justice").value is CellValue.DISCUSSED
+        )
+
+    def test_disagreements_listed(self, codebook):
+        sets = self._sets(
+            codebook,
+            {"a": CellValue.DISCUSSED, "b": CellValue.NOT_DISCUSSED},
+        )
+        session = AdjudicationSession(sets)
+        disagreements = session.disagreements()
+        assert len(disagreements) == 1
+        assert "justice" in disagreements[0].describe()
+
+    def test_tie_requires_resolution(self, codebook):
+        sets = self._sets(
+            codebook,
+            {"a": CellValue.DISCUSSED, "b": CellValue.NOT_DISCUSSED},
+        )
+        session = AdjudicationSession(sets)
+        with pytest.raises(CodingError):
+            session.consensus(Coder(id="judge"))
+        session.resolve(
+            "e1",
+            "justice",
+            _value_annotation(value=CellValue.NOT_DISCUSSED),
+        )
+        consensus = session.consensus(Coder(id="judge"))
+        assert (
+            consensus.get("e1", "justice").value
+            is CellValue.NOT_DISCUSSED
+        )
+
+    def test_resolution_key_mismatch(self, codebook):
+        sets = self._sets(
+            codebook,
+            {"a": CellValue.DISCUSSED, "b": CellValue.NOT_DISCUSSED},
+        )
+        session = AdjudicationSession(sets)
+        with pytest.raises(CodingError):
+            session.resolve(
+                "other", "justice", _value_annotation()
+            )
+
+    def test_duplicate_coder_ids_rejected(self, codebook):
+        sets = self._sets(codebook, {"a": CellValue.DISCUSSED})
+        sets.append(sets[0])
+        with pytest.raises(CodingError):
+            AdjudicationSession(sets)
+
+    def test_agreeing_coders_no_disagreement(self, codebook):
+        sets = self._sets(
+            codebook,
+            {"a": CellValue.DISCUSSED, "b": CellValue.DISCUSSED},
+        )
+        session = AdjudicationSession(sets)
+        assert session.disagreements() == []
+        consensus = session.consensus(Coder(id="judge"))
+        assert len(consensus) == 1

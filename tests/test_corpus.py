@@ -1,0 +1,269 @@
+"""Unit tests for the corpus model and the Table 1 transcription."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codebook import CellValue, paper_codebook
+from repro.corpus import (
+    CaseStudyEntry,
+    Category,
+    Corpus,
+    DataOrigin,
+    TABLE1_FOOTNOTES,
+    table1_corpus,
+    table1_entries,
+)
+from repro.errors import CorpusError, UnknownEntryError
+
+
+class TestCaseStudyEntry:
+    def test_bad_slug_rejected(self):
+        with pytest.raises(CorpusError):
+            CaseStudyEntry(
+                id="Bad Id", category=Category.MALWARE,
+                source_label="x", reference=1, year=2015,
+            )
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(CorpusError):
+            CaseStudyEntry(
+                id="x", category="Nope", source_label="x",
+                reference=1, year=2015,
+            )
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(CorpusError):
+            CaseStudyEntry(
+                id="x", category=Category.MALWARE, source_label="x",
+                reference=1, year=2015, origin="magic",
+            )
+
+    def test_bad_footnote_rejected(self):
+        with pytest.raises(CorpusError):
+            CaseStudyEntry(
+                id="x", category=Category.MALWARE, source_label="x",
+                reference=1, year=2015, footnotes=("z",),
+            )
+
+    def test_roundtrip_dict(self, corpus):
+        entry = corpus["patreon"]
+        clone = CaseStudyEntry.from_dict(entry.to_dict())
+        assert clone == entry
+
+
+class TestCorpusRegistry:
+    def test_duplicate_ids_rejected(self):
+        codebook = paper_codebook()
+        entry = table1_entries()[0]
+        with pytest.raises(CorpusError):
+            Corpus(codebook, [entry, entry])
+
+    def test_unknown_entry(self, corpus):
+        with pytest.raises(UnknownEntryError):
+            corpus["missing-entry"]
+
+    def test_json_roundtrip(self, corpus):
+        text = corpus.to_json()
+        clone = Corpus.from_json(paper_codebook(), text)
+        assert clone.entry_ids == corpus.entry_ids
+        for entry_id in corpus.entry_ids:
+            assert clone[entry_id] == corpus[entry_id]
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(CorpusError):
+            Corpus.from_json(paper_codebook(), "{not json")
+
+    def test_from_json_rejects_non_list(self):
+        with pytest.raises(CorpusError):
+            Corpus.from_json(paper_codebook(), "{}")
+
+
+class TestTable1Shape:
+    """Structural facts about the transcribed Table 1."""
+
+    def test_thirty_rows(self, corpus):
+        assert len(corpus) == 30
+
+    def test_twenty_eight_papers(self, corpus):
+        assert len(corpus.papers()) == 28
+
+    def test_category_sizes(self, corpus):
+        sizes = {
+            cat: len(corpus.by_category(cat)) for cat in Category.ORDER
+        }
+        assert sizes == {
+            Category.MALWARE: 8,
+            Category.PASSWORDS: 5,
+            Category.LEAKED_DATABASES: 8,
+            Category.CLASSIFIED: 7,
+            Category.FINANCIAL: 2,
+        }
+
+    def test_rows_in_category_order(self, corpus):
+        seen = [e.category for e in corpus]
+        order = [c for i, c in enumerate(seen) if i == 0 or seen[i - 1] != c]
+        assert order == list(Category.ORDER)
+
+    def test_non_papers_are_web_sources(self, corpus):
+        non_papers = [e for e in corpus if not e.is_paper]
+        assert {e.reference for e in non_papers} == {106, 18}
+
+    def test_non_peer_reviewed_have_footnote_a(self, corpus):
+        for entry in corpus:
+            assert entry.peer_reviewed == ("a" not in entry.footnotes)
+
+    def test_two_rows_did_not_use_data(self, corpus):
+        unused = [e for e in corpus if not e.used_data]
+        assert {e.reference for e in unused} == {27, 85}
+        for entry in unused:
+            assert entry.reb_status is CellValue.NOT_RELEVANT
+
+    def test_footnote_legend_complete(self):
+        assert set(TABLE1_FOOTNOTES) == set("abcde")
+
+    def test_references_unique(self, corpus):
+        refs = [e.reference for e in corpus]
+        assert len(set(refs)) == len(refs)
+
+    def test_all_computer_misuse_applicable(self, corpus):
+        # Every dataset of illicit origin in the table implicates
+        # computer misuse in its collection.
+        for entry in corpus:
+            assert (
+                entry.values["computer-misuse"] is CellValue.APPLICABLE
+            )
+
+    def test_years_in_plausible_range(self, corpus):
+        for entry in corpus:
+            assert 2009 <= entry.year <= 2017
+
+
+class TestTable1Coding:
+    """Spot-checks of individual cells against the paper's table."""
+
+    def test_att_row(self, corpus):
+        entry = corpus.by_reference(106)
+        assert entry.codes("harms") == ("I", "PA", "SI", "RH")
+        assert entry.discussed("identification-of-stakeholders")
+        assert entry.discussed("identify-harms")
+        assert not entry.discussed("public-interest")
+        assert entry.discussed("fight-malicious-use")
+
+    def test_patreon_declined_no_additional_harm(self, corpus):
+        entry = corpus["patreon"]
+        assert entry.values["no-additional-harm"] is CellValue.DECLINED
+        assert not entry.used_data
+        assert entry.codes("harms") == ("SI", "RH")
+        assert entry.codes("benefits") == ("U", "AT")
+
+    def test_rfc7624_nsa_footnote(self, corpus):
+        entry = corpus["snowden-rfc7624"]
+        assert entry.discussed("fight-malicious-use")
+        assert "NSA" in entry.cell_notes["fight-malicious-use"]
+
+    def test_weir_full_safeguards(self, corpus):
+        entry = corpus.by_reference(121)
+        assert entry.codes("safeguards") == ("SS", "P", "CS")
+        assert entry.discussed("necessary-data")
+
+    def test_exemption_reasons_recorded(self, corpus):
+        assert (
+            "no human subjects"
+            in corpus["udp-ddos-thomas"].exemption_reason
+        )
+        assert (
+            "personally identifiable"
+            in corpus["booters-karami-stress"].exemption_reason
+        )
+
+    def test_manning_rows_all_negative_ethics(self, corpus):
+        for entry_id in ("manning-berger", "manning-talarico"):
+            entry = corpus[entry_id]
+            for dim in (
+                "identification-of-stakeholders",
+                "identify-harms",
+                "safeguards-discussed",
+                "justice",
+                "public-interest",
+                "ethics-section",
+            ):
+                assert not entry.discussed(dim), (entry_id, dim)
+
+    def test_manning_excludes_copyright(self, corpus):
+        # US government works carry no copyright (§4.5.2).
+        entry = corpus["manning-berger"]
+        assert "copyright" not in entry.legal_issues
+
+    def test_snowden_includes_copyright(self, corpus):
+        # GCHQ material is Crown copyright.
+        entry = corpus["snowden-landau"]
+        assert "copyright" in entry.legal_issues
+
+    def test_dittrich_menlo_discusses_everything(self, corpus):
+        entry = corpus["carna-menlo"]
+        for dim in (
+            "identification-of-stakeholders",
+            "identify-harms",
+            "safeguards-discussed",
+            "justice",
+            "public-interest",
+        ):
+            assert entry.discussed(dim)
+
+    def test_legal_bullet_counts(self, corpus):
+        counts = {e.id: len(e.legal_issues) for e in corpus}
+        assert counts["att-ipad"] == 2
+        assert counts["carna-caida"] == 1
+        assert counts["underground-forums-motoyama"] == 5
+        assert counts["carding-forums-yip"] == 4
+        assert counts["snowden-landau"] == 5
+        assert counts["manning-berger"] == 4
+        assert counts["panama-omartian"] == 4
+
+    def test_provenance_on_reconstructed_bullets(self, corpus):
+        # Every multi-bullet reconstruction records its reasoning.
+        for entry_id in (
+            "att-ipad",
+            "underground-forums-motoyama",
+            "panama-omartian",
+            "manning-berger",
+            "snowden-landau",
+        ):
+            assert "legal" in corpus[entry_id].provenance
+
+    def test_by_year_query(self, corpus):
+        assert {e.id for e in corpus.by_year(2013)} >= {
+            "exploit-kits",
+            "carna-caida",
+            "carna-telescope",
+            "carding-forums-yip",
+            "twbooter-karami",
+        }
+
+    def test_discussing_query(self, corpus):
+        justice = corpus.discussing("justice")
+        assert corpus["guess-again-kelley"] in justice
+        assert corpus["att-ipad"] not in justice
+
+    def test_with_code_validates_abbrev(self, corpus):
+        from repro.errors import UnknownCodeError
+
+        with pytest.raises(UnknownCodeError):
+            corpus.with_code("safeguards", "ZZ")
+
+    def test_origins_assigned(self, corpus):
+        assert (
+            corpus["att-ipad"].origin
+            == DataOrigin.VULNERABILITY_EXPLOITATION
+        )
+        assert (
+            corpus["snowden-landau"].origin
+            == DataOrigin.UNAUTHORIZED_LEAK
+        )
+        for entry in corpus:
+            assert entry.origin in DataOrigin.ALL
+
+    def test_every_entry_has_summary(self, corpus):
+        for entry in corpus:
+            assert len(entry.summary) > 40, entry.id

@@ -1,0 +1,133 @@
+"""Unit and property tests for the password-distribution metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MetricError
+from repro.metrics import (
+    alpha_guesswork_bits,
+    distribution,
+    guesses_for_success,
+    min_entropy,
+    partial_guesswork,
+    shannon_entropy,
+    success_rate,
+)
+
+
+def uniform(n: int) -> list[float]:
+    return [1.0 / n] * n
+
+
+class TestDistribution:
+    def test_sorted_descending(self):
+        probs = distribution(["a", "a", "b", "c"])
+        assert probs == [0.5, 0.25, 0.25]
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            distribution([])
+
+
+class TestEntropies:
+    def test_uniform_shannon(self):
+        assert shannon_entropy(uniform(8)) == pytest.approx(3.0)
+
+    def test_uniform_min_entropy(self):
+        assert min_entropy(uniform(8)) == pytest.approx(3.0)
+
+    def test_skew_drops_min_entropy_first(self):
+        skewed = [0.5, 0.25, 0.125, 0.125]
+        assert min_entropy(skewed) < shannon_entropy(skewed)
+
+    def test_validation(self):
+        with pytest.raises(MetricError):
+            shannon_entropy([])
+        with pytest.raises(MetricError):
+            shannon_entropy([0.4, 0.4])  # doesn't sum to 1
+        with pytest.raises(MetricError):
+            min_entropy([1.5, -0.5])
+
+
+class TestGuessingMetrics:
+    SKEWED = [0.5, 0.2, 0.1, 0.1, 0.05, 0.05]
+
+    def test_success_rate(self):
+        assert success_rate(self.SKEWED, 1) == pytest.approx(0.5)
+        assert success_rate(self.SKEWED, 2) == pytest.approx(0.7)
+
+    def test_success_rate_validation(self):
+        with pytest.raises(MetricError):
+            success_rate(self.SKEWED, 0)
+
+    def test_guesses_for_success(self):
+        assert guesses_for_success(self.SKEWED, 0.5) == 1
+        assert guesses_for_success(self.SKEWED, 0.7) == 2
+        assert guesses_for_success(self.SKEWED, 1.0) == 6
+
+    def test_alpha_validation(self):
+        with pytest.raises(MetricError):
+            guesses_for_success(self.SKEWED, 0.0)
+        with pytest.raises(MetricError):
+            guesses_for_success(self.SKEWED, 1.5)
+
+    def test_partial_guesswork_uniform(self):
+        # For a uniform distribution attacked to exhaustion, G_1 is
+        # the classic (N+1)/2.
+        n = 16
+        g = partial_guesswork(uniform(n), 1.0)
+        assert g == pytest.approx((n + 1) / 2)
+
+    def test_alpha_guesswork_uniform_equals_keylength(self):
+        # Bonneau's normalisation: uniform over 2^k keys gives k bits
+        # at any alpha.
+        for alpha in (0.1, 0.25, 0.5, 1.0):
+            bits = alpha_guesswork_bits(uniform(16), alpha)
+            assert bits == pytest.approx(4.0, abs=0.15)
+
+    def test_skewed_below_shannon(self):
+        # The headline result: effective key length at small alpha is
+        # far below Shannon entropy for skewed distributions.
+        probs = distribution(
+            ["123456"] * 40 + ["password"] * 20 + [
+                f"pw{i}" for i in range(40)
+            ]
+        )
+        assert alpha_guesswork_bits(probs, 0.25) < shannon_entropy(
+            probs
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        counts=st.lists(
+            st.integers(1, 50), min_size=2, max_size=30
+        ),
+        alpha=st.sampled_from([0.1, 0.25, 0.5, 0.9]),
+    )
+    def test_guesswork_properties(self, counts, alpha):
+        total = sum(counts)
+        probs = sorted(
+            (c / total for c in counts), reverse=True
+        )
+        mu = guesses_for_success(probs, alpha)
+        assert 1 <= mu <= len(probs)
+        g = partial_guesswork(probs, alpha)
+        assert 0 < g <= len(probs)
+        # Monotone in alpha: more coverage needs at least as many
+        # guesses.
+        assert guesses_for_success(probs, min(1.0, alpha)) <= (
+            guesses_for_success(probs, 1.0)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        counts=st.lists(st.integers(1, 50), min_size=2, max_size=30)
+    )
+    def test_min_entropy_never_exceeds_shannon(self, counts):
+        total = sum(counts)
+        probs = [c / total for c in counts]
+        assert min_entropy(probs) <= shannon_entropy(probs) + 1e-9

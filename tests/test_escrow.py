@@ -1,0 +1,115 @@
+"""Unit and property tests for Shamir secret-sharing escrow."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SafeguardError
+from repro.safeguards import Share, combine_shares, split_secret
+
+SECRET = b"container-passphrase-0001"
+
+
+class TestSplit:
+    def test_share_count_and_threshold(self):
+        shares = split_secret(SECRET, shares=5, threshold=3)
+        assert len(shares) == 5
+        assert all(s.threshold == 3 for s in shares)
+        assert all(len(s.data) == len(SECRET) for s in shares)
+
+    def test_validation(self):
+        with pytest.raises(SafeguardError):
+            split_secret(b"", shares=3, threshold=2)
+        with pytest.raises(SafeguardError):
+            split_secret(SECRET, shares=2, threshold=3)
+        with pytest.raises(SafeguardError):
+            split_secret(SECRET, shares=0, threshold=0)
+        with pytest.raises(SafeguardError):
+            split_secret(SECRET, shares=300, threshold=2)
+
+    def test_shares_differ_from_secret(self):
+        shares = split_secret(SECRET, shares=4, threshold=2)
+        assert all(s.data != SECRET for s in shares)
+
+    def test_share_index_bounds(self):
+        with pytest.raises(SafeguardError):
+            Share(index=0, data=b"x", threshold=2)
+        with pytest.raises(SafeguardError):
+            Share(index=256, data=b"x", threshold=2)
+
+
+class TestCombine:
+    def test_any_threshold_subset_reconstructs(self):
+        shares = split_secret(SECRET, shares=5, threshold=3)
+        for subset in itertools.combinations(shares, 3):
+            assert combine_shares(list(subset)) == SECRET
+
+    def test_more_than_threshold_works(self):
+        shares = split_secret(SECRET, shares=5, threshold=3)
+        assert combine_shares(shares) == SECRET
+
+    def test_below_threshold_refused(self):
+        shares = split_secret(SECRET, shares=5, threshold=3)
+        with pytest.raises(SafeguardError):
+            combine_shares(shares[:2])
+
+    def test_duplicate_shares_do_not_count(self):
+        shares = split_secret(SECRET, shares=5, threshold=3)
+        with pytest.raises(SafeguardError):
+            combine_shares([shares[0], shares[0], shares[0]])
+
+    def test_empty_refused(self):
+        with pytest.raises(SafeguardError):
+            combine_shares([])
+
+    def test_mismatched_thresholds_refused(self):
+        shares = split_secret(SECRET, shares=3, threshold=2)
+        tampered = Share(
+            index=shares[1].index,
+            data=shares[1].data,
+            threshold=3,
+        )
+        with pytest.raises(SafeguardError):
+            combine_shares([shares[0], tampered])
+
+    def test_mismatched_lengths_refused(self):
+        shares = split_secret(SECRET, shares=3, threshold=2)
+        tampered = Share(
+            index=shares[1].index,
+            data=shares[1].data[:-1],
+            threshold=2,
+        )
+        with pytest.raises(SafeguardError):
+            combine_shares([shares[0], tampered])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        secret=st.binary(min_size=1, max_size=64),
+        threshold=st.integers(1, 5),
+        extra=st.integers(0, 3),
+    )
+    def test_roundtrip_property(self, secret, threshold, extra):
+        shares = split_secret(
+            secret, shares=threshold + extra, threshold=threshold
+        )
+        assert combine_shares(shares[:threshold]) == secret
+
+    def test_single_share_scheme(self):
+        shares = split_secret(SECRET, shares=1, threshold=1)
+        assert combine_shares(shares) == SECRET
+
+    def test_integration_with_container(self):
+        from repro.safeguards import SecureContainer
+
+        passphrase = "board-held-passphrase"
+        container = SecureContainer(passphrase)
+        sealed = container.seal(b"the raw dump")
+        shares = split_secret(
+            passphrase.encode(), shares=5, threshold=3
+        )
+        # Later: three custodians reconstruct and open.
+        recovered = combine_shares(shares[2:5]).decode()
+        assert SecureContainer(recovered).open(sealed) == b"the raw dump"

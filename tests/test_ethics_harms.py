@@ -1,0 +1,136 @@
+"""Unit and property tests for harm/benefit instances."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EthicsModelError
+from repro.ethics import BenefitInstance, HarmInstance, Likelihood, Severity
+
+
+def harm(**kwargs) -> HarmInstance:
+    defaults = dict(
+        description="re-exposure of leaked credentials",
+        kind="SI",
+        stakeholder_id="data-subjects",
+        likelihood=0.5,
+        severity=0.5,
+    )
+    defaults.update(kwargs)
+    return HarmInstance(**defaults)
+
+
+class TestScales:
+    def test_likelihood_words(self):
+        assert Likelihood.parse("likely") == 0.8
+        assert Likelihood.parse("RARE") == 0.05
+
+    def test_severity_words(self):
+        assert Severity.parse("major") == 0.8
+
+    def test_unknown_words(self):
+        with pytest.raises(EthicsModelError):
+            Likelihood.parse("probably")
+        with pytest.raises(EthicsModelError):
+            Severity.parse("bad")
+
+    def test_out_of_range(self):
+        with pytest.raises(EthicsModelError):
+            Likelihood.parse(1.5)
+        with pytest.raises(EthicsModelError):
+            Severity.parse(-0.1)
+
+
+class TestHarmInstance:
+    def test_unknown_kind(self):
+        with pytest.raises(EthicsModelError):
+            harm(kind="XX")
+
+    def test_accepts_word_scales(self):
+        instance = harm(likelihood="possible", severity="major")
+        assert instance.raw_risk == pytest.approx(0.5 * 0.8)
+
+    def test_empty_description(self):
+        with pytest.raises(EthicsModelError):
+            harm(description="")
+
+    def test_residual_risk_with_mitigation(self):
+        instance = harm(likelihood=0.8, severity=0.5, mitigation=0.5)
+        assert instance.residual_risk == pytest.approx(0.8 * 0.5 * 0.5)
+
+    def test_mitigations_compose_multiplicatively(self):
+        instance = harm(mitigation=0.5).mitigated(0.5)
+        assert instance.mitigation == pytest.approx(0.75)
+
+    def test_bad_mitigation(self):
+        with pytest.raises(EthicsModelError):
+            harm(mitigation=1.5)
+        with pytest.raises(EthicsModelError):
+            harm().mitigated(-0.1)
+
+    @given(
+        likelihood=st.floats(0.01, 1.0),
+        severity=st.floats(0.01, 1.0),
+        mitigation=st.floats(0.0, 1.0),
+    )
+    def test_residual_never_exceeds_raw(
+        self, likelihood, severity, mitigation
+    ):
+        instance = harm(
+            likelihood=likelihood,
+            severity=severity,
+            mitigation=mitigation,
+        )
+        assert instance.residual_risk <= instance.raw_risk + 1e-12
+
+    @given(
+        first=st.floats(0.0, 1.0),
+        second=st.floats(0.0, 1.0),
+    )
+    def test_composition_order_independent(self, first, second):
+        base = harm()
+        one_way = base.mitigated(first).mitigated(second)
+        other_way = base.mitigated(second).mitigated(first)
+        assert one_way.mitigation == pytest.approx(
+            other_way.mitigation
+        )
+
+
+class TestBenefitInstance:
+    def test_unknown_kind(self):
+        with pytest.raises(EthicsModelError):
+            BenefitInstance(
+                description="x",
+                kind="ZZ",
+                beneficiary="society",
+                magnitude=0.5,
+            )
+
+    def test_expected_value(self):
+        benefit = BenefitInstance(
+            description="better password policies",
+            kind="DM",
+            beneficiary="society",
+            magnitude=0.6,
+            likelihood=0.5,
+        )
+        assert benefit.expected_value == pytest.approx(0.3)
+
+    def test_magnitude_bounds(self):
+        with pytest.raises(EthicsModelError):
+            BenefitInstance(
+                description="x",
+                kind="R",
+                beneficiary="society",
+                magnitude=1.2,
+            )
+
+    def test_empty_description(self):
+        with pytest.raises(EthicsModelError):
+            BenefitInstance(
+                description="",
+                kind="R",
+                beneficiary="society",
+                magnitude=0.5,
+            )

@@ -1,0 +1,121 @@
+"""Unit tests for stakeholder modelling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    ConsentStatus,
+    Stakeholder,
+    StakeholderRegistry,
+    StakeholderRole,
+    default_stakeholders,
+)
+
+
+class TestStakeholder:
+    def test_roles_validated(self):
+        with pytest.raises(EthicsModelError):
+            Stakeholder(id="x", name="X", role="observer")
+
+    def test_consent_validated(self):
+        with pytest.raises(EthicsModelError):
+            Stakeholder(
+                id="x",
+                name="X",
+                role=StakeholderRole.PRIMARY,
+                consent="shrug",
+            )
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(EthicsModelError):
+            Stakeholder(id="", name="X", role=StakeholderRole.KEY)
+
+    @pytest.mark.parametrize(
+        "consent,needs",
+        [
+            (ConsentStatus.OBTAINED, False),
+            (ConsentStatus.NOT_REQUIRED, False),
+            (ConsentStatus.IMPOSSIBLE, True),
+            (ConsentStatus.IMPRACTICAL, True),
+            (ConsentStatus.NOT_SOUGHT, True),
+        ],
+    )
+    def test_reb_protection_rule(self, consent, needs):
+        person = Stakeholder(
+            id="x",
+            name="X",
+            role=StakeholderRole.PRIMARY,
+            consent=consent,
+        )
+        assert person.needs_reb_protection is needs
+
+    def test_corporate_persons_never_need_protection(self):
+        company = Stakeholder(
+            id="x",
+            name="X Corp",
+            role=StakeholderRole.SECONDARY,
+            natural_person=False,
+            consent=ConsentStatus.IMPOSSIBLE,
+        )
+        assert not company.needs_reb_protection
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self):
+        registry = StakeholderRegistry()
+        registry.add(
+            Stakeholder(id="x", name="X", role=StakeholderRole.KEY)
+        )
+        with pytest.raises(EthicsModelError):
+            registry.add(
+                Stakeholder(id="x", name="Y", role=StakeholderRole.KEY)
+            )
+
+    def test_unknown_lookup(self):
+        with pytest.raises(EthicsModelError):
+            StakeholderRegistry()["ghost"]
+
+    def test_role_queries(self):
+        registry = default_stakeholders()
+        assert len(registry.primary) == 1
+        assert len(registry.secondary) == 1
+        assert len(registry.key) == 2
+
+    def test_unknown_role_query(self):
+        with pytest.raises(EthicsModelError):
+            StakeholderRegistry().by_role("nope")
+
+    def test_default_registry_complete(self):
+        registry = default_stakeholders()
+        assert registry.is_complete()
+        assert "data-subjects" in registry
+
+    def test_default_subjects_unprotected(self):
+        registry = default_stakeholders()
+        unprotected = registry.unprotected()
+        assert any(s.id == "data-subjects" for s in unprotected)
+
+    def test_vulnerable_filter(self):
+        registry = StakeholderRegistry(
+            [
+                Stakeholder(
+                    id="minor",
+                    name="Minors in the data",
+                    role=StakeholderRole.PRIMARY,
+                    vulnerable=True,
+                ),
+            ]
+        )
+        assert len(registry.vulnerable()) == 1
+
+    def test_incomplete_without_key(self):
+        registry = StakeholderRegistry(
+            [
+                Stakeholder(
+                    id="p", name="P", role=StakeholderRole.PRIMARY
+                )
+            ]
+        )
+        assert not registry.is_complete()

@@ -1,0 +1,64 @@
+"""Unit tests for the per-entry evidence (§4 grounding quotes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    EVIDENCE,
+    Evidence,
+    evidence_for,
+    extended_corpus,
+    verify_evidence_coverage,
+)
+from repro.errors import CorpusError
+
+
+class TestEvidenceRecords:
+    def test_full_coverage_of_table1(self, corpus):
+        assert verify_evidence_coverage(corpus) == ()
+
+    def test_every_record_cites_section4(self):
+        for evidence in EVIDENCE.values():
+            assert evidence.section.startswith("4.")
+
+    def test_quotes_are_substantive(self):
+        for evidence in EVIDENCE.values():
+            assert all(len(quote) > 30 for quote in evidence.quotes)
+
+    def test_quotes_required(self):
+        with pytest.raises(CorpusError):
+            Evidence(entry_id="x", section="4.1", quotes=())
+
+    def test_lookup(self):
+        evidence = evidence_for("udp-ddos-thomas")
+        assert any(
+            "no other ground truth" in quote
+            for quote in evidence.quotes
+        )
+
+    def test_unknown_lookup(self):
+        with pytest.raises(CorpusError):
+            evidence_for("ghost-entry")
+
+    def test_extensions_exempt_from_coverage(self):
+        missing = verify_evidence_coverage(extended_corpus())
+        assert missing == ()
+
+    def test_evidence_matches_coding_spotchecks(self, corpus):
+        # The quotes should support the coding they ground.
+        patreon = evidence_for("patreon")
+        assert any(
+            "unethical to do so" in quote for quote in patreon.quotes
+        )
+        assert not corpus["patreon"].used_data
+
+        exempt = evidence_for("booters-karami-stress")
+        assert any(
+            "REB exemption" in quote for quote in exempt.quotes
+        )
+        assert corpus["booters-karami-stress"].exemption_reason
+
+    def test_evidence_ids_exist_in_corpus(self, corpus):
+        for entry_id in EVIDENCE:
+            assert entry_id in corpus

@@ -1,0 +1,97 @@
+"""Unit tests for the cross-jurisdiction exposure advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LegalModelError
+from repro.legal import (
+    DataProfile,
+    GERMANY,
+    JurisdictionSet,
+    RiskLevel,
+    UK,
+    US,
+    exposure_matrix,
+    travel_advisory,
+)
+
+
+class TestExposureMatrix:
+    def test_matrix_covers_issues_and_jurisdictions(self):
+        profile = DataProfile(contains_email_addresses=True)
+        jurisdictions = JurisdictionSet.from_codes(["UK", "US"])
+        matrix = exposure_matrix(profile, jurisdictions)
+        assert set(matrix["data-privacy"]) == {"UK", "US"}
+        assert len(matrix) == 7  # the seven §3 issues
+
+    def test_jurisdictional_divergence_visible(self):
+        profile = DataProfile(contains_ip_addresses=True)
+        matrix = exposure_matrix(
+            profile, JurisdictionSet.from_codes(["US", "DE"])
+        )
+        privacy = matrix["data-privacy"]
+        assert not privacy["US"].applicable
+        assert privacy["DE"].applicable
+
+
+class TestTravelAdvisory:
+    def test_terrorism_data_flags_uk_leg(self):
+        # UK's reporting duty grades terrorism HIGH; US grades it
+        # MEDIUM — travelling with the data raises exposure.
+        profile = DataProfile(terrorism_related=True)
+        advisory = travel_advisory(
+            profile,
+            home=US,
+            destinations=JurisdictionSet.from_codes(["UK"]),
+        )
+        assert advisory.risky_legs == ("UK",)
+        (leg,) = advisory.legs
+        assert "terrorism" in leg[2]
+
+    def test_ip_data_flags_germany_from_us(self):
+        profile = DataProfile(contains_ip_addresses=True)
+        advisory = travel_advisory(
+            profile,
+            home=US,
+            destinations=JurisdictionSet.from_codes(["DE"]),
+        )
+        assert advisory.risky_legs == ("DE",)
+        (leg,) = advisory.legs
+        assert "data-privacy" in leg[2]
+
+    def test_benign_profile_no_risky_legs(self):
+        profile = DataProfile()
+        advisory = travel_advisory(
+            profile,
+            home=UK,
+            destinations=JurisdictionSet.from_codes(["US", "DE"]),
+        )
+        assert advisory.risky_legs == ()
+
+    def test_home_in_destinations_rejected(self):
+        with pytest.raises(LegalModelError):
+            travel_advisory(
+                DataProfile(),
+                home=UK,
+                destinations=JurisdictionSet([UK, US]),
+            )
+
+    def test_describe_mentions_legal_advice(self):
+        profile = DataProfile(terrorism_related=True)
+        advisory = travel_advisory(
+            profile,
+            home=US,
+            destinations=JurisdictionSet.from_codes(["UK"]),
+        )
+        assert "local legal advice" in advisory.describe()
+
+    def test_worst_risk_recorded_per_leg(self):
+        profile = DataProfile(classified=True)
+        advisory = travel_advisory(
+            profile,
+            home=GERMANY,
+            destinations=JurisdictionSet.from_codes(["US"]),
+        )
+        (leg,) = advisory.legs
+        assert leg[1] == RiskLevel.HIGH

@@ -1,0 +1,133 @@
+"""Unit tests for the corpus extension API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import section5_statistics, verify_section5
+from repro.codebook import CellValue
+from repro.corpus import (
+    Category,
+    CorpusBuilder,
+    DataOrigin,
+    EXTENSION_ENTRIES,
+    extended_corpus,
+    table1_corpus,
+)
+from repro.errors import CorpusError
+from repro.tables import render_table1
+
+
+def _builder() -> CorpusBuilder:
+    return CorpusBuilder(
+        id="new-study",
+        category=Category.LEAKED_DATABASES,
+        source_label="New leak",
+        reference=90,
+        year=2017,
+    )
+
+
+class TestCorpusBuilder:
+    def test_sparse_build_defaults_negative(self):
+        entry = _builder().build()
+        assert entry.values["justice"] is CellValue.NOT_DISCUSSED
+        assert (
+            entry.values["computer-misuse"]
+            is CellValue.NOT_APPLICABLE
+        )
+        assert entry.reb_status is CellValue.NOT_MENTIONED
+
+    def test_legal_marks_applicable(self):
+        entry = _builder().legal("computer-misuse").build()
+        assert entry.legal_issues == ("computer-misuse",)
+
+    def test_legal_rejects_non_legal_dimension(self):
+        with pytest.raises(CorpusError):
+            _builder().legal("justice")
+
+    def test_ethical_flags(self):
+        entry = _builder().ethical(
+            identify_harms=True, justice=False
+        ).build()
+        assert entry.discussed("identify-harms")
+        assert not entry.discussed("justice")
+
+    def test_ethical_unknown_flag(self):
+        with pytest.raises(CorpusError):
+            _builder().ethical(vibes=True)
+
+    def test_justification_declined(self):
+        entry = (
+            _builder()
+            .justifications(
+                public_data=True, declined="no_additional_harm"
+            )
+            .build()
+        )
+        assert (
+            entry.values["no-additional-harm"] is CellValue.DECLINED
+        )
+
+    def test_justification_unknown(self):
+        with pytest.raises(CorpusError):
+            _builder().justifications(sounds_fine=True)
+
+    def test_reb_statuses(self):
+        entry = _builder().reb("exempt", reason="no PII").build()
+        assert entry.reb_status is CellValue.EXEMPT
+        assert entry.exemption_reason == "no PII"
+
+    def test_reb_unknown_status(self):
+        with pytest.raises(CorpusError):
+            _builder().reb("waved-through")
+
+    def test_codes_validated_on_build(self):
+        builder = _builder().codes(safeguards=("ZZ",))
+        with pytest.raises(Exception):
+            builder.build()
+
+    def test_extension_provenance_marked(self):
+        entry = _builder().build()
+        assert "extension" in entry.provenance
+
+
+class TestExtendedCorpus:
+    def test_extension_entries_valid(self):
+        assert len(EXTENSION_ENTRIES) == 2
+        corpus = extended_corpus()
+        assert len(corpus) == 32
+        assert "ashley-madison-discussion" in corpus
+        assert "mirai-source-studies" in corpus
+
+    def test_categories_stay_contiguous(self):
+        corpus = extended_corpus()
+        seen = [e.category for e in corpus]
+        runs = [
+            c for i, c in enumerate(seen)
+            if i == 0 or seen[i - 1] != c
+        ]
+        assert len(runs) == len(set(runs))
+
+    def test_extended_corpus_renders(self):
+        text = render_table1(extended_corpus(), "csv")
+        assert "ashley-madison-discussion" in text
+
+    def test_extended_corpus_analyzable(self):
+        stats = section5_statistics(extended_corpus())
+        assert stats.total_entries == 32
+        # Ashley Madison is coded as not-used → one more N/A row.
+        assert stats.reb_not_applicable == 3
+
+    def test_table1_reproduction_unaffected(self):
+        # E1–E8 always run on the pristine corpus: extensions must
+        # not leak into it.
+        pristine = table1_corpus()
+        assert len(pristine) == 30
+        assert all(check.ok for check in verify_section5(pristine))
+
+    def test_ashley_madison_shape(self):
+        entry = extended_corpus()["ashley-madison-discussion"]
+        assert not entry.used_data
+        assert entry.has_code("harms", "DA")
+        assert entry.origin == DataOrigin.UNAUTHORIZED_LEAK

@@ -1,0 +1,85 @@
+"""Unit tests for the booter offender-funnel analysis."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datasets import BooterDatabaseGenerator
+from repro.errors import MetricError
+from repro.metrics import analyze_funnel
+
+
+@pytest.fixture(scope="module")
+def database():
+    return BooterDatabaseGenerator(2).generate(users=300, days=90)
+
+
+@pytest.fixture(scope="module")
+def funnel(database):
+    return analyze_funnel(database)
+
+
+class TestFunnelShape:
+    def test_three_stages_in_order(self, funnel):
+        assert [stage.name for stage in funnel.stages] == [
+            "registered",
+            "paid",
+            "attacked",
+        ]
+
+    def test_monotone_narrowing(self, funnel):
+        counts = [stage.count for stage in funnel.stages]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_registration_is_full(self, funnel):
+        assert funnel.stage("registered").conversion_from_previous == 1.0
+
+    def test_not_everyone_pays(self, funnel):
+        # The generator models free registrations, as real dumps show.
+        paid = funnel.stage("paid")
+        assert 0.3 < paid.conversion_from_previous < 0.95
+
+    def test_attackers_are_payers(self, funnel, database):
+        attackers = {a.user_id for a in database.attacks}
+        payers = {p.user_id for p in database.payments}
+        assert attackers <= payers
+
+    def test_unknown_stage(self, funnel):
+        with pytest.raises(MetricError):
+            funnel.stage("lurked")
+
+
+class TestConcentration:
+    def test_heavy_users_dominate_attacks(self, funnel):
+        # Heavy-tail usage: top 10% of attackers launch far more
+        # than 10% of attacks.
+        assert funnel.attacks_top10_share > 0.25
+
+    def test_revenue_concentration_bounds(self, funnel):
+        assert 0.0 < funnel.revenue_top10_share <= 1.0
+
+    def test_mean_attacks_positive(self, funnel):
+        assert funnel.mean_attacks_per_attacker > 1.0
+
+    def test_describe(self, funnel):
+        text = funnel.describe()
+        assert "registered" in text
+        assert "%" in text
+
+
+class TestEdgeCases:
+    def test_empty_database_rejected(self, database):
+        empty = dataclasses.replace(
+            database, users=(), attacks=(), payments=()
+        )
+        with pytest.raises(MetricError):
+            analyze_funnel(empty)
+
+    def test_no_attacks_database(self, database):
+        quiet = dataclasses.replace(database, attacks=())
+        funnel = analyze_funnel(quiet)
+        assert funnel.stage("attacked").count == 0
+        assert funnel.mean_attacks_per_attacker == 0.0
+        assert funnel.attacks_top10_share == 0.0

@@ -1,0 +1,85 @@
+"""Unit tests for the GDPR research-provision checker."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.legal import GDPR_MAX_FINE, GDPRChecker, GDPRPosition
+
+
+def compliant_position() -> GDPRPosition:
+    return GDPRPosition(
+        processes_personal_data=True,
+        scientific_research=True,
+        public_interest=True,
+        encrypted_at_rest=True,
+        pseudonymised=True,
+        data_minimised=True,
+        personal_data_in_publications=False,
+        processing_info_public=True,
+        responsible_party_named=True,
+    )
+
+
+class TestChecker:
+    def test_not_applicable_without_personal_data(self):
+        result = GDPRChecker().check(
+            GDPRPosition(processes_personal_data=False)
+        )
+        assert not result.applicable
+        assert result.compliant
+
+    def test_fully_compliant(self):
+        result = GDPRChecker().check(compliant_position())
+        assert result.applicable
+        assert result.compliant
+        assert not result.missing
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("public_interest", False),
+            ("encrypted_at_rest", False),
+            ("pseudonymised", False),
+            ("data_minimised", False),
+            ("personal_data_in_publications", True),
+            ("processing_info_public", False),
+            ("responsible_party_named", False),
+            ("scientific_research", False),
+        ],
+    )
+    def test_each_requirement_enforced(self, field, value):
+        position = dataclasses.replace(
+            compliant_position(), **{field: value}
+        )
+        result = GDPRChecker().check(position)
+        assert not result.compliant
+        assert result.missing
+
+    def test_code_of_conduct_advisory_only(self):
+        position = dataclasses.replace(
+            compliant_position(), follows_code_of_conduct=False
+        )
+        result = GDPRChecker().check(position)
+        assert result.compliant
+        assert result.advisory
+
+    def test_max_fine_small_org(self):
+        # EUR 20M floor dominates for small turnover.
+        fine = GDPRChecker().max_fine(1_000_000)
+        assert fine == GDPR_MAX_FINE["eur"]
+
+    def test_max_fine_large_org(self):
+        # 4% of turnover dominates for large organisations.
+        fine = GDPRChecker().max_fine(10_000_000_000)
+        assert fine == pytest.approx(400_000_000)
+
+    def test_describe(self):
+        result = GDPRChecker().check(compliant_position())
+        assert "compliant" in result.describe()
+        na = GDPRChecker().check(
+            GDPRPosition(processes_personal_data=False)
+        )
+        assert "not applicable" in na.describe()

@@ -1,0 +1,143 @@
+"""Unit tests for the password guess generators and cracking harness."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets import PasswordDumpGenerator
+from repro.errors import MetricError
+from repro.metrics import (
+    BruteForceGuesser,
+    DictionaryGuesser,
+    MarkovGuesser,
+    PCFGGuesser,
+    cracking_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    train = PasswordDumpGenerator(42).generate(
+        site="train", users=1500
+    )
+    test = PasswordDumpGenerator(7).generate(site="test", users=600)
+    return train.passwords(), test.passwords()
+
+
+class TestDictionaryGuesser:
+    def test_popularity_order(self):
+        guesser = DictionaryGuesser(["b", "a", "a", "c", "a", "b"])
+        assert list(itertools.islice(guesser.guesses(), 3)) == [
+            "a", "b", "c",
+        ]
+
+    def test_empty_training(self):
+        with pytest.raises(MetricError):
+            DictionaryGuesser([])
+
+
+class TestBruteForce:
+    def test_enumeration_order(self):
+        guesser = BruteForceGuesser(alphabet="ab")
+        first = list(itertools.islice(guesser.guesses(), 6))
+        assert first == ["a", "b", "aa", "ab", "ba", "bb"]
+
+    def test_empty_alphabet(self):
+        with pytest.raises(MetricError):
+            BruteForceGuesser(alphabet="")
+
+
+class TestMarkovGuesser:
+    def test_generates_unseen_strings(self, corpora):
+        train, _ = corpora
+        guesser = MarkovGuesser(train)
+        seen = set(train)
+        produced = list(itertools.islice(guesser.guesses(), 500))
+        assert any(guess not in seen for guess in produced)
+
+    def test_no_duplicates(self, corpora):
+        train, _ = corpora
+        produced = list(
+            itertools.islice(MarkovGuesser(train).guesses(), 400)
+        )
+        assert len(produced) == len(set(produced))
+
+    def test_empty_training(self):
+        with pytest.raises(MetricError):
+            MarkovGuesser([])
+
+
+class TestPCFGGuesser:
+    def test_respects_structures(self):
+        guesser = PCFGGuesser(["word1", "word2", "pass9"])
+        produced = list(itertools.islice(guesser.guesses(), 20))
+        # All training passwords are L4D1, so guesses are too.
+        assert all(
+            g[:4].isalpha() and g[4:].isdigit() for g in produced
+        )
+
+    def test_recombination(self):
+        # PCFG's strength: recombining segments generates strings
+        # never seen in training.
+        guesser = PCFGGuesser(["abc1", "xyz2"])
+        produced = set(itertools.islice(guesser.guesses(), 10))
+        assert "abc2" in produced or "xyz1" in produced
+
+    def test_no_duplicates(self, corpora):
+        train, _ = corpora
+        produced = list(
+            itertools.islice(PCFGGuesser(train).guesses(), 400)
+        )
+        assert len(produced) == len(set(produced))
+
+    def test_empty_training(self):
+        with pytest.raises(MetricError):
+            PCFGGuesser([])
+
+
+class TestCrackingCurve:
+    def test_monotone_nondecreasing(self, corpora):
+        train, test = corpora
+        curve = cracking_curve(
+            DictionaryGuesser(train), test, guess_budget=1024
+        )
+        fractions = [fraction for _, fraction in curve]
+        assert fractions == sorted(fractions)
+
+    def test_trained_beats_brute_force(self, corpora):
+        # The E12 ordering: any trained guesser >> brute force.
+        train, test = corpora
+        budget = 1000
+        brute = cracking_curve(
+            BruteForceGuesser(), test, budget
+        )[-1][1]
+        for guesser in (
+            DictionaryGuesser(train),
+            MarkovGuesser(train),
+            PCFGGuesser(train),
+        ):
+            trained = cracking_curve(guesser, test, budget)[-1][1]
+            assert trained > brute + 0.05
+
+    def test_checkpoints_at_powers_of_two(self, corpora):
+        train, test = corpora
+        curve = cracking_curve(
+            DictionaryGuesser(train), test, guess_budget=64
+        )
+        counts = [count for count, _ in curve]
+        assert counts[:4] == [1, 2, 4, 8]
+
+    def test_validation(self, corpora):
+        train, test = corpora
+        with pytest.raises(MetricError):
+            cracking_curve(DictionaryGuesser(train), test, 0)
+        with pytest.raises(MetricError):
+            cracking_curve(DictionaryGuesser(train), [], 10)
+
+    def test_stops_when_all_cracked(self):
+        guesser = DictionaryGuesser(["a", "b"])
+        curve = cracking_curve(guesser, ["a", "b"], 1000)
+        assert curve[-1][1] == 1.0
+        assert curve[-1][0] <= 2

@@ -1,0 +1,109 @@
+"""Unit tests for the human-rights baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    RIGHTS,
+    RightsContext,
+    rights_at_risk,
+)
+
+
+class TestRightsInventory:
+    def test_paper_list_complete(self):
+        names = {right.id for right in RIGHTS}
+        assert names == {
+            "life",
+            "no-arbitrary-arrest",
+            "fair-trial",
+            "presumption-of-innocence",
+            "privacy",
+            "property",
+        }
+
+    def test_udhr_articles_plausible(self):
+        for right in RIGHTS:
+            assert 1 <= right.udhr_article <= 30
+
+
+class TestRightsAtRisk:
+    def test_benign_context_no_risks(self):
+        assert rights_at_risk(RightsContext()) == ()
+
+    def test_philippines_example(self):
+        # Identified drug-market participants + extra-judicial
+        # violence → the right to life is at risk (§2).
+        risks = rights_at_risk(
+            RightsContext(
+                identifies_individuals=True,
+                implies_criminality=True,
+                extrajudicial_violence_risk=True,
+            )
+        )
+        assert any(r.right.id == "life" for r in risks)
+        life = next(r for r in risks if r.right.id == "life")
+        assert "Philippines" in life.mechanism
+
+    def test_identification_is_the_gateway(self):
+        # Without identification, criminality alone risks nothing.
+        risks = rights_at_risk(
+            RightsContext(
+                implies_criminality=True,
+                extrajudicial_violence_risk=True,
+                reaches_law_enforcement=True,
+            )
+        )
+        assert risks == ()
+
+    def test_law_enforcement_route(self):
+        risks = rights_at_risk(
+            RightsContext(
+                identifies_individuals=True,
+                implies_criminality=True,
+                reaches_law_enforcement=True,
+            )
+        )
+        ids = {r.right.id for r in risks}
+        assert "no-arbitrary-arrest" in ids
+        assert "fair-trial" in ids
+        assert "presumption-of-innocence" in ids
+        assert "life" not in ids
+
+    def test_privacy_without_criminality(self):
+        risks = rights_at_risk(
+            RightsContext(
+                identifies_individuals=True,
+                contains_private_life=True,
+            )
+        )
+        assert {r.right.id for r in risks} == {"privacy"}
+
+    def test_property_route(self):
+        risks = rights_at_risk(
+            RightsContext(
+                identifies_individuals=True,
+                triggers_asset_action=True,
+            )
+        )
+        assert {r.right.id for r in risks} == {"property"}
+
+    def test_mechanisms_are_explanatory(self):
+        risks = rights_at_risk(
+            RightsContext(
+                identifies_individuals=True,
+                implies_criminality=True,
+                reaches_law_enforcement=True,
+                contains_private_life=True,
+                extrajudicial_violence_risk=True,
+                triggers_asset_action=True,
+            )
+        )
+        assert len(risks) == 6
+        assert all(len(r.mechanism) > 30 for r in risks)
+
+    def test_type_checked(self):
+        with pytest.raises(EthicsModelError):
+            rights_at_risk({"identifies_individuals": True})

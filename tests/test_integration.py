@@ -1,0 +1,166 @@
+"""Integration tests: cross-module workflows end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import table1_corpus
+from repro.analysis import CodingMatrix, section5_statistics
+from repro.anonymization import IPAnonymizer, Pseudonymizer
+from repro.assessment import (
+    PlannedSafeguards,
+    assess_project,
+    publication_checklist,
+)
+from repro.coding import Coder, annotations_from_corpus
+from repro.corpus import Corpus, extended_corpus
+from repro.datasets import BooterDatabaseGenerator
+from repro.metrics import ForumNetwork
+from repro.reporting import (
+    generate_data_management_plan,
+    generate_ethics_section,
+    generate_reb_application,
+    run_reproduction,
+)
+from repro.safeguards import (
+    SecureContainer,
+    combine_shares,
+    split_secret,
+)
+from repro.tables import render_table1
+from tests.test_assessment import booter_project
+
+
+class TestCorpusRoundtrips:
+    def test_json_roundtrip_preserves_analysis(self, corpus):
+        clone = Corpus.from_json(corpus.codebook, corpus.to_json())
+        original = section5_statistics(corpus)
+        recovered = section5_statistics(clone)
+        assert original.as_dict() == recovered.as_dict()
+
+    def test_json_roundtrip_preserves_rendering(self, corpus):
+        clone = Corpus.from_json(corpus.codebook, corpus.to_json())
+        assert render_table1(clone, "csv") == render_table1(
+            corpus, "csv"
+        )
+
+    def test_annotations_reconstruct_matrix(self, corpus):
+        # Corpus -> annotations -> same positive-coding counts.
+        annotations = annotations_from_corpus(
+            corpus, Coder(id="roundtrip")
+        )
+        matrix = CodingMatrix(corpus)
+        for dim in corpus.codebook.closed_dimensions():
+            positive_from_annotations = sum(
+                1
+                for entry in corpus
+                if annotations.get(entry.id, dim.id).value.is_positive
+            )
+            assert positive_from_annotations == int(
+                matrix.column(dim.id).sum()
+            )
+
+    def test_extended_corpus_flows_through_reporting(self):
+        corpus = extended_corpus()
+        stats = section5_statistics(corpus)
+        assert stats.total_entries == 32
+        text = render_table1(corpus, "markdown")
+        assert "Mirai source code" in text
+
+
+class TestAssessmentToReports:
+    def test_full_document_pack(self):
+        assessment = assess_project(booter_project(reb_approved=True))
+        ethics = generate_ethics_section(assessment)
+        application = generate_reb_application(assessment)
+        dmp = generate_data_management_plan(assessment.project)
+        # The three documents tell one consistent story.
+        assert "leaked without authorization" in ethics
+        assert assessment.project.title in application
+        assert assessment.project.title in dmp
+        assert publication_checklist().ready(assessment)
+
+    def test_safeguard_upgrade_changes_verdict_consistently(self):
+        bare = assess_project(
+            booter_project(
+                safeguards=PlannedSafeguards(), reb_approved=True
+            )
+        )
+        protected = assess_project(booter_project(reb_approved=True))
+        bare_risk = bare.grid.total_risk()
+        protected_risk = protected.grid.total_risk()
+        assert protected_risk < bare_risk
+        assert len(protected.required_actions) <= len(
+            bare.required_actions
+        )
+
+
+class TestDataHandlingPipeline:
+    def test_generate_anonymize_seal_escrow_recover(self):
+        # The full custody chain on one synthetic dump.
+        db = BooterDatabaseGenerator(77).generate(users=50, days=30)
+        key = b"pipeline-key-0123456789abcdef!!!"
+        anonymizer = IPAnonymizer(key)
+        pseudonymizer = Pseudonymizer(key)
+        safe_rows = [
+            (
+                pseudonymizer.pseudonym(str(a.user_id), "user"),
+                anonymizer.anonymize(a.target_ip),
+                a.method,
+            )
+            for a in db.attacks
+        ]
+        assert len(safe_rows) == len(db.attacks)
+        assert not any(
+            a.target_ip == row[1]
+            for a, row in zip(db.attacks, safe_rows)
+        ) or len(db.attacks) == 0
+
+        passphrase = "escrowed-passphrase"
+        container = SecureContainer(passphrase)
+        sealed = container.seal(repr(safe_rows).encode())
+        shares = split_secret(
+            passphrase.encode(), shares=5, threshold=3
+        )
+        recovered_passphrase = combine_shares(
+            [shares[0], shares[2], shares[4]]
+        ).decode()
+        recovered = SecureContainer(recovered_passphrase).open(sealed)
+        assert recovered == repr(safe_rows).encode()
+
+    def test_forum_pipeline_network_analysis(self):
+        from repro.datasets import ForumGenerator
+
+        forum = ForumGenerator(5).generate(members=80, threads=60)
+        network = ForumNetwork(forum)
+        summary = network.summary()
+        actors = network.key_actors(3)
+        assert summary.members == 80
+        member_ids = {m.member_id for m in forum.members}
+        assert all(actor in member_ids for actor, _ in actors)
+
+
+class TestReproductionBattery:
+    def test_everything_passes_in_one_run(self, corpus):
+        outcomes = run_reproduction(corpus)
+        assert len(outcomes) == 19
+        assert all(outcome.passed for outcome in outcomes)
+
+    def test_detects_corpus_drift(self, corpus):
+        # Corrupt one cell and the battery must notice.
+        import dataclasses
+
+        from repro.codebook import CellValue, paper_codebook
+
+        entries = list(corpus)
+        target = next(
+            i for i, e in enumerate(entries) if e.id == "pcfg-weir"
+        )
+        broken_values = dict(entries[target].values)
+        broken_values["ethics-section"] = CellValue.DISCUSSED
+        entries[target] = dataclasses.replace(
+            entries[target], values=broken_values
+        )
+        broken = Corpus(paper_codebook(), entries)
+        outcomes = run_reproduction(broken)
+        assert any(not outcome.passed for outcome in outcomes)

@@ -1,0 +1,129 @@
+"""Unit tests for the intervention-ethics module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    InterventionAssessment,
+    InterventionOption,
+    TAKEDOWN_DILEMMAS,
+)
+
+
+def option(**overrides) -> InterventionOption:
+    defaults = dict(
+        id="sinkhole",
+        description="sinkhole the botnet C&C domain",
+        harm_reduced=0.7,
+        harm_created=0.1,
+        reversible=True,
+        authorised=True,
+        likely_to_work=True,
+    )
+    defaults.update(overrides)
+    return InterventionOption(**defaults)
+
+
+class TestDilemmas:
+    def test_inventory_shape(self):
+        assert len(TAKEDOWN_DILEMMAS) == 5
+        ids = [d.id for d in TAKEDOWN_DILEMMAS]
+        assert len(set(ids)) == len(ids)
+        for dilemma in TAKEDOWN_DILEMMAS:
+            assert dilemma.act_considerations
+            assert dilemma.refrain_considerations
+
+
+class TestInterventionOption:
+    def test_bounds(self):
+        with pytest.raises(EthicsModelError):
+            option(harm_reduced=1.5)
+        with pytest.raises(EthicsModelError):
+            option(harm_created=-0.1)
+
+
+class TestAssessment:
+    def test_needs_options(self):
+        with pytest.raises(EthicsModelError):
+            InterventionAssessment(())
+
+    def test_duplicate_ids(self):
+        with pytest.raises(EthicsModelError):
+            InterventionAssessment((option(), option()))
+
+    def test_unauthorised_blocks(self):
+        assessment = InterventionAssessment(
+            (option(authorised=False),)
+        )
+        verdict, reasons = assessment.evaluate("sinkhole")
+        assert verdict == "do-not-proceed"
+        assert any("computer misuse" in r for r in reasons)
+
+    def test_ineffective_blocks(self):
+        # Moore & Clayton: interventions must be likely to work.
+        assessment = InterventionAssessment(
+            (option(likely_to_work=False),)
+        )
+        verdict, _ = assessment.evaluate("sinkhole")
+        assert verdict == "do-not-proceed"
+
+    def test_net_harm_blocks(self):
+        assessment = InterventionAssessment(
+            (option(harm_reduced=0.2, harm_created=0.3),)
+        )
+        verdict, _ = assessment.evaluate("sinkhole")
+        assert verdict == "do-not-proceed"
+
+    def test_irreversible_needs_oversight(self):
+        assessment = InterventionAssessment(
+            (option(reversible=False),)
+        )
+        verdict, reasons = assessment.evaluate("sinkhole")
+        assert verdict == "proceed-with-oversight"
+        assert any("oversight" in r for r in reasons)
+
+    def test_clean_option_proceeds(self):
+        assessment = InterventionAssessment((option(),))
+        verdict, _ = assessment.evaluate("sinkhole")
+        assert verdict == "proceed"
+
+    def test_unknown_option(self):
+        assessment = InterventionAssessment((option(),))
+        with pytest.raises(EthicsModelError):
+            assessment.evaluate("nuke-from-orbit")
+
+    def test_best_option_prefers_clean_proceed(self):
+        assessment = InterventionAssessment(
+            (
+                option(
+                    id="cleanse",
+                    reversible=False,
+                    harm_reduced=0.9,
+                ),
+                option(id="sinkhole", harm_reduced=0.6),
+            )
+        )
+        best, verdict = assessment.best_option()
+        assert best is not None
+        assert best.id == "sinkhole"  # proceed beats oversight
+        assert verdict == "proceed"
+
+    def test_best_option_none_when_all_blocked(self):
+        assessment = InterventionAssessment(
+            (option(authorised=False),)
+        )
+        best, verdict = assessment.best_option()
+        assert best is None
+        assert verdict == "do-not-proceed"
+
+    def test_best_option_largest_net_within_tier(self):
+        assessment = InterventionAssessment(
+            (
+                option(id="small", harm_reduced=0.3),
+                option(id="large", harm_reduced=0.8),
+            )
+        )
+        best, _ = assessment.best_option()
+        assert best.id == "large"

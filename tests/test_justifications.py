@@ -1,0 +1,160 @@
+"""Unit tests for the §5.1 justification critiques."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    JUSTIFICATION_IDS,
+    JustificationFacts,
+    evaluate_all_justifications,
+    evaluate_justification,
+)
+
+
+class TestDispatch:
+    def test_unknown_justification(self):
+        with pytest.raises(EthicsModelError):
+            evaluate_justification("vibes", JustificationFacts())
+
+    def test_evaluate_all_covers_every_id(self):
+        verdicts = evaluate_all_justifications(JustificationFacts())
+        assert tuple(v.justification_id for v in verdicts) == (
+            JUSTIFICATION_IDS
+        )
+
+
+class TestNotTheFirst:
+    def test_never_acceptable_alone(self):
+        verdict = evaluate_justification(
+            "not-the-first",
+            JustificationFacts(prior_published_use=True),
+        )
+        assert not verdict.acceptable
+        assert verdict.weight == "weak"
+
+    def test_different_use_breaks_it(self):
+        verdict = evaluate_justification(
+            "not-the-first",
+            JustificationFacts(
+                prior_published_use=True,
+                use_differs_from_prior=True,
+            ),
+        )
+        assert verdict.weight == "none"
+        assert "different" in verdict.critique
+
+    def test_no_prior_use(self):
+        verdict = evaluate_justification(
+            "not-the-first", JustificationFacts()
+        )
+        assert verdict.weight == "none"
+
+
+class TestPublicData:
+    def test_not_public_fails(self):
+        verdict = evaluate_justification(
+            "public-data", JustificationFacts(data_public=False)
+        )
+        assert verdict.weight == "none"
+
+    def test_new_techniques_break_it(self):
+        verdict = evaluate_justification(
+            "public-data",
+            JustificationFacts(
+                data_public=True, applies_new_techniques=True
+            ),
+        )
+        assert not verdict.acceptable
+        assert "deanonymisation" in verdict.critique
+
+    def test_public_alone_is_weak(self):
+        verdict = evaluate_justification(
+            "public-data", JustificationFacts(data_public=True)
+        )
+        assert not verdict.acceptable
+        assert verdict.weight == "weak"
+
+
+class TestNoAdditionalHarm:
+    def test_inherent_harm_blocks(self):
+        verdict = evaluate_justification(
+            "no-additional-harm",
+            JustificationFacts(use_is_inherent_harm=True),
+        )
+        assert verdict.weight == "none"
+
+    def test_requires_secure_handling(self):
+        verdict = evaluate_justification(
+            "no-additional-harm",
+            JustificationFacts(
+                no_persons_identified=True, secure_handling=False
+            ),
+        )
+        assert not verdict.acceptable
+        assert any("securely" in c for c in verdict.conditions)
+
+    def test_holds_with_conditions(self):
+        verdict = evaluate_justification(
+            "no-additional-harm",
+            JustificationFacts(
+                no_persons_identified=True, secure_handling=True
+            ),
+        )
+        assert verdict.acceptable
+        assert verdict.weight == "supporting"
+
+
+class TestFightMaliciousUse:
+    def test_needs_real_adversaries(self):
+        verdict = evaluate_justification(
+            "fight-malicious-use", JustificationFacts()
+        )
+        assert verdict.weight == "none"
+
+    def test_greater_harm_blocks(self):
+        verdict = evaluate_justification(
+            "fight-malicious-use",
+            JustificationFacts(
+                adversaries_use_data=True,
+                defence_creates_greater_harm=True,
+            ),
+        )
+        assert not verdict.acceptable
+
+    def test_defensible_case(self):
+        verdict = evaluate_justification(
+            "fight-malicious-use",
+            JustificationFacts(adversaries_use_data=True),
+        )
+        assert verdict.acceptable
+
+
+class TestNecessaryData:
+    def test_alternative_source_blocks(self):
+        # The Patreon lesson: scraping sufficed.
+        verdict = evaluate_justification(
+            "necessary-data",
+            JustificationFacts(no_alternative_source=False),
+        )
+        assert verdict.weight == "none"
+        assert "Patreon" in verdict.critique
+
+    def test_needs_public_interest(self):
+        verdict = evaluate_justification(
+            "necessary-data",
+            JustificationFacts(no_alternative_source=True),
+        )
+        assert not verdict.acceptable
+
+    def test_strong_when_complete(self):
+        verdict = evaluate_justification(
+            "necessary-data",
+            JustificationFacts(
+                no_alternative_source=True,
+                public_interest_case=True,
+            ),
+        )
+        assert verdict.acceptable
+        assert verdict.weight == "strong"

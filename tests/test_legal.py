@@ -1,0 +1,222 @@
+"""Unit tests for jurisdictions, statutes and the legal rules engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import DataOrigin
+from repro.errors import LegalModelError
+from repro.legal import (
+    DataProfile,
+    GERMANY,
+    JurisdictionSet,
+    RiskLevel,
+    UK,
+    US,
+    analyze_legal,
+    relevant_jurisdictions,
+    statute_by_id,
+    statutes_for,
+)
+
+
+class TestJurisdictions:
+    def test_from_codes(self):
+        jset = JurisdictionSet.from_codes(["uk", "US"])
+        assert set(jset.codes) == {"UK", "US"}
+
+    def test_unknown_code(self):
+        with pytest.raises(LegalModelError):
+            JurisdictionSet.from_codes(["ZZ"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LegalModelError):
+            JurisdictionSet([])
+
+    def test_germany_treats_ips_as_personal(self):
+        assert GERMANY.ip_addresses_personal
+        assert not US.ip_addresses_personal
+
+    def test_uk_terrorism_reporting_duty(self):
+        assert UK.must_report_terrorism
+        assert not US.must_report_terrorism
+
+    def test_relevant_jurisdictions_unknown_fallback(self):
+        jset = relevant_jurisdictions(
+            researcher_locations=("UK",),
+            subject_locations=("BR",),
+        )
+        assert "UK" in jset
+        assert "XX" in jset  # Brazil falls back to generic
+
+    def test_set_queries(self):
+        jset = JurisdictionSet.from_codes(["UK", "US"])
+        assert jset.any_gdpr()
+        assert jset.any_ip_personal()
+        assert jset.any_terrorism_reporting_duty()
+
+
+class TestStatutes:
+    def test_lookup_by_id(self):
+        cma = statute_by_id("uk-cma-1990")
+        assert cma.issue == "computer-misuse"
+
+    def test_unknown_id(self):
+        with pytest.raises(LegalModelError):
+            statute_by_id("nope")
+
+    def test_statutes_for_issue_and_jurisdiction(self):
+        uk_cm = statutes_for("computer-misuse", "UK")
+        assert any(s.id == "uk-cma-1990" for s in uk_cm)
+        assert not any(s.id == "us-cfaa" for s in uk_cm)
+
+    def test_eu_statutes_apply_to_members(self):
+        de_privacy = statutes_for("data-privacy", "DE")
+        assert any(s.id == "eu-gdpr" for s in de_privacy)
+
+    def test_generic_statutes_apply_everywhere(self):
+        us_copyright = statutes_for("copyright", "US")
+        assert any(s.id == "generic-copyright" for s in us_copyright)
+
+    def test_unknown_issue(self):
+        with pytest.raises(LegalModelError):
+            statutes_for("jaywalking")
+
+    def test_gdpr_has_research_exemption(self):
+        assert statute_by_id("eu-gdpr").research_exemption
+
+    def test_indecent_images_no_exemption(self):
+        for statute in statutes_for("indecent-images"):
+            assert not statute.research_exemption
+
+
+class TestRulesEngine:
+    def _analyze(self, profile, codes=("US",), **kwargs):
+        return analyze_legal(
+            profile, JurisdictionSet.from_codes(codes), **kwargs
+        )
+
+    def test_researcher_intrusion_severe(self):
+        report = self._analyze(
+            DataProfile(collected_by_researcher_intrusion=True)
+        )
+        assert report.overall_risk == RiskLevel.SEVERE
+        assert "computer-misuse" in report.applicable_issues()
+
+    def test_unintended_disclosure_no_misuse(self):
+        report = self._analyze(
+            DataProfile(origin=DataOrigin.UNINTENDED_DISCLOSURE)
+        )
+        assert "computer-misuse" not in report.applicable_issues()
+
+    def test_us_government_work_no_copyright(self):
+        report = self._analyze(
+            DataProfile(
+                copyrighted_material=True, us_government_work=True
+            )
+        )
+        assert "copyright" not in report.applicable_issues()
+
+    def test_ip_addresses_jurisdiction_dependent(self):
+        profile = DataProfile(contains_ip_addresses=True)
+        us_report = self._analyze(profile, ("US",))
+        de_report = self._analyze(profile, ("DE",))
+        assert "data-privacy" not in us_report.applicable_issues()
+        assert "data-privacy" in de_report.applicable_issues()
+
+    def test_research_exemption_lowers_privacy_risk(self):
+        profile = DataProfile(contains_email_addresses=True)
+        de = self._analyze(profile, ("DE",)).findings_for(
+            "data-privacy"
+        )
+        us = self._analyze(profile, ("US",)).findings_for(
+            "data-privacy"
+        )
+        de_risk = [f.risk for f in de if f.applicable][0]
+        us_risk = [f.risk for f in us if f.applicable][0]
+        assert RiskLevel.ORDER.index(de_risk) < RiskLevel.ORDER.index(
+            us_risk
+        )
+
+    def test_deanonymization_raises_privacy_risk(self):
+        profile = DataProfile(
+            contains_email_addresses=True, plans_deanonymization=True
+        )
+        report = self._analyze(profile)
+        finding = [
+            f
+            for f in report.findings_for("data-privacy")
+            if f.applicable
+        ][0]
+        assert finding.risk == RiskLevel.HIGH
+
+    def test_terrorism_reporting_duty_in_uk(self):
+        profile = DataProfile(terrorism_related=True)
+        uk_finding = [
+            f
+            for f in self._analyze(profile, ("UK",)).findings_for(
+                "terrorism"
+            )
+            if f.applicable
+        ][0]
+        assert uk_finding.risk == RiskLevel.HIGH
+        assert any("report" in m for m in uk_finding.mitigations)
+
+    def test_indecent_images_always_severe(self):
+        report = self._analyze(
+            DataProfile(may_contain_indecent_images=True)
+        )
+        assert report.overall_risk == RiskLevel.SEVERE
+
+    def test_classified_high(self):
+        report = self._analyze(DataProfile(classified=True))
+        finding = [
+            f
+            for f in report.findings_for("national-security")
+            if f.applicable
+        ][0]
+        assert finding.risk == RiskLevel.HIGH
+
+    def test_state_sensitive_low(self):
+        report = self._analyze(DataProfile(state_sensitive=True))
+        finding = [
+            f
+            for f in report.findings_for("national-security")
+            if f.applicable
+        ][0]
+        assert finding.risk == RiskLevel.LOW
+
+    def test_contracts(self):
+        report = self._analyze(
+            DataProfile(violates_terms_of_service=True)
+        )
+        assert "contracts" in report.applicable_issues()
+
+    def test_reb_approval_adds_defence(self):
+        profile = DataProfile()
+        report = self._analyze(profile, reb_approved=True)
+        misuse = report.findings_for("computer-misuse")[0]
+        assert any("REB" in d for d in misuse.defences)
+
+    def test_paid_offenders_high_risk(self):
+        report = self._analyze(DataProfile(paid_offenders=True))
+        assert report.overall_risk == RiskLevel.HIGH
+
+    def test_lawful_with_safeguards_property(self):
+        benign = self._analyze(DataProfile())
+        toxic = self._analyze(
+            DataProfile(may_contain_indecent_images=True)
+        )
+        assert benign.lawful_with_safeguards
+        assert not toxic.lawful_with_safeguards
+
+    def test_invalid_origin_rejected(self):
+        with pytest.raises(LegalModelError):
+            DataProfile(origin="found-on-bus")
+
+    def test_describe_renders(self):
+        report = self._analyze(
+            DataProfile(contains_email_addresses=True)
+        )
+        text = report.describe()
+        assert "Overall legal risk" in text

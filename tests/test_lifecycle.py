@@ -1,0 +1,180 @@
+"""Unit tests for the REB submission-case state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import REBError
+from repro.reb import (
+    CaseState,
+    Decision,
+    REBWorkflow,
+    Submission,
+    SubmissionCase,
+    TriggerPolicy,
+    ictr_board,
+    medical_style_board,
+)
+
+
+def make_case(
+    *,
+    risk: float = 0.3,
+    safeguards: tuple[str, ...] = (),
+    human_subjects: bool = False,
+    potential_harm: bool = True,
+    board=None,
+    policy=None,
+) -> SubmissionCase:
+    workflow = REBWorkflow(
+        board or ictr_board(), policy or TriggerPolicy.RISK_BASED
+    )
+    submission = Submission(
+        id="case-1",
+        title="Test submission",
+        human_subjects=human_subjects,
+        potential_human_harm=potential_harm,
+        risk_score=risk,
+        safeguard_codes=safeguards,
+    )
+    return SubmissionCase(submission, workflow)
+
+
+class TestHappyPaths:
+    def test_exemption_path(self):
+        case = make_case(
+            potential_harm=False,
+            policy=TriggerPolicy.HUMAN_SUBJECTS,
+        )
+        case.submit(0)
+        case.triage(1)
+        assert case.state == CaseState.EXEMPT
+        assert case.is_terminal
+        assert case.days_to_decision == 1
+
+    def test_clean_approval_path(self):
+        case = make_case(risk=0.05, safeguards=("SS", "P", "CS"))
+        case.submit(0)
+        case.triage(2)
+        decision = case.decide(7)
+        assert decision is Decision.APPROVED
+        assert case.state == CaseState.APPROVED
+        assert case.days_to_decision == 7
+
+    def test_conditions_path(self):
+        case = make_case(safeguards=())
+        case.submit(0)
+        case.triage(1)
+        assert case.decide(5) is Decision.APPROVED_WITH_CONDITIONS
+        assert case.conditions
+        case.satisfy_conditions(12, "storage encrypted, P adopted")
+        assert case.state == CaseState.APPROVED
+        assert not case.conditions
+        assert case.days_to_decision == 12
+
+    def test_rejection_and_appeal(self):
+        case = make_case(risk=2.0, safeguards=("P",))
+        case.submit(0)
+        case.triage(1)
+        assert case.decide(10) is Decision.REJECTED
+        case.appeal(15, "risk score recalculated after redesign")
+        assert case.state == CaseState.IN_REVIEW
+        # Second rejection cannot be appealed again.
+        case.decide(20)
+        with pytest.raises(REBError):
+            case.appeal(25, "please")
+
+    def test_referral_path(self):
+        case = make_case(board=medical_style_board())
+        case.submit(0)
+        case.triage(1)
+        assert case.decide(30) is Decision.REFERRED
+        case.external_advice(90, "ICTR specialist consulted")
+        assert case.state == CaseState.IN_REVIEW
+
+    def test_amendment_reopens_review(self):
+        case = make_case(risk=0.05, safeguards=("SS", "P", "CS"))
+        case.submit(0)
+        case.triage(1)
+        case.decide(5)
+        case.amend(100, "new dataset added to the study")
+        assert case.state == CaseState.IN_REVIEW
+        assert case.days_to_decision is None
+
+
+class TestGuards:
+    def test_cannot_triage_before_submit(self):
+        case = make_case()
+        with pytest.raises(REBError):
+            case.triage(0)
+
+    def test_cannot_decide_from_draft(self):
+        case = make_case()
+        with pytest.raises(REBError):
+            case.decide(0)
+
+    def test_cannot_submit_twice(self):
+        case = make_case()
+        case.submit(0)
+        with pytest.raises(REBError):
+            case.submit(1)
+
+    def test_time_cannot_go_backwards(self):
+        case = make_case()
+        case.submit(5)
+        with pytest.raises(REBError):
+            case.triage(3)
+
+    def test_conditions_need_evidence(self):
+        case = make_case(safeguards=())
+        case.submit(0)
+        case.triage(1)
+        case.decide(5)
+        with pytest.raises(REBError):
+            case.satisfy_conditions(8, "   ")
+
+    def test_appeal_needs_grounds(self):
+        case = make_case(risk=2.0, safeguards=("P",))
+        case.submit(0)
+        case.triage(1)
+        case.decide(10)
+        with pytest.raises(REBError):
+            case.appeal(12, "")
+
+    def test_amend_only_from_approved(self):
+        case = make_case()
+        case.submit(0)
+        with pytest.raises(REBError):
+            case.amend(1, "change")
+
+    def test_advice_needs_content(self):
+        case = make_case(board=medical_style_board())
+        case.submit(0)
+        case.triage(1)
+        case.decide(30)
+        with pytest.raises(REBError):
+            case.external_advice(40, "")
+
+
+class TestHistory:
+    def test_full_history_recorded(self):
+        case = make_case(safeguards=())
+        case.submit(0)
+        case.triage(1)
+        case.decide(5)
+        case.satisfy_conditions(9, "done")
+        states = [t.to_state for t in case.history]
+        assert states == [
+            CaseState.SUBMITTED,
+            CaseState.IN_REVIEW,
+            CaseState.CONDITIONS_PENDING,
+            CaseState.APPROVED,
+        ]
+
+    def test_transcript_renders(self):
+        case = make_case()
+        case.submit(0)
+        case.triage(1)
+        text = case.transcript()
+        assert "draft -> submitted" in text
+        assert "current state: in-review" in text

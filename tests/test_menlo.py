@@ -1,0 +1,251 @@
+"""Unit tests for the Menlo principle evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    BenefitInstance,
+    ConsentStatus,
+    FindingStatus,
+    HarmInstance,
+    MENLO_QUESTIONS,
+    MenloEvaluation,
+    MenloPrinciple,
+    Stakeholder,
+    StakeholderRegistry,
+    StakeholderRole,
+    default_stakeholders,
+)
+
+
+def _registry(consented: bool = False) -> StakeholderRegistry:
+    registry = default_stakeholders()
+    if consented:
+        registry = StakeholderRegistry(
+            [
+                Stakeholder(
+                    id="data-subjects",
+                    name="survey participants",
+                    role=StakeholderRole.PRIMARY,
+                    consent=ConsentStatus.OBTAINED,
+                ),
+                Stakeholder(
+                    id="researchers",
+                    name="the researchers",
+                    role=StakeholderRole.KEY,
+                    consent=ConsentStatus.OBTAINED,
+                ),
+            ]
+        )
+    return registry
+
+
+def _harm(mitigation=0.0, likelihood=0.5, severity=0.5):
+    return HarmInstance(
+        description="credential re-exposure",
+        kind="SI",
+        stakeholder_id="data-subjects",
+        likelihood=likelihood,
+        severity=severity,
+        mitigation=mitigation,
+    )
+
+
+def _benefit(magnitude=0.8):
+    return BenefitInstance(
+        description="improved password policies",
+        kind="DM",
+        beneficiary="society",
+        magnitude=magnitude,
+    )
+
+
+class TestRespectForPersons:
+    def test_consentless_needs_safeguards(self):
+        evaluation = MenloEvaluation(_registry(), [], [])
+        finding = evaluation.respect_for_persons()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+        assert any("REB" in r for r in finding.recommendations)
+
+    def test_consented_satisfied(self):
+        evaluation = MenloEvaluation(_registry(consented=True), [], [])
+        finding = evaluation.respect_for_persons()
+        assert finding.status == FindingStatus.SATISFIED
+
+    def test_vulnerable_flagged(self):
+        registry = StakeholderRegistry(
+            [
+                Stakeholder(
+                    id="minors",
+                    name="minors in the dump",
+                    role=StakeholderRole.PRIMARY,
+                    vulnerable=True,
+                    consent=ConsentStatus.OBTAINED,
+                ),
+                Stakeholder(
+                    id="researchers",
+                    name="researchers",
+                    role=StakeholderRole.KEY,
+                    consent=ConsentStatus.OBTAINED,
+                ),
+            ]
+        )
+        finding = MenloEvaluation(
+            registry, [], []
+        ).respect_for_persons()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+        assert any("minors" in r for r in finding.reasons)
+
+
+class TestBeneficence:
+    def test_empty_harm_register_indeterminate(self):
+        evaluation = MenloEvaluation(
+            _registry(), [], [_benefit()]
+        )
+        finding = evaluation.beneficence()
+        assert finding.status == FindingStatus.INDETERMINATE
+
+    def test_unmitigated_risk_needs_safeguards(self):
+        # Residual 0.64 exceeds the 0.25 threshold but stays below the
+        # 0.8 benefit, so the verdict is needs-safeguards, not violated.
+        evaluation = MenloEvaluation(
+            _registry(),
+            [_harm(likelihood=0.8, severity=0.8)],
+            [_benefit()],
+        )
+        finding = evaluation.beneficence()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+
+    def test_mitigated_risk_satisfied(self):
+        evaluation = MenloEvaluation(
+            _registry(),
+            [_harm(mitigation=0.9, likelihood=0.5, severity=0.4)],
+            [_benefit()],
+        )
+        finding = evaluation.beneficence()
+        assert finding.status == FindingStatus.SATISFIED
+
+    def test_harms_exceeding_benefits_violated(self):
+        evaluation = MenloEvaluation(
+            _registry(),
+            [_harm(likelihood=1.0, severity=1.0)],
+            [_benefit(magnitude=0.1)],
+        )
+        finding = evaluation.beneficence()
+        assert finding.status == FindingStatus.VIOLATED
+
+    def test_no_benefits_flagged(self):
+        evaluation = MenloEvaluation(
+            _registry(), [_harm(mitigation=0.9)], []
+        )
+        finding = evaluation.beneficence()
+        assert any("benefit" in r for r in finding.reasons)
+
+    def test_unknown_stakeholder_in_harm(self):
+        harm = HarmInstance(
+            description="x",
+            kind="SI",
+            stakeholder_id="nobody",
+            likelihood=0.5,
+            severity=0.5,
+        )
+        with pytest.raises(EthicsModelError):
+            MenloEvaluation(_registry(), [harm], [])
+
+    def test_bad_threshold(self):
+        with pytest.raises(EthicsModelError):
+            MenloEvaluation(
+                _registry(), [], [], residual_risk_threshold=0
+            )
+
+
+class TestJustice:
+    def test_subsidising_party_flagged(self):
+        evaluation = MenloEvaluation(
+            _registry(), [_harm()], [_benefit()]
+        )
+        finding = evaluation.justice()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+
+    def test_balanced_satisfied(self):
+        benefit_to_subjects = BenefitInstance(
+            description="breach notification for affected users",
+            kind="DM",
+            beneficiary="data-subjects",
+            magnitude=0.5,
+        )
+        evaluation = MenloEvaluation(
+            _registry(), [_harm(mitigation=0.9)], [benefit_to_subjects]
+        )
+        finding = evaluation.justice()
+        assert finding.status == FindingStatus.SATISFIED
+
+    def test_empty_register_indeterminate(self):
+        finding = MenloEvaluation(_registry(), [], []).justice()
+        assert finding.status == FindingStatus.INDETERMINATE
+
+
+class TestLawAndPublicInterest:
+    def test_unanalysed_is_indeterminate(self):
+        finding = MenloEvaluation(
+            _registry(), [], [], lawful=None, public_interest=True
+        ).respect_for_law_and_public_interest()
+        assert finding.status == FindingStatus.INDETERMINATE
+
+    def test_unlawful_needs_reb_and_transparency(self):
+        finding = MenloEvaluation(
+            _registry(), [], [], lawful=False, public_interest=True
+        ).respect_for_law_and_public_interest()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+        assert any("REB" in r for r in finding.recommendations)
+
+    def test_lawful_public_interest_satisfied(self):
+        finding = MenloEvaluation(
+            _registry(),
+            [],
+            [],
+            lawful=True,
+            public_interest=True,
+            reproducible=True,
+        ).respect_for_law_and_public_interest()
+        assert finding.status == FindingStatus.SATISFIED
+
+    def test_missing_public_interest_flagged(self):
+        finding = MenloEvaluation(
+            _registry(), [], [], lawful=True, public_interest=False
+        ).respect_for_law_and_public_interest()
+        assert finding.status == FindingStatus.NEEDS_SAFEGUARDS
+
+
+class TestAggregate:
+    def test_four_findings_in_order(self):
+        findings = MenloEvaluation(_registry(), [], []).findings()
+        assert [f.principle for f in findings] == [
+            MenloPrinciple.RESPECT_FOR_PERSONS,
+            MenloPrinciple.BENEFICENCE,
+            MenloPrinciple.JUSTICE,
+            MenloPrinciple.RESPECT_FOR_LAW_AND_PUBLIC_INTEREST,
+        ]
+
+    def test_overall_is_worst(self):
+        evaluation = MenloEvaluation(
+            _registry(),
+            [_harm(likelihood=1.0, severity=1.0)],
+            [_benefit(magnitude=0.1)],
+            lawful=True,
+            public_interest=True,
+        )
+        assert evaluation.overall_status() == FindingStatus.VIOLATED
+
+    def test_questions_cover_all_principles(self):
+        assert set(MENLO_QUESTIONS) == set(MenloPrinciple)
+        assert all(qs for qs in MENLO_QUESTIONS.values())
+
+    def test_describe_renders(self):
+        finding = MenloEvaluation(
+            _registry(), [], []
+        ).respect_for_persons()
+        text = finding.describe()
+        assert "respect-for-persons" in text

@@ -1,0 +1,214 @@
+"""Unit tests for reuse, forum SNA, event studies and stylometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ForumGenerator,
+    OffshoreLeakGenerator,
+    PasswordDumpGenerator,
+)
+from repro.errors import MetricError
+from repro.metrics import (
+    AuthorshipAttributor,
+    ForumNetwork,
+    analyze_reuse,
+    classify_pair,
+    extract_features,
+    leak_event_study,
+    legislation_impact,
+    software_metrics,
+)
+
+
+class TestReuseClassification:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("dragon", "dragon", "identical"),
+            ("dragon", "Dragon", "partial"),
+            ("dragon", "dragon99", "partial"),
+            ("dragon!", "dragon", "partial"),
+            ("dragon", "monkey", "distinct"),
+            ("longpassword", "password", "partial"),  # containment
+            ("abc", "abd", "distinct"),
+        ],
+    )
+    def test_pairs(self, a, b, expected):
+        assert classify_pair(a, b) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            classify_pair("", "x")
+
+
+class TestReuseAnalysis:
+    def test_rates_match_generator_parameters(self):
+        generator = PasswordDumpGenerator(11)
+        first, second = generator.generate_pair(
+            users=3000, overlap=0.5, direct_reuse=0.43,
+            partial_reuse=0.19,
+        )
+        profile = analyze_reuse(first, second)
+        assert profile.shared_users == 1500
+        # Direct reuse near the Das et al. 43% figure.
+        assert profile.identical_rate == pytest.approx(0.43, abs=0.05)
+        # Any-reuse at least direct + injected partial (mutations can
+        # also collide into partial by chance).
+        assert profile.any_reuse_rate >= profile.identical_rate
+
+    def test_hash_only_dump_rejected(self):
+        generator = PasswordDumpGenerator(1)
+        hashed = generator.generate(users=10, style="hashed")
+        plain = generator.generate(users=10)
+        with pytest.raises(MetricError):
+            analyze_reuse(hashed, plain)
+
+    def test_disjoint_dumps_rejected(self):
+        a = PasswordDumpGenerator(1).generate(users=10, site="a")
+        b = PasswordDumpGenerator(99).generate(users=10, site="b")
+        with pytest.raises(MetricError):
+            analyze_reuse(a, b)
+
+
+class TestForumSNA:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return ForumNetwork(ForumGenerator(3).generate(members=150))
+
+    def test_summary_shape(self, network):
+        summary = network.summary()
+        assert summary.members == 150
+        assert 0.0 < summary.density < 1.0
+        assert 0.0 < summary.largest_component_share <= 1.0
+        assert "members" in summary.describe()
+
+    def test_key_actors_ranked(self, network):
+        actors = network.key_actors(5)
+        scores = [score for _, score in actors]
+        assert scores == sorted(scores, reverse=True)
+        assert len(actors) == 5
+
+    def test_key_actors_validation(self, network):
+        with pytest.raises(MetricError):
+            network.key_actors(0)
+
+    def test_reciprocity_bounds(self, network):
+        assert 0.0 <= network.reciprocity() <= 1.0
+
+    def test_trade_network_volumes(self, network):
+        trades = network.trade_network()
+        assert all(
+            data["volume"] > 0
+            for _, _, data in trades.edges(data=True)
+        )
+
+    def test_seller_concentration_bounds(self, network):
+        gini = network.seller_concentration()
+        assert 0.0 <= gini < 1.0
+
+    def test_empty_forum_rejected(self):
+        forum = ForumGenerator(1).generate(members=2, threads=1)
+        object.__setattr__(forum, "posts", ())
+        object.__setattr__(forum, "messages", ())
+        with pytest.raises(MetricError):
+            ForumNetwork(forum)
+
+
+class TestEventStudies:
+    @pytest.fixture(scope="class")
+    def leak(self):
+        return OffshoreLeakGenerator(4).generate()
+
+    def test_legislation_impact_significant(self, leak):
+        impact = legislation_impact(leak, 2010)
+        assert impact.significant
+        assert impact.reduction > 0
+
+    def test_window_validation(self, leak):
+        with pytest.raises(MetricError):
+            legislation_impact(leak, 2010, window=1)
+
+    def test_quiet_period_rejected(self, leak):
+        with pytest.raises(MetricError):
+            legislation_impact(leak, 1950)
+
+    def test_event_study_shape(self, leak):
+        result = leak_event_study(leak, abnormal_return=-0.007)
+        assert result.implicated_firms > 0
+        # Loss relative to implicated value equals |abnormal return|
+        # by construction — the paper's 0.7% basis.
+        assert result.loss_share_of_implicated == pytest.approx(
+            0.007
+        )
+        assert result.loss_share_of_market < 0.007
+
+    def test_positive_return_rejected(self, leak):
+        with pytest.raises(MetricError):
+            leak_event_study(leak, abnormal_return=0.01)
+
+
+PYTHONIC = '''
+# helper utilities
+def compute_total(values):
+    total = 0
+    for value in values:
+        if value > 0:
+            total += value
+    return total
+
+def main_entry(arguments):
+    results = compute_total(arguments)
+    return results
+'''
+
+C_STYLE = """
+int computeTotal(int *values, int n) {
+\tint total = 0;
+\tfor (int i = 0; i < n; i++) {
+\t\tif (values[i] > 0) { total += values[i]; }
+\t}
+\treturn total;
+}
+"""
+
+
+class TestStylometry:
+    def test_features_differ_between_styles(self):
+        pythonic = extract_features(PYTHONIC)
+        c_style = extract_features(C_STYLE)
+        assert pythonic.vector() != c_style.vector()
+        assert c_style.indent_tabs_ratio > pythonic.indent_tabs_ratio
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(MetricError):
+            extract_features("")
+
+    def test_attribution_recovers_author(self):
+        attributor = AuthorshipAttributor()
+        attributor.train("pythonista", PYTHONIC)
+        attributor.train("c-hacker", C_STYLE)
+        anonymous = PYTHONIC.replace("compute_total", "sum_up")
+        author, distance = attributor.attribute(anonymous)
+        assert author == "pythonista"
+        assert distance >= 0.0
+
+    def test_attribution_needs_training(self):
+        with pytest.raises(MetricError):
+            AuthorshipAttributor().attribute(PYTHONIC)
+
+    def test_author_label_required(self):
+        with pytest.raises(MetricError):
+            AuthorshipAttributor().train("", PYTHONIC)
+
+    def test_software_metrics(self):
+        metrics = software_metrics(PYTHONIC)
+        assert metrics.function_count == 2
+        assert metrics.cyclomatic_complexity >= 3  # if + for + 1
+        assert metrics.comment_lines == 1
+        assert 0.0 < metrics.comment_density < 1.0
+
+    def test_software_metrics_empty(self):
+        with pytest.raises(MetricError):
+            software_metrics("   \n  ")

@@ -1,0 +1,146 @@
+"""Unit tests for the breach-notification service contrast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import PasswordDumpGenerator
+from repro.errors import SafeguardError
+from repro.safeguards import (
+    AccessSaleService,
+    BreachNotificationService,
+    BreachRecord,
+    password_range_query,
+)
+
+
+def records(seed: int = 1, n: int = 50) -> list[BreachRecord]:
+    dump = PasswordDumpGenerator(seed).generate(users=n)
+    return [
+        BreachRecord(
+            breach_name="examplesite-2016",
+            email=record.email,
+            password=record.password,
+        )
+        for record in dump.records
+    ]
+
+
+@pytest.fixture()
+def service():
+    svc = BreachNotificationService(hmac_key=b"k" * 32)
+    svc.ingest(records())
+    return svc
+
+
+class TestBreachRecord:
+    def test_validation(self):
+        with pytest.raises(SafeguardError):
+            BreachRecord(breach_name="x", email="nope", password="p")
+        with pytest.raises(SafeguardError):
+            BreachRecord(breach_name="", email="a@b.c", password="p")
+
+
+class TestVerificationGate:
+    def test_unverified_query_refused(self, service):
+        victim = records()[0].email
+        with pytest.raises(SafeguardError):
+            service.breaches_for(victim)
+
+    def test_verified_owner_sees_breaches(self, service):
+        victim = records()[0].email
+        token = service.request_verification(victim)
+        service.confirm_verification(victim, token)
+        assert service.breaches_for(victim) == ("examplesite-2016",)
+
+    def test_wrong_token_refused(self, service):
+        victim = records()[0].email
+        service.request_verification(victim)
+        with pytest.raises(SafeguardError):
+            service.confirm_verification(victim, "deadbeef")
+
+    def test_verified_non_victim_sees_empty(self, service):
+        email = "innocent@example.org"
+        token = service.request_verification(email)
+        service.confirm_verification(email, token)
+        assert service.breaches_for(email) == ()
+
+    def test_future_breach_notifies_subscriber(self, service):
+        email = records()[0].email
+        token = service.request_verification(email)
+        service.confirm_verification(email, token)
+        service.ingest(
+            [
+                BreachRecord(
+                    breach_name="newsite-2017",
+                    email=email,
+                    password="whatever1",
+                )
+            ]
+        )
+        assert (email, "newsite-2017") in (
+            service.pending_notifications
+        )
+
+
+class TestRangeQueryProtocol:
+    def test_breached_password_found(self, service):
+        password = records()[0].password
+        assert service.check_password(password)
+
+    def test_unbreached_password_not_found(self, service):
+        assert not service.check_password("Xq7#kZp9!mW2vRt5!!")
+
+    def test_client_reveals_only_prefix(self, service):
+        import hashlib
+
+        password = records()[0].password
+        digest = (
+            hashlib.sha1(password.encode()).hexdigest().upper()
+        )
+        bucket = service.password_bucket(digest[:5])
+        # The server response is the whole bucket, not a yes/no for
+        # a specific password.
+        assert isinstance(bucket[digest[:5]], list)
+        assert password_range_query(password, bucket)
+
+    def test_prefix_validation(self, service):
+        with pytest.raises(SafeguardError):
+            service.password_bucket("zz")
+        with pytest.raises(SafeguardError):
+            service.password_bucket("GGGGG")
+
+    def test_empty_bucket(self, service):
+        bucket = service.password_bucket("00000")
+        assert password_range_query("nothere", bucket) in (
+            True,
+            False,
+        )
+
+    def test_service_never_exposes_passwords(self, service):
+        assert not service.exposes_passwords()
+
+
+class TestAccessSaleContrast:
+    def test_sale_service_exposes_everything(self):
+        sale = AccessSaleService()
+        sale.ingest(records())
+        victim = records()[0]
+        results = sale.lookup(victim.email, payment=5.0)
+        # Anyone's plaintext password for five dollars — the conduct
+        # that got leakedsource shut down.
+        assert results[0].password == victim.password
+        assert sale.exposes_passwords()
+        assert sale.revenue == 5.0
+
+    def test_sale_service_wants_money(self):
+        sale = AccessSaleService()
+        with pytest.raises(SafeguardError):
+            sale.lookup("a@b.c", payment=0)
+
+    def test_ethical_service_refuses_the_same_query(self, service):
+        # The defining contrast: the query the sale service answers
+        # is exactly the one the notification service refuses.
+        victim = records()[0].email
+        with pytest.raises(SafeguardError):
+            service.breaches_for(victim)

@@ -1,0 +1,281 @@
+"""Validation: the assessment engine agrees with the paper's §4
+qualitative judgements.
+
+The paper passes explicit judgement on several case studies; if our
+engines encode §2/§3 faithfully, feeding them the §4 facts must
+reproduce those judgements:
+
+* AT&T/Goatse (§4.1.2): "clearly both unethical and illegal" —
+  the engine must say do-not-proceed.
+* Patreon (§4.3.2): declining the dump was right — necessity fails
+  because scraping sufficed, and the engine must find no acceptable
+  justification for using the dump.
+* Thomas et al. [110] (§4.3.1): careful, safeguarded, justified —
+  the engine must let it proceed (with REB review).
+* Password-dump research (§4.2): defensible under the
+  no-additional-harm + fight-malicious-use pattern when handled
+  securely.
+* The Carna botnet (§4.1.1): creating the botnet was computer
+  misuse; research that merely uses the data is lower risk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assessment import (
+    PlannedSafeguards,
+    ResearchProject,
+    Verdict,
+    assess_project,
+)
+from repro.corpus import DataOrigin
+from repro.ethics import (
+    BenefitInstance,
+    HarmInstance,
+    JustificationFacts,
+    evaluate_justification,
+)
+from repro.legal import DataProfile, JurisdictionSet, RiskLevel, analyze_legal
+
+
+class TestATandT:
+    def test_engine_condemns_the_collection(self):
+        project = ResearchProject(
+            title="Harvesting iPad owner emails via the AT&T endpoint",
+            research_question=(
+                "Can ICC-IDs be enumerated to recover email addresses?"
+            ),
+            data_description=(
+                "114,000 email addresses obtained by exploiting an "
+                "AT&T web service."
+            ),
+            profile=DataProfile(
+                origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+                contains_email_addresses=True,
+                collected_by_researcher_intrusion=True,
+            ),
+            harms=(
+                HarmInstance(
+                    description="exposure of 114,000 users' emails",
+                    kind="SI",
+                    stakeholder_id="data-subjects",
+                    likelihood="certain",
+                    severity="moderate",
+                ),
+            ),
+            benefits=(),
+            justification_facts=JustificationFacts(
+                adversaries_use_data=False
+            ),
+            jurisdictions=JurisdictionSet.from_codes(["US"]),
+        )
+        assessment = assess_project(project)
+        assert assessment.verdict == Verdict.DO_NOT_PROCEED
+        assert assessment.legal.overall_risk == RiskLevel.SEVERE
+
+    def test_far_more_data_than_needed_is_the_tell(self):
+        # Collecting one record proves a vulnerability; collecting
+        # 114,000 is harvesting. The beneficence finding flags the
+        # unmitigated, benefit-free register.
+        from repro.ethics import (
+            FindingStatus,
+            MenloEvaluation,
+            default_stakeholders,
+        )
+
+        evaluation = MenloEvaluation(
+            default_stakeholders(),
+            [
+                HarmInstance(
+                    description="mass harvesting",
+                    kind="SI",
+                    stakeholder_id="data-subjects",
+                    likelihood="certain",
+                    severity="moderate",
+                )
+            ],
+            [],
+            lawful=False,
+            public_interest=False,
+        )
+        assert evaluation.overall_status() in (
+            FindingStatus.NEEDS_SAFEGUARDS,
+            FindingStatus.VIOLATED,
+        )
+
+
+class TestPatreon:
+    def test_necessity_fails_when_scraping_suffices(self):
+        verdict = evaluate_justification(
+            "necessary-data",
+            JustificationFacts(no_alternative_source=False),
+        )
+        assert not verdict.acceptable
+
+    def test_no_justification_survives(self):
+        # Poor & Davidson's facts: data public, but scraping
+        # suffices, private/public cannot be separated (so persons
+        # might be identified), handling not established.
+        facts = JustificationFacts(
+            data_public=True,
+            no_persons_identified=False,
+            secure_handling=False,
+            no_alternative_source=False,
+            adversaries_use_data=False,
+        )
+        from repro.ethics import evaluate_all_justifications
+
+        verdicts = evaluate_all_justifications(facts)
+        assert not any(v.acceptable for v in verdicts)
+
+
+class TestThomasBooterStudy:
+    def _project(self) -> ResearchProject:
+        return ResearchProject(
+            title="1000 days of UDP amplification DDoS attacks",
+            research_question=(
+                "What fraction of booter attacks do honeypots see?"
+            ),
+            data_description=(
+                "Leaked booter databases used as ground truth for "
+                "honeypot coverage."
+            ),
+            profile=DataProfile(
+                origin=DataOrigin.UNAUTHORIZED_LEAK,
+                contains_email_addresses=True,
+                contains_ip_addresses=True,
+                publicly_available=True,
+                plans_controlled_sharing=True,
+            ),
+            harms=(
+                HarmInstance(
+                    description="re-exposure of booter users",
+                    kind="SI",
+                    stakeholder_id="data-subjects",
+                    likelihood="possible",
+                    severity="moderate",
+                ),
+            ),
+            benefits=(
+                BenefitInstance(
+                    description="only available ground truth",
+                    kind="U",
+                    beneficiary="society",
+                    magnitude=0.8,
+                ),
+                BenefitInstance(
+                    description="better DDoS defences",
+                    kind="DM",
+                    beneficiary="society",
+                    magnitude=0.6,
+                ),
+            ),
+            justification_facts=JustificationFacts(
+                data_public=True,
+                no_alternative_source=True,
+                public_interest_case=True,
+                secure_handling=True,
+            ),
+            safeguards=PlannedSafeguards(
+                secure_storage=True,
+                privacy_preserved=True,
+                controlled_sharing=True,
+            ),
+            jurisdictions=JurisdictionSet.from_codes(["UK"]),
+            reb_approved=True,
+            has_ethics_section=True,
+        )
+
+    def test_proceeds_with_safeguards(self):
+        assessment = assess_project(self._project())
+        assert assessment.verdict in (
+            Verdict.PROCEED,
+            Verdict.PROCEED_WITH_SAFEGUARDS,
+        )
+
+    def test_necessity_justification_is_strong(self):
+        assessment = assess_project(self._project())
+        strong = [
+            j
+            for j in assessment.acceptable_justifications
+            if j.weight == "strong"
+        ]
+        assert any(
+            j.justification_id == "necessary-data" for j in strong
+        )
+
+    def test_without_reb_the_engine_demands_review(self):
+        import dataclasses
+
+        project = dataclasses.replace(
+            self._project(), reb_approved=False
+        )
+        assessment = assess_project(project)
+        assert assessment.verdict == Verdict.REQUIRES_REB
+
+
+class TestPasswordDumpPattern:
+    def test_defensible_with_secure_handling(self):
+        facts = JustificationFacts(
+            data_public=True,
+            prior_published_use=True,
+            no_persons_identified=True,
+            secure_handling=True,
+            adversaries_use_data=True,
+        )
+        nah = evaluate_justification("no-additional-harm", facts)
+        fmu = evaluate_justification("fight-malicious-use", facts)
+        assert nah.acceptable
+        assert fmu.acceptable
+
+    def test_not_the_first_never_suffices(self):
+        # The paper's explicit critique of the most common argument.
+        facts = JustificationFacts(prior_published_use=True)
+        verdict = evaluate_justification("not-the-first", facts)
+        assert not verdict.acceptable
+
+
+class TestCarna:
+    def test_building_the_botnet_is_misuse(self):
+        report = analyze_legal(
+            DataProfile(
+                origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+                collected_by_researcher_intrusion=True,
+            ),
+            JurisdictionSet.from_codes(["US"]),
+        )
+        assert report.overall_risk == RiskLevel.SEVERE
+
+    def test_merely_using_the_data_is_lower_risk(self):
+        report = analyze_legal(
+            DataProfile(
+                origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+                contains_ip_addresses=True,
+                publicly_available=True,
+            ),
+            JurisdictionSet.from_codes(["US"]),
+        )
+        assert report.overall_risk in (
+            RiskLevel.LOW,
+            RiskLevel.MEDIUM,
+        )
+
+    @pytest.mark.parametrize(
+        "jurisdiction,applies", [("US", False), ("DE", True)]
+    )
+    def test_telescope_ip_question_is_jurisdictional(
+        self, jurisdiction, applies
+    ):
+        # Malecot & Inoue's predicament: the bot source IPs identify
+        # victims — personal data in Germany, not in the US.
+        report = analyze_legal(
+            DataProfile(
+                origin=DataOrigin.VULNERABILITY_EXPLOITATION,
+                contains_ip_addresses=True,
+            ),
+            JurisdictionSet.from_codes([jurisdiction]),
+        )
+        assert (
+            "data-privacy" in report.applicable_issues()
+        ) is applies

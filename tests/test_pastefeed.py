@@ -1,0 +1,122 @@
+"""Unit tests for the paste-feed simulator and dump triage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DumpTriage,
+    Paste,
+    PasteFeed,
+    PasteFeedGenerator,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def feed():
+    return PasteFeedGenerator(9).generate(
+        pastes=400, dump_fraction=0.2
+    )
+
+
+class TestGenerator:
+    def test_dump_fraction_respected(self, feed):
+        assert feed.dump_fraction() == pytest.approx(0.2, abs=0.01)
+
+    def test_deterministic(self):
+        a = PasteFeedGenerator(3).generate(pastes=50)
+        b = PasteFeedGenerator(3).generate(pastes=50)
+        assert a == b
+
+    def test_dumps_look_like_combo_lists(self, feed):
+        dump = next(p for p in feed.pastes if p.is_dump)
+        lines = dump.text.splitlines()
+        assert all("@" in line and ":" in line for line in lines)
+
+    def test_benign_variety(self, feed):
+        benign = [p for p in feed.pastes if not p.is_dump]
+        with_emails = sum(1 for p in benign if "@" in p.text)
+        without = len(benign) - with_emails
+        # Hard negatives (mailing lists) and clean pastes both occur.
+        assert with_emails > 0
+        assert without > 0
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            PasteFeedGenerator(1).generate(pastes=0)
+        with pytest.raises(DatasetError):
+            PasteFeedGenerator(1).generate(dump_fraction=1.5)
+
+    def test_shuffled_not_front_loaded(self, feed):
+        first_quarter = feed.pastes[: len(feed.pastes) // 4]
+        dumps_in_front = sum(1 for p in first_quarter if p.is_dump)
+        assert dumps_in_front < len(first_quarter)
+
+
+class TestTriage:
+    def test_threshold_validation(self):
+        with pytest.raises(DatasetError):
+            DumpTriage(email_density_threshold=0.0)
+        with pytest.raises(DatasetError):
+            DumpTriage(email_density_threshold=1.5)
+
+    def test_high_quality_detection(self, feed):
+        result = DumpTriage().evaluate(feed)
+        assert result.precision > 0.9
+        assert result.recall > 0.9
+        assert result.f1 > 0.9
+
+    def test_counts_partition_feed(self, feed):
+        result = DumpTriage().evaluate(feed)
+        total = (
+            result.true_positives
+            + result.false_positives
+            + result.false_negatives
+            + result.true_negatives
+        )
+        assert total == len(feed)
+
+    def test_mailing_list_not_flagged(self):
+        triage = DumpTriage()
+        mailing_list = Paste(
+            paste_id=0,
+            title="archive",
+            text="From: a@b.example wrote:\n> hello there\n"
+            "> more text\n> and more\n",
+            is_dump=False,
+        )
+        assert not triage.looks_like_dump(mailing_list)
+
+    def test_combo_list_flagged(self):
+        triage = DumpTriage()
+        combo = Paste(
+            paste_id=0,
+            title="combo",
+            text="a@b.example:hunter2\nc@d.example:dragon\n",
+            is_dump=True,
+        )
+        assert triage.looks_like_dump(combo)
+
+    def test_empty_paste_not_flagged(self):
+        assert not DumpTriage().looks_like_dump(
+            Paste(paste_id=0, title="empty", text="", is_dump=False)
+        )
+
+    def test_loose_threshold_trades_precision_for_recall(self, feed):
+        strict = DumpTriage(email_density_threshold=0.9).evaluate(
+            feed
+        )
+        loose = DumpTriage(email_density_threshold=0.2).evaluate(
+            feed
+        )
+        assert loose.recall >= strict.recall
+        assert loose.false_positives >= strict.false_positives
+
+    def test_metrics_zero_safe(self):
+        from repro.datasets import TriageResult
+
+        empty = TriageResult(0, 0, 0, 0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0

@@ -1,0 +1,184 @@
+"""Cross-cutting property tests over randomly generated corpora.
+
+Uses hypothesis to build arbitrary (schema-valid) corpora through
+:class:`~repro.corpus.extensions.CorpusBuilder` and asserts the
+invariants every downstream consumer relies on: rendering never
+crashes and preserves row counts, JSON round-trips exactly, the
+coding matrix is consistent with per-entry queries, and the §5
+statistics engine is total over valid corpora.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import CodingMatrix, section5_statistics
+from repro.codebook import paper_codebook
+from repro.corpus import Category, Corpus, CorpusBuilder, DataOrigin
+from repro.tables import build_table1_layout, render
+
+SAFEGUARDS = st.sets(
+    st.sampled_from(["SS", "P", "CS"]), max_size=3
+)
+HARMS = st.sets(
+    st.sampled_from(["I", "PA", "DA", "SI", "RH", "BC"]), max_size=6
+)
+BENEFITS = st.sets(
+    st.sampled_from(["R", "U", "DM", "AT"]), max_size=4
+)
+LEGAL = st.sets(
+    st.sampled_from(
+        [
+            "computer-misuse",
+            "copyright",
+            "data-privacy",
+            "terrorism",
+            "indecent-images",
+            "national-security",
+        ]
+    ),
+    max_size=6,
+)
+FLAGS = st.booleans()
+
+
+@st.composite
+def entries(draw, index: int = 0):
+    """One schema-valid synthetic case study."""
+    n = draw(st.integers(0, 10_000))
+    builder = CorpusBuilder(
+        id=f"gen-{n}",
+        category=draw(st.sampled_from(Category.ORDER)),
+        source_label=f"Source {n}",
+        reference=draw(st.integers(1, 124)),
+        year=draw(st.integers(2009, 2017)),
+    )
+    builder.legal(*sorted(draw(LEGAL)))
+    builder.ethical(
+        identification_of_stakeholders=draw(FLAGS),
+        identify_harms=draw(FLAGS),
+        safeguards=draw(FLAGS),
+        justice=draw(FLAGS),
+        public_interest=draw(FLAGS),
+    )
+    builder.justifications(
+        not_the_first=draw(FLAGS),
+        public_data=draw(FLAGS),
+        no_additional_harm=draw(FLAGS),
+        fight_malicious_use=draw(FLAGS),
+        necessary_data=draw(FLAGS),
+    )
+    builder.ethics_section(draw(FLAGS))
+    builder.reb(
+        draw(
+            st.sampled_from(
+                ["approved", "not-mentioned", "exempt", "not-relevant"]
+            )
+        )
+    )
+    builder.codes(
+        safeguards=tuple(sorted(draw(SAFEGUARDS))),
+        harms=tuple(sorted(draw(HARMS))),
+        benefits=tuple(sorted(draw(BENEFITS))),
+    )
+    builder.describe(
+        summary="A generated case study for property testing only.",
+        origin=draw(st.sampled_from(DataOrigin.ALL)),
+        used_data=draw(FLAGS),
+    )
+    return builder.build()
+
+
+@st.composite
+def corpora(draw):
+    count = draw(st.integers(1, 8))
+    built = []
+    seen_ids = set()
+    for __ in range(count):
+        entry = draw(entries())
+        if entry.id in seen_ids:
+            continue
+        seen_ids.add(entry.id)
+        built.append(entry)
+    # Keep category groups contiguous for the renderers.
+    order = {c: i for i, c in enumerate(Category.ORDER)}
+    built.sort(key=lambda e: order[e.category])
+    return Corpus(paper_codebook(), built)
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus=corpora())
+def test_all_renderers_total(corpus):
+    layout = build_table1_layout(corpus)
+    for format in ("text", "markdown", "latex", "csv", "html"):
+        output = render(layout, format)
+        assert isinstance(output, str) and output
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus=corpora())
+def test_csv_row_count_matches(corpus):
+    layout = build_table1_layout(corpus)
+    rows = list(csv.reader(io.StringIO(render(layout, "csv"))))
+    assert len(rows) == len(corpus) + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus=corpora())
+def test_json_roundtrip_exact(corpus):
+    clone = Corpus.from_json(paper_codebook(), corpus.to_json())
+    assert clone.entry_ids == corpus.entry_ids
+    for entry_id in corpus.entry_ids:
+        assert clone[entry_id] == corpus[entry_id]
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus=corpora())
+def test_matrix_consistent_with_entries(corpus):
+    matrix = CodingMatrix(corpus)
+    for entry in corpus:
+        # Legal indicator columns agree with the entry's own view.
+        for dim_id in (
+            "computer-misuse",
+            "data-privacy",
+            "national-security",
+        ):
+            row_index = list(corpus.entry_ids).index(entry.id)
+            indicator = bool(matrix.column(dim_id)[row_index])
+            assert indicator == (dim_id in entry.legal_issues)
+    # Column sums equal query counts.
+    assert int(matrix.column("ethics-section").sum()) == sum(
+        1 for e in corpus if e.has_ethics_section
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus=corpora())
+def test_section5_statistics_total(corpus):
+    stats = section5_statistics(corpus)
+    assert stats.total_entries == len(corpus)
+    assert (
+        stats.reb_approved
+        + stats.reb_exempt
+        + stats.reb_not_mentioned
+        + stats.reb_not_applicable
+        == len(corpus)
+    )
+    assert 0 <= stats.ethics_sections <= stats.total_papers
+    assert all(v >= 0 for v in stats.safeguard_counts.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpus=corpora())
+def test_reproduction_battery_detects_non_table1(corpus):
+    # Any corpus that differs from the paper's 30 rows must fail at
+    # least one reproduction check.
+    from repro.reporting import run_reproduction
+
+    if len(corpus) == 30:  # pragma: no cover - vanishingly unlikely
+        return
+    outcomes = run_reproduction(corpus)
+    assert any(not outcome.passed for outcome in outcomes)

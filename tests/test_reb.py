@@ -1,0 +1,198 @@
+"""Unit tests for the REB board, workflow and policy ablation (E13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import REBError
+from repro.reb import (
+    Board,
+    Decision,
+    REBWorkflow,
+    Reviewer,
+    Submission,
+    TriggerPolicy,
+    ictr_board,
+    medical_style_board,
+    run_policy_experiment,
+    submission_from_entry,
+)
+
+
+def submission(**overrides) -> Submission:
+    defaults = dict(
+        id="s1",
+        title="Booter dump analysis",
+        human_subjects=False,
+        potential_human_harm=True,
+        risk_score=0.3,
+        safeguard_codes=("SS", "P"),
+    )
+    defaults.update(overrides)
+    return Submission(**defaults)
+
+
+class TestBoard:
+    def test_needs_members(self):
+        with pytest.raises(REBError):
+            Board(
+                id="b", name="B", members=(),
+                simple_case_days=5, complex_case_days=30,
+            )
+
+    def test_latency_sanity(self):
+        reviewer = Reviewer(id="r", name="R", expertise=("ictr",))
+        with pytest.raises(REBError):
+            Board(
+                id="b", name="B", members=(reviewer,),
+                simple_case_days=30, complex_case_days=5,
+            )
+
+    def test_ictr_board_is_fast_for_simple_cases(self):
+        assert ictr_board().review_days(complex_case=False) == 5
+
+    def test_medical_board_always_slow_for_ictr(self):
+        board = medical_style_board()
+        # No ICTR expertise: even simple cases take the complex path.
+        assert board.review_days(complex_case=False) == 180
+
+    def test_expertise_queries(self):
+        board = ictr_board()
+        assert board.ictr_capable
+        assert not medical_style_board().ictr_capable
+        assert board.reviewers_for("law")
+
+    def test_empty_reviewer_id(self):
+        with pytest.raises(REBError):
+            Reviewer(id="", name="X")
+
+
+class TestWorkflowTriage:
+    def test_human_subjects_policy_misses_risky_work(self):
+        workflow = REBWorkflow(
+            ictr_board(), TriggerPolicy.HUMAN_SUBJECTS
+        )
+        risky = submission(
+            human_subjects=False, potential_human_harm=True
+        )
+        assert not workflow.needs_review(risky)
+
+    def test_risk_based_policy_catches_it(self):
+        workflow = REBWorkflow(ictr_board(), TriggerPolicy.RISK_BASED)
+        risky = submission(
+            human_subjects=False, potential_human_harm=True
+        )
+        assert workflow.needs_review(risky)
+
+    def test_policy_defaults_from_board(self):
+        assert (
+            REBWorkflow(medical_style_board()).policy
+            is TriggerPolicy.HUMAN_SUBJECTS
+        )
+        assert (
+            REBWorkflow(ictr_board()).policy
+            is TriggerPolicy.RISK_BASED
+        )
+
+    def test_exempt_outcome_not_reviewed(self):
+        workflow = REBWorkflow(
+            ictr_board(), TriggerPolicy.HUMAN_SUBJECTS
+        )
+        outcome = workflow.review(submission(human_subjects=False))
+        assert outcome.decision is Decision.EXEMPT
+        assert not outcome.reviewed
+
+
+class TestWorkflowReview:
+    def test_low_risk_approved(self):
+        workflow = REBWorkflow(ictr_board())
+        outcome = workflow.review(
+            submission(
+                risk_score=0.05, safeguard_codes=("SS", "P", "CS")
+            )
+        )
+        assert outcome.decision is Decision.APPROVED
+        assert outcome.days_taken == 5
+
+    def test_conditions_for_missing_safeguards(self):
+        workflow = REBWorkflow(ictr_board())
+        outcome = workflow.review(
+            submission(risk_score=0.05, safeguard_codes=())
+        )
+        assert outcome.decision is Decision.APPROVED_WITH_CONDITIONS
+        assert len(outcome.conditions) == 2
+
+    def test_high_risk_unprotected_rejected(self):
+        workflow = REBWorkflow(ictr_board())
+        outcome = workflow.review(
+            submission(risk_score=2.0, safeguard_codes=("P",))
+        )
+        assert outcome.decision is Decision.REJECTED
+        assert not outcome.approved
+
+    def test_high_risk_with_safeguards_conditional(self):
+        workflow = REBWorkflow(ictr_board())
+        outcome = workflow.review(
+            submission(risk_score=2.0, safeguard_codes=("SS", "P"))
+        )
+        assert outcome.decision is Decision.APPROVED_WITH_CONDITIONS
+
+    def test_no_expertise_referred(self):
+        workflow = REBWorkflow(
+            medical_style_board(), TriggerPolicy.RISK_BASED
+        )
+        outcome = workflow.review(submission(area="ictr"))
+        assert outcome.decision is Decision.REFERRED
+
+    def test_illegal_work_gets_legal_condition(self):
+        workflow = REBWorkflow(ictr_board())
+        outcome = workflow.review(
+            submission(
+                may_be_illegal=True, safeguard_codes=("SS", "P")
+            )
+        )
+        assert any(
+            "legal" in condition for condition in outcome.conditions
+        )
+
+    def test_negative_risk_rejected(self):
+        with pytest.raises(REBError):
+            submission(risk_score=-1)
+
+    def test_review_all(self):
+        workflow = REBWorkflow(ictr_board())
+        outcomes = workflow.review_all(
+            [submission(id="a"), submission(id="b")]
+        )
+        assert len(outcomes) == 2
+
+
+class TestPolicyExperiment:
+    def test_risk_based_dominates(self, corpus):
+        comparison = run_policy_experiment(corpus)
+        assert comparison.risk_based_dominates
+        assert (
+            comparison.risk_based_coverage
+            > comparison.human_subjects_coverage
+        )
+
+    def test_exempted_studies_flip(self, corpus):
+        comparison = run_policy_experiment(corpus)
+        assert {
+            "booters-karami-stress",
+            "udp-ddos-thomas",
+        } <= set(comparison.flipped)
+
+    def test_full_risk_based_coverage(self, corpus):
+        comparison = run_policy_experiment(corpus)
+        assert comparison.risk_based_coverage == 1.0
+
+    def test_submissions_carry_corpus_facts(self, corpus):
+        entry = corpus["guess-again-kelley"]
+        sub = submission_from_entry(entry)
+        assert sub.human_subjects  # they ran a survey
+        assert sub.safeguard_codes == ("P",)
+
+    def test_describe(self, corpus):
+        text = run_policy_experiment(corpus).describe()
+        assert "risk-based trigger" in text

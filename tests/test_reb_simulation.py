@@ -1,0 +1,99 @@
+"""Unit tests for the REB queue simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import REBError
+from repro.reb import (
+    TriggerPolicy,
+    ictr_board,
+    medical_style_board,
+    simulate_reb_year,
+)
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        a = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=7
+        )
+        b = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=7
+        )
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(REBError):
+            simulate_reb_year(
+                ictr_board(),
+                TriggerPolicy.RISK_BASED,
+                submissions_per_week=0,
+            )
+        with pytest.raises(REBError):
+            simulate_reb_year(
+                ictr_board(), TriggerPolicy.RISK_BASED, weeks=0
+            )
+
+    def test_conservation(self):
+        result = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=3
+        )
+        assert result.reviewed + result.exempted == result.submissions
+        assert sum(result.decisions.values()) == result.submissions
+
+    def test_risk_based_reviews_more_than_human_subjects(self):
+        broad = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=5
+        )
+        narrow = simulate_reb_year(
+            ictr_board(), TriggerPolicy.HUMAN_SUBJECTS, seed=5
+        )
+        assert broad.reviewed > narrow.reviewed
+        assert broad.exempted < narrow.exempted
+
+    def test_medical_board_queues_explode(self):
+        # The §2 claim quantified: a slow board turns the same load
+        # into months-to-years of waiting.
+        fast = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=9
+        )
+        slow = simulate_reb_year(
+            medical_style_board(), TriggerPolicy.RISK_BASED, seed=9
+        )
+        assert slow.mean_total_days > 5 * fast.mean_total_days
+        assert slow.max_backlog >= fast.max_backlog
+
+    def test_capacity_reduces_waiting(self):
+        tight = simulate_reb_year(
+            ictr_board(),
+            TriggerPolicy.RISK_BASED,
+            concurrent_reviews=1,
+            seed=2,
+        )
+        ample = simulate_reb_year(
+            ictr_board(),
+            TriggerPolicy.RISK_BASED,
+            concurrent_reviews=16,
+            seed=2,
+        )
+        assert ample.mean_queue_days < tight.mean_queue_days
+
+    def test_medical_board_refers_everything(self):
+        result = simulate_reb_year(
+            medical_style_board(), TriggerPolicy.RISK_BASED, seed=1
+        )
+        assert result.decisions.get("referred", 0) == result.reviewed
+
+    def test_queue_days_nonnegative(self):
+        result = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=4
+        )
+        assert result.mean_queue_days >= 0
+        assert result.mean_total_days >= result.mean_queue_days
+
+    def test_describe(self):
+        result = simulate_reb_year(
+            ictr_board(), TriggerPolicy.RISK_BASED, seed=1
+        )
+        assert "submissions" in result.describe()

@@ -1,0 +1,100 @@
+"""Unit tests for retention policies and the data inventory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SafeguardError
+from repro.safeguards import (
+    DataInventory,
+    RetentionPolicy,
+    Sensitivity,
+)
+
+
+class TestRetentionPolicy:
+    def test_defaults_ordered_by_hazard(self):
+        policy = RetentionPolicy()
+        assert policy.limit_for(Sensitivity.DERIVED) is None
+        toxic = policy.limit_for(Sensitivity.TOXIC)
+        identifiable = policy.limit_for(Sensitivity.IDENTIFIABLE)
+        assert toxic < identifiable
+
+    def test_unknown_class(self):
+        with pytest.raises(SafeguardError):
+            RetentionPolicy(limits={"radioactive": 10})
+
+    def test_non_positive_limit(self):
+        with pytest.raises(SafeguardError):
+            RetentionPolicy(limits={Sensitivity.TOXIC: 0})
+
+    def test_missing_class_lookup(self):
+        policy = RetentionPolicy(limits={Sensitivity.TOXIC: 10})
+        with pytest.raises(SafeguardError):
+            policy.limit_for(Sensitivity.DERIVED)
+
+
+class TestDataInventory:
+    def test_acquire_and_destroy(self):
+        inventory = DataInventory()
+        inventory.acquire("dump", "booter db", Sensitivity.TOXIC, 0)
+        assert len(inventory.active()) == 1
+        inventory.destroy("dump", 10)
+        assert not inventory.active()
+
+    def test_duplicate_acquire(self):
+        inventory = DataInventory()
+        inventory.acquire("dump", "x", Sensitivity.DERIVED, 0)
+        with pytest.raises(SafeguardError):
+            inventory.acquire("dump", "x", Sensitivity.DERIVED, 1)
+
+    def test_double_destroy(self):
+        inventory = DataInventory()
+        inventory.acquire("dump", "x", Sensitivity.DERIVED, 0)
+        inventory.destroy("dump", 1)
+        with pytest.raises(SafeguardError):
+            inventory.destroy("dump", 2)
+
+    def test_destroy_before_acquire_rejected(self):
+        inventory = DataInventory()
+        inventory.acquire("dump", "x", Sensitivity.DERIVED, 10)
+        with pytest.raises(SafeguardError):
+            inventory.destroy("dump", 5)
+
+    def test_due_for_destruction(self):
+        inventory = DataInventory()
+        inventory.acquire("toxic", "malware", Sensitivity.TOXIC, 0)
+        inventory.acquire(
+            "derived", "metrics", Sensitivity.DERIVED, 0
+        )
+        due = inventory.due_for_destruction(180)
+        assert [h.id for h in due] == ["toxic"]
+
+    def test_derived_never_due(self):
+        inventory = DataInventory()
+        inventory.acquire("derived", "metrics", Sensitivity.DERIVED, 0)
+        assert not inventory.due_for_destruction(100_000)
+
+    def test_overdue_vs_due(self):
+        inventory = DataInventory()
+        inventory.acquire("toxic", "malware", Sensitivity.TOXIC, 0)
+        assert inventory.due_for_destruction(180)
+        assert not inventory.overdue(180)  # exactly at limit
+        assert inventory.overdue(181)
+        assert not inventory.compliant(181)
+
+    def test_compliance_restored_by_destruction(self):
+        inventory = DataInventory()
+        inventory.acquire("toxic", "malware", Sensitivity.TOXIC, 0)
+        inventory.destroy("toxic", 100)
+        assert inventory.compliant(500)
+
+    def test_unknown_holding(self):
+        with pytest.raises(SafeguardError):
+            DataInventory()["ghost"]
+
+    def test_report_renders(self):
+        inventory = DataInventory()
+        inventory.acquire("toxic", "malware", Sensitivity.TOXIC, 0)
+        report = inventory.report(200)
+        assert "Due for destruction" in report

@@ -1,0 +1,123 @@
+"""Unit tests for the Keegan-Matias risk-benefit grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EthicsModelError
+from repro.ethics import (
+    BenefitInstance,
+    HarmInstance,
+    RiskBenefitGrid,
+    default_stakeholders,
+)
+
+
+def _harm(stakeholder="data-subjects", likelihood=0.5, severity=0.5):
+    return HarmInstance(
+        description="exposure",
+        kind="SI",
+        stakeholder_id=stakeholder,
+        likelihood=likelihood,
+        severity=severity,
+    )
+
+
+def _benefit(beneficiary="society", magnitude=0.5):
+    return BenefitInstance(
+        description="defence mechanisms",
+        kind="DM",
+        beneficiary=beneficiary,
+        magnitude=magnitude,
+    )
+
+
+class TestGridConstruction:
+    def test_unknown_harm_stakeholder(self):
+        with pytest.raises(EthicsModelError):
+            RiskBenefitGrid(
+                default_stakeholders(), [_harm("ghost")], []
+            )
+
+    def test_unknown_beneficiary(self):
+        with pytest.raises(EthicsModelError):
+            RiskBenefitGrid(
+                default_stakeholders(), [], [_benefit("ghost")]
+            )
+
+    def test_society_always_allowed(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(), [], [_benefit("society")]
+        )
+        assert grid.total_benefit() > 0
+
+
+class TestBalances:
+    def test_per_party_accounting(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(),
+            [_harm(), _harm()],
+            [_benefit("society")],
+        )
+        balance = grid.balance("data-subjects")
+        assert balance.harm_count == 2
+        assert balance.risk == pytest.approx(0.5)
+        assert balance.benefit == 0.0
+        assert balance.is_subsidising
+
+    def test_society_row_present_when_benefits(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(), [], [_benefit("society")]
+        )
+        parties = [b.stakeholder_id for b in grid.balances()]
+        assert "society" in parties
+
+    def test_society_row_absent_without_benefits(self):
+        grid = RiskBenefitGrid(default_stakeholders(), [_harm()], [])
+        parties = [b.stakeholder_id for b in grid.balances()]
+        assert "society" not in parties
+
+    def test_net(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(),
+            [_harm()],
+            [_benefit("data-subjects", magnitude=0.9)],
+        )
+        balance = grid.balance("data-subjects")
+        assert balance.net == pytest.approx(0.9 - 0.25)
+        assert not balance.is_subsidising
+
+
+class TestQueries:
+    def test_unassessed_parties(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(), [_harm()], [_benefit("society")]
+        )
+        unassessed = grid.unassessed_parties()
+        assert "service-operator" in unassessed
+        assert "data-subjects" not in unassessed
+
+    def test_favourable_requires_no_subsidy(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(),
+            [_harm()],
+            [_benefit("society", magnitude=0.9)],
+        )
+        # Benefit exceeds risk, but data-subjects subsidise: not
+        # favourable under the multi-party rule.
+        assert grid.total_benefit() > grid.total_risk()
+        assert not grid.favourable()
+
+    def test_favourable_when_balanced(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(),
+            [_harm(likelihood=0.1, severity=0.1)],
+            [_benefit("data-subjects", magnitude=0.9)],
+        )
+        assert grid.favourable()
+
+    def test_render_marks_subsidising(self):
+        grid = RiskBenefitGrid(
+            default_stakeholders(), [_harm()], [_benefit("society")]
+        )
+        assert "[subsidising]" in grid.render_text()

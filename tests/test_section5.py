@@ -1,0 +1,131 @@
+"""Reproduction tests: every §5 claim of the paper must hold exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    PAPER_CLAIMS,
+    section5_statistics,
+    verify_section5,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    from repro import table1_corpus
+
+    return table1_corpus()
+
+
+@pytest.fixture(scope="module")
+def stats(corpus):
+    return section5_statistics(corpus)
+
+
+class TestHeadlineClaims:
+    def test_all_claims_verify(self, corpus):
+        checks = verify_section5(corpus)
+        failing = [c.describe() for c in checks if not c.ok]
+        assert not failing, failing
+
+    def test_thirty_entries_28_papers(self, stats):
+        assert stats.total_entries == 30
+        assert stats.total_papers == 28
+
+    def test_reb_counts(self, stats):
+        # §5.5: "Two works stated that they were exempt from REB
+        # approval, two received REB approval and 24 did not mention
+        # REBs."
+        assert stats.reb_exempt == 2
+        assert stats.reb_approved == 2
+        assert stats.reb_not_mentioned == 24
+        assert stats.reb_not_applicable == 2
+
+    def test_ethics_sections_12_of_28(self, stats):
+        assert stats.ethics_sections == 12
+
+    def test_controlled_sharing_only_four(self, stats):
+        assert stats.controlled_sharing == 4
+
+    def test_privacy_most_frequent_safeguard(self, stats):
+        assert stats.most_common_safeguard == "P"
+        p_count = stats.safeguard_counts["P"]
+        assert all(
+            p_count > count
+            for abbrev, count in stats.safeguard_counts.items()
+            if abbrev != "P"
+        )
+
+    def test_exempt_works_identified(self, stats):
+        assert set(stats.exempt_entries) == {
+            "booters-karami-stress",
+            "udp-ddos-thomas",
+        }
+
+    def test_approved_works_identified(self, stats):
+        assert set(stats.approved_entries) == {
+            "guess-again-kelley",
+            "tangled-web-das",
+        }
+
+    def test_exempt_works_used_safeguards_and_identified_harms(
+        self, stats
+    ):
+        # §5.5: "Both of these works used Safeguards to mitigate
+        # potential Harms and have clear ethical justifications."
+        assert stats.exempt_used_safeguards
+        assert stats.exempt_identified_harms
+
+    def test_approvals_due_to_surveys(self, stats):
+        # §5.5: both approvals were for the survey component, not the
+        # illicit-origin data use.
+        assert stats.approved_also_did_surveys
+
+    def test_benefits_reported_more_than_harms(self, stats):
+        # §5.5: "researchers appear to be more reluctant to express the
+        # potential harms resulting from their work than their
+        # benefits."
+        assert stats.benefits_mentions > stats.harms_mentions
+
+
+class TestCodeProfiles:
+    def test_sensitive_information_most_common_harm(self, stats):
+        assert stats.most_common_harm == "SI"
+
+    def test_defence_mechanisms_most_common_benefit(self, stats):
+        assert stats.most_common_benefit == "DM"
+
+    def test_deanonymization_never_discussed(self, stats):
+        # DA appears in the codebook but no Table 1 row carries it.
+        assert stats.harm_counts["DA"] == 0
+
+    def test_safeguard_counts(self, stats):
+        assert stats.safeguard_counts == {"SS": 2, "P": 10, "CS": 4}
+
+    def test_justification_counts_sum(self, stats):
+        # Public data is the single most used justification.
+        counts = stats.justification_counts
+        assert max(counts, key=counts.get) == "public-data"
+
+    def test_all_computer_misuse(self, stats):
+        assert stats.legal_issue_counts["computer-misuse"] == 30
+
+    def test_ethical_issue_counts_bounded(self, stats):
+        for count in stats.ethical_issue_counts.values():
+            assert 0 <= count <= 30
+
+    def test_as_dict_roundtrip(self, stats):
+        data = stats.as_dict()
+        assert data["total_entries"] == 30
+        assert data["safeguard_counts"]["P"] == 10
+
+
+class TestClaimCheckObject:
+    def test_describe_marks_ok(self, corpus):
+        checks = verify_section5(corpus)
+        assert all("[OK ]" in c.describe() for c in checks)
+
+    def test_paper_claims_frozen_expectations(self):
+        assert PAPER_CLAIMS["ethics_sections"] == 12
+        assert PAPER_CLAIMS["reb_not_mentioned"] == 24

@@ -1,0 +1,162 @@
+"""Unit tests for controlled sharing: AUPs, vetting, agreements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SafeguardError
+from repro.safeguards import (
+    AcceptableUsePolicy,
+    SharingMode,
+    SharingRegistry,
+    VettingProcess,
+    VettingStatus,
+)
+
+
+def aup(**overrides) -> AcceptableUsePolicy:
+    defaults = dict(
+        id="aup-booter-1",
+        dataset_description="Synthetic booter database dump",
+        permitted_purposes=(
+            "academic research into DDoS-for-hire services",
+        ),
+        citation_url="https://example.org/aup/booter-1",
+    )
+    defaults.update(overrides)
+    return AcceptableUsePolicy(**defaults)
+
+
+class TestAcceptableUsePolicy:
+    def test_requires_purposes(self):
+        with pytest.raises(SafeguardError):
+            aup(permitted_purposes=())
+
+    def test_citable(self):
+        assert aup().citable
+        assert not aup(citation_url="").citable
+
+    def test_render_contains_all_sections(self):
+        text = aup().render_text()
+        assert "Permitted purposes" in text
+        assert "Prohibited" in text
+        assert "Required safeguards" in text
+        assert "Cite as" in text
+
+    def test_default_prohibitions_cover_deanonymisation(self):
+        assert any("deanonymise" in p for p in aup().prohibited)
+
+
+class TestVettingProcess:
+    def test_full_verification(self):
+        vetting = VettingProcess()
+        vetting.apply("dr-jones", "Example University")
+        for check in VettingProcess.REQUIRED_CHECKS:
+            vetting.record_check("dr-jones", check, True)
+        assert vetting.is_verified("dr-jones")
+        assert vetting.status("dr-jones") is VettingStatus.VERIFIED
+
+    def test_any_failed_check_rejects(self):
+        vetting = VettingProcess()
+        vetting.apply("dr-evil", "Volcano Lair")
+        vetting.record_check(
+            "dr-evil", "affiliation-confirmed", False
+        )
+        assert vetting.status("dr-evil") is VettingStatus.REJECTED
+        assert not vetting.is_verified("dr-evil")
+
+    def test_partial_checks_stay_pending(self):
+        vetting = VettingProcess()
+        vetting.apply("dr-jones", "Example University")
+        vetting.record_check(
+            "dr-jones", "affiliation-confirmed", True
+        )
+        assert vetting.status("dr-jones") is VettingStatus.PENDING
+
+    def test_unknown_check(self):
+        vetting = VettingProcess()
+        vetting.apply("x", "Y")
+        with pytest.raises(SafeguardError):
+            vetting.record_check("x", "vibes", True)
+
+    def test_duplicate_application(self):
+        vetting = VettingProcess()
+        vetting.apply("x", "Y")
+        with pytest.raises(SafeguardError):
+            vetting.apply("x", "Y")
+
+    def test_unknown_researcher(self):
+        with pytest.raises(SafeguardError):
+            VettingProcess().status("ghost")
+
+
+class TestSharingRegistry:
+    def _registry_with_verified(self) -> SharingRegistry:
+        registry = SharingRegistry()
+        registry.publish_policy(aup())
+        registry.vetting.apply("dr-jones", "Example University")
+        for check in VettingProcess.REQUIRED_CHECKS:
+            registry.vetting.record_check("dr-jones", check, True)
+        return registry
+
+    def test_unverified_cannot_sign(self):
+        registry = SharingRegistry()
+        registry.publish_policy(aup())
+        with pytest.raises(SafeguardError):
+            registry.sign(
+                "stranger",
+                "aup-booter-1",
+                SharingMode.FULL_UNDER_AGREEMENT,
+                today=0,
+            )
+
+    def test_verified_signs_and_accesses(self):
+        registry = self._registry_with_verified()
+        agreement = registry.sign(
+            "dr-jones",
+            "aup-booter-1",
+            SharingMode.PARTIAL_ANONYMISED,
+            today=0,
+            duration_days=30,
+        )
+        assert agreement.active(10)
+        assert registry.may_access("dr-jones", "aup-booter-1", 10)
+
+    def test_agreement_expires(self):
+        registry = self._registry_with_verified()
+        registry.sign(
+            "dr-jones",
+            "aup-booter-1",
+            SharingMode.FULL_UNDER_AGREEMENT,
+            today=0,
+            duration_days=30,
+        )
+        assert not registry.may_access("dr-jones", "aup-booter-1", 31)
+        assert not registry.active_agreements(31)
+
+    def test_unknown_policy(self):
+        registry = self._registry_with_verified()
+        with pytest.raises(SafeguardError):
+            registry.sign(
+                "dr-jones",
+                "ghost-policy",
+                SharingMode.FULL_UNDER_AGREEMENT,
+                today=0,
+            )
+
+    def test_duplicate_policy_rejected(self):
+        registry = SharingRegistry()
+        registry.publish_policy(aup())
+        with pytest.raises(SafeguardError):
+            registry.publish_policy(aup())
+
+    def test_agreement_must_expire_after_signing(self):
+        registry = self._registry_with_verified()
+        with pytest.raises(SafeguardError):
+            registry.sign(
+                "dr-jones",
+                "aup-booter-1",
+                SharingMode.FULL_UNDER_AGREEMENT,
+                today=10,
+                duration_days=0,
+            )

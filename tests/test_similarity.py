@@ -1,0 +1,102 @@
+"""Unit tests for the paper-similarity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SimilarityAnalysis
+from repro.corpus import Category
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    from repro import table1_corpus
+
+    return table1_corpus()
+
+
+@pytest.fixture(scope="module")
+def analysis(corpus):
+    return SimilarityAnalysis(corpus)
+
+
+class TestJaccard:
+    def test_self_similarity(self, analysis, corpus):
+        for entry in corpus:
+            assert analysis.jaccard(entry.id, entry.id) == 1.0
+
+    def test_symmetric(self, analysis):
+        ab = analysis.jaccard("pcfg-weir", "omen-durmuth")
+        ba = analysis.jaccard("omen-durmuth", "pcfg-weir")
+        assert ab == ba
+
+    def test_bounds(self, analysis, corpus):
+        ids = corpus.entry_ids
+        for a in ids[:5]:
+            for b in ids[:5]:
+                assert 0.0 <= analysis.jaccard(a, b) <= 1.0
+
+    def test_all_negative_pair_identical(self, analysis):
+        # Two classified rows that discuss nothing behave identically.
+        assert analysis.jaccard(
+            "manning-berger", "snowden-schneier"
+        ) == 1.0
+
+    def test_unknown_entry(self, analysis):
+        with pytest.raises(AnalysisError):
+            analysis.jaccard("ghost", "pcfg-weir")
+
+
+class TestStructure:
+    def test_pairs_sorted_descending(self, analysis):
+        pairs = analysis.pairs(minimum=0.5)
+        values = [pair.jaccard for pair in pairs]
+        assert values == sorted(values, reverse=True)
+
+    def test_graph_nodes_cover_corpus(self, analysis, corpus):
+        graph = analysis.graph(threshold=0.7)
+        assert graph.number_of_nodes() == len(corpus)
+
+    def test_threshold_validation(self, analysis):
+        with pytest.raises(AnalysisError):
+            analysis.graph(threshold=1.5)
+
+    def test_clusters_partition(self, analysis, corpus):
+        clusters = analysis.clusters(threshold=0.7)
+        total = sum(len(cluster) for cluster in clusters)
+        assert total == len(corpus)
+        assert len(clusters[0]) >= len(clusters[-1])
+
+    def test_password_rows_cluster_together(self, analysis):
+        # The five password papers make very similar ethical moves.
+        clusters = analysis.clusters(threshold=0.55)
+        password_ids = {
+            "guess-again-kelley",
+            "tangled-web-das",
+            "omen-durmuth",
+        }
+        containing = [
+            cluster
+            for cluster in clusters
+            if password_ids & cluster
+        ]
+        assert len(containing) == 1
+
+    def test_category_cohesion_passwords_highest(self, analysis):
+        cohesion = analysis.category_cohesion()
+        assert cohesion[Category.PASSWORDS] == max(
+            cohesion[c]
+            for c in (
+                Category.PASSWORDS,
+                Category.MALWARE,
+                Category.CLASSIFIED,
+            )
+        )
+
+    def test_separation_positive_but_partial(self, analysis):
+        # Categories structure the coding, but far from perfectly —
+        # the paper's "wide variation ... even when using the same
+        # data".
+        separation = analysis.separation()
+        assert 0.0 < separation < 0.5

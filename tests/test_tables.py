@@ -1,0 +1,167 @@
+"""Unit tests for the table layout and renderers (Table 1, exp E1)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.tables import (
+    build_table1_layout,
+    render,
+    render_csv,
+    render_html,
+    render_latex,
+    render_legend_text,
+    render_markdown,
+    render_table1,
+    render_text,
+)
+from repro.errors import RenderError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    from repro import table1_corpus
+
+    return table1_corpus()
+
+
+@pytest.fixture(scope="module")
+def layout(corpus):
+    return build_table1_layout(corpus)
+
+
+class TestLayout:
+    def test_thirty_rows(self, layout):
+        assert len(layout.rows) == 30
+
+    def test_column_count(self, layout):
+        # sources, ref, year + 18 closed + 3 open.
+        assert len(layout.columns) == 24
+
+    def test_category_spans_cover_rows(self, layout):
+        spans = layout.category_spans()
+        assert sum(n for _, n in spans) == 30
+        assert [c for c, _ in spans] == [
+            "Malware & exploitation",
+            "Password dumps",
+            "Leaked databases",
+            "Classified materials",
+            "Financial data",
+        ]
+
+    def test_group_spans(self, layout):
+        groups = dict(layout.group_spans())
+        assert groups["legal"] == 6
+        assert groups["ethical"] == 5
+        assert groups["justification"] == 5
+
+    def test_footnote_markers_in_reference_cells(self, layout):
+        cells = {row.entry_id: row.cells for row in layout.rows}
+        assert cells["att-ipad"]["reference"] == "[106]a"
+        assert cells["carna-menlo"]["reference"] == "[27]b"
+        assert cells["patreon"]["reference"] == "[85]c"
+
+    def test_repeated_source_labels_blanked(self, layout):
+        carna_rows = [
+            row for row in layout.rows if row.entry_id.startswith("carna")
+        ]
+        assert carna_rows[0].cells["sources"] == "Carna Scan"
+        assert all(r.cells["sources"] == "" for r in carna_rows[1:])
+
+    def test_glyphs(self, layout):
+        att = next(r for r in layout.rows if r.entry_id == "att-ipad")
+        assert att.cells["computer-misuse"] == "•"
+        assert att.cells["copyright"] == ""
+        assert att.cells["identify-harms"] == "✓"
+        assert att.cells["public-interest"] == "✗"
+        patreon = next(
+            r for r in layout.rows if r.entry_id == "patreon"
+        )
+        assert patreon.cells["no-additional-harm"] == "l"
+        assert patreon.cells["reb-approval"] == "∅"
+
+    def test_exempt_glyph(self, layout):
+        exempt = next(
+            r for r in layout.rows if r.entry_id == "udp-ddos-thomas"
+        )
+        assert exempt.cells["reb-approval"] == "E"
+
+    def test_code_cells_joined(self, layout):
+        weir = next(
+            r for r in layout.rows if r.entry_id == "pcfg-weir"
+        )
+        assert weir.cells["safeguards"] == "SS,P,CS"
+        assert weir.cells["harms"] == "SI,BC"
+        assert weir.cells["benefits"] == "R,DM"
+
+    def test_year_two_digit(self, layout):
+        weir = next(
+            r for r in layout.rows if r.entry_id == "pcfg-weir"
+        )
+        assert weir.cells["year"] == "09"
+
+
+class TestRenderers:
+    def test_text_contains_categories_and_legend(self, corpus):
+        text = render_table1(corpus, "text")
+        assert "Malware & exploitation" in text
+        assert "Legend:" in text
+        assert "P=Privacy" in text
+        assert "E exempt" in text
+
+    def test_text_row_count(self, corpus):
+        text = render_table1(corpus, "text")
+        data_lines = [
+            line for line in text.splitlines() if line.count("|") > 5
+        ]
+        # header + 30 rows
+        assert len(data_lines) == 31
+
+    def test_markdown_is_table(self, corpus):
+        markdown = render_table1(corpus, "markdown")
+        lines = markdown.splitlines()
+        assert lines[2].startswith("| Category |")
+        assert set(lines[3]) <= {"|", "-"}
+
+    def test_latex_compilable_shape(self, corpus):
+        latex = render_table1(corpus, "latex")
+        assert latex.count(r"\begin{tabular}") == 1
+        assert latex.count(r"\end{tabular}") == 1
+        assert r"\checkmark" in latex
+        assert "•" not in latex  # escaped to \bullet
+
+    def test_csv_parses_with_31_rows(self, corpus):
+        text = render_csv(build_table1_layout(corpus))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 31
+        assert rows[0][0] == "category"
+        # All rows have the same width.
+        assert len({len(r) for r in rows}) == 1
+
+    def test_html_well_formed_cells(self, corpus):
+        html_text = render_table1(corpus, "html")
+        assert html_text.count("<tr>") == html_text.count("</tr>")
+        assert "&amp;" in html_text  # AT&T escaped
+
+    def test_unknown_format(self, layout):
+        with pytest.raises(RenderError):
+            render(layout, "pdf")
+
+    def test_legend_lists_footnotes(self, layout):
+        legend = render_legend_text(layout)
+        for marker in "abcde":
+            assert f"{marker}: " in legend
+
+    def test_all_renderers_handle_layout(self, layout):
+        for renderer in (
+            render_text,
+            render_markdown,
+            render_latex,
+            render_csv,
+            render_html,
+        ):
+            output = renderer(layout)
+            assert isinstance(output, str) and output

@@ -1,0 +1,126 @@
+"""Unit and property tests for the uncertainty analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    compare_proportions,
+    required_sample_size,
+    section5_intervals,
+    wilson_interval,
+)
+from repro.errors import AnalysisError
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(12, 28)
+        assert low < 12 / 28 < high
+
+    def test_known_value(self):
+        # Wilson 95% for 12/28 ~ (0.264, 0.609).
+        low, high = wilson_interval(12, 28)
+        assert low == pytest.approx(0.264, abs=0.005)
+        assert high == pytest.approx(0.609, abs=0.005)
+
+    def test_extremes_bounded(self):
+        low, high = wilson_interval(0, 30)
+        assert low == 0.0
+        assert high > 0.0
+        low, high = wilson_interval(30, 30)
+        assert high == 1.0
+        assert low < 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 3)
+
+    @given(
+        total=st.integers(1, 500),
+        data=st.data(),
+    )
+    def test_interval_properties(self, total, data):
+        successes = data.draw(st.integers(0, total))
+        low, high = wilson_interval(successes, total)
+        assert 0.0 <= low <= successes / total <= high <= 1.0
+
+    @given(total=st.integers(2, 300))
+    def test_narrower_with_more_data(self, total):
+        low_small, high_small = wilson_interval(total // 2, total)
+        low_big, high_big = wilson_interval(
+            (total * 10) // 2, total * 10
+        )
+        assert (high_big - low_big) < (high_small - low_small)
+
+
+class TestSampleSize:
+    def test_classic_385(self):
+        # The textbook n for ±5% at p=0.5.
+        assert required_sample_size(margin=0.05) == 385
+
+    def test_smaller_margin_needs_more(self):
+        assert required_sample_size(
+            margin=0.02
+        ) > required_sample_size(margin=0.05)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            required_sample_size(margin=0.0)
+        with pytest.raises(AnalysisError):
+            required_sample_size(margin=0.05, expected=1.5)
+
+    def test_quantifies_the_papers_caution(self):
+        # §5.5: "we would need a large representative sample" — at
+        # n=28 the achievable margin is far above ±5%.
+        needed = required_sample_size(margin=0.05)
+        assert needed > 10 * 28
+
+
+class TestCompareProportions:
+    def test_identical_proportions_p_one(self):
+        assert compare_proportions(5, 10, 10, 20) == pytest.approx(
+            1.0
+        )
+
+    def test_extreme_difference_significant(self):
+        p = compare_proportions(20, 20, 0, 20)
+        assert p < 0.001
+
+    def test_small_samples_rarely_significant(self):
+        # The paper's point: apparent between-category differences at
+        # these sizes are not statistically supportable.
+        p = compare_proportions(5, 5, 3, 8)  # 100% vs 37.5%
+        assert p > 0.05
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            compare_proportions(5, 0, 1, 2)
+
+
+class TestSection5Intervals:
+    def test_headline_estimates(self, corpus):
+        estimates = {
+            e.name: e for e in section5_intervals(corpus)
+        }
+        ethics = estimates["ethics sections"]
+        assert ethics.successes == 12
+        assert ethics.total == 28
+        cs = estimates["controlled sharing"]
+        assert cs.successes == 4
+
+    def test_intervals_are_wide_at_n28(self, corpus):
+        # The margin on the headline proportion exceeds ±15 points —
+        # quantitative support for the paper's refusal to claim
+        # trends.
+        estimates = {
+            e.name: e for e in section5_intervals(corpus)
+        }
+        assert estimates["ethics sections"].margin > 0.15
+
+    def test_describe(self, corpus):
+        text = section5_intervals(corpus)[0].describe()
+        assert "95% CI" in text

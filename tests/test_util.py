@@ -1,0 +1,124 @@
+"""Unit tests for the shared helper utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (
+    clamp,
+    ensure_unique,
+    oxford_join,
+    percent,
+    slugify,
+    stable_sorted,
+    wrap_text,
+)
+
+
+class TestSlugify:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Computer Misuse", "computer-misuse"),
+            ("  Anthropology & Transparency ", "anthropology-transparency"),
+            ("REB approval", "reb-approval"),
+            ("already-a-slug", "already-a-slug"),
+            ("Ünïcödé Náme", "unicode-name"),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert slugify(text) == expected
+
+    @given(st.text(max_size=60))
+    def test_idempotent(self, text):
+        once = slugify(text)
+        assert slugify(once) == once
+
+    @given(st.text(max_size=60))
+    def test_output_alphabet(self, text):
+        slug = slugify(text)
+        assert all(c.isascii() and (c.isalnum() or c == "-") for c in slug)
+
+
+class TestEnsureUnique:
+    def test_passes_unique(self):
+        assert ensure_unique([1, 2, 3]) == [1, 2, 3]
+
+    def test_raises_on_duplicate(self):
+        with pytest.raises(ValueError, match="duplicate widget"):
+            ensure_unique([1, 1], "widget")
+
+
+class TestWrapText:
+    def test_respects_width(self):
+        lines = wrap_text("a " * 50, width=20)
+        assert all(len(line) <= 20 for line in lines)
+
+    def test_indent_applied_and_counted(self):
+        lines = wrap_text("word " * 20, width=20, indent="  ")
+        assert all(line.startswith("  ") for line in lines)
+        assert all(len(line) <= 20 for line in lines)
+
+    def test_long_word_on_own_line(self):
+        lines = wrap_text("short " + "x" * 40, width=20)
+        assert "x" * 40 in lines
+
+    def test_empty_text(self):
+        assert wrap_text("", width=20) == [""]
+
+    def test_width_must_exceed_indent(self):
+        with pytest.raises(ValueError):
+            wrap_text("x", width=2, indent="    ")
+
+    @given(st.text(alphabet="abc def", max_size=200))
+    def test_content_preserved(self, text):
+        lines = wrap_text(text, width=15)
+        assert " ".join(" ".join(lines).split()) == " ".join(
+            text.split()
+        )
+
+
+class TestOxfordJoin:
+    @pytest.mark.parametrize(
+        "parts,expected",
+        [
+            ([], ""),
+            (["a"], "a"),
+            (["a", "b"], "a and b"),
+            (["a", "b", "c"], "a, b, and c"),
+        ],
+    )
+    def test_examples(self, parts, expected):
+        assert oxford_join(parts) == expected
+
+    def test_conjunction(self):
+        assert oxford_join(["a", "b", "c"], conjunction="or") == (
+            "a, b, or c"
+        )
+
+    def test_empty_parts_dropped(self):
+        assert oxford_join(["a", "", "b"]) == "a and b"
+
+
+class TestNumericHelpers:
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(3, 0) == 0.0
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+    def test_clamp_bad_bounds(self):
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)
+
+    def test_stable_sorted_none_last(self):
+        items = ["b", None, "a"]
+        result = stable_sorted(items, key=lambda x: x)
+        assert result == ["a", "b", None]
+
+    def test_stable_sorted_plain(self):
+        assert stable_sorted([3, 1, 2]) == [1, 2, 3]
