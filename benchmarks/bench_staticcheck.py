@@ -1,0 +1,33 @@
+"""Staticcheck performance — full-package lint wall time.
+
+The lint gate runs inside every tier-1 test invocation and inside
+``repro-ethics verify``, so it has a latency budget: a full lint of
+``src/repro`` (single parse per file, all four rules, baseline check)
+must stay under 2 seconds on the seed tree. Later PRs that add rules
+or grow the package can watch this number.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.staticcheck import lint_repo, unsuppressed
+
+
+def test_full_package_lint(benchmark):
+    findings = benchmark(lint_repo)
+    assert unsuppressed(findings) == []
+
+
+def test_full_package_lint_under_two_seconds():
+    start = time.perf_counter()
+    lint_repo()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0, f"full-package lint took {elapsed:.2f}s"
+
+
+def test_single_rule_lint(benchmark):
+    # The cheapest configuration (determinism only) bounds the fixed
+    # cost of the walk itself.
+    findings = benchmark(lint_repo, ("R2",))
+    assert unsuppressed(findings) == []

@@ -4,7 +4,10 @@ Subcommands:
 
 * ``table1 [--format F]`` — regenerate Table 1,
 * ``stats`` — the §5 statistics,
-* ``verify`` — run every reproduction check (exit 1 on failure),
+* ``verify`` — run every reproduction check plus the static policy
+  lint (exit 1 on failure),
+* ``lint [--format F] [--select R1,R2]`` — the staticcheck policy
+  linter over the repro source itself,
 * ``report`` — the full paper-vs-measured Markdown report,
 * ``simulate KIND [--seed N]`` — synthesise a dataset and print a
   summary,
@@ -41,9 +44,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("stats", help="print the §5 statistics")
-    sub.add_parser("verify", help="run every reproduction check")
+    sub.add_parser(
+        "verify",
+        help=(
+            "run every reproduction check and the static policy lint"
+        ),
+    )
     sub.add_parser("report", help="paper-vs-measured Markdown report")
     sub.add_parser("legend", help="print the codebook legend")
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "statically check the repro source against the paper's "
+            "safeguards (R1-R4)"
+        ),
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run (e.g. R1,R2)",
+    )
+    lint.add_argument(
+        "--path",
+        default=None,
+        help=(
+            "lint this directory tree instead of the installed repro "
+            "package (rule scoping follows paths relative to it; the "
+            "suppression baseline applies only to the package)"
+        ),
+    )
 
     simulate = sub.add_parser(
         "simulate", help="generate a synthetic dataset summary"
@@ -123,6 +156,7 @@ def _cmd_stats(_args) -> int:
 
 def _cmd_verify(_args) -> int:
     from ..reporting import run_reproduction
+    from ..staticcheck import lint_repo, summarize, unsuppressed
 
     outcomes = run_reproduction(table1_corpus())
     failed = 0
@@ -134,8 +168,49 @@ def _cmd_verify(_args) -> int:
         )
         if not outcome.passed:
             failed += 1
-    print(f"{len(outcomes) - failed}/{len(outcomes)} checks passed")
+    findings = lint_repo()
+    failing = unsuppressed(findings)
+    mark = "FAIL" if failing else "OK "
+    print(
+        f"[{mark}] SC: static policy lint (R1-R4 + baseline) — "
+        f"{summarize(findings)}"
+    )
+    for finding in failing:
+        print(f"       {finding.describe()}")
+    if failing:
+        failed += 1
+    total = len(outcomes) + 1
+    print(f"{total - failed}/{total} checks passed")
     return 1 if failed else 0
+
+
+def _cmd_lint(args) -> int:
+    from ..staticcheck import (
+        LintEngine,
+        default_registry,
+        lint_repo,
+        render_json,
+        render_text,
+        unsuppressed,
+    )
+
+    select = tuple(
+        part.strip() for part in args.select.split(",") if part.strip()
+    )
+    if args.path is not None:
+        registry = default_registry()
+        if select:
+            registry = registry.select(select)
+        findings = LintEngine(registry).lint_package(args.path)
+    else:
+        findings = lint_repo(select)
+    if args.format == "json":
+        output = render_json(findings)
+        if output:
+            print(output)
+    else:
+        print(render_text(findings))
+    return 1 if unsuppressed(findings) else 0
 
 
 def _cmd_report(_args) -> int:
@@ -297,6 +372,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "verify": _cmd_verify,
     "report": _cmd_report,
+    "lint": _cmd_lint,
     "legend": _cmd_legend,
     "simulate": _cmd_simulate,
     "bibliography": _cmd_bibliography,

@@ -112,3 +112,7 @@ class MetricError(ReproError):
 
 class ReportingError(ReproError):
     """A report could not be generated."""
+
+
+class StaticCheckError(ReproError):
+    """The static policy linter could not analyse a source file."""

@@ -1,0 +1,79 @@
+"""Static policy linter: the paper's safeguards, enforced on this code.
+
+``repro.staticcheck`` lints the repro package itself for violations of
+the safeguards the reproduction implements (see
+``docs/static-analysis.md``):
+
+* **R1** ``safeguard-boundary`` — outbound modules (``reporting/``,
+  ``safeguards/sharing``) may not consume raw ``datasets/`` records
+  except through an ``anonymization`` function;
+* **R2** ``determinism`` — no clock reads, global-RNG calls or random
+  UUIDs inside ``datasets/`` and ``analysis/``;
+* **R3** ``pii-literals`` — no email-shaped strings, routable IPv4
+  literals or realistic phone numbers anywhere in ``src/``;
+* **R4** ``data-consistency`` — codebook, corpus and §5 statistics
+  stay mutually complete.
+
+Run it as ``repro-ethics lint`` (text or JSON output, rule selection
+via ``--select``); ``repro-ethics verify`` includes the same gate.
+"""
+
+from .baseline import BASELINE, BaselineEntry, baseline_drift
+from .engine import (
+    Finding,
+    LintEngine,
+    ModuleInfo,
+    Rule,
+    RuleRegistry,
+    Suppression,
+    default_registry,
+    package_root,
+    unsuppressed,
+)
+from .reporters import render_json, render_text, summarize
+from .rules_consistency import ConsistencyRule, check_consistency
+from .rules_dataflow import SafeguardBoundaryRule
+from .rules_determinism import DeterminismRule
+from .rules_pii import PIILiteralRule
+
+__all__ = [
+    "BASELINE",
+    "BaselineEntry",
+    "ConsistencyRule",
+    "DeterminismRule",
+    "Finding",
+    "LintEngine",
+    "ModuleInfo",
+    "PIILiteralRule",
+    "Rule",
+    "RuleRegistry",
+    "SafeguardBoundaryRule",
+    "Suppression",
+    "baseline_drift",
+    "check_consistency",
+    "default_registry",
+    "lint_repo",
+    "package_root",
+    "render_json",
+    "render_text",
+    "summarize",
+    "unsuppressed",
+]
+
+
+def lint_repo(
+    select: tuple[str, ...] = (), *, with_baseline: bool = True
+) -> list[Finding]:
+    """Lint the installed ``repro`` package with the default rules.
+
+    *select* restricts to the given rule ids; with *with_baseline*
+    the baseline-drift pseudo-rule R0 findings are appended. This is
+    the entry point the CLI, the verify gate and the self-test share.
+    """
+    registry = default_registry()
+    if select:
+        registry = registry.select(select)
+    findings = LintEngine(registry).lint_package()
+    if with_baseline:
+        findings.extend(baseline_drift(findings))
+    return findings

@@ -1,0 +1,40 @@
+"""Finding reporters: human text and machine-readable JSON lines.
+
+The JSON reporter emits exactly one JSON object per finding — rule
+id, path, line, message, plus the suppression state — so CI and the
+baseline tooling can diff lint output across revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from .engine import Finding
+
+__all__ = ["render_json", "render_text", "summarize"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Conventional ``path:line: [RID] message`` lines plus a summary."""
+    lines = [finding.describe() for finding in findings]
+    lines.append(summarize(findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """One JSON object per finding, one finding per line (JSONL)."""
+    return "\n".join(
+        json.dumps(finding.to_dict(), sort_keys=True)
+        for finding in findings
+    )
+
+
+def summarize(findings: Sequence[Finding]) -> str:
+    """One-line tally: total, suppressed and failing findings."""
+    suppressed = sum(1 for f in findings if f.suppressed)
+    failing = len(findings) - suppressed
+    return (
+        f"{len(findings)} finding(s): {failing} failing, "
+        f"{suppressed} suppressed"
+    )

@@ -1,0 +1,174 @@
+"""R4 — data consistency: codebook, corpus and §5 stats stay in sync.
+
+The determinism-of-publication safeguard: everything the reproduction
+publishes (Table 1, the §5 statistics) is *derived* from the coded
+corpus against the codebook schema, so the three structures must be
+mutually complete — every codebook dimension coded for every corpus
+entry, every §5 statistic keyed by codebook ids/abbreviations, and no
+orphans in either direction. R4 is *semi-static*: rather than parsing
+the data modules' ASTs it imports the structured data they define and
+audits the instances, anchoring findings to the defining modules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .engine import Finding, ModuleInfo, Rule
+
+__all__ = ["ConsistencyRule", "check_consistency"]
+
+#: Where each class of drift is anchored.
+_CODEBOOK_PATH = "src/repro/codebook/paper.py"
+_CORPUS_PATH = "src/repro/corpus/table1.py"
+_SECTION5_PATH = "src/repro/analysis/section5.py"
+
+#: §5 count attributes keyed by open-dimension member abbreviations.
+_OPEN_COUNTS = {
+    "safeguards": "safeguard_counts",
+    "harms": "harm_counts",
+    "benefits": "benefit_counts",
+}
+
+#: §5 count attributes keyed by closed-dimension ids, per group.
+_GROUP_COUNTS = {
+    "justification": "justification_counts",
+    "ethical": "ethical_issue_counts",
+    "legal": "legal_issue_counts",
+}
+
+
+def check_consistency(codebook, corpus, stats) -> list[Finding]:
+    """Audit codebook ↔ corpus ↔ §5-stats completeness.
+
+    Pure function over the data structures so tests can feed it
+    broken fixtures; :class:`ConsistencyRule` calls it with the real
+    ``paper_codebook()`` / ``table1_corpus()`` /
+    ``section5_statistics()`` instances.
+    """
+    findings: list[Finding] = []
+
+    def corpus_drift(line: int, message: str) -> None:
+        findings.append(
+            Finding("R4", _CORPUS_PATH, line, message)
+        )
+
+    closed_ids = {d.id for d in codebook.closed_dimensions()}
+    open_ids = {d.id for d in codebook.open_dimensions()}
+    for entry in corpus:
+        missing = closed_ids - set(entry.values)
+        if missing:
+            corpus_drift(
+                1,
+                f"entry {entry.id!r} is missing closed dimensions "
+                f"{sorted(missing)}",
+            )
+        missing_open = open_ids - set(entry.code_sets)
+        if missing_open:
+            corpus_drift(
+                1,
+                f"entry {entry.id!r} does not code open dimensions "
+                f"{sorted(missing_open)} (code even the empty set "
+                "explicitly)",
+            )
+        orphans = (
+            set(entry.values) | set(entry.code_sets)
+        ) - closed_ids - open_ids
+        if orphans:
+            corpus_drift(
+                1,
+                f"entry {entry.id!r} codes dimensions "
+                f"{sorted(orphans)} absent from the codebook",
+            )
+
+    for dim_id, attribute in _OPEN_COUNTS.items():
+        if dim_id not in codebook.dimension_ids:
+            findings.append(
+                Finding(
+                    "R4",
+                    _CODEBOOK_PATH,
+                    1,
+                    f"codebook lacks the open dimension {dim_id!r} "
+                    f"that §5 reports as {attribute!r}",
+                )
+            )
+            continue
+        expected = {c.abbrev for c in codebook[dim_id].members}
+        reported = set(getattr(stats, attribute, {}) or {})
+        for abbrev in sorted(expected - reported):
+            findings.append(
+                Finding(
+                    "R4",
+                    _SECTION5_PATH,
+                    1,
+                    f"{attribute} omits codebook member {abbrev!r} "
+                    f"of dimension {dim_id!r}",
+                )
+            )
+        for abbrev in sorted(reported - expected):
+            findings.append(
+                Finding(
+                    "R4",
+                    _SECTION5_PATH,
+                    1,
+                    f"{attribute} reports orphan key {abbrev!r} with "
+                    f"no member in codebook dimension {dim_id!r}",
+                )
+            )
+
+    for group, attribute in _GROUP_COUNTS.items():
+        expected = {d.id for d in codebook.group(group)}
+        reported = set(getattr(stats, attribute, {}) or {})
+        for dim_id in sorted(expected - reported):
+            findings.append(
+                Finding(
+                    "R4",
+                    _SECTION5_PATH,
+                    1,
+                    f"{attribute} omits codebook dimension {dim_id!r} "
+                    f"of group {group!r}",
+                )
+            )
+        for dim_id in sorted(reported - expected):
+            findings.append(
+                Finding(
+                    "R4",
+                    _SECTION5_PATH,
+                    1,
+                    f"{attribute} reports orphan key {dim_id!r} not a "
+                    f"{group!r}-group dimension of the codebook",
+                )
+            )
+    return findings
+
+
+class ConsistencyRule(Rule):
+    """Run :func:`check_consistency` on the real paper data."""
+
+    id = "R4"
+    name = "data-consistency"
+    description = (
+        "codebook dimensions, corpus codings and §5 statistic keys "
+        "must be mutually complete, with no orphans"
+    )
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo]
+    ) -> Iterable[Finding]:
+        """Audit the imported paper data once per full-package run."""
+        relpaths = {m.relpath for m in modules}
+        # Only meaningful when linting the real package tree.
+        if not {
+            "codebook/paper.py",
+            "corpus/table1.py",
+            "analysis/section5.py",
+        } <= relpaths:
+            return ()
+        from ..analysis import section5_statistics
+        from ..codebook import paper_codebook
+        from ..corpus import table1_corpus
+
+        codebook = paper_codebook()
+        corpus = table1_corpus()
+        stats = section5_statistics(corpus)
+        return check_consistency(codebook, corpus, stats)

@@ -1,0 +1,97 @@
+"""R2 — determinism: the simulation substrate must be seed-driven.
+
+The paper's reproducibility safeguard (and the DESIGN.md contract of
+``datasets``) is that the same seed yields a byte-identical dataset:
+what gets published or shared is then a deterministic function of the
+seed, never of wall-clock time or hidden global RNG state. R2 flags,
+inside ``datasets/`` and ``analysis/``:
+
+* calls through the **global** ``random`` module RNG
+  (``random.random()``, ``from random import choice; choice(...)``) —
+  only explicit ``random.Random(seed)`` instances are allowed;
+* ``random.SystemRandom`` — unseedable by construction;
+* clock reads — ``datetime.datetime.now()`` / ``utcnow()`` /
+  ``today()``, ``datetime.date.today()``, ``time.time()`` /
+  ``time.time_ns()`` / ``time.monotonic()``;
+* random UUIDs — ``uuid.uuid4()`` and the MAC/time-based
+  ``uuid.uuid1()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .engine import Finding, ModuleInfo, Rule
+
+__all__ = ["DeterminismRule"]
+
+#: Package-relative prefixes the rule polices.
+_SCOPES = ("datasets/", "analysis/")
+
+#: Dotted call targets that are always nondeterministic.
+_DENIED_CALLS = frozenset(
+    {
+        "random.SystemRandom",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``random.*`` attributes that do NOT touch the global RNG.
+_RANDOM_ALLOWED = frozenset({"random.Random"})
+
+
+class DeterminismRule(Rule):
+    """Flag clock/global-RNG/UUID calls in the simulation substrate."""
+
+    id = "R2"
+    name = "determinism"
+    description = (
+        "datasets/ and analysis/ must be reproducible by seed: no "
+        "global random.* calls, clock reads, or random UUIDs"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.relpath.startswith(_SCOPES)
+
+    def visit(
+        self, node: ast.AST, module: ModuleInfo
+    ) -> Iterable[Finding]:
+        """Flag a dispatched call when it resolves to a denied target."""
+        assert isinstance(node, ast.Call)
+        dotted = module.resolve_dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in _DENIED_CALLS:
+            yield Finding(
+                rule_id=self.id,
+                path=module.path,
+                line=node.lineno,
+                message=(
+                    f"nondeterministic call {dotted}() — the synthetic "
+                    "substrate must be a function of its seed"
+                ),
+            )
+        elif (
+            dotted.startswith("random.")
+            and dotted not in _RANDOM_ALLOWED
+        ):
+            yield Finding(
+                rule_id=self.id,
+                path=module.path,
+                line=node.lineno,
+                message=(
+                    f"global-RNG call {dotted}() — use an explicit "
+                    "random.Random(seed) instance"
+                ),
+            )

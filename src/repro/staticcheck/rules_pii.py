@@ -1,0 +1,114 @@
+"""R3 — PII literal scan: no real-looking identifiers in the source.
+
+The paper's anonymization safeguard (§5.2) extends to the research
+artefacts themselves: a reproduction of work on leaked data must not
+embed anything that even *looks* like a real identifier, because
+readers cannot distinguish a realistic example from an accidental
+disclosure. R3 scans every source line (code, strings and comments
+alike) of ``src/`` for:
+
+* **email-shaped strings** whose domain is not reserved for
+  documentation (RFC 2606: ``example.com/net/org`` and the
+  ``.example`` / ``.invalid`` / ``.test`` / ``.localhost`` TLDs);
+* **IPv4 literals** outside the documentation (RFC 5737), private
+  (RFC 1918), loopback, link-local and otherwise non-global ranges;
+* **realistic phone numbers** — NANP-shaped numbers whose exchange is
+  not the fictional ``555``.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from collections.abc import Iterable
+
+from .engine import Finding, ModuleInfo, Rule
+
+__all__ = ["PIILiteralRule"]
+
+_EMAIL_RE = re.compile(
+    r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}"
+)
+
+#: RFC 2606 reserved names — safe to embed anywhere.
+_SAFE_MAIL_SUFFIXES = (
+    "example.com",
+    "example.net",
+    "example.org",
+    ".example",
+    ".invalid",
+    ".test",
+    ".localhost",
+)
+
+_IPV4_RE = re.compile(
+    r"(?<![\w.])(\d{1,3}(?:\.\d{1,3}){3})(?![\w.])"
+)
+
+#: NANP-shaped: optional +1, 3-digit area code, exchange, 4-digit line,
+#: with separators (bare digit runs are left to the IPv4/other checks).
+_PHONE_RE = re.compile(
+    r"(?<!\d)(?:\+?1[-. ])?\(?([2-9]\d{2})\)?[-. ]([2-9]\d{2})[-. ]"
+    r"(\d{4})(?!\d)"
+)
+
+
+def _ip_is_safe(text: str) -> bool:
+    """True when the dotted quad is invalid or a non-global address."""
+    try:
+        address = ipaddress.IPv4Address(text)
+    except ipaddress.AddressValueError:
+        return True
+    return not address.is_global
+
+
+class PIILiteralRule(Rule):
+    """Flag embedded identifiers that could pass for real PII."""
+
+    id = "R3"
+    name = "pii-literals"
+    description = (
+        "no email-shaped strings, globally-routable IPv4 literals, or "
+        "realistic phone numbers anywhere in src/"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Scan every raw source line (code, strings and comments)."""
+        for number, text in enumerate(module.lines, start=1):
+            for match in _EMAIL_RE.finditer(text):
+                email = match.group(0)
+                domain = email.rsplit("@", 1)[1].lower().rstrip(".")
+                if not domain.endswith(_SAFE_MAIL_SUFFIXES):
+                    yield self._finding(
+                        module,
+                        number,
+                        f"email-shaped literal {email!r} outside the "
+                        "RFC 2606 documentation domains",
+                    )
+            for match in _IPV4_RE.finditer(text):
+                if not _ip_is_safe(match.group(1)):
+                    yield self._finding(
+                        module,
+                        number,
+                        f"globally-routable IPv4 literal "
+                        f"{match.group(1)!r}; use RFC 5737 "
+                        "documentation or RFC 1918 private ranges",
+                    )
+            for match in _PHONE_RE.finditer(text):
+                if match.group(2) != "555":
+                    yield self._finding(
+                        module,
+                        number,
+                        f"realistic phone number {match.group(0)!r}; "
+                        "use a fictional 555 exchange",
+                    )
+
+    def _finding(
+        self, module: ModuleInfo, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=module.path,
+            line=line,
+            message=message,
+        )
