@@ -1,12 +1,56 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures for the benchmark harness.
+
+Besides fixtures, the session-finish hook exports every
+pytest-benchmark measurement to ``benchmarks/BENCH_timings.json`` so
+CI (and ``docs/performance.md`` readers) get machine-readable
+numbers without parsing the human table. The hook is a no-op when
+pytest-benchmark is absent or disabled (e.g. ``-p no:benchmark``).
+"""
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro import table1_corpus
 
+_TIMINGS_PATH = Path(__file__).parent / "BENCH_timings.json"
+
 
 @pytest.fixture(scope="session")
 def corpus():
     return table1_corpus()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit machine-readable per-benchmark timings."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(
+        bench_session, "benchmarks", None
+    ):
+        return
+    timings = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        timings.append(
+            {
+                "name": bench.name,
+                "group": bench.group,
+                "rounds": stats.rounds,
+                "mean_seconds": stats.mean,
+                "stddev_seconds": stats.stddev,
+                "min_seconds": stats.min,
+                "max_seconds": stats.max,
+            }
+        )
+    if timings:
+        _TIMINGS_PATH.write_text(
+            json.dumps(
+                sorted(timings, key=lambda t: t["name"]), indent=2
+            )
+            + "\n"
+        )

@@ -2,7 +2,7 @@
 scrubbing and k-anonymity risk estimation."""
 
 from .identifiers import Pseudonymizer, TokenMapper
-from .ip import IPAnonymizer
+from .ip import CacheStats, IPAnonymizer
 from .kanonymity import (
     GeneralizationResult,
     dimensionality_profile,
@@ -13,6 +13,7 @@ from .kanonymity import (
 from .scrub import ScrubMatch, ScrubResult, TextScrubber, luhn_valid
 
 __all__ = [
+    "CacheStats",
     "GeneralizationResult",
     "IPAnonymizer",
     "Pseudonymizer",

@@ -38,14 +38,17 @@ class Pseudonymizer:
             )
         self._key = key
         self._digest_bytes = digest_bytes
+        # Keying the HMAC state once and copy()-ing per call skips
+        # the per-call key-block setup; the digests are identical.
+        self._proto = hmac.new(key, None, hashlib.sha256)
 
     def pseudonym(self, identifier: str, domain: str = "id") -> str:
         """Return a stable hex pseudonym for *identifier*."""
         if not identifier:
             raise AnonymizationError("identifier must be non-empty")
-        message = f"{domain}\x00{identifier}".encode("utf-8")
-        digest = hmac.new(self._key, message, hashlib.sha256).digest()
-        return digest[: self._digest_bytes].hex()
+        mac = self._proto.copy()
+        mac.update(f"{domain}\x00{identifier}".encode("utf-8"))
+        return mac.digest()[: self._digest_bytes].hex()
 
     def email(self, address: str, *, keep_domain: bool = False) -> str:
         """Pseudonymise an email address.

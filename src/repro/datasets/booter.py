@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+from collections.abc import Iterator
 
 from ..errors import DatasetError
-from .common import SeededGenerator
+from .common import SeededGenerator, chunked
 
 __all__ = [
     "BooterUser",
@@ -235,3 +236,116 @@ class BooterDatabaseGenerator(SeededGenerator):
             tickets=tickets,
             plans=plans,
         )
+
+    def iter_records(
+        self,
+        *,
+        chunk_size: int = 1024,
+        name: str = "examplestresser",
+        users: int = 300,
+        days: int = 90,
+    ) -> Iterator[list[dict]]:
+        """Stream the dump as chunks of dicts tagged with ``_table``.
+
+        Draws from the RNG in exactly the order :meth:`generate`
+        does, so a fresh generator with the same seed streams the
+        same synthetic dump that the materialised path would build —
+        but only ever holds one chunk of attack/payment/ticket rows
+        (plus the user table, which the payment loop needs) in
+        memory. Records arrive in generation order: users first, then
+        each paying user's payments and attacks interleaved, then
+        tickets, then plans; flattened output is ``chunk_size``
+        invariant.
+        """
+        if users <= 0 or days <= 0:
+            raise DatasetError("users and days must be positive")
+        return chunked(self._iter_flat(users, days), chunk_size)
+
+    def _iter_flat(self, users: int, days: int) -> Iterator[dict]:
+        """Flat record stream mirroring :meth:`generate` RNG order."""
+        user_rows = []
+        for user_id in range(users):
+            username = self.username()
+            user = BooterUser(
+                user_id=user_id,
+                username=username,
+                email=self.email(username),
+                password_hash=hashlib.sha1(
+                    self.password().encode()
+                ).hexdigest(),
+                security_question="first pet's name",
+                registration_day=self.rng.randrange(days),
+                last_login_ip=self.ipv4(),
+            )
+            user_rows.append(user)
+            row = user.to_dict()
+            row["_table"] = "users"
+            yield row
+        plans = self.DEFAULT_PLANS
+        heavy = max(1, users // 10)
+        attack_id = 0
+        payment_id = 0
+        for user in user_rows:
+            is_heavy = user.user_id < heavy
+            if not is_heavy and self.rng.random() < 0.4:
+                continue
+            plan = plans[2] if is_heavy else self.rng.choice(plans[:2])
+            subscriptions = self.rng.randrange(1, 4 if is_heavy else 2)
+            for _ in range(subscriptions):
+                row = dataclasses.asdict(
+                    PaymentRecord(
+                        payment_id=payment_id,
+                        user_id=user.user_id,
+                        plan=plan.name,
+                        amount_usd=plan.price_usd,
+                        day=self.rng.randrange(
+                            user.registration_day, days
+                        ),
+                    )
+                )
+                payment_id += 1
+                row["_table"] = "payments"
+                yield row
+            count = (
+                self.rng.randrange(20, 80)
+                if is_heavy
+                else self.rng.randrange(0, 8)
+            )
+            for _ in range(count):
+                if self.rng.random() < 0.8:
+                    method = self.rng.choice(ATTACK_METHODS[:4])
+                else:
+                    method = self.rng.choice(ATTACK_METHODS[4:])
+                row = AttackRecord(
+                    attack_id=attack_id,
+                    user_id=user.user_id,
+                    target_ip=self.ipv4(),
+                    target_port=self.rng.choice(
+                        (80, 443, 25565, 3074, 53)
+                    ),
+                    method=method,
+                    duration_seconds=self.rng.randrange(
+                        30, plan.max_duration_seconds
+                    ),
+                    day=self.rng.randrange(
+                        user.registration_day, days
+                    ),
+                ).to_dict()
+                attack_id += 1
+                row["_table"] = "attacks"
+                yield row
+        for ticket_id in range(users // 5):
+            row = dataclasses.asdict(
+                TicketMessage(
+                    ticket_id=ticket_id,
+                    user_id=self.rng.randrange(users),
+                    day=self.rng.randrange(days),
+                    text=self.sentence(10),
+                )
+            )
+            row["_table"] = "tickets"
+            yield row
+        for plan in plans:
+            row = dataclasses.asdict(plan)
+            row["_table"] = "plans"
+            yield row

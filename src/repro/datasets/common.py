@@ -14,13 +14,14 @@ doesn't require otherwise.
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from ..errors import DatasetError
 
 __all__ = [
     "SeededGenerator",
     "zipf_choice",
+    "chunked",
     "FIRST_NAMES",
     "LAST_NAMES",
     "MAIL_DOMAINS",
@@ -53,6 +54,28 @@ WORDS = (
 )
 
 
+def chunked(
+    records: Iterator[dict], chunk_size: int
+) -> Iterator[list[dict]]:
+    """Batch a flat record stream into lists of *chunk_size*.
+
+    Chunking only batches — flattening the output reproduces the
+    input stream exactly regardless of ``chunk_size``, which is the
+    invariance the safeguard pipeline's determinism guarantee rests
+    on. The final chunk may be short.
+    """
+    if chunk_size <= 0:
+        raise DatasetError("chunk_size must be positive")
+    chunk: list[dict] = []
+    for record in records:
+        chunk.append(record)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def zipf_choice(
     rng: random.Random, items: Sequence, exponent: float = 1.1
 ) -> object:
@@ -71,11 +94,37 @@ def zipf_choice(
 
 
 class SeededGenerator:
-    """Base class holding the seeded RNG and low-level synthesisers."""
+    """Base class holding the seeded RNG and low-level synthesisers.
+
+    Generators that support streaming override :meth:`iter_records`
+    to yield the dataset as fixed-size chunks of plain-dict records
+    without materialising the whole database first. The contract:
+
+    * the flattened concatenation of chunks is independent of
+      ``chunk_size`` (chunking only batches, never reorders);
+    * a fresh generator with the same seed and parameters yields the
+      same records that :meth:`generate` would produce (identical RNG
+      call order), so streaming and materialised paths agree;
+    * every yielded record is a plain dict carrying a ``"_table"``
+      key naming its source table.
+    """
 
     def __init__(self, seed: int) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
+
+    def iter_records(
+        self, *, chunk_size: int = 1024, **params: object
+    ) -> Iterator[list[dict]]:
+        """Stream the dataset as chunks of record dicts.
+
+        The base class has no streaming mode; subclasses with one
+        (booter and password dumps) override this.
+        """
+        raise DatasetError(
+            f"{type(self).__name__} does not support streaming "
+            "generation"
+        )
 
     # -- identity synthesis ------------------------------------------
     def username(self) -> str:

@@ -13,9 +13,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from collections import Counter
+from collections.abc import Iterator
 
 from ..errors import DatasetError
-from .common import SeededGenerator
+from .common import SeededGenerator, chunked
 
 __all__ = ["PasswordRecord", "PasswordDump", "PasswordDumpGenerator"]
 
@@ -92,6 +93,37 @@ class PasswordDumpGenerator(SeededGenerator):
         return PasswordDump(
             site=site, style=style, records=tuple(records)
         )
+
+    def iter_records(
+        self,
+        *,
+        chunk_size: int = 1024,
+        site: str = "examplesite",
+        users: int = 1000,
+        style: str = "plaintext",
+    ) -> Iterator[list[dict]]:
+        """Stream the dump as chunks of dicts tagged with ``_table``.
+
+        RNG call order matches :meth:`generate`, so the same seed
+        streams the same accounts the materialised dump would hold;
+        flattened output is ``chunk_size`` invariant.
+        """
+        if style not in self.STYLES:
+            raise DatasetError(
+                f"unknown dump style {style!r}; one of {self.STYLES}"
+            )
+        if users <= 0:
+            raise DatasetError("users must be positive")
+        return chunked(self._iter_flat(users, style), chunk_size)
+
+    def _iter_flat(self, users: int, style: str) -> Iterator[dict]:
+        """Flat account stream mirroring :meth:`generate` RNG order."""
+        for user_id in range(users):
+            username = self.username()
+            password = self.password()
+            row = self._record(user_id, username, password, style).to_dict()
+            row["_table"] = "accounts"
+            yield row
 
     def _record(
         self, user_id: int, username: str, password: str, style: str

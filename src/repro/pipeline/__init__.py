@@ -1,0 +1,38 @@
+"""Streaming safeguard pipeline (§4.4/§6.4 applied operationally).
+
+The paper insists safeguards be applied to *entire* datasets, not
+demonstrated on samples. This package is the operational layer that
+makes that tractable: it streams any ``datasets`` generator output
+(or plain record iterator) through configurable safeguard stages —
+prefix-preserving IP anonymization, keyed pseudonymisation,
+free-text scrubbing, secure-container sealing — over fixed-size
+chunks, optionally fanned out across a ``concurrent.futures``
+process pool, with ordered merge and per-stage throughput metrics.
+
+Every stage is a deterministic function of its configuration and its
+chunk, so worker count and chunk arrival order never change the
+output: a parallel run is byte-identical to a serial one. See
+``docs/performance.md`` for the architecture and the cache design of
+the hot paths this drives.
+"""
+
+from .core import PipelineResult, SafeguardPipeline
+from .stages import (
+    STAGE_NAMES,
+    AnonymizeIPsSpec,
+    PseudonymizeSpec,
+    ScrubTextSpec,
+    SealSpec,
+    default_stages,
+)
+
+__all__ = [
+    "AnonymizeIPsSpec",
+    "PipelineResult",
+    "PseudonymizeSpec",
+    "STAGE_NAMES",
+    "SafeguardPipeline",
+    "ScrubTextSpec",
+    "SealSpec",
+    "default_stages",
+]

@@ -1,0 +1,255 @@
+"""Pipeline orchestration: chunking, worker fan-out, ordered merge.
+
+:class:`SafeguardPipeline` consumes any record source — a
+``datasets`` generator's ``iter_records()`` chunks or a plain
+iterator of record dicts — re-chunks it to a fixed ``chunk_size``,
+runs every stage over each chunk, and merges results **in chunk
+order**. With ``workers <= 1`` everything runs inline with one
+persistent set of stage runners (their caches warm across chunks);
+with more workers, chunks fan out to a ``concurrent.futures``
+process pool and are merged back in submission order, so the
+concatenated output is byte-identical to a serial run (stages are
+deterministic functions of their spec and chunk — see
+:mod:`repro.pipeline.stages`).
+
+Metrics: the coordinator measures wall-clock per stage per chunk
+with ``time.perf_counter`` and sums across chunks, so in parallel
+mode per-stage "seconds" is aggregate worker time (it can exceed
+wall-clock elapsed). Counters are summed; cache-occupancy gauges are
+merged by maximum. Timing never feeds back into the data path, so
+metrics cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from collections import deque
+from collections.abc import Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+
+from ..datasets.common import chunked
+from ..errors import SafeguardError
+from .stages import StageRunner, StageSpec
+
+__all__ = ["PipelineResult", "SafeguardPipeline"]
+
+#: Counter keys that are point-in-time gauges, merged by max not sum.
+_GAUGE_KEYS = frozenset({"cache_size", "cache_maxsize"})
+
+#: Built runners per spec tuple, one entry per (worker) process —
+#: keeps stage caches resident for the lifetime of the pool.
+_RUNNER_CACHE: dict[tuple[StageSpec, ...], tuple[StageRunner, ...]] = {}
+
+
+def _runners_for(
+    specs: tuple[StageSpec, ...]
+) -> tuple[StageRunner, ...]:
+    """The process-local persistent runners for *specs*."""
+    runners = _RUNNER_CACHE.get(specs)
+    if runners is None:
+        runners = tuple(spec.build() for spec in specs)
+        _RUNNER_CACHE[specs] = runners
+    return runners
+
+
+def _apply_chunk(
+    runners: tuple[StageRunner, ...], chunk: list[dict], index: int
+) -> tuple[list[dict], list[bytes], list[dict]]:
+    """Run every stage over one chunk, timing each stage."""
+    artifacts: list[bytes] = []
+    stage_stats: list[dict] = []
+    for runner in runners:
+        started = time.perf_counter()
+        chunk, new_artifacts, stats = runner.apply(chunk, index)
+        elapsed = time.perf_counter() - started
+        artifacts.extend(new_artifacts)
+        stats = dict(stats)
+        stats["seconds"] = elapsed
+        stage_stats.append(stats)
+    return chunk, artifacts, stage_stats
+
+
+def _pool_apply(
+    specs: tuple[StageSpec, ...], chunk: list[dict], index: int
+) -> tuple[list[dict], list[bytes], list[dict]]:
+    """Worker-side entry point (top-level so it pickles)."""
+    return _apply_chunk(_runners_for(specs), chunk, index)
+
+
+def _flatten(
+    source: Iterable[dict] | Iterable[list[dict]],
+) -> Iterator[dict]:
+    """Accept records or pre-chunked records; yield flat records."""
+    for item in source:
+        if isinstance(item, dict):
+            yield item
+        else:
+            yield from item
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Everything a pipeline run produced.
+
+    ``records`` are the transformed records in input order;
+    ``artifacts`` the sealed containers in chunk order (empty unless
+    a seal stage ran); ``metrics`` the JSON-serialisable per-stage
+    throughput report.
+    """
+
+    records: list[dict]
+    artifacts: list[bytes]
+    metrics: dict
+
+    def metrics_json(self, indent: int | None = 2) -> str:
+        """The metrics dict rendered as JSON (the CLI's output)."""
+        return json.dumps(self.metrics, indent=indent, sort_keys=True)
+
+
+class SafeguardPipeline:
+    """Chunked, optionally parallel safeguard application.
+
+    ``stages`` is an ordered tuple of specs from
+    :mod:`repro.pipeline.stages`; ``workers`` selects inline
+    execution (``1``) or a process pool; ``chunk_size`` fixes the
+    fan-out unit. Output is invariant under both knobs — they trade
+    memory and parallelism against overhead, never correctness.
+    """
+
+    def __init__(
+        self,
+        stages: tuple[StageSpec, ...] | list[StageSpec],
+        *,
+        workers: int = 1,
+        chunk_size: int = 1024,
+    ) -> None:
+        if not stages:
+            raise SafeguardError("pipeline needs at least one stage")
+        if workers < 1:
+            raise SafeguardError("workers must be at least 1")
+        if chunk_size < 1:
+            raise SafeguardError("chunk_size must be at least 1")
+        self._specs = tuple(stages)
+        self._workers = workers
+        self._chunk_size = chunk_size
+
+    @property
+    def specs(self) -> tuple[StageSpec, ...]:
+        """The configured stage specs, in application order."""
+        return self._specs
+
+    def run(
+        self, source: Iterable[dict] | Iterable[list[dict]]
+    ) -> PipelineResult:
+        """Stream *source* through every stage; merge in order.
+
+        Input records are never mutated — stages work on copies (the
+        pickling boundary provides this in parallel mode; the serial
+        path copies explicitly to match), so the same source list can
+        be run through several pipelines.
+        """
+        chunks = chunked(_flatten(source), self._chunk_size)
+        records: list[dict] = []
+        artifacts: list[bytes] = []
+        totals: list[dict] = [{} for _ in self._specs]
+        chunk_count = 0
+        started = time.perf_counter()
+        if self._workers == 1:
+            outcomes = self._run_serial(chunks)
+        else:
+            outcomes = self._run_parallel(chunks)
+        for chunk, chunk_artifacts, stage_stats in outcomes:
+            chunk_count += 1
+            records.extend(chunk)
+            artifacts.extend(chunk_artifacts)
+            for position, stats in enumerate(stage_stats):
+                merged = totals[position]
+                for key, value in stats.items():
+                    if key in _GAUGE_KEYS:
+                        if value > merged.get(key, 0):
+                            merged[key] = value
+                    else:
+                        merged[key] = merged.get(key, 0) + value
+        elapsed = time.perf_counter() - started
+        return PipelineResult(
+            records=records,
+            artifacts=artifacts,
+            metrics=self._metrics(
+                len(records), chunk_count, elapsed, totals
+            ),
+        )
+
+    def _run_serial(
+        self, chunks: Iterator[list[dict]]
+    ) -> Iterator[tuple[list[dict], list[bytes], list[dict]]]:
+        """Inline execution with one persistent runner set."""
+        runners = tuple(spec.build() for spec in self._specs)
+        for index, chunk in enumerate(chunks):
+            copies = [dict(record) for record in chunk]
+            yield _apply_chunk(runners, copies, index)
+
+    def _run_parallel(
+        self, chunks: Iterator[list[dict]]
+    ) -> Iterator[tuple[list[dict], list[bytes], list[dict]]]:
+        """Process-pool fan-out with ordered merge.
+
+        Futures are drained strictly in submission order (a bounded
+        deque keeps at most ``4 × workers`` chunks in flight), so the
+        merged stream preserves chunk order by construction.
+        """
+        window = self._workers * 4
+        # Build the runners in the parent before the pool exists: on
+        # fork platforms every worker inherits the populated
+        # _RUNNER_CACHE, so one-time setup cost (the seal stage's
+        # PBKDF2 key stretch, PRF protos) is paid once instead of
+        # once per worker. On spawn platforms workers simply rebuild.
+        _runners_for(self._specs)
+        with ProcessPoolExecutor(
+            max_workers=self._workers
+        ) as pool:
+            pending: deque = deque()
+            for index, chunk in enumerate(chunks):
+                pending.append(
+                    pool.submit(_pool_apply, self._specs, chunk, index)
+                )
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+
+    def _metrics(
+        self,
+        record_count: int,
+        chunk_count: int,
+        elapsed: float,
+        totals: list[dict],
+    ) -> dict:
+        """Assemble the JSON-serialisable metrics report."""
+        stages = []
+        for spec, stats in zip(self._specs, totals):
+            seconds = stats.get("seconds", 0.0)
+            stage = {
+                "name": spec.name,
+                "records": record_count,
+                "records_per_second": (
+                    round(record_count / seconds, 2) if seconds else 0.0
+                ),
+            }
+            for key, value in stats.items():
+                stage[key] = (
+                    round(value, 6) if isinstance(value, float) else value
+                )
+            stages.append(stage)
+        return {
+            "records": record_count,
+            "chunks": chunk_count,
+            "chunk_size": self._chunk_size,
+            "workers": self._workers,
+            "elapsed_seconds": round(elapsed, 6),
+            "records_per_second": (
+                round(record_count / elapsed, 2) if elapsed else 0.0
+            ),
+            "stages": stages,
+        }

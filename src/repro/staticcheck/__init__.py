@@ -8,7 +8,10 @@ the safeguards the reproduction implements (see
   ``safeguards/sharing``) may not consume raw ``datasets/`` records
   except through an ``anonymization`` function;
 * **R2** ``determinism`` — no clock reads, global-RNG calls or random
-  UUIDs inside ``datasets/`` and ``analysis/``;
+  UUIDs inside ``datasets/``, ``analysis/`` and ``pipeline/`` (the
+  worker pool is in scope noqa-free: ``concurrent.futures`` and
+  ``time.perf_counter`` are allowed because they never affect output
+  bytes);
 * **R3** ``pii-literals`` — no email-shaped strings, routable IPv4
   literals or realistic phone numbers anywhere in ``src/``;
 * **R4** ``data-consistency`` — codebook, corpus and §5 statistics
