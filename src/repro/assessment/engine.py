@@ -22,6 +22,7 @@ from ..ethics import (
     rights_at_risk,
 )
 from ..legal import LegalReport, RiskLevel, analyze_legal
+from ..observability import audit_event
 from .project import ResearchProject
 
 __all__ = ["EthicsAssessment", "Verdict", "assess_project"]
@@ -216,6 +217,16 @@ def assess_project(project: ResearchProject) -> EthicsAssessment:
     ):
         verdicts.append(Verdict.DO_NOT_PROCEED)
 
+    verdict = Verdict.worst(verdicts)
+    audit_event(
+        "assessment",
+        "assessed",
+        subject=project.title,
+        verdict=verdict,
+        legal_risk=legal.overall_risk,
+        required_actions=len(required),
+        rights_risks=len(rights_risks),
+    )
     return EthicsAssessment(
         project=project,
         legal=legal,
@@ -223,7 +234,7 @@ def assess_project(project: ResearchProject) -> EthicsAssessment:
         grid=grid,
         justifications=justifications,
         rights_risks=rights_risks,
-        verdict=Verdict.worst(verdicts),
+        verdict=verdict,
         required_actions=tuple(required),
         notes=tuple(notes),
     )

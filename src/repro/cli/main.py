@@ -11,10 +11,15 @@ Subcommands:
 * ``report`` — the full paper-vs-measured Markdown report,
 * ``simulate KIND [--seed N]`` — synthesise a dataset and print a
   summary,
-* ``pipeline [--dataset D] [--workers N] [--chunk-size M]`` — stream
-  a synthetic dump through the safeguard pipeline (generate →
-  anonymize → pseudonymize → scrub → seal) and print per-stage JSON
-  metrics,
+* ``pipeline [--dataset D] [--workers N] [--chunk-size M]
+  [--audit-log PATH]`` — stream a synthetic dump through the
+  safeguard pipeline (generate → anonymize → pseudonymize → scrub →
+  seal) and print per-stage JSON metrics; with ``--audit-log`` the
+  run records a tamper-evident trail and the output gains an
+  ``observability`` section (audit anchors, spans, metrics snapshot),
+* ``audit {verify,tail,report}`` — inspect a persisted JSONL audit
+  log: walk the hash chain and localize corruption, print the last
+  events, or summarise by category with the out-of-band anchors,
 * ``legend`` — the codebook legend,
 * ``bibliography [--search TEXT]`` — list/search references.
 """
@@ -61,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "statically check the repro source against the paper's "
-            "safeguards (R1-R4)"
+            "safeguards (R1-R5)"
         ),
     )
     lint.add_argument(
@@ -117,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
             "anonymize,pseudonymize,scrub,seal"
         ),
     )
+    pipeline.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a tamper-evident audit trail to this JSONL file "
+            "and add an observability section to the JSON output"
+        ),
+    )
 
     bibliography = sub.add_parser(
         "bibliography", help="list or search the references"
@@ -143,6 +157,60 @@ def build_parser() -> argparse.ArgumentParser:
         default="risk-based",
     )
     simulate_reb.add_argument("--seed", type=int, default=0)
+    simulate_reb.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record every triage and decision as a tamper-evident "
+            "JSONL audit trail"
+        ),
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="inspect and verify tamper-evident audit logs",
+    )
+    audit_sub = audit.add_subparsers(
+        dest="audit_command", required=True
+    )
+    audit_verify = audit_sub.add_parser(
+        "verify",
+        help="walk the hash chain and localize any corruption",
+    )
+    audit_verify.add_argument("log", help="path to a JSONL audit log")
+    audit_verify.add_argument(
+        "--expect-length",
+        type=int,
+        default=None,
+        help=(
+            "event count recorded out of band; makes tail "
+            "truncation detectable"
+        ),
+    )
+    audit_verify.add_argument(
+        "--expect-tail",
+        default=None,
+        metavar="DIGEST",
+        help=(
+            "tail digest recorded out of band; detects truncation "
+            "and whole-log rewrites"
+        ),
+    )
+    audit_tail = audit_sub.add_parser(
+        "tail", help="print the last events of an audit log"
+    )
+    audit_tail.add_argument("log", help="path to a JSONL audit log")
+    audit_tail.add_argument("--count", type=int, default=10)
+    audit_report = audit_sub.add_parser(
+        "report",
+        help=(
+            "event counts by category/action plus the chain anchors "
+            "(length and tail digest) to record out of band"
+        ),
+    )
+    audit_report.add_argument("log", help="path to a JSONL audit log")
+    audit_report.add_argument("--json", action="store_true")
 
     evidence = sub.add_parser(
         "evidence",
@@ -202,7 +270,7 @@ def _cmd_verify(_args) -> int:
     failing = unsuppressed(findings)
     mark = "FAIL" if failing else "OK "
     print(
-        f"[{mark}] SC: static policy lint (R1-R4 + baseline) — "
+        f"[{mark}] SC: static policy lint (R1-R5 + baseline) — "
         f"{summarize(findings)}"
     )
     for finding in failing:
@@ -347,10 +415,32 @@ def _cmd_pipeline(args) -> int:
         source = PasswordDumpGenerator(args.seed).iter_records(
             chunk_size=args.chunk_size, users=args.users
         )
-    result = SafeguardPipeline(
+    pipeline = SafeguardPipeline(
         stages, workers=args.workers, chunk_size=args.chunk_size
-    ).run(source)
-    print(result.metrics_json())
+    )
+    if args.audit_log is None:
+        print(pipeline.run(source).metrics_json())
+        return 0
+
+    import json
+
+    from ..observability import Observer, observed
+
+    observer = Observer.recording(args.audit_log)
+    with observed(observer):
+        result = pipeline.run(source)
+    observer.trail.close()
+    verification = observer.trail.verify()
+    output = dict(result.metrics)
+    output["observability"] = {
+        "audit_log": str(observer.trail.path),
+        "audit_events": len(observer.trail),
+        "tail_digest": observer.trail.tail_digest,
+        "chain_intact": verification.ok,
+        "spans": observer.tracer.summary(),
+        "metrics": observer.metrics.snapshot(),
+    }
+    print(json.dumps(output, indent=2, sort_keys=True))
     return 0
 
 
@@ -404,9 +494,24 @@ def _cmd_simulate_reb(args) -> int:
         if args.policy == "risk-based"
         else TriggerPolicy.HUMAN_SUBJECTS
     )
-    result = simulate_reb_year(board, policy, seed=args.seed)
+    if args.audit_log is None:
+        result = simulate_reb_year(board, policy, seed=args.seed)
+        print(f"board: {board.name}; policy: {policy.value}")
+        print(result.describe())
+        return 0
+
+    from ..observability import Observer, observed
+
+    observer = Observer.recording(args.audit_log)
+    with observed(observer):
+        result = simulate_reb_year(board, policy, seed=args.seed)
+    observer.trail.close()
     print(f"board: {board.name}; policy: {policy.value}")
     print(result.describe())
+    print(
+        f"audit: {len(observer.trail)} events -> "
+        f"{observer.trail.path} ({observer.trail.verify().describe()})"
+    )
     return 0
 
 
@@ -422,6 +527,69 @@ def _cmd_evidence(args) -> int:
     for quote in evidence.quotes:
         print(f'  "{quote}"')
     return 0
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    from ..errors import SafeguardError
+    from ..observability import load_events, verify_events, verify_jsonl
+
+    try:
+        if args.audit_command == "verify":
+            verification = verify_jsonl(
+                args.log,
+                expected_length=args.expect_length,
+                expected_tail_digest=args.expect_tail,
+            )
+            print(verification.describe())
+            return 0 if verification.ok else 1
+        events = load_events(args.log)
+    except SafeguardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.audit_command == "tail":
+        for event in events[-args.count:]:
+            subject = f" {event.subject}" if event.subject else ""
+            detail = json.dumps(event.detail, sort_keys=True)
+            print(
+                f"#{event.sequence} {event.category}/{event.action}"
+                f"{subject} {detail}"
+            )
+        return 0
+    verification = verify_events(events)
+    actions: dict[str, int] = {}
+    categories: dict[str, int] = {}
+    for event in events:
+        categories[event.category] = (
+            categories.get(event.category, 0) + 1
+        )
+        key = f"{event.category}/{event.action}"
+        actions[key] = actions.get(key, 0) + 1
+    report = {
+        "events": len(events),
+        "intact": verification.ok,
+        "tail_digest": verification.tail_digest,
+        "categories": dict(sorted(categories.items())),
+        "actions": dict(sorted(actions.items())),
+    }
+    if not verification.ok:
+        report["error_index"] = verification.error_index
+        report["reason"] = verification.reason
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if verification.ok else 1
+    print(f"events: {report['events']}")
+    print(f"intact: {report['intact']}")
+    print(f"tail digest: {report['tail_digest']}")
+    for name, count in report["actions"].items():
+        print(f"  {name}: {count}")
+    if not verification.ok:
+        print(
+            f"first corrupt record: {verification.error_index} "
+            f"({verification.reason})"
+        )
+    return 0 if verification.ok else 1
 
 
 def _cmd_intervals(_args) -> int:
@@ -449,6 +617,7 @@ _COMMANDS = {
     "bibliography": _cmd_bibliography,
     "similarity": _cmd_similarity,
     "simulate-reb": _cmd_simulate_reb,
+    "audit": _cmd_audit,
     "evidence": _cmd_evidence,
     "intervals": _cmd_intervals,
 }

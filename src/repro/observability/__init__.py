@@ -1,0 +1,85 @@
+"""Tamper-evident audit and runtime observability (§4/§6 made inspectable).
+
+The paper's safeguards only count when they leave *records a REB can
+inspect*: who accessed what, what was sealed, what was shared, what
+was destroyed, what the pipeline actually did. This package is that
+record-keeping layer, sitting below ``safeguards`` in the
+architecture so every subsystem can emit into it:
+
+* :mod:`~repro.observability.events` /
+  :mod:`~repro.observability.log` — a hash-chained, append-only
+  audit trail (BLAKE2b-256 over canonical JSON, each event binding
+  its predecessor's digest) whose verifier **localizes the first
+  corrupted record**: bit flips, splices/reorderings and truncations
+  each produce a distinct, positioned diagnosis;
+* :mod:`~repro.observability.metrics` — counters, gauges and
+  histograms with a shared no-op mode so disabled instrumentation
+  costs nothing on the pipeline hot path;
+* :mod:`~repro.observability.tracing` — context-manager timing spans
+  feeding the metrics registry;
+* :mod:`~repro.observability.runtime` — the process-wide
+  :class:`Observer` switch and the :func:`audit_event` helper every
+  safeguard-boundary mutation calls (enforced by staticcheck R5).
+
+The trail is clock-free and therefore as reproducible as the rest of
+the repository; timings live only in metrics/tracing, which are not
+chained. ``repro-ethics audit verify|tail|report`` inspects persisted
+logs; see ``docs/observability.md`` for the event schema and the
+chain-verification semantics.
+"""
+
+from .events import GENESIS_DIGEST, AuditEvent, event_digest
+from .log import (
+    AuditTrail,
+    ChainVerification,
+    load_events,
+    verify_events,
+    verify_jsonl,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .runtime import (
+    Observer,
+    audit_event,
+    get_observer,
+    metrics,
+    observed,
+    set_observer,
+    tracer,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "AuditEvent",
+    "AuditTrail",
+    "ChainVerification",
+    "Counter",
+    "GENESIS_DIGEST",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Observer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "audit_event",
+    "event_digest",
+    "get_observer",
+    "load_events",
+    "metrics",
+    "observed",
+    "set_observer",
+    "tracer",
+    "verify_events",
+    "verify_jsonl",
+]

@@ -1,0 +1,244 @@
+"""Lightweight runtime metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` hands out named instruments memoised by
+name — :class:`Counter` (monotonic sums), :class:`Gauge`
+(point-in-time values merged by maximum, matching how the pipeline
+treats cache occupancy) and :class:`Histogram` (count/total/min/max
+summaries, enough to report throughput without storing samples).
+``snapshot()`` renders everything as one sorted, JSON-safe dict.
+
+The **no-op mode** is the load-bearing design point: the module
+singleton :data:`NULL_METRICS` implements the same interface with
+three shared do-nothing instruments, so instrumented code always
+writes ``metrics.counter("x").inc()`` unconditionally and the
+disabled path costs two attribute lookups and an empty method call —
+no branches at call sites, no allocation, no measurable overhead on
+the pipeline hot path (see ``docs/observability.md`` for numbers).
+"""
+
+from __future__ import annotations
+
+from ..errors import SafeguardError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise SafeguardError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; merges take the maximum observed."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def set_max(self, value: int | float) -> None:
+        """Record *value* only if it exceeds the current one."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A count/total/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: int | float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """The arithmetic mean of observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-safe summary dict for snapshots."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.minimum, 6),
+            "max": round(self.maximum, 6),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, memoised by name, snapshotable as JSON."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this registry records anything (no-op → False)."""
+        return True
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on demand)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on demand)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram under *name* (created on demand)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Everything recorded, as a sorted JSON-safe dict."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges keep the maximum, histogram summaries
+        combine count/total/min/max — the same semantics the
+        pipeline uses to aggregate per-chunk stats, so a per-run
+        registry can be folded into a process-wide one losslessly.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            histogram.count += count
+            histogram.total += summary.get("total", 0.0)
+            histogram.minimum = min(
+                histogram.minimum, summary.get("min", 0.0)
+            )
+            histogram.maximum = max(
+                histogram.maximum, summary.get("max", 0.0)
+            )
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge."""
+
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        """Discard the value."""
+
+    def set_max(self, value: int | float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram."""
+
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:
+        """Discard the observation."""
+
+
+class NullMetrics(MetricsRegistry):
+    """The no-op registry: same interface, zero recording.
+
+    Every ``counter()``/``gauge()``/``histogram()`` call returns the
+    same shared null instrument regardless of name, so instrumented
+    code pays no allocation and no branching when metrics are off.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter()
+        self._null_gauge = _NullGauge()
+        self._null_histogram = _NullHistogram()
+
+    @property
+    def enabled(self) -> bool:
+        """Always False: nothing is ever recorded."""
+        return False
+
+    def counter(self, name: str) -> Counter:
+        """The shared null counter (name is ignored)."""
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared null gauge (name is ignored)."""
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The shared null histogram (name is ignored)."""
+        return self._null_histogram
+
+
+#: The process-wide no-op registry instrumented code defaults to.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,143 @@
+"""Context-manager tracing spans for the safeguard machinery.
+
+A :class:`Tracer` hands out ``with tracer.span("pipeline.seal"):``
+context managers. Each finished span records its wall-clock duration
+(``time.perf_counter`` — the one clock the determinism rules allow,
+because timings live strictly outside the data path) both in the
+tracer's finished-span list and, when the tracer was built over a
+:class:`~repro.observability.metrics.MetricsRegistry`, as a
+``span.<name>.seconds`` histogram observation.
+
+The :data:`NULL_TRACER` singleton is the no-op twin: ``span()``
+returns one shared, reusable context manager whose enter/exit do
+nothing, so instrumented code never branches on whether tracing is
+enabled. Spans nest (the tracer tracks depth) but are process-local
+— pipeline worker processes inherit the disabled default, so worker
+timings are aggregated by the coordinator's per-stage counters
+rather than traced twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from .metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "SpanRecord", "Tracer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, nesting depth and duration."""
+
+    name: str
+    depth: int
+    seconds: float
+
+
+class Span:
+    """A live timing span; use via ``with tracer.span(name):``."""
+
+    __slots__ = ("name", "_tracer", "_started")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self._tracer = tracer
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._depth += 1
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._started
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer._record(self.name, tracer._depth, elapsed)
+
+
+class Tracer:
+    """Produces spans and keeps the finished-span record."""
+
+    def __init__(
+        self, metrics: MetricsRegistry | None = None
+    ) -> None:
+        self._metrics = metrics or NULL_METRICS
+        self._finished: list[SpanRecord] = []
+        self._depth = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans record anything (the null tracer → False)."""
+        return True
+
+    def span(self, name: str) -> Span:
+        """A context manager timing the enclosed block as *name*."""
+        return Span(name, self)
+
+    def _record(
+        self, name: str, depth: int, seconds: float
+    ) -> None:
+        self._finished.append(SpanRecord(name, depth, seconds))
+        self._metrics.histogram(f"span.{name}.seconds").observe(
+            seconds
+        )
+
+    @property
+    def finished(self) -> tuple[SpanRecord, ...]:
+        """Every finished span, in completion order."""
+        return tuple(self._finished)
+
+    def summary(self) -> dict:
+        """Per-name {count, seconds} totals, sorted by name."""
+        totals: dict[str, dict] = {}
+        for record in self._finished:
+            entry = totals.setdefault(
+                record.name, {"count": 0, "seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += record.seconds
+        return {
+            name: {
+                "count": entry["count"],
+                "seconds": round(entry["seconds"], 6),
+            }
+            for name, entry in sorted(totals.items())
+        }
+
+
+class _NullSpan:
+    """The shared no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """No-op tracer: ``span()`` returns one shared inert manager."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        """Always False: spans never record."""
+        return False
+
+    def span(self, name: str) -> Span:
+        """The shared no-op span (name is ignored)."""
+        return _NULL_SPAN  # type: ignore[return-value]
+
+
+#: The process-wide no-op tracer instrumented code defaults to.
+NULL_TRACER = NullTracer()

@@ -12,12 +12,19 @@ concatenated output is byte-identical to a serial run (stages are
 deterministic functions of their spec and chunk — see
 :mod:`repro.pipeline.stages`).
 
-Metrics: the coordinator measures wall-clock per stage per chunk
-with ``time.perf_counter`` and sums across chunks, so in parallel
-mode per-stage "seconds" is aggregate worker time (it can exceed
-wall-clock elapsed). Counters are summed; cache-occupancy gauges are
-merged by maximum. Timing never feeds back into the data path, so
-metrics cannot perturb determinism.
+Observability: each run accumulates per-stage counters, gauges and
+timing histograms in a private
+:class:`~repro.observability.metrics.MetricsRegistry` (position- and
+name-keyed, e.g. ``stage.00.anonymize.cache_misses``), from which the
+JSON metrics report is assembled; when a process-wide observer is
+installed the run registry is folded into it and the run is bracketed
+by ``pipeline/run-started`` and ``pipeline/run-finished`` audit
+events plus per-stage tracing spans. Workers inherit the disabled
+default observer, so the coordinator stays the chain's single
+writer. Timing never feeds back into the data path, so observability
+cannot perturb determinism: per-stage "seconds" in parallel mode is
+aggregate worker time (it can exceed wall-clock elapsed), counters
+are summed, and cache-occupancy gauges merge by maximum.
 """
 
 from __future__ import annotations
@@ -31,6 +38,9 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..datasets.common import chunked
 from ..errors import SafeguardError
+from ..observability import MetricsRegistry, audit_event
+from ..observability import metrics as global_metrics
+from ..observability import tracer
 from .stages import StageRunner, StageSpec
 
 __all__ = ["PipelineResult", "SafeguardPipeline"]
@@ -55,15 +65,25 @@ def _runners_for(
 
 
 def _apply_chunk(
-    runners: tuple[StageRunner, ...], chunk: list[dict], index: int
+    runners: tuple[StageRunner, ...],
+    names: tuple[str, ...],
+    chunk: list[dict],
+    index: int,
 ) -> tuple[list[dict], list[bytes], list[dict]]:
-    """Run every stage over one chunk, timing each stage."""
+    """Run every stage over one chunk, timing each stage.
+
+    Each stage runs inside a ``stage.<name>`` tracing span; in worker
+    processes the tracer is the shared no-op, so the span costs two
+    attribute lookups and nothing else.
+    """
     artifacts: list[bytes] = []
     stage_stats: list[dict] = []
-    for runner in runners:
-        started = time.perf_counter()
-        chunk, new_artifacts, stats = runner.apply(chunk, index)
-        elapsed = time.perf_counter() - started
+    trace = tracer()
+    for runner, name in zip(runners, names):
+        with trace.span(f"stage.{name}"):
+            started = time.perf_counter()
+            chunk, new_artifacts, stats = runner.apply(chunk, index)
+            elapsed = time.perf_counter() - started
         artifacts.extend(new_artifacts)
         stats = dict(stats)
         stats["seconds"] = elapsed
@@ -75,7 +95,8 @@ def _pool_apply(
     specs: tuple[StageSpec, ...], chunk: list[dict], index: int
 ) -> tuple[list[dict], list[bytes], list[dict]]:
     """Worker-side entry point (top-level so it pickles)."""
-    return _apply_chunk(_runners_for(specs), chunk, index)
+    names = tuple(spec.name for spec in specs)
+    return _apply_chunk(_runners_for(specs), names, chunk, index)
 
 
 def _flatten(
@@ -140,6 +161,10 @@ class SafeguardPipeline:
         """The configured stage specs, in application order."""
         return self._specs
 
+    def _stage_prefix(self, position: int) -> str:
+        """The registry key prefix for the stage at *position*."""
+        return f"stage.{position:02d}.{self._specs[position].name}."
+
     def run(
         self, source: Iterable[dict] | Iterable[list[dict]]
     ) -> PipelineResult:
@@ -150,45 +175,76 @@ class SafeguardPipeline:
         path copies explicitly to match), so the same source list can
         be run through several pipelines.
         """
+        stage_names = [spec.name for spec in self._specs]
+        audit_event(
+            "pipeline",
+            "run-started",
+            subject=",".join(stage_names),
+            workers=self._workers,
+            chunk_size=self._chunk_size,
+        )
         chunks = chunked(_flatten(source), self._chunk_size)
         records: list[dict] = []
         artifacts: list[bytes] = []
-        totals: list[dict] = [{} for _ in self._specs]
+        registry = MetricsRegistry()
         chunk_count = 0
         started = time.perf_counter()
-        if self._workers == 1:
-            outcomes = self._run_serial(chunks)
-        else:
-            outcomes = self._run_parallel(chunks)
-        for chunk, chunk_artifacts, stage_stats in outcomes:
-            chunk_count += 1
-            records.extend(chunk)
-            artifacts.extend(chunk_artifacts)
-            for position, stats in enumerate(stage_stats):
-                merged = totals[position]
-                for key, value in stats.items():
-                    if key in _GAUGE_KEYS:
-                        if value > merged.get(key, 0):
-                            merged[key] = value
-                    else:
-                        merged[key] = merged.get(key, 0) + value
+        with tracer().span("pipeline.run"):
+            if self._workers == 1:
+                outcomes = self._run_serial(chunks)
+            else:
+                outcomes = self._run_parallel(chunks)
+            for chunk, chunk_artifacts, stage_stats in outcomes:
+                chunk_count += 1
+                records.extend(chunk)
+                artifacts.extend(chunk_artifacts)
+                self._record_chunk(registry, stage_stats)
         elapsed = time.perf_counter() - started
+        registry.counter("pipeline.records").inc(len(records))
+        registry.counter("pipeline.chunks").inc(chunk_count)
+        registry.histogram("pipeline.run.seconds").observe(elapsed)
+        process_registry = global_metrics()
+        if process_registry.enabled:
+            process_registry.merge(registry.snapshot())
+        audit_event(
+            "pipeline",
+            "run-finished",
+            subject=",".join(stage_names),
+            records=len(records),
+            chunks=chunk_count,
+            artifacts=len(artifacts),
+        )
         return PipelineResult(
             records=records,
             artifacts=artifacts,
             metrics=self._metrics(
-                len(records), chunk_count, elapsed, totals
+                len(records), chunk_count, elapsed, registry
             ),
         )
+
+    def _record_chunk(
+        self, registry: MetricsRegistry, stage_stats: list[dict]
+    ) -> None:
+        """Fold one chunk's per-stage stats into the run registry."""
+        for position, stats in enumerate(stage_stats):
+            prefix = self._stage_prefix(position)
+            for key, value in stats.items():
+                if key == "seconds":
+                    registry.histogram(prefix + key).observe(value)
+                elif key in _GAUGE_KEYS:
+                    registry.gauge(prefix + key).set_max(value)
+                else:
+                    registry.counter(prefix + key).inc(value)
 
     def _run_serial(
         self, chunks: Iterator[list[dict]]
     ) -> Iterator[tuple[list[dict], list[bytes], list[dict]]]:
         """Inline execution with one persistent runner set."""
         runners = tuple(spec.build() for spec in self._specs)
+        names = tuple(spec.name for spec in self._specs)
         for index, chunk in enumerate(chunks):
             copies = [dict(record) for record in chunk]
-            yield _apply_chunk(runners, copies, index)
+            yield _apply_chunk(runners, names, copies, index)
 
     def _run_parallel(
         self, chunks: Iterator[list[dict]]
@@ -224,20 +280,32 @@ class SafeguardPipeline:
         record_count: int,
         chunk_count: int,
         elapsed: float,
-        totals: list[dict],
+        registry: MetricsRegistry,
     ) -> dict:
-        """Assemble the JSON-serialisable metrics report."""
+        """Assemble the JSON metrics report from the run registry."""
+        snap = registry.snapshot()
         stages = []
-        for spec, stats in zip(self._specs, totals):
-            seconds = stats.get("seconds", 0.0)
+        for position, spec in enumerate(self._specs):
+            prefix = self._stage_prefix(position)
+            stats: dict = {}
+            for key, value in snap["counters"].items():
+                if key.startswith(prefix):
+                    stats[key[len(prefix):]] = value
+            for key, value in snap["gauges"].items():
+                if key.startswith(prefix):
+                    stats[key[len(prefix):]] = value
+            seconds = snap["histograms"].get(
+                prefix + "seconds", {}
+            ).get("total", 0.0)
             stage = {
                 "name": spec.name,
                 "records": record_count,
                 "records_per_second": (
                     round(record_count / seconds, 2) if seconds else 0.0
                 ),
+                "seconds": round(seconds, 6),
             }
-            for key, value in stats.items():
+            for key, value in sorted(stats.items()):
                 stage[key] = (
                     round(value, 6) if isinstance(value, float) else value
                 )

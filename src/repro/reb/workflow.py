@@ -14,6 +14,7 @@ import dataclasses
 import enum
 
 from ..errors import REBError
+from ..observability import audit_event
 from .board import Board
 
 __all__ = [
@@ -131,8 +132,38 @@ class REBWorkflow:
 
     # -- review -------------------------------------------------------------
     def review(self, submission: Submission) -> ReviewOutcome:
-        """Triage and (when triggered) review one submission."""
-        if not self.needs_review(submission):
+        """Triage and (when triggered) review one submission.
+
+        Each state transition leaves an audit event — ``reb/triaged``
+        with the trigger outcome, then ``reb/decision`` with the
+        decision, latency and condition count — so a persisted trail
+        reconstructs the board's full caseload.
+        """
+        triggered = self.needs_review(submission)
+        audit_event(
+            "reb",
+            "triaged",
+            subject=submission.id,
+            policy=self.policy.value,
+            needs_review=triggered,
+        )
+        outcome = self._decide(submission, triggered)
+        audit_event(
+            "reb",
+            "decision",
+            subject=submission.id,
+            decision=outcome.decision.value,
+            reviewed=outcome.reviewed,
+            days_taken=outcome.days_taken,
+            conditions=len(outcome.conditions),
+        )
+        return outcome
+
+    def _decide(
+        self, submission: Submission, triggered: bool
+    ) -> ReviewOutcome:
+        """The decision logic behind :meth:`review`."""
+        if not triggered:
             return ReviewOutcome(
                 submission=submission,
                 decision=Decision.EXEMPT,

@@ -14,6 +14,7 @@ import hashlib
 from collections.abc import Iterator
 
 from ..errors import AccessDeniedError, SafeguardError
+from ..observability import audit_event
 
 __all__ = ["Action", "Grant", "AuditRecord", "AuditLog",
            "AccessController"]
@@ -79,7 +80,13 @@ class AuditLog:
     def append(
         self, principal: str, action: str, resource: str, allowed: bool
     ) -> AuditRecord:
-        """Append one hash-chained record of an access attempt."""
+        """Append one hash-chained record of an access attempt.
+
+        The record also forwards to the process-wide observability
+        trail (:func:`repro.observability.audit_event`), so a REB
+        inspecting one combined log sees every controller's traffic
+        interleaved in order.
+        """
         previous = (
             self._records[-1].digest if self._records else self.GENESIS
         )
@@ -95,6 +102,13 @@ class AuditLog:
             record, digest=record.compute_digest()
         )
         self._records.append(record)
+        audit_event(
+            "access",
+            action,
+            subject=resource,
+            principal=principal,
+            allowed=allowed,
+        )
         return record
 
     def __iter__(self) -> Iterator[AuditRecord]:
@@ -164,14 +178,21 @@ class AccessController:
         return grant
 
     def revoke(self, principal: str, resource: str) -> int:
-        """Remove all grants for (principal, resource); returns count."""
+        """Remove all grants for (principal, resource); returns count.
+
+        Revocations are audit-logged like every other change to who
+        can touch the data — the gap the pre-observability version
+        left open.
+        """
         before = len(self._grants)
         self._grants = [
             g
             for g in self._grants
             if not (g.principal == principal and g.resource == resource)
         ]
-        return before - len(self._grants)
+        removed = before - len(self._grants)
+        self.audit.append(principal, "revoke", resource, True)
+        return removed
 
     def _allowed(
         self, principal: str, action: str, resource: str

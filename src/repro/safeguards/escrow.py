@@ -18,6 +18,7 @@ import dataclasses
 import secrets
 
 from ..errors import SafeguardError
+from ..observability import audit_event
 
 __all__ = ["Share", "split_secret", "combine_shares"]
 
@@ -103,6 +104,14 @@ def split_secret(
         result.append(
             Share(index=index, data=data, threshold=threshold)
         )
+    # Audit the split parameters only — never the secret or shares.
+    audit_event(
+        "escrow",
+        "split",
+        shares=shares,
+        threshold=threshold,
+        secret_bytes=len(secret),
+    )
     return result
 
 
@@ -124,6 +133,12 @@ def combine_shares(shares: list[Share]) -> bytes:
         raise SafeguardError("shares have inconsistent lengths")
     distinct = {s.index: s for s in shares}
     if len(distinct) < threshold:
+        audit_event(
+            "escrow",
+            "combine-refused",
+            threshold=threshold,
+            distinct_shares=len(distinct),
+        )
         raise SafeguardError(
             f"need {threshold} distinct shares, got {len(distinct)}"
         )
@@ -146,4 +161,11 @@ def combine_shares(shares: list[Share]) -> bytes:
             weight = _gf_mul(numerator, _gf_inv(denominator))
             value ^= _gf_mul(share.data[byte_index], weight)
         secret.append(value)
+    audit_event(
+        "escrow",
+        "combined",
+        threshold=threshold,
+        shares_used=threshold,
+        secret_bytes=length,
+    )
     return bytes(secret)

@@ -33,6 +33,7 @@ import hmac
 import secrets
 
 from ..errors import SafeguardError
+from ..observability import audit_event
 
 __all__ = [
     "BreachRecord",
@@ -100,7 +101,10 @@ class BreachNotificationService:
     def ingest(self, records: list[BreachRecord]) -> int:
         """Load a breach. Plaintext passwords are hashed immediately
         and plaintext emails are never stored for lookup (only the
-        keyed hash). Returns the number of records ingested."""
+        keyed hash). Returns the number of records ingested. The
+        audit event carries only the record count and breach names —
+        never an address or password."""
+        notified_before = len(self._notifications)
         for record in records:
             email_hash = self._email_hash(record.email)
             self._breached.setdefault(email_hash, set()).add(
@@ -117,6 +121,15 @@ class BreachNotificationService:
                         record.breach_name,
                     )
                 )
+        audit_event(
+            "notification",
+            "breach-ingested",
+            subject=",".join(sorted({r.breach_name for r in records})),
+            records=len(records),
+            notifications_queued=(
+                len(self._notifications) - notified_before
+            ),
+        )
         return len(records)
 
     # -- verification loop -------------------------------------------------
@@ -127,6 +140,12 @@ class BreachNotificationService:
             raise SafeguardError(f"not an email: {email!r}")
         token = secrets.token_hex(16)
         self._challenges[self._email_hash(email)] = token
+        # Only a prefix of the keyed hash — never the address or token.
+        audit_event(
+            "notification",
+            "verification-requested",
+            subject=self._email_hash(email)[:12],
+        )
         return token
 
     def confirm_verification(self, email: str, token: str) -> None:
@@ -136,9 +155,19 @@ class BreachNotificationService:
         if expected is None or not hmac.compare_digest(
             expected, token
         ):
+            audit_event(
+                "notification",
+                "verification-failed",
+                subject=email_hash[:12],
+            )
             raise SafeguardError("verification failed")
         del self._challenges[email_hash]
         self._subscribers[email_hash] = email
+        audit_event(
+            "notification",
+            "verification-confirmed",
+            subject=email_hash[:12],
+        )
 
     # -- queries ------------------------------------------------------------
     def breaches_for(self, email: str) -> tuple[str, ...]:
@@ -150,6 +179,12 @@ class BreachNotificationService:
         """
         email_hash = self._email_hash(email)
         if email_hash not in self._subscribers:
+            audit_event(
+                "notification",
+                "query-refused",
+                subject=email_hash[:12],
+                reason="address not verified",
+            )
             raise SafeguardError(
                 "verify control of the address before querying it"
             )
@@ -201,16 +236,30 @@ class AccessSaleService:
         self.revenue = 0.0
 
     def ingest(self, records: list[BreachRecord]) -> int:
+        """Hoard raw records wholesale (audited for the comparison)."""
         self._records.extend(records)
+        audit_event(
+            "notification",
+            "sale-service-ingested",
+            records=len(records),
+        )
         return len(records)
 
     def lookup(self, email: str, payment: float) -> list[BreachRecord]:
         """Anyone willing to pay gets anyone's records — no
-        verification of control, passwords included."""
+        verification of control, passwords included. The audit event
+        records the sale without repeating the queried address."""
         if payment <= 0:
             raise SafeguardError("this service only takes money")
         self.revenue += payment
-        return [r for r in self._records if r.email == email]
+        matches = [r for r in self._records if r.email == email]
+        audit_event(
+            "notification",
+            "records-sold",
+            payment=payment,
+            records=len(matches),
+        )
+        return matches
 
     def exposes_passwords(self) -> bool:
         return True

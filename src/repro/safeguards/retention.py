@@ -14,6 +14,7 @@ import dataclasses
 from collections.abc import Iterator
 
 from ..errors import SafeguardError
+from ..observability import audit_event
 
 __all__ = ["Sensitivity", "RetentionPolicy", "Holding", "DataInventory"]
 
@@ -125,6 +126,13 @@ class DataInventory:
             acquired_day=today,
         )
         self._holdings[holding_id] = holding
+        audit_event(
+            "retention",
+            "acquired",
+            subject=holding_id,
+            sensitivity=sensitivity,
+            day=today,
+        )
         return holding
 
     def destroy(self, holding_id: str, today: int) -> Holding:
@@ -136,7 +144,39 @@ class DataInventory:
             )
         destroyed = dataclasses.replace(holding, destroyed_day=today)
         self._holdings[holding_id] = destroyed
+        audit_event(
+            "retention",
+            "destroyed",
+            subject=holding_id,
+            sensitivity=holding.sensitivity,
+            day=today,
+            held_days=destroyed.age(today),
+        )
         return destroyed
+
+    def sweep(self, today: int) -> tuple[Holding, ...]:
+        """Destroy every holding at or past its retention limit.
+
+        This is the enforcement half of the policy: a periodic sweep
+        that destroys what :meth:`due_for_destruction` reports and
+        emits one ``retention/expired`` audit event per holding — the
+        inspectable record that the "enforce retention policies"
+        safeguard actually ran. Returns the destroyed holdings.
+        """
+        expired: list[Holding] = []
+        for holding in self.due_for_destruction(today):
+            limit = self.policy.limit_for(holding.sensitivity)
+            audit_event(
+                "retention",
+                "expired",
+                subject=holding.id,
+                sensitivity=holding.sensitivity,
+                day=today,
+                limit_days=limit,
+                overdue_days=holding.age(today) - (limit or 0),
+            )
+            expired.append(self.destroy(holding.id, today))
+        return tuple(expired)
 
     def __getitem__(self, holding_id: str) -> Holding:
         try:

@@ -19,6 +19,7 @@ import enum
 from collections.abc import Iterator
 
 from ..errors import SafeguardError
+from ..observability import audit_event
 
 __all__ = [
     "SharingMode",
@@ -138,6 +139,12 @@ class VettingProcess:
                 f"{researcher!r} already has a vetting case"
             )
         self._cases[researcher] = _VettingCase(researcher, affiliation)
+        audit_event(
+            "sharing",
+            "vetting-opened",
+            subject=researcher,
+            affiliation=affiliation,
+        )
 
     def record_check(
         self, researcher: str, check: str, passed: bool
@@ -153,6 +160,14 @@ class VettingProcess:
             case.checks.get(c) for c in self.REQUIRED_CHECKS
         ):
             case.status = VettingStatus.VERIFIED
+        audit_event(
+            "sharing",
+            "vetting-check",
+            subject=researcher,
+            check=check,
+            passed=passed,
+            status=case.status.value,
+        )
 
     def status(self, researcher: str) -> VettingStatus:
         return self._case(researcher).status
@@ -200,9 +215,16 @@ class SharingRegistry:
         self._agreements: list[SharingAgreement] = []
 
     def publish_policy(self, policy: AcceptableUsePolicy) -> None:
+        """Register a citable AUP under its id (audit-logged)."""
         if policy.id in self._policies:
             raise SafeguardError(f"duplicate policy id {policy.id!r}")
         self._policies[policy.id] = policy
+        audit_event(
+            "sharing",
+            "policy-published",
+            subject=policy.id,
+            citable=policy.citable,
+        )
 
     def policy(self, policy_id: str) -> AcceptableUsePolicy:
         """Look up a published policy by id."""
@@ -228,6 +250,13 @@ class SharingRegistry:
         actually performed.
         """
         if not self.vetting.is_verified(researcher):
+            audit_event(
+                "sharing",
+                "release-denied",
+                subject=policy_id,
+                researcher=researcher,
+                reason="researcher not verified",
+            )
             raise SafeguardError(
                 f"researcher {researcher!r} has not been verified"
             )
@@ -240,6 +269,15 @@ class SharingRegistry:
             expires_day=today + duration_days,
         )
         self._agreements.append(agreement)
+        audit_event(
+            "sharing",
+            "agreement-signed",
+            subject=policy_id,
+            researcher=researcher,
+            mode=mode.value,
+            signed_day=today,
+            expires_day=agreement.expires_day,
+        )
         return agreement
 
     def may_access(

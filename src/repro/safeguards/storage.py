@@ -39,6 +39,7 @@ import secrets
 import struct
 
 from ..errors import IntegrityError, SafeguardError
+from ..observability import audit_event
 
 __all__ = ["SecureContainer", "StoragePolicy", "derive_key"]
 
@@ -132,6 +133,7 @@ class SecureContainer:
         """
         if not isinstance(plaintext, (bytes, bytearray)):
             raise SafeguardError("plaintext must be bytes")
+        explicit_params = salt is not None and nonce is not None
         if salt is None:
             salt = secrets.token_bytes(_SALT_LEN)
         elif len(salt) != _SALT_LEN:
@@ -147,7 +149,15 @@ class SecureContainer:
         tag = hmac.new(
             mac_key, header + ciphertext, hashlib.sha256
         ).digest()
-        return header + ciphertext + tag
+        sealed = header + ciphertext + tag
+        audit_event(
+            "storage",
+            "seal",
+            plaintext_bytes=len(plaintext),
+            sealed_bytes=len(sealed),
+            deterministic=explicit_params,
+        )
+        return sealed
 
     def open(self, sealed: bytes) -> bytes:
         """Verify and decrypt a sealed container.
@@ -157,8 +167,20 @@ class SecureContainer:
         """
         minimum = len(_MAGIC) + _SALT_LEN + _NONCE_LEN + _TAG_LEN
         if len(sealed) < minimum:
+            audit_event(
+                "storage",
+                "open-failed",
+                sealed_bytes=len(sealed),
+                reason="container truncated",
+            )
             raise IntegrityError("container truncated")
         if sealed[: len(_MAGIC)] != _MAGIC:
+            audit_event(
+                "storage",
+                "open-failed",
+                sealed_bytes=len(sealed),
+                reason="bad magic",
+            )
             raise IntegrityError("not a repro secure container")
         offset = len(_MAGIC)
         salt = sealed[offset : offset + _SALT_LEN]
@@ -173,12 +195,25 @@ class SecureContainer:
             mac_key, header + ciphertext, hashlib.sha256
         ).digest()
         if not hmac.compare_digest(tag, expected):
+            audit_event(
+                "storage",
+                "open-failed",
+                sealed_bytes=len(sealed),
+                reason="authentication failure",
+            )
             raise IntegrityError(
                 "authentication failed (tampered data or wrong "
                 "passphrase)"
             )
         stream = _keystream(enc_key, nonce, len(ciphertext))
-        return _xor(ciphertext, stream)
+        plaintext = _xor(ciphertext, stream)
+        audit_event(
+            "storage",
+            "open",
+            sealed_bytes=len(sealed),
+            plaintext_bytes=len(plaintext),
+        )
+        return plaintext
 
 
 @dataclasses.dataclass(frozen=True)

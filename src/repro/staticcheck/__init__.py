@@ -15,7 +15,12 @@ the safeguards the reproduction implements (see
 * **R3** ``pii-literals`` — no email-shaped strings, routable IPv4
   literals or realistic phone numbers anywhere in ``src/``;
 * **R4** ``data-consistency`` — codebook, corpus and §5 statistics
-  stay mutually complete.
+  stay mutually complete;
+* **R5** ``audit-boundary`` — public methods in ``safeguards/`` that
+  mutate instance state must emit an audit event
+  (:func:`repro.observability.audit_event` or an audit/trail
+  attribute call), so every safeguard-boundary change is
+  inspectable.
 
 Run it as ``repro-ethics lint`` (text or JSON output, rule selection
 via ``--select``); ``repro-ethics verify`` includes the same gate.
@@ -34,12 +39,14 @@ from .engine import (
     unsuppressed,
 )
 from .reporters import render_json, render_text, summarize
+from .rules_audit import AuditBoundaryRule
 from .rules_consistency import ConsistencyRule, check_consistency
 from .rules_dataflow import SafeguardBoundaryRule
 from .rules_determinism import DeterminismRule
 from .rules_pii import PIILiteralRule
 
 __all__ = [
+    "AuditBoundaryRule",
     "BASELINE",
     "BaselineEntry",
     "ConsistencyRule",

@@ -271,7 +271,8 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The registry with all four shipped rules (R1–R4)."""
+    """The registry with all five shipped rules (R1–R5)."""
+    from .rules_audit import AuditBoundaryRule
     from .rules_consistency import ConsistencyRule
     from .rules_dataflow import SafeguardBoundaryRule
     from .rules_determinism import DeterminismRule
@@ -283,6 +284,7 @@ def default_registry() -> RuleRegistry:
             DeterminismRule(),
             PIILiteralRule(),
             ConsistencyRule(),
+            AuditBoundaryRule(),
         )
     )
 

@@ -21,6 +21,64 @@ class TestParser:
             build_parser().parse_args(["table1", "--format", "pdf"])
 
 
+def _subcommands() -> list[list[str]]:
+    """Every subcommand invocation path, discovered from the parser.
+
+    Includes nested subcommands (``audit verify`` etc.) so a new
+    command or sub-command is covered the moment it is registered.
+    """
+    import argparse
+
+    paths: list[list[str]] = []
+
+    def walk(parser: argparse.ArgumentParser, prefix: list[str]):
+        subactions = [
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        ]
+        if not subactions:
+            if prefix:
+                paths.append(prefix)
+            return
+        for action in subactions:
+            for name, child in action.choices.items():
+                walk(child, [*prefix, name])
+
+    walk(build_parser(), [])
+    return paths
+
+
+class TestHelp:
+    """``--help`` must exit 0 for every (sub)command.
+
+    Regression guard for the argparse crash class where an unescaped
+    ``%`` in help text raises at format time — the only moment the
+    string is interpolated is when ``--help`` actually renders.
+    """
+
+    def test_discovers_nested_commands(self):
+        paths = _subcommands()
+        assert ["pipeline"] in paths
+        assert ["audit", "verify"] in paths
+        assert len(paths) >= 14
+
+    @pytest.mark.parametrize(
+        "path", _subcommands(), ids=lambda p: " ".join(p)
+    )
+    def test_help_exits_zero(self, path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*path, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "audit" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

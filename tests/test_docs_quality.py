@@ -1,9 +1,21 @@
-"""Documentation-quality gates for the public API.
+"""Documentation-quality gates for the public API and the docs pages.
 
 Deliverable (e) requires doc comments on every public item; these
 tests enforce it mechanically: every module has a docstring, every
 public class and function exported from a package ``__all__`` has a
 docstring, and ``__all__`` listings are sorted and resolvable.
+
+The second half keeps the prose documentation honest: every fenced
+``python`` snippet in ``README.md`` and ``docs/*.md`` is executed
+(blocks in one file share a namespace, so a later block may use an
+earlier block's names), and every ``repro-ethics …`` /
+``python -m repro …`` line in a ``bash``/``console`` block runs
+through the real CLI entry point and must exit 0. Each file runs in
+its own temporary working directory, so examples may write relative
+paths like ``audit.jsonl``. A block preceded by the literal comment
+``<!-- snippet: no-run -->`` is skipped (for deliberately
+illustrative fragments); shell lines that are not repro commands
+(``pip``, ``pytest``, ``python examples/…``) are ignored.
 """
 
 from __future__ import annotations
@@ -11,10 +23,13 @@ from __future__ import annotations
 import importlib
 import inspect
 import pkgutil
+import shlex
+from pathlib import Path
 
 import pytest
 
 import repro
+from repro.cli.main import main as _cli_main
 
 def _walk_modules():
     modules = [repro]
@@ -105,3 +120,90 @@ def test_error_hierarchy_documented():
             item, errors.ReproError
         ):
             assert item.__doc__ and item.__doc__.strip(), name
+
+
+# ---------------------------------------------------------------------------
+# Executable documentation: every fenced snippet in the prose docs runs.
+# ---------------------------------------------------------------------------
+
+_REPO = Path(__file__).resolve().parents[1]
+_DOC_FILES = [
+    _REPO / "README.md",
+    *sorted((_REPO / "docs").glob("*.md")),
+]
+_NO_RUN_MARKER = "<!-- snippet: no-run -->"
+_PYTHON_LANGS = frozenset({"python", "py"})
+_SHELL_LANGS = frozenset({"bash", "console", "sh", "shell"})
+_CLI_PREFIXES = ("python -m repro ", "repro-ethics ")
+
+
+def _extract_snippets(path: Path):
+    """``(lang, first_code_line, code)`` for each runnable fence.
+
+    A fence whose immediately preceding non-blank line is the no-run
+    marker is excluded; languages outside the python/shell sets are
+    never executed.
+    """
+    snippets = []
+    fence_lang = None
+    start = 0
+    code: list[str] = []
+    skip_next = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if fence_lang is None:
+            if stripped.startswith("```"):
+                fence_lang = stripped[3:].strip().lower()
+                start = number + 1
+                code = []
+            elif stripped:
+                skip_next = stripped == _NO_RUN_MARKER
+        elif stripped == "```":
+            runnable = fence_lang in _PYTHON_LANGS | _SHELL_LANGS
+            if runnable and not skip_next:
+                snippets.append((fence_lang, start, "\n".join(code)))
+            fence_lang = None
+            skip_next = False
+        else:
+            code.append(line)
+    return snippets
+
+
+def _cli_argv(command: str) -> list[str]:
+    """The argv for ``main()`` from one documented command line."""
+    tokens = shlex.split(command, comments=True)
+    if tokens[0] == "python":  # python -m repro <argv...>
+        return tokens[tokens.index("repro") + 1:]
+    return tokens[1:]  # repro-ethics <argv...>
+
+
+@pytest.mark.parametrize(
+    "doc",
+    _DOC_FILES,
+    ids=lambda p: str(p.relative_to(_REPO)),
+)
+def test_doc_snippets_execute(doc, tmp_path, monkeypatch, capsys):
+    """Every snippet in *doc* runs: python blocks execute in a shared
+    per-file namespace, repro CLI lines exit 0."""
+    snippets = _extract_snippets(doc)
+    if not snippets:
+        pytest.skip("no runnable snippets")
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": f"docsnippet_{doc.stem}"}
+    for lang, first_line, code in snippets:
+        if lang in _PYTHON_LANGS:
+            compiled = compile(code, f"{doc.name}:{first_line}", "exec")
+            exec(compiled, namespace)  # noqa: S102 - executing our own docs
+            continue
+        for offset, raw in enumerate(code.splitlines()):
+            command = raw.strip()
+            if not command.startswith(_CLI_PREFIXES):
+                continue
+            status = _cli_main(_cli_argv(command))
+            capsys.readouterr()  # keep command output out of the report
+            assert status == 0, (
+                f"{doc.name}:{first_line + offset}: "
+                f"{command!r} exited {status}"
+            )

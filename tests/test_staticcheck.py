@@ -286,6 +286,70 @@ class TestR4Consistency:
         )
 
 
+class TestR5AuditBoundary:
+    UNAUDITED = (
+        "class Register:\n"
+        "    def grant(self, who):\n"
+        "        self.holders[who] = True\n"
+        "        return who\n"
+    )
+
+    def test_unaudited_mutation_flagged(self):
+        found = failing(self.UNAUDITED, "safeguards/x.py")
+        assert rule_ids(found) == {"R5"}
+        assert "Register.grant" in found[0].message
+        assert found[0].line == 2
+
+    def test_mutator_call_flagged(self):
+        found = failing(
+            "class Register:\n"
+            "    def grant(self, who):\n"
+            "        self._holders.append(who)\n",
+            "safeguards/x.py",
+        )
+        assert rule_ids(found) == {"R5"}
+
+    def test_audit_event_call_passes(self):
+        assert not failing(
+            "from ..observability import audit_event\n"
+            "class Register:\n"
+            "    def grant(self, who):\n"
+            "        self.holders[who] = True\n"
+            "        audit_event('sharing', 'grant', subject=who)\n",
+            "safeguards/x.py",
+        )
+
+    def test_own_audit_log_attribute_passes(self):
+        assert not failing(
+            "class Controller:\n"
+            "    def grant(self, who):\n"
+            "        self._grants.add(who)\n"
+            "        self.audit.append(('grant', who))\n",
+            "safeguards/x.py",
+        )
+        assert not failing(
+            "class Controller:\n"
+            "    def grant(self, who):\n"
+            "        self._grants.add(who)\n"
+            "        self._trail.event('access', 'grant')\n",
+            "safeguards/x.py",
+        )
+
+    def test_private_methods_and_reads_ignored(self):
+        assert not failing(
+            "class Register:\n"
+            "    def _rebuild(self):\n"
+            "        self.cache = {}\n"
+            "    def holders(self):\n"
+            "        ordered = sorted(self._holders)\n"
+            "        return ordered\n",
+            "safeguards/x.py",
+        )
+
+    def test_outside_safeguards_ignored(self):
+        assert not failing(self.UNAUDITED, "reb/x.py")
+
+
 class TestSuppression:
     SOURCE = (
         "import random\n"
