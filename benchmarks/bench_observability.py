@@ -1,0 +1,170 @@
+"""E16 — telemetry egress costs: exporter throughput, profiler overhead.
+
+Two budgets from ``docs/observability.md``:
+
+* **Exporters are not a bottleneck** — rendering a realistic registry
+  snapshot (counters + gauges + bucketed histograms) as Prometheus
+  text and OTLP-style JSON must each clear 200 renders/second, i.e.
+  scraping at 1 Hz costs well under 1% of a core.
+* **The profiler obeys the master switch** — with the observer
+  disabled, :meth:`~repro.observability.profiler.SamplingProfiler.
+  start` refuses to spin up the sampler thread, so a ``with
+  SamplingProfiler():`` block around the workload must cost the same
+  as no profiler at all (asserted with a generous 1.35× tolerance
+  for single-core scheduling noise), and must capture zero samples.
+  Enabled, the sampler thread runs concurrently: its overhead on the
+  workload is reported (not asserted — it is scheduling-dependent)
+  along with the samples it captured.
+
+Writes the numbers to ``BENCH_observability.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.observability import (
+    MetricsRegistry,
+    Observer,
+    SamplingProfiler,
+    Tracer,
+    observed,
+    render_otlp,
+    render_prometheus,
+)
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_observability.json"
+
+EXPORT_ROUNDS = 300
+WORKLOAD_ROUNDS = 40
+MIN_RENDERS_PER_SECOND = 200.0
+DISABLED_OVERHEAD_TOLERANCE = 1.35
+
+
+def _demo_snapshot() -> dict:
+    """A registry shaped like a real pipeline run's."""
+    registry = MetricsRegistry()
+    for index in range(20):
+        registry.counter(f"pipeline.stage_{index}.records").inc(
+            1000 + index
+        )
+    for index in range(10):
+        registry.gauge(f"audit.chain.anchor_{index}").set(index / 7)
+    for index in range(10):
+        histogram = registry.histogram(f"span.stage_{index}.seconds")
+        for sample in range(50):
+            histogram.observe((sample + 1) * 10.0 ** (index % 6 - 4))
+    return registry.snapshot()
+
+
+def _workload() -> int:
+    """A pure-Python busy loop the profiler can sample."""
+    total = 0
+    for value in range(120_000):
+        total += value * value % 2_147_483_647
+    return total
+
+
+def _timed(fn) -> tuple[object, float]:
+    gc.collect()
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def test_e16_exporter_throughput_and_profiler_overhead():
+    snapshot = _demo_snapshot()
+
+    def render_many(renderer) -> int:
+        emitted = 0
+        for _ in range(EXPORT_ROUNDS):
+            emitted += len(renderer(snapshot))
+        return emitted
+
+    prom_bytes, prom_seconds = _timed(
+        lambda: render_many(render_prometheus)
+    )
+    otlp_bytes, otlp_seconds = _timed(
+        lambda: render_many(lambda s: render_otlp(s, indent=None))
+    )
+    prom_rate = EXPORT_ROUNDS / prom_seconds
+    otlp_rate = EXPORT_ROUNDS / otlp_seconds
+
+    # Profiler: plain workload, disabled profiler, enabled profiler.
+    def run_workload() -> int:
+        checksum = 0
+        for _ in range(WORKLOAD_ROUNDS):
+            checksum ^= _workload()
+        return checksum
+
+    # Warm-up evens out allocator/interpreter state before timing.
+    run_workload()
+    plain_checksum, plain_seconds = _timed(run_workload)
+
+    disabled_profiler = SamplingProfiler(interval=0.001)
+    with disabled_profiler:
+        disabled_checksum, disabled_seconds = _timed(run_workload)
+    assert not disabled_profiler.running
+    assert disabled_profiler.sample_count == 0
+    assert disabled_checksum == plain_checksum
+
+    registry = MetricsRegistry()
+    observer = Observer(metrics=registry, tracer=Tracer(registry))
+    enabled_profiler = SamplingProfiler(interval=0.001)
+    with observed(observer), enabled_profiler:
+        enabled_checksum, enabled_seconds = _timed(run_workload)
+    assert enabled_checksum == plain_checksum
+    assert enabled_profiler.sample_count > 0
+
+    disabled_overhead = disabled_seconds / plain_seconds
+    enabled_overhead = enabled_seconds / plain_seconds
+
+    report = {
+        "cpu_count": os.cpu_count(),
+        "exporters": {
+            "snapshot": {
+                "counters": len(snapshot["counters"]),
+                "gauges": len(snapshot["gauges"]),
+                "histograms": len(snapshot["histograms"]),
+            },
+            "rounds": EXPORT_ROUNDS,
+            "prometheus": {
+                "renders_per_second": round(prom_rate, 1),
+                "bytes_per_render": prom_bytes // EXPORT_ROUNDS,
+            },
+            "otlp_json": {
+                "renders_per_second": round(otlp_rate, 1),
+                "bytes_per_render": otlp_bytes // EXPORT_ROUNDS,
+            },
+        },
+        "profiler": {
+            "interval_seconds": 0.001,
+            "workload_seconds_plain": round(plain_seconds, 4),
+            "workload_seconds_profiler_disabled": round(
+                disabled_seconds, 4
+            ),
+            "workload_seconds_profiler_enabled": round(
+                enabled_seconds, 4
+            ),
+            "disabled_overhead_ratio": round(disabled_overhead, 3),
+            "enabled_overhead_ratio": round(enabled_overhead, 3),
+            "enabled_samples": enabled_profiler.sample_count,
+        },
+        "note": (
+            "disabled_overhead_ratio compares a workload wrapped in "
+            "a SamplingProfiler context under a disabled observer "
+            "against the bare workload; the profiler refuses to "
+            "start its sampler thread, so the ratio is pure noise. "
+            "enabled_overhead_ratio is reported, not asserted — it "
+            "depends on how the host schedules the sampler thread."
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert prom_rate >= MIN_RENDERS_PER_SECOND, report
+    assert otlp_rate >= MIN_RENDERS_PER_SECOND, report
+    assert disabled_overhead <= DISABLED_OVERHEAD_TOLERANCE, report

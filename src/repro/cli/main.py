@@ -12,14 +12,23 @@ Subcommands:
 * ``simulate KIND [--seed N]`` — synthesise a dataset and print a
   summary,
 * ``pipeline [--dataset D] [--workers N] [--chunk-size M]
-  [--audit-log PATH]`` — stream a synthetic dump through the
-  safeguard pipeline (generate → anonymize → pseudonymize → scrub →
-  seal) and print per-stage JSON metrics; with ``--audit-log`` the
-  run records a tamper-evident trail and the output gains an
-  ``observability`` section (audit anchors, spans, metrics snapshot),
+  [--audit-log PATH] [--profile PATH]`` — stream a synthetic dump
+  through the safeguard pipeline (generate → anonymize →
+  pseudonymize → scrub → seal) and print per-stage JSON metrics;
+  with ``--audit-log`` the run records a tamper-evident trail
+  (identical chain content for any ``--workers`` value — workers
+  ship telemetry shards back for deterministic replay) and the
+  output gains an ``observability`` section (audit anchors, spans,
+  metrics snapshot); ``--profile`` runs the sampling profiler and
+  writes collapsed stacks,
 * ``audit {verify,tail,report}`` — inspect a persisted JSONL audit
   log: walk the hash chain and localize corruption, print the last
   events, or summarise by category with the out-of-band anchors,
+* ``obs {export,profile,top}`` — telemetry egress: export an audit
+  log's derived metrics as Prometheus text or OTLP-style JSON
+  (byte-identical across same-seed runs), profile the demo pipeline
+  into collapsed flamegraph stacks, or print the hottest frames of
+  a saved profile,
 * ``legend`` — the codebook legend,
 * ``bibliography [--search TEXT]`` — list/search references.
 """
@@ -66,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "statically check the repro source against the paper's "
-            "safeguards (R1-R5)"
+            "safeguards (R1-R6)"
         ),
     )
     lint.add_argument(
@@ -129,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "record a tamper-evident audit trail to this JSONL file "
             "and add an observability section to the JSON output"
+        ),
+    )
+    pipeline.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sample the run with the profiler and write collapsed "
+            "flamegraph stacks to this file (view with 'obs top')"
         ),
     )
 
@@ -212,6 +230,70 @@ def build_parser() -> argparse.ArgumentParser:
     audit_report.add_argument("log", help="path to a JSONL audit log")
     audit_report.add_argument("--json", action="store_true")
 
+    obs = sub.add_parser(
+        "obs",
+        help=(
+            "telemetry egress: metric exporters, sampling profiler "
+            "and profile views"
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help=(
+            "derive metrics from an audit log and render them as "
+            "Prometheus text or OTLP-style JSON (clock-free, so "
+            "same-seed runs export identical bytes)"
+        ),
+    )
+    obs_export.add_argument("log", help="path to a JSONL audit log")
+    obs_export.add_argument(
+        "--format",
+        choices=("prometheus", "otlp"),
+        default="prometheus",
+    )
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help=(
+            "run the demo safeguard pipeline under the sampling "
+            "profiler and print a JSON summary"
+        ),
+    )
+    obs_profile.add_argument(
+        "--dataset", choices=("booter", "passwords"), default="booter"
+    )
+    obs_profile.add_argument("--users", type=int, default=300)
+    obs_profile.add_argument("--days", type=int, default=30)
+    obs_profile.add_argument("--seed", type=int, default=0)
+    obs_profile.add_argument(
+        "--interval",
+        type=float,
+        default=0.002,
+        help="seconds between stack samples",
+    )
+    obs_profile.add_argument(
+        "--call-counts",
+        action="store_true",
+        help=(
+            "also count function entries exactly via a "
+            "sys.setprofile hook (slower, precise)"
+        ),
+    )
+    obs_profile.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write collapsed flamegraph stacks to this file",
+    )
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="hottest frames of a saved collapsed-stack profile",
+    )
+    obs_top.add_argument(
+        "profile", help="path to a collapsed-stack profile file"
+    )
+    obs_top.add_argument("--limit", type=int, default=15)
+
     evidence = sub.add_parser(
         "evidence",
         help="show the §4 quotes grounding one Table 1 coding",
@@ -270,7 +352,7 @@ def _cmd_verify(_args) -> int:
     failing = unsuppressed(findings)
     mark = "FAIL" if failing else "OK "
     print(
-        f"[{mark}] SC: static policy lint (R1-R5 + baseline) — "
+        f"[{mark}] SC: static policy lint (R1-R6 + baseline) — "
         f"{summarize(findings)}"
     )
     for finding in failing:
@@ -382,65 +464,185 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_pipeline(args) -> int:
+def _demo_stages_and_source(
+    dataset: str,
+    seed: int,
+    users: int,
+    days: int,
+    chunk_size: int,
+    stage_names: tuple[str, ...],
+):
+    """The seeded demo workload shared by ``pipeline`` and ``obs``.
+
+    Demo keys are derived from the seed so runs are reproducible; a
+    real deployment supplies independent secrets per safeguard.
+    """
     import hashlib
 
-    from ..pipeline import SafeguardPipeline, default_stages
+    from ..pipeline import default_stages
 
-    names = tuple(
-        part.strip() for part in args.stages.split(",") if part.strip()
-    )
-    # Demo keys, derived from the seed so runs are reproducible; a
-    # real deployment supplies independent secrets per safeguard.
-    seed_tag = f"repro-pipeline-demo\x00{args.seed}".encode("utf-8")
+    seed_tag = f"repro-pipeline-demo\x00{seed}".encode("utf-8")
     stages = default_stages(
         anonymize_key=hashlib.sha256(seed_tag + b"\x00anon").digest(),
         pseudonymize_key=hashlib.sha256(
             seed_tag + b"\x00pseudonym"
         ).digest(),
-        seal_passphrase=f"repro-pipeline-demo-{args.seed}",
-        names=names,
+        seal_passphrase=f"repro-pipeline-demo-{seed}",
+        names=stage_names,
     )
-    if args.dataset == "booter":
+    if dataset == "booter":
         from ..datasets import BooterDatabaseGenerator
 
-        source = BooterDatabaseGenerator(args.seed).iter_records(
-            chunk_size=args.chunk_size,
-            users=args.users,
-            days=args.days,
+        source = BooterDatabaseGenerator(seed).iter_records(
+            chunk_size=chunk_size, users=users, days=days
         )
     else:
         from ..datasets import PasswordDumpGenerator
 
-        source = PasswordDumpGenerator(args.seed).iter_records(
-            chunk_size=args.chunk_size, users=args.users
+        source = PasswordDumpGenerator(seed).iter_records(
+            chunk_size=chunk_size, users=users
         )
+    return stages, source
+
+
+def _cmd_pipeline(args) -> int:
+    from ..pipeline import SafeguardPipeline
+
+    names = tuple(
+        part.strip() for part in args.stages.split(",") if part.strip()
+    )
+    stages, source = _demo_stages_and_source(
+        args.dataset,
+        args.seed,
+        args.users,
+        args.days,
+        args.chunk_size,
+        names,
+    )
     pipeline = SafeguardPipeline(
         stages, workers=args.workers, chunk_size=args.chunk_size
     )
-    if args.audit_log is None:
+    if args.audit_log is None and args.profile is None:
         print(pipeline.run(source).metrics_json())
         return 0
 
     import json
+    from pathlib import Path
 
-    from ..observability import Observer, observed
+    from ..observability import (
+        MetricsRegistry,
+        Observer,
+        SamplingProfiler,
+        Tracer,
+        observed,
+    )
 
-    observer = Observer.recording(args.audit_log)
+    if args.audit_log is not None:
+        observer = Observer.recording(args.audit_log)
+    else:
+        # --profile without --audit-log still needs a live observer
+        # (the profiler obeys the master switch and reads the active
+        # span from the tracer); record in memory, chain nothing.
+        registry = MetricsRegistry()
+        observer = Observer(metrics=registry, tracer=Tracer(registry))
+    profiler = (
+        SamplingProfiler() if args.profile is not None else None
+    )
     with observed(observer):
-        result = pipeline.run(source)
-    observer.trail.close()
-    verification = observer.trail.verify()
+        if profiler is not None:
+            with profiler:
+                result = pipeline.run(source)
+        else:
+            result = pipeline.run(source)
     output = dict(result.metrics)
-    output["observability"] = {
-        "audit_log": str(observer.trail.path),
-        "audit_events": len(observer.trail),
-        "tail_digest": observer.trail.tail_digest,
-        "chain_intact": verification.ok,
-        "spans": observer.tracer.summary(),
-        "metrics": observer.metrics.snapshot(),
-    }
+    if args.audit_log is not None:
+        observer.trail.close()
+        verification = observer.trail.verify()
+        output["observability"] = {
+            "audit_log": str(observer.trail.path),
+            "audit_events": len(observer.trail),
+            "tail_digest": observer.trail.tail_digest,
+            "chain_intact": verification.ok,
+            "spans": observer.tracer.summary(),
+            "metrics": observer.metrics.snapshot(),
+        }
+    if profiler is not None:
+        Path(args.profile).write_text(
+            profiler.collapsed(), encoding="utf-8"
+        )
+        output["profile"] = {
+            "path": args.profile,
+            "samples": profiler.sample_count,
+            "spans": profiler.summary()["spans"],
+        }
     print(json.dumps(output, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+    from pathlib import Path
+
+    if args.obs_command == "export":
+        from ..observability import (
+            load_events,
+            registry_from_events,
+            render_otlp,
+            render_prometheus,
+        )
+
+        registry = registry_from_events(load_events(args.log))
+        if args.format == "prometheus":
+            sys.stdout.write(render_prometheus(registry.snapshot()))
+        else:
+            print(render_otlp(registry.snapshot()))
+        return 0
+
+    if args.obs_command == "top":
+        from ..errors import SafeguardError
+        from ..observability import top_collapsed
+
+        try:
+            text = Path(args.profile).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SafeguardError(
+                f"cannot read profile {args.profile!r}: {exc}"
+            ) from exc
+        rows = top_collapsed(text, args.limit)
+        if not rows:
+            print("no samples")
+            return 0
+        width = max(len(str(count)) for _, count in rows)
+        for frame, count in rows:
+            print(f"{count:>{width}} {frame}")
+        return 0
+
+    from ..observability import (
+        MetricsRegistry,
+        Observer,
+        SamplingProfiler,
+        Tracer,
+        observed,
+    )
+    from ..pipeline import STAGE_NAMES, SafeguardPipeline
+
+    stages, source = _demo_stages_and_source(
+        args.dataset, args.seed, args.users, args.days, 1024, STAGE_NAMES
+    )
+    registry = MetricsRegistry()
+    observer = Observer(metrics=registry, tracer=Tracer(registry))
+    profiler = SamplingProfiler(
+        args.interval, call_counts=args.call_counts
+    )
+    with observed(observer), profiler:
+        SafeguardPipeline(stages).run(source)
+    summary = profiler.summary()
+    if args.out is not None:
+        Path(args.out).write_text(
+            profiler.collapsed(), encoding="utf-8"
+        )
+        summary["out"] = args.out
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -618,15 +820,27 @@ _COMMANDS = {
     "similarity": _cmd_similarity,
     "simulate-reb": _cmd_simulate_reb,
     "audit": _cmd_audit,
+    "obs": _cmd_obs,
     "evidence": _cmd_evidence,
     "intervals": _cmd_intervals,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    :class:`~repro.errors.SafeguardError` (including pipeline
+    :class:`~repro.pipeline.StageFailure`) surfaces as one ``error:``
+    line on stderr and exit status 1, not a traceback.
+    """
+    from ..errors import SafeguardError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except SafeguardError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,16 +19,35 @@ architecture so every subsystem can emit into it:
   feeding the metrics registry;
 * :mod:`~repro.observability.runtime` — the process-wide
   :class:`Observer` switch and the :func:`audit_event` helper every
-  safeguard-boundary mutation calls (enforced by staticcheck R5).
+  safeguard-boundary mutation calls (enforced by staticcheck R5);
+* :mod:`~repro.observability.worker` — cross-process telemetry:
+  per-chunk :class:`TelemetryShard` capture in pipeline workers,
+  deterministic :func:`replay_shard` merge in the coordinator, so
+  ``workers=N`` produces the same audit-chain content as serial;
+* :mod:`~repro.observability.export` — telemetry egress: Prometheus
+  text exposition and OTLP-style JSON over registry snapshots and
+  span trees, plus the audit-derived registry behind the
+  deterministic ``repro-ethics obs export``;
+* :mod:`~repro.observability.profiler` — a sampling profiler
+  (interval stack sampler + optional ``sys.setprofile`` call-count
+  hybrid) attributing samples to the active span and emitting
+  collapsed-stack output for flamegraph tooling.
 
 The trail is clock-free and therefore as reproducible as the rest of
-the repository; timings live only in metrics/tracing, which are not
-chained. ``repro-ethics audit verify|tail|report`` inspects persisted
-logs; see ``docs/observability.md`` for the event schema and the
-chain-verification semantics.
+the repository; timings live only in metrics/tracing/profiles, which
+are not chained. ``repro-ethics audit verify|tail|report`` inspects
+persisted logs and ``repro-ethics obs export|profile|top`` handles
+egress; see ``docs/observability.md`` for the event schema, the
+chain-verification semantics and the export formats.
 """
 
 from .events import GENESIS_DIGEST, AuditEvent, event_digest
+from .export import (
+    registry_from_events,
+    render_otlp,
+    render_prometheus,
+    span_forest,
+)
 from .log import (
     AuditTrail,
     ChainVerification,
@@ -37,6 +56,7 @@ from .log import (
     verify_jsonl,
 )
 from .metrics import (
+    BUCKET_BOUNDS,
     NULL_METRICS,
     Counter,
     Gauge,
@@ -44,6 +64,7 @@ from .metrics import (
     MetricsRegistry,
     NullMetrics,
 )
+from .profiler import SamplingProfiler, top_collapsed
 from .runtime import (
     Observer,
     audit_event,
@@ -54,10 +75,12 @@ from .runtime import (
     tracer,
 )
 from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from .worker import TelemetryShard, WorkerTelemetry, replay_shard
 
 __all__ = [
     "AuditEvent",
     "AuditTrail",
+    "BUCKET_BOUNDS",
     "ChainVerification",
     "Counter",
     "GENESIS_DIGEST",
@@ -69,16 +92,25 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "Observer",
+    "SamplingProfiler",
     "Span",
     "SpanRecord",
+    "TelemetryShard",
     "Tracer",
+    "WorkerTelemetry",
     "audit_event",
     "event_digest",
     "get_observer",
     "load_events",
     "metrics",
     "observed",
+    "registry_from_events",
+    "render_otlp",
+    "render_prometheus",
+    "replay_shard",
     "set_observer",
+    "span_forest",
+    "top_collapsed",
     "tracer",
     "verify_events",
     "verify_jsonl",

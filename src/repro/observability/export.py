@@ -1,0 +1,314 @@
+"""Telemetry egress: Prometheus text and OTLP-style JSON renderers.
+
+PR 3 made the safeguards *record* — this module makes the records
+*consumable* by the monitoring stacks a production deployment would
+actually run. Two wire formats, both pure functions of their inputs:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  over a :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`
+  dict: counters as ``_total`` series, gauges verbatim, histograms
+  as cumulative ``_bucket{le="…"}`` series over the fixed
+  :data:`~repro.observability.metrics.BUCKET_BOUNDS` plus ``_sum`` /
+  ``_count``. Output is sorted and float-formatted via ``repr``, so
+  rendering the same snapshot twice is byte-identical — and
+  rendering the deterministic audit-derived snapshot of two
+  same-seed runs is byte-identical too.
+* :func:`render_otlp` — an OTLP-style JSON document
+  (``resourceMetrics`` with sum/gauge/histogram data points and,
+  when span records are supplied, ``resourceSpans`` whose span and
+  trace ids are *derived deterministically* from span position and
+  name, never drawn from an RNG). It is OTLP-shaped for easy
+  ingestion, not a certified protobuf mapping — timestamps are span
+  durations from zero, because the repository's telemetry is
+  deliberately clock-free.
+
+:func:`registry_from_events` bridges the audit side: it folds a
+verified event chain into counters/gauges (``audit.events.<category>.
+<action>`` counts plus chain anchors), which is what makes
+``repro-ethics obs export`` deterministic for seeded runs.
+:func:`span_forest` rebuilds the nesting tree from flat
+depth-annotated span records for the OTLP renderer and the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from collections.abc import Iterable, Sequence
+
+from .events import AuditEvent
+from .log import verify_events
+from .metrics import BUCKET_BOUNDS, MetricsRegistry
+from .tracing import SpanRecord
+
+__all__ = [
+    "registry_from_events",
+    "render_otlp",
+    "render_prometheus",
+    "span_forest",
+]
+
+#: Characters Prometheus forbids in metric names, replaced by ``_``.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A dotted registry name as a Prometheus metric name."""
+    flat = _PROM_INVALID.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_value(value: int | float) -> str:
+    """Deterministic numeric formatting (repr round-trips floats)."""
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text exposition.
+
+    Counters gain the conventional ``_total`` suffix; histogram
+    bucket series are cumulative over the fixed
+    :data:`~repro.observability.metrics.BUCKET_BOUNDS` with the
+    ``+Inf`` bucket equal to ``_count``. The output ends with a
+    newline (as the exposition format requires) unless the snapshot
+    is empty, in which case it is the empty string.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        value = snapshot["counters"][name]
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        value = snapshot["gauges"][name]
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        count = summary.get("count", 0)
+        buckets = summary.get("buckets")
+        if buckets:
+            cumulative = 0
+            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+                cumulative += bucket_count
+                lines.append(
+                    f'{metric}_bucket{{le="{_prom_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        total = summary.get("total", 0.0)
+        lines.append(f"{metric}_sum {_prom_value(total)}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _span_id(index: int, name: str) -> str:
+    """A deterministic 8-byte span id from position and name."""
+    return hashlib.blake2b(
+        f"{index}:{name}".encode("utf-8"), digest_size=8
+    ).hexdigest()
+
+
+def _trace_id(records: Sequence[SpanRecord]) -> str:
+    """A deterministic 16-byte trace id from the span name sequence."""
+    material = "\x00".join(record.name for record in records)
+    return hashlib.blake2b(
+        material.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def span_forest(records: Iterable[SpanRecord]) -> list[dict]:
+    """Rebuild the nesting tree from flat finished-span records.
+
+    Spans finish in post-order (children before parents), so a
+    record at depth ``d`` adopts every pending record at depth
+    ``d + 1``. Spans left unclosed (no parent finished) surface as
+    roots in completion order. Each node is
+    ``{"name", "seconds", "children"}``.
+    """
+    pending: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for record in records:
+        node = {
+            "name": record.name,
+            "seconds": round(record.seconds, 6),
+            "children": pending.pop(record.depth + 1, []),
+        }
+        if record.depth == 0:
+            roots.append(node)
+        else:
+            pending.setdefault(record.depth, []).append(node)
+    for orphans in pending.values():
+        roots.extend(orphans)
+    return roots
+
+
+def _otlp_number(value: int | float) -> dict:
+    """One OTLP NumberDataPoint value field."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return {"asInt": str(value)}
+    return {"asDouble": float(value)}
+
+
+def render_otlp(
+    snapshot: dict,
+    spans: Iterable[SpanRecord] = (),
+    *,
+    service: str = "repro-ethics",
+    indent: int | None = 2,
+) -> str:
+    """Render a snapshot (and optionally spans) as OTLP-style JSON.
+
+    Counters become monotonic cumulative sums, gauges gauges, and
+    histograms histogram data points carrying the fixed
+    ``explicitBounds``. Span records, when given, are emitted as one
+    ``resourceSpans`` block whose parent/child links come from
+    :func:`span_forest` and whose ids are deterministic functions of
+    span order and name (clock-free, reproducible).
+    """
+    metrics: list[dict] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metrics.append(
+            {
+                "name": name,
+                "sum": {
+                    "aggregationTemporality": (
+                        "AGGREGATION_TEMPORALITY_CUMULATIVE"
+                    ),
+                    "isMonotonic": True,
+                    "dataPoints": [
+                        _otlp_number(snapshot["counters"][name])
+                    ],
+                },
+            }
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        metrics.append(
+            {
+                "name": name,
+                "gauge": {
+                    "dataPoints": [
+                        _otlp_number(snapshot["gauges"][name])
+                    ]
+                },
+            }
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        count = summary.get("count", 0)
+        buckets = list(summary.get("buckets", ()))
+        point: dict = {
+            "count": str(count),
+            "sum": summary.get("total", 0.0),
+        }
+        if count:
+            point["min"] = summary.get("min", 0.0)
+            point["max"] = summary.get("max", 0.0)
+        if buckets:
+            point["explicitBounds"] = list(BUCKET_BOUNDS)
+            point["bucketCounts"] = [str(c) for c in buckets]
+        metrics.append(
+            {
+                "name": name,
+                "histogram": {
+                    "aggregationTemporality": (
+                        "AGGREGATION_TEMPORALITY_CUMULATIVE"
+                    ),
+                    "dataPoints": [point],
+                },
+            }
+        )
+    resource = {
+        "attributes": [
+            {
+                "key": "service.name",
+                "value": {"stringValue": service},
+            }
+        ]
+    }
+    document: dict = {
+        "resourceMetrics": [
+            {
+                "resource": resource,
+                "scopeMetrics": [
+                    {
+                        "scope": {"name": "repro.observability"},
+                        "metrics": metrics,
+                    }
+                ],
+            }
+        ]
+    }
+    span_records = list(spans)
+    if span_records:
+        trace_id = _trace_id(span_records)
+        otlp_spans: list[dict] = []
+
+        def emit(node: dict, parent_id: str) -> None:
+            span_id = _span_id(len(otlp_spans), node["name"])
+            duration_ns = int(node["seconds"] * 1_000_000_000)
+            record: dict = {
+                "traceId": trace_id,
+                "spanId": span_id,
+                "name": node["name"],
+                "startTimeUnixNano": "0",
+                "endTimeUnixNano": str(duration_ns),
+            }
+            if parent_id:
+                record["parentSpanId"] = parent_id
+            otlp_spans.append(record)
+            for child in node["children"]:
+                emit(child, span_id)
+
+        for root in span_forest(span_records):
+            emit(root, "")
+        document["resourceSpans"] = [
+            {
+                "resource": resource,
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.observability"},
+                        "spans": otlp_spans,
+                    }
+                ],
+            }
+        ]
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def registry_from_events(
+    events: Sequence[AuditEvent],
+) -> MetricsRegistry:
+    """Fold an audit chain into an exportable metrics registry.
+
+    Produces one ``audit.events.<category>.<action>`` counter per
+    distinct event kind (action hyphens become underscores so names
+    stay dotted snake_case), an ``audit.events`` grand total, and the
+    chain anchors as gauges: ``audit.chain.length`` and
+    ``audit.chain.intact`` (1 or 0 from a full verification walk).
+    Because the chain is clock-free, two same-seed runs export the
+    same bytes — the property ``repro-ethics obs export`` relies on.
+    """
+    registry = MetricsRegistry()
+    total = registry.counter("audit.events")
+    for event in events:
+        total.inc()
+        action = event.action.replace("-", "_").replace(".", "_")
+        category = event.category.replace("-", "_")
+        registry.counter(
+            f"audit.events.{category}.{action}"
+        ).inc()
+    verification = verify_events(events)
+    registry.gauge("audit.chain.length").set(verification.length)
+    registry.gauge("audit.chain.intact").set(
+        1 if verification.ok else 0
+    )
+    return registry

@@ -18,9 +18,12 @@ the pipeline hot path (see ``docs/observability.md`` for numbers).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from ..errors import SafeguardError
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -28,6 +31,17 @@ __all__ = [
     "NULL_METRICS",
     "NullMetrics",
 ]
+
+#: Fixed histogram bucket upper bounds (seconds *and* sizes share one
+#: log scale). The bounds are a module constant rather than per
+#: histogram so that bucket counts merge deterministically: the same
+#: observations fall into the same buckets no matter how many worker
+#: registries they were recorded in before merging, which is what
+#: lets the Prometheus/OTLP exporters render identical output for
+#: ``workers=1`` and ``workers=N`` runs of the same seeded workload.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** exponent for exponent in range(-6, 10)
+)
 
 
 class Counter:
@@ -64,15 +78,23 @@ class Gauge:
 
 
 class Histogram:
-    """A count/total/min/max summary of observed values."""
+    """A count/total/min/max summary plus fixed bucket counts.
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    Buckets use the module-wide :data:`BUCKET_BOUNDS` — bucket ``i``
+    counts observations ``value <= BUCKET_BOUNDS[i]`` that exceeded
+    the previous bound, and one overflow slot counts everything
+    beyond the last bound. Fixed bounds keep bucket counts exactly
+    mergeable across worker registries.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: int | float) -> None:
         """Fold one observation into the summary."""
@@ -82,6 +104,7 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -97,6 +120,7 @@ class Histogram:
             "total": round(self.total, 6),
             "min": round(self.minimum, 6),
             "max": round(self.maximum, 6),
+            "buckets": list(self.buckets),
         }
 
 
@@ -170,12 +194,22 @@ class MetricsRegistry:
                 continue
             histogram.count += count
             histogram.total += summary.get("total", 0.0)
-            histogram.minimum = min(
-                histogram.minimum, summary.get("min", 0.0)
-            )
-            histogram.maximum = max(
-                histogram.maximum, summary.get("max", 0.0)
-            )
+            # A summary with count > 0 may still omit min/max (a
+            # hand-built or partial snapshot); folding a default 0.0
+            # into the running extremes would corrupt them, so absent
+            # keys are skipped rather than defaulted.
+            if "min" in summary:
+                histogram.minimum = min(
+                    histogram.minimum, summary["min"]
+                )
+            if "max" in summary:
+                histogram.maximum = max(
+                    histogram.maximum, summary["max"]
+                )
+            incoming = summary.get("buckets")
+            if incoming and len(incoming) == len(histogram.buckets):
+                for index, bucket_count in enumerate(incoming):
+                    histogram.buckets[index] += bucket_count
 
 
 class _NullCounter(Counter):

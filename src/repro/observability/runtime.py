@@ -17,8 +17,12 @@ measurable slowdown") is met by construction, not by sprinkling
 ``if audit_enabled:`` at call sites.
 
 Worker processes spawned by the pipeline inherit this module fresh
-and therefore run disabled; the coordinator owns the audit story for
-a parallel run, which keeps the chain single-writer and ordered.
+and therefore start disabled; when the coordinator observes, each
+chunk runs under a per-chunk capture observer
+(:class:`~repro.observability.worker.TelemetryShard`) whose shard
+ships back with the chunk result for in-order replay. The
+coordinator's trail stays the chain's single writer, and the chain
+stays ordered.
 """
 
 from __future__ import annotations

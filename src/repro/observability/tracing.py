@@ -11,16 +11,20 @@ tracer's finished-span list and, when the tracer was built over a
 The :data:`NULL_TRACER` singleton is the no-op twin: ``span()``
 returns one shared, reusable context manager whose enter/exit do
 nothing, so instrumented code never branches on whether tracing is
-enabled. Spans nest (the tracer tracks depth) but are process-local
-— pipeline worker processes inherit the disabled default, so worker
-timings are aggregated by the coordinator's per-stage counters
-rather than traced twice.
+enabled. Spans nest (the tracer tracks depth) and are process-local;
+pipeline worker processes record spans into chunk-local tracers
+whose finished records ship back for :meth:`Tracer.absorb` in the
+coordinator (see :mod:`repro.observability.worker`). The tracer also
+exposes :attr:`Tracer.active_span` — the innermost open span's name
+— which the sampling profiler reads from its sampler thread to
+attribute stack samples.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
+from collections.abc import Iterable
 
 from .metrics import NULL_METRICS, MetricsRegistry
 
@@ -47,7 +51,9 @@ class Span:
         self._started = 0.0
 
     def __enter__(self) -> "Span":
-        self._tracer._depth += 1
+        tracer = self._tracer
+        tracer._depth += 1
+        tracer._active.append(self.name)
         self._started = time.perf_counter()
         return self
 
@@ -55,6 +61,7 @@ class Span:
         elapsed = time.perf_counter() - self._started
         tracer = self._tracer
         tracer._depth -= 1
+        tracer._active.pop()
         tracer._record(self.name, tracer._depth, elapsed)
 
 
@@ -67,11 +74,24 @@ class Tracer:
         self._metrics = metrics or NULL_METRICS
         self._finished: list[SpanRecord] = []
         self._depth = 0
+        self._active: list[str] = []
 
     @property
     def enabled(self) -> bool:
         """Whether spans record anything (the null tracer → False)."""
         return True
+
+    @property
+    def active_span(self) -> str:
+        """The innermost open span's name ("" when none is open).
+
+        The sampling profiler reads this from its sampler thread to
+        attribute stack samples to the span the instrumented thread
+        is inside; a one-element read of the stack is safe under the
+        GIL without locking.
+        """
+        active = self._active
+        return active[-1] if active else ""
 
     def span(self, name: str) -> Span:
         """A context manager timing the enclosed block as *name*."""
@@ -84,6 +104,17 @@ class Tracer:
         self._metrics.histogram(f"span.{name}.seconds").observe(
             seconds
         )
+
+    def absorb(self, records: "Iterable[SpanRecord]") -> None:
+        """Append already-finished spans from another tracer.
+
+        Used by the pipeline's worker-telemetry merge: span records
+        shipped back from worker processes are appended in chunk
+        order. Metrics are *not* re-fed — the worker's own
+        ``span.<name>.seconds`` histogram observations arrive via its
+        registry snapshot, so re-observing here would double-count.
+        """
+        self._finished.extend(records)
 
     @property
     def finished(self) -> tuple[SpanRecord, ...]:

@@ -11,9 +11,13 @@ process pool, with ordered merge and per-stage throughput metrics.
 
 Every stage is a deterministic function of its configuration and its
 chunk, so worker count and chunk arrival order never change the
-output: a parallel run is byte-identical to a serial one. See
-``docs/performance.md`` for the architecture and the cache design of
-the hot paths this drives.
+output: a parallel run is byte-identical to a serial one. The same
+holds for the audit trail: workers capture per-chunk telemetry
+shards (see :mod:`repro.observability.worker`) that the coordinator
+replays in chunk order, so a parallel run chains the same events as
+a serial one. Stage errors surface as :class:`StageFailure` with the
+stage name and chunk index attached. See ``docs/performance.md`` for
+the architecture and the cache design of the hot paths this drives.
 """
 
 from .core import PipelineResult, SafeguardPipeline
@@ -23,6 +27,7 @@ from .stages import (
     PseudonymizeSpec,
     ScrubTextSpec,
     SealSpec,
+    StageFailure,
     default_stages,
 )
 
@@ -34,5 +39,6 @@ __all__ = [
     "SafeguardPipeline",
     "ScrubTextSpec",
     "SealSpec",
+    "StageFailure",
     "default_stages",
 ]

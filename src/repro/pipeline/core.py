@@ -19,12 +19,21 @@ name-keyed, e.g. ``stage.00.anonymize.cache_misses``), from which the
 JSON metrics report is assembled; when a process-wide observer is
 installed the run registry is folded into it and the run is bracketed
 by ``pipeline/run-started`` and ``pipeline/run-finished`` audit
-events plus per-stage tracing spans. Workers inherit the disabled
-default observer, so the coordinator stays the chain's single
-writer. Timing never feeds back into the data path, so observability
-cannot perturb determinism: per-stage "seconds" in parallel mode is
-aggregate worker time (it can exceed wall-clock elapsed), counters
-are summed, and cache-occupancy gauges merge by maximum.
+events, with one ``pipeline/stage-applied`` event and one tracing
+span per stage per chunk. In parallel mode workers run under a
+per-chunk :class:`~repro.observability.worker.TelemetryShard`
+capture observer; each chunk result ships its shard back and the
+coordinator replays shards **in chunk order** (events re-sealed by
+the parent trail, spans absorbed, metric snapshots merged), so the
+coordinator stays the chain's single writer and ``workers=N``
+produces the same audit chain content as ``workers=1``. A stage
+exception anywhere surfaces as
+:class:`~repro.pipeline.stages.StageFailure` naming the stage and
+chunk, after a ``pipeline/chunk-failed`` audit event. Timing never
+feeds back into the data path, so observability cannot perturb
+determinism: per-stage "seconds" in parallel mode is aggregate
+worker time (it can exceed wall-clock elapsed), counters are
+summed, and cache-occupancy gauges merge by maximum.
 """
 
 from __future__ import annotations
@@ -38,10 +47,15 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..datasets.common import chunked
 from ..errors import SafeguardError
-from ..observability import MetricsRegistry, audit_event
+from ..observability import MetricsRegistry, audit_event, get_observer
 from ..observability import metrics as global_metrics
 from ..observability import tracer
-from .stages import StageRunner, StageSpec
+from ..observability.worker import (
+    TelemetryShard,
+    WorkerTelemetry,
+    replay_shard,
+)
+from .stages import StageFailure, StageRunner, StageSpec
 
 __all__ = ["PipelineResult", "SafeguardPipeline"]
 
@@ -72,9 +86,17 @@ def _apply_chunk(
 ) -> tuple[list[dict], list[bytes], list[dict]]:
     """Run every stage over one chunk, timing each stage.
 
-    Each stage runs inside a ``stage.<name>`` tracing span; in worker
-    processes the tracer is the shared no-op, so the span costs two
-    attribute lookups and nothing else.
+    Each stage runs inside a ``stage.<name>`` tracing span and emits
+    one ``pipeline/stage-applied`` audit event whose detail is
+    deterministic (record and artifact counts only — never timings
+    or cache state, so the chain content is invariant under worker
+    count). With the disabled default observer both the span and the
+    event cost a few attribute lookups and nothing else; in telemetry
+    workers they land in the chunk-local shard.
+
+    A stage exception is wrapped as :class:`StageFailure` carrying
+    the stage name and chunk index, so failures inside a process
+    pool surface their location instead of a bare remote traceback.
     """
     artifacts: list[bytes] = []
     stage_stats: list[dict] = []
@@ -82,8 +104,23 @@ def _apply_chunk(
     for runner, name in zip(runners, names):
         with trace.span(f"stage.{name}"):
             started = time.perf_counter()
-            chunk, new_artifacts, stats = runner.apply(chunk, index)
+            try:
+                chunk, new_artifacts, stats = runner.apply(
+                    chunk, index
+                )
+            except StageFailure:
+                raise
+            except Exception as exc:
+                raise StageFailure(name, index, str(exc)) from exc
             elapsed = time.perf_counter() - started
+        audit_event(
+            "pipeline",
+            "stage-applied",
+            subject=name,
+            chunk=index,
+            records=len(chunk),
+            artifacts=len(new_artifacts),
+        )
         artifacts.extend(new_artifacts)
         stats = dict(stats)
         stats["seconds"] = elapsed
@@ -92,11 +129,29 @@ def _apply_chunk(
 
 
 def _pool_apply(
-    specs: tuple[StageSpec, ...], chunk: list[dict], index: int
-) -> tuple[list[dict], list[bytes], list[dict]]:
-    """Worker-side entry point (top-level so it pickles)."""
+    specs: tuple[StageSpec, ...],
+    chunk: list[dict],
+    index: int,
+    telemetry: bool = False,
+) -> tuple[
+    list[dict], list[bytes], list[dict], WorkerTelemetry | None
+]:
+    """Worker-side entry point (top-level so it pickles).
+
+    With *telemetry* (the coordinator runs an enabled observer), the
+    chunk executes under a :class:`TelemetryShard` capture observer
+    and the packed shard ships back with the result; otherwise the
+    worker keeps its disabled default observer and ships ``None``.
+    """
     names = tuple(spec.name for spec in specs)
-    return _apply_chunk(_runners_for(specs), names, chunk, index)
+    runners = _runners_for(specs)
+    if not telemetry:
+        return (*_apply_chunk(runners, names, chunk, index), None)
+    with TelemetryShard() as shard:
+        chunk, artifacts, stage_stats = _apply_chunk(
+            runners, names, chunk, index
+        )
+    return chunk, artifacts, stage_stats, shard.telemetry()
 
 
 def _flatten(
@@ -189,16 +244,30 @@ class SafeguardPipeline:
         registry = MetricsRegistry()
         chunk_count = 0
         started = time.perf_counter()
-        with tracer().span("pipeline.run"):
-            if self._workers == 1:
-                outcomes = self._run_serial(chunks)
-            else:
-                outcomes = self._run_parallel(chunks)
-            for chunk, chunk_artifacts, stage_stats in outcomes:
-                chunk_count += 1
-                records.extend(chunk)
-                artifacts.extend(chunk_artifacts)
-                self._record_chunk(registry, stage_stats)
+        try:
+            with tracer().span("pipeline.run"):
+                if self._workers == 1:
+                    outcomes = self._run_serial(chunks)
+                else:
+                    outcomes = self._run_parallel(chunks)
+                for chunk, chunk_artifacts, stage_stats, shard in (
+                    outcomes
+                ):
+                    if shard is not None:
+                        replay_shard(shard)
+                    chunk_count += 1
+                    records.extend(chunk)
+                    artifacts.extend(chunk_artifacts)
+                    self._record_chunk(registry, stage_stats)
+        except StageFailure as failure:
+            audit_event(
+                "pipeline",
+                "chunk-failed",
+                subject=failure.stage,
+                chunk=failure.chunk_index,
+                error=failure.cause,
+            )
+            raise
         elapsed = time.perf_counter() - started
         registry.counter("pipeline.records").inc(len(records))
         registry.counter("pipeline.chunks").inc(chunk_count)
@@ -238,24 +307,41 @@ class SafeguardPipeline:
 
     def _run_serial(
         self, chunks: Iterator[list[dict]]
-    ) -> Iterator[tuple[list[dict], list[bytes], list[dict]]]:
-        """Inline execution with one persistent runner set."""
+    ) -> Iterator[
+        tuple[list[dict], list[bytes], list[dict], None]
+    ]:
+        """Inline execution with one persistent runner set.
+
+        Audit events and spans emit straight into the installed
+        observer as each chunk processes, so no shard is shipped
+        (the fourth tuple slot is always ``None``).
+        """
         runners = tuple(spec.build() for spec in self._specs)
         names = tuple(spec.name for spec in self._specs)
         for index, chunk in enumerate(chunks):
             copies = [dict(record) for record in chunk]
-            yield _apply_chunk(runners, names, copies, index)
+            yield (*_apply_chunk(runners, names, copies, index), None)
 
     def _run_parallel(
         self, chunks: Iterator[list[dict]]
-    ) -> Iterator[tuple[list[dict], list[bytes], list[dict]]]:
+    ) -> Iterator[
+        tuple[
+            list[dict],
+            list[bytes],
+            list[dict],
+            WorkerTelemetry | None,
+        ]
+    ]:
         """Process-pool fan-out with ordered merge.
 
         Futures are drained strictly in submission order (a bounded
         deque keeps at most ``4 × workers`` chunks in flight), so the
-        merged stream preserves chunk order by construction.
+        merged stream preserves chunk order by construction — and so
+        worker telemetry shards replay into the parent trail in the
+        same order a serial run would have emitted their events.
         """
         window = self._workers * 4
+        telemetry = get_observer().enabled
         # Build the runners in the parent before the pool exists: on
         # fork platforms every worker inherits the populated
         # _RUNNER_CACHE, so one-time setup cost (the seal stage's
@@ -268,7 +354,13 @@ class SafeguardPipeline:
             pending: deque = deque()
             for index, chunk in enumerate(chunks):
                 pending.append(
-                    pool.submit(_pool_apply, self._specs, chunk, index)
+                    pool.submit(
+                        _pool_apply,
+                        self._specs,
+                        chunk,
+                        index,
+                        telemetry,
+                    )
                 )
                 if len(pending) >= window:
                     yield pending.popleft().result()

@@ -39,6 +39,7 @@ __all__ = [
     "STAGE_NAMES",
     "ScrubTextSpec",
     "SealSpec",
+    "StageFailure",
     "StageRunner",
     "StageSpec",
     "default_stages",
@@ -46,6 +47,35 @@ __all__ = [
 
 #: CLI stage-selection names, in canonical application order.
 STAGE_NAMES = ("anonymize", "pseudonymize", "scrub", "seal")
+
+
+class StageFailure(SafeguardError):
+    """A stage raised while processing one chunk.
+
+    Carries the stage name and 0-based chunk index so a failure
+    inside a ``ProcessPoolExecutor`` worker surfaces *where* it
+    happened instead of a bare remote traceback, and so the
+    coordinator can emit a localized ``pipeline/chunk-failed`` audit
+    event before re-raising. ``__reduce__`` keeps the structured
+    fields intact across the process-pool pickling boundary.
+    """
+
+    def __init__(
+        self, stage: str, chunk_index: int, cause: str
+    ) -> None:
+        super().__init__(
+            f"stage {stage!r} failed on chunk {chunk_index}: {cause}"
+        )
+        self.stage = stage
+        self.chunk_index = chunk_index
+        self.cause = cause
+
+    def __reduce__(self):
+        """Pickle by field so workers re-raise the same structure."""
+        return (
+            StageFailure,
+            (self.stage, self.chunk_index, self.cause),
+        )
 
 
 class StageRunner(Protocol):

@@ -20,7 +20,11 @@ the safeguards the reproduction implements (see
   mutate instance state must emit an audit event
   (:func:`repro.observability.audit_event` or an audit/trail
   attribute call), so every safeguard-boundary change is
-  inspectable.
+  inspectable;
+* **R6** ``telemetry-naming`` — metric/span names at instrument-
+  creation sites must be dotted snake_case and audit-event
+  category/action lowercase kebab, so the Prometheus/OTLP exporters
+  emit collision-free, grep-friendly identifiers.
 
 Run it as ``repro-ethics lint`` (text or JSON output, rule selection
 via ``--select``); ``repro-ethics verify`` includes the same gate.
@@ -43,6 +47,7 @@ from .rules_audit import AuditBoundaryRule
 from .rules_consistency import ConsistencyRule, check_consistency
 from .rules_dataflow import SafeguardBoundaryRule
 from .rules_determinism import DeterminismRule
+from .rules_naming import TelemetryNamingRule
 from .rules_pii import PIILiteralRule
 
 __all__ = [
@@ -59,6 +64,7 @@ __all__ = [
     "RuleRegistry",
     "SafeguardBoundaryRule",
     "Suppression",
+    "TelemetryNamingRule",
     "baseline_drift",
     "check_consistency",
     "default_registry",

@@ -271,11 +271,12 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The registry with all five shipped rules (R1–R5)."""
+    """The registry with all six shipped rules (R1–R6)."""
     from .rules_audit import AuditBoundaryRule
     from .rules_consistency import ConsistencyRule
     from .rules_dataflow import SafeguardBoundaryRule
     from .rules_determinism import DeterminismRule
+    from .rules_naming import TelemetryNamingRule
     from .rules_pii import PIILiteralRule
 
     return RuleRegistry(
@@ -285,6 +286,7 @@ def default_registry() -> RuleRegistry:
             PIILiteralRule(),
             ConsistencyRule(),
             AuditBoundaryRule(),
+            TelemetryNamingRule(),
         )
     )
 

@@ -1,0 +1,154 @@
+"""R6 — telemetry naming: instrument and event names stay exportable.
+
+The exporters in :mod:`repro.observability.export` map registry names
+onto Prometheus/OTLP identifiers mechanically (dots become
+underscores, everything else passes through). That mapping is only
+collision-free and grep-friendly if the names going *in* are
+consistent, which is a convention a reviewer cannot reliably police
+by eye across the codebase. R6 enforces it at every instrument- and
+event-creation call site:
+
+* ``.counter(name)`` / ``.gauge(name)`` / ``.histogram(name)`` /
+  ``.span(name)`` — the name must be **dotted snake_case**:
+  lowercase segments of ``[a-z0-9_]`` joined by single dots
+  (``pipeline.run.seconds``, ``audit.chain.length``). F-string
+  names are checked fragment-by-fragment (``f"span.{name}.seconds"``
+  passes; the interpolated parts are the caller's responsibility);
+* ``audit_event(category, action, …)`` — category and action must be
+  **lowercase kebab/snake**: ``[a-z0-9_-]`` segments, dots allowed
+  as separators (``pipeline``, ``run-started``, ``open-failed``).
+
+Only literal (or f-string) arguments are judged; names built in
+variables are out of reach of a static rule and intentionally
+skipped, as are string-free calls such as ``re.Match.span()``. The
+rule runs over the whole package — telemetry can be emitted from
+anywhere — and ships with an empty baseline: every current call
+site complies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from .engine import Finding, ModuleInfo, Rule
+
+__all__ = ["TelemetryNamingRule"]
+
+#: Attribute names whose first argument is an instrument name.
+_INSTRUMENT_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "span"}
+)
+
+#: Resolved dotted targets of the audit-event helper.
+_AUDIT_EVENT_TARGETS = frozenset(
+    {
+        "repro.observability.audit_event",
+        "repro.observability.runtime.audit_event",
+    }
+)
+
+#: Full instrument-name literals: dotted snake_case.
+_INSTRUMENT_RE = re.compile(
+    r"^[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)*$"
+)
+#: F-string fragments of an instrument name (may start/end at a dot).
+_INSTRUMENT_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+#: Full event category/action literals: lowercase kebab/snake.
+_EVENT_RE = re.compile(
+    r"^[a-z][a-z0-9_-]*(?:\.[a-z0-9_-]+)*$"
+)
+_EVENT_FRAGMENT_RE = re.compile(r"^[a-z0-9_.-]*$")
+
+
+def _literal_ok(
+    node: ast.AST, full: re.Pattern[str], fragment: re.Pattern[str]
+) -> tuple[bool, str] | None:
+    """Judge one name argument; None when it is not judgeable.
+
+    Returns ``(ok, display)`` for a string constant or f-string —
+    f-strings are checked fragment-by-fragment against the looser
+    *fragment* pattern since interpolations may supply segment
+    boundaries. Anything else (variables, concatenation, non-string
+    constants) returns None and is skipped.
+    """
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, str):
+            return None
+        return bool(full.match(node.value)), repr(node.value)
+    if isinstance(node, ast.JoinedStr):
+        pieces: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                if not fragment.match(value.value):
+                    return False, ast.unparse(node)
+                pieces.append(value.value)
+            else:
+                pieces.append("{…}")
+        return True, "".join(pieces)
+    return None
+
+
+class TelemetryNamingRule(Rule):
+    """Flag non-conforming metric/span/event names at creation sites."""
+
+    id = "R6"
+    name = "telemetry-naming"
+    description = (
+        "metric/span names must be dotted snake_case and audit-event "
+        "category/action lowercase kebab, so exporter output stays "
+        "collision-free and grep-friendly"
+    )
+    node_types = (ast.Call,)
+
+    def visit(
+        self, node: ast.AST, module: ModuleInfo
+    ) -> Iterable[Finding]:
+        """Judge literal name arguments of telemetry-creation calls."""
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INSTRUMENT_METHODS
+            and node.args
+        ):
+            verdict = _literal_ok(
+                node.args[0], _INSTRUMENT_RE, _INSTRUMENT_FRAGMENT_RE
+            )
+            if verdict is not None and not verdict[0]:
+                yield Finding(
+                    rule_id=self.id,
+                    path=module.path,
+                    line=node.lineno,
+                    message=(
+                        f"instrument name {verdict[1]} is not dotted "
+                        f"snake_case (e.g. 'pipeline.run.seconds') — "
+                        f"exporters flatten dots; mixed case or "
+                        f"hyphens collide and break grep"
+                    ),
+                )
+            return
+        dotted = module.resolve_dotted(func)
+        if dotted not in _AUDIT_EVENT_TARGETS:
+            return
+        for position, label in ((0, "category"), (1, "action")):
+            if len(node.args) <= position:
+                break
+            verdict = _literal_ok(
+                node.args[position], _EVENT_RE, _EVENT_FRAGMENT_RE
+            )
+            if verdict is not None and not verdict[0]:
+                yield Finding(
+                    rule_id=self.id,
+                    path=module.path,
+                    line=node.lineno,
+                    message=(
+                        f"audit-event {label} {verdict[1]} must be "
+                        f"lowercase kebab/snake (e.g. 'run-started') "
+                        f"for stable audit reports and exports"
+                    ),
+                )

@@ -1,0 +1,114 @@
+"""Unit tests for the sampling profiler and collapsed-stack views."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Observer,
+    SamplingProfiler,
+    Tracer,
+    observed,
+    top_collapsed,
+    tracer,
+)
+
+
+def _busy_work(rounds: int = 15) -> int:
+    total = 0
+    for _ in range(rounds):
+        for value in range(120_000):
+            total += value * value % 97
+    return total
+
+
+def _live_observer() -> Observer:
+    registry = MetricsRegistry()
+    return Observer(metrics=registry, tracer=Tracer(registry))
+
+
+class TestSamplingProfiler:
+    def test_samples_attributed_to_active_span(self):
+        with observed(_live_observer()):
+            profiler = SamplingProfiler(interval=0.001)
+            with profiler:
+                with tracer().span("workload.busy"):
+                    _busy_work()
+        assert profiler.sample_count > 0
+        summary = profiler.summary()
+        # The busy loop dominates: most samples land in the span.
+        assert (
+            summary["spans"].get("workload.busy", 0)
+            > profiler.sample_count // 2
+        )
+        assert any(
+            "_busy_work" in frame for frame in summary["functions"]
+        )
+
+    def test_disabled_observer_means_no_thread_no_samples(self):
+        before = threading.active_count()
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            assert not profiler.running
+            assert threading.active_count() == before
+            _busy_work(2)
+        assert profiler.sample_count == 0
+        assert profiler.collapsed() == ""
+
+    def test_thread_stops_on_exit(self):
+        with observed(_live_observer()):
+            profiler = SamplingProfiler(interval=0.001)
+            with profiler:
+                assert profiler.running
+                _busy_work(2)
+            assert not profiler.running
+        assert all(
+            thread.name != "repro-profiler"
+            for thread in threading.enumerate()
+        )
+
+    def test_collapsed_format(self):
+        with observed(_live_observer()):
+            profiler = SamplingProfiler(interval=0.001)
+            with profiler:
+                with tracer().span("fmt.check"):
+                    _busy_work()
+        text = profiler.collapsed()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert count.isdigit() and int(count) > 0
+            assert stack  # span root plus at least zero frames
+        assert sorted(text.splitlines()) == text.splitlines()
+
+    def test_call_counts_hybrid(self):
+        with observed(_live_observer()):
+            profiler = SamplingProfiler(
+                interval=0.01, call_counts=True
+            )
+            with profiler:
+                _busy_work(1)
+        calls = profiler.summary()["calls"]
+        assert any("_busy_work" in name for name in calls)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+
+class TestTopCollapsed:
+    def test_hottest_leaves_ranked(self):
+        text = (
+            "span;outer;hot 30\n"
+            "span;outer;warm 10\n"
+            "other;hot 5\n"
+        )
+        rows = top_collapsed(text, 2)
+        assert rows == [("hot", 35), ("warm", 10)]
+
+    def test_empty_and_garbage_tolerated(self):
+        assert top_collapsed("") == []
+        assert top_collapsed("\n\nnot a sample line\n") == []

@@ -1,4 +1,4 @@
-"""Unit tests for the staticcheck policy linter (rules R1-R4)."""
+"""Unit tests for the staticcheck policy linter (rules R1-R6)."""
 
 from __future__ import annotations
 
@@ -348,6 +348,94 @@ class TestR5AuditBoundary:
 
     def test_outside_safeguards_ignored(self):
         assert not failing(self.UNAUDITED, "reb/x.py")
+
+
+class TestR6TelemetryNaming:
+    def test_conforming_instrument_names_pass(self):
+        assert not failing(
+            "def run(registry, tracer):\n"
+            "    registry.counter('pipeline.records').inc()\n"
+            "    registry.gauge('audit.chain.length').set(1)\n"
+            "    registry.histogram('pipeline.run.seconds')\n"
+            "    with tracer.span('pipeline.run'):\n"
+            "        pass\n",
+            "observability/x.py",
+        )
+
+    def test_uppercase_instrument_name_flagged(self):
+        found = failing(
+            "def run(registry):\n"
+            "    registry.counter('Pipeline.Records').inc()\n",
+            "pipeline/x.py",
+        )
+        assert rule_ids(found) == {"R6"}
+        assert "dotted snake_case" in found[0].message
+        assert found[0].line == 2
+
+    def test_hyphenated_span_name_flagged(self):
+        found = failing(
+            "def run(tracer):\n"
+            "    with tracer.span('seal-stage'):\n"
+            "        pass\n",
+            "pipeline/x.py",
+        )
+        assert rule_ids(found) == {"R6"}
+
+    def test_fstring_fragments_checked(self):
+        assert not failing(
+            "def run(registry, name):\n"
+            "    registry.histogram(f'span.{name}.seconds')\n",
+            "observability/x.py",
+        )
+        found = failing(
+            "def run(registry, name):\n"
+            "    registry.histogram(f'Span-{name}.Seconds')\n",
+            "observability/x.py",
+        )
+        assert rule_ids(found) == {"R6"}
+
+    def test_non_string_and_zero_arg_calls_skipped(self):
+        # re.Match.span(1) and found.span() are not telemetry.
+        assert not failing(
+            "def run(match, found):\n"
+            "    match.span(1)\n"
+            "    found.span()\n",
+            "anonymization/x.py",
+        )
+
+    def test_variable_names_skipped(self):
+        assert not failing(
+            "def run(registry, name):\n"
+            "    registry.counter(name).inc()\n",
+            "pipeline/x.py",
+        )
+
+    def test_audit_event_bad_action_flagged(self):
+        found = failing(
+            "from ..observability import audit_event\n"
+            "def run():\n"
+            "    audit_event('pipeline', 'Run Started')\n",
+            "pipeline/x.py",
+        )
+        assert rule_ids(found) == {"R6"}
+        assert "action" in found[0].message
+
+    def test_audit_event_kebab_action_passes(self):
+        assert not failing(
+            "from ..observability import audit_event\n"
+            "def run(n):\n"
+            "    audit_event('pipeline', 'run-started', workers=n)\n",
+            "pipeline/x.py",
+        )
+
+    def test_package_is_r6_clean(self):
+        from repro.staticcheck import lint_repo
+
+        assert not [
+            finding
+            for finding in lint_repo(("R6",), with_baseline=False)
+            if not finding.suppressed
+        ]
 
 
 class TestSuppression:
