@@ -1,0 +1,147 @@
+"""E17 — service-kernel costs: batch throughput, result-cache speedup.
+
+Two budgets from ``docs/api.md``:
+
+* **The batch executor is not a bottleneck** — streaming a JSONL
+  request file through :class:`~repro.ops.batch.BatchExecutor` is
+  reported as requests/second at 1 and 4 workers. The numbers are
+  informational (the operations themselves dominate); what the
+  benchmark asserts is the kernel's core contract, that the 4-worker
+  transcript is byte-identical to the serial one.
+* **The content-addressed cache pays for itself** — a pure
+  operation served from :class:`~repro.ops.cache.ResultCache` must
+  be at least **5× faster** than recomputing it cold, for both the
+  cheapest cacheable surface (``table1``) and the most expensive
+  (``report``). A hit is a dict lookup keyed on the corpus digest,
+  so the real ratios are orders of magnitude higher; 5× keeps the
+  assertion robust on noisy single-core runners.
+
+Writes the numbers to ``BENCH_ops.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.ops import (
+    BatchExecutor,
+    ResultCache,
+    RunContext,
+    execute,
+    load_requests,
+)
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_ops.json"
+
+BATCH_REQUESTS = 24
+COLD_ROUNDS = 3
+CACHED_ROUNDS = 200
+MIN_CACHE_SPEEDUP = 5.0
+
+
+def _timed(fn) -> tuple[object, float]:
+    gc.collect()
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _request_file(tmp_path: Path) -> Path:
+    """A JSONL batch mixing the pure operation surfaces."""
+    cycle = [
+        {"op": "stats"},
+        {"op": "table1", "args": {"format": "csv"}},
+        {"op": "legend"},
+        {"op": "intervals"},
+    ]
+    path = tmp_path / "requests.jsonl"
+    path.write_text(
+        "".join(
+            json.dumps(cycle[index % len(cycle)]) + "\n"
+            for index in range(BATCH_REQUESTS)
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _batch_rate(requests, workers: int) -> tuple[object, float]:
+    executor = BatchExecutor(workers=workers)
+    result, seconds = _timed(lambda: executor.run(requests))
+    return result, len(requests) / seconds
+
+
+def _cache_speedup(operation: str) -> dict:
+    """Cold recompute vs cached lookup for one pure operation."""
+
+    def run_cold() -> None:
+        # A fresh context per round: empty cache, cold corpus memo.
+        for _ in range(COLD_ROUNDS):
+            execute(
+                operation,
+                context=RunContext(cache=ResultCache()),
+            )
+
+    _, cold_seconds = _timed(run_cold)
+    cold_per_call = cold_seconds / COLD_ROUNDS
+
+    warm_ctx = RunContext(cache=ResultCache())
+    execute(operation, context=warm_ctx)  # populate the cache
+
+    def run_cached() -> None:
+        for _ in range(CACHED_ROUNDS):
+            execute(operation, context=warm_ctx)
+
+    _, cached_seconds = _timed(run_cached)
+    cached_per_call = cached_seconds / CACHED_ROUNDS
+    assert warm_ctx.cache.hits == CACHED_ROUNDS
+
+    return {
+        "cold_ms_per_call": round(cold_per_call * 1000, 3),
+        "cached_ms_per_call": round(cached_per_call * 1000, 4),
+        "speedup": round(cold_per_call / cached_per_call, 1),
+    }
+
+
+def test_e17_batch_throughput_and_cache_speedup(tmp_path):
+    requests = load_requests(_request_file(tmp_path))
+
+    serial_result, serial_rate = _batch_rate(requests, workers=1)
+    parallel_result, parallel_rate = _batch_rate(
+        requests, workers=4
+    )
+    assert parallel_result.text() == serial_result.text()
+
+    table1 = _cache_speedup("table1")
+    report = _cache_speedup("report")
+
+    bench = {
+        "cpu_count": os.cpu_count(),
+        "batch": {
+            "requests": BATCH_REQUESTS,
+            "requests_per_second_workers_1": round(serial_rate, 1),
+            "requests_per_second_workers_4": round(
+                parallel_rate, 1
+            ),
+            "transcripts_identical": True,
+        },
+        "cache": {
+            "table1": table1,
+            "report": report,
+            "min_speedup_asserted": MIN_CACHE_SPEEDUP,
+        },
+        "note": (
+            "batch rates are informational — per-request work, "
+            "result-cache warm-up and process-pool startup all mix "
+            "into a 24-request file; the asserted contracts are the "
+            "byte-identical transcript and the >=5x cache speedup."
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+
+    assert table1["speedup"] >= MIN_CACHE_SPEEDUP, bench
+    assert report["speedup"] >= MIN_CACHE_SPEEDUP, bench

@@ -1,6 +1,17 @@
 """Command-line interface: ``python -m repro`` / ``repro-ethics``.
 
-Subcommands:
+The CLI is a **thin adapter** over the :mod:`repro.ops` service
+kernel: the argument parser is *generated* from each registered
+operation's declarative :class:`~repro.ops.Arg` spec, dispatch goes
+through :func:`repro.ops.execute`, stdout is exactly the operation
+response's text, and every domain error maps through the kernel's
+single error table to a clean ``error:`` line on stderr — no
+subcommand can leak a raw traceback. Staticcheck rule R7 enforces
+the shape: modules under ``cli/`` import subsystems only via
+``repro.ops``.
+
+Subcommands (one per registered operation; dotted operation names
+such as ``audit.verify`` become nested subcommands):
 
 * ``table1 [--format F]`` — regenerate Table 1,
 * ``stats`` — the §5 statistics,
@@ -13,24 +24,18 @@ Subcommands:
   summary,
 * ``pipeline [--dataset D] [--workers N] [--chunk-size M]
   [--audit-log PATH] [--profile PATH]`` — stream a synthetic dump
-  through the safeguard pipeline (generate → anonymize →
-  pseudonymize → scrub → seal) and print per-stage JSON metrics;
-  with ``--audit-log`` the run records a tamper-evident trail
-  (identical chain content for any ``--workers`` value — workers
-  ship telemetry shards back for deterministic replay) and the
-  output gains an ``observability`` section (audit anchors, spans,
-  metrics snapshot); ``--profile`` runs the sampling profiler and
-  writes collapsed stacks,
+  through the safeguard pipeline and print per-stage JSON metrics,
 * ``audit {verify,tail,report}`` — inspect a persisted JSONL audit
-  log: walk the hash chain and localize corruption, print the last
-  events, or summarise by category with the out-of-band anchors,
-* ``obs {export,profile,top}`` — telemetry egress: export an audit
-  log's derived metrics as Prometheus text or OTLP-style JSON
-  (byte-identical across same-seed runs), profile the demo pipeline
-  into collapsed flamegraph stacks, or print the hottest frames of
-  a saved profile,
-* ``legend`` — the codebook legend,
-* ``bibliography [--search TEXT]`` — list/search references.
+  log,
+* ``obs {export,profile,top}`` — telemetry egress: exporters,
+  sampling profiler, profile views,
+* ``batch FILE [--workers N] [--audit-log PATH] [--no-cache]`` —
+  stream a JSONL file of operation requests through the kernel's
+  worker pool; responses are byte-identical for any worker count
+  and pure operations are served from the content-addressed result
+  cache,
+* ``simulate-reb``, ``evidence``, ``bibliography``, ``similarity``,
+  ``legend``, ``intervals`` — see ``--help``.
 """
 
 from __future__ import annotations
@@ -38,13 +43,62 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .. import table1_corpus
+from ..ops import (
+    Arg,
+    Operation,
+    ReproError,
+    ResultCache,
+    RunContext,
+    default_registry,
+    describe_failure,
+    execute,
+)
 
 __all__ = ["main", "build_parser"]
 
 
+def _add_argument(
+    parser: argparse.ArgumentParser, arg: Arg
+) -> None:
+    """Translate one declarative :class:`Arg` into argparse terms."""
+    if arg.flag:
+        parser.add_argument(
+            arg.name, action="store_true", help=arg.help or None
+        )
+        return
+    kwargs: dict = {}
+    if arg.kind is not str:
+        kwargs["type"] = arg.kind
+    if arg.choices:
+        kwargs["choices"] = arg.choices
+    if arg.help:
+        kwargs["help"] = arg.help
+    if arg.metavar:
+        kwargs["metavar"] = arg.metavar
+    if not arg.positional:
+        kwargs["default"] = arg.default
+    parser.add_argument(arg.name, **kwargs)
+
+
+def _attach(
+    parser: argparse.ArgumentParser, operation: Operation
+) -> None:
+    """Populate one generated subparser from *operation*'s spec."""
+    for arg in operation.args:
+        _add_argument(parser, arg)
+    parser.set_defaults(_operation=operation.name)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser with every subcommand."""
+    """Generate the argument parser from the operation registry.
+
+    Flat operation names become subcommands; dotted names
+    (``audit.verify``) become nested subcommands under a group
+    parser whose help text the registry provides. Nothing here is
+    hand-wired per subcommand — registering a new operation is
+    enough to surface it on the CLI.
+    """
+    registry = default_registry()
     parser = argparse.ArgumentParser(
         prog="repro-ethics",
         description=(
@@ -53,794 +107,52 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    table1 = sub.add_parser("table1", help="regenerate Table 1")
-    table1.add_argument(
-        "--format",
-        choices=("text", "markdown", "latex", "csv", "html"),
-        default="text",
-    )
-
-    sub.add_parser("stats", help="print the §5 statistics")
-    sub.add_parser(
-        "verify",
-        help=(
-            "run every reproduction check and the static policy lint"
-        ),
-    )
-    sub.add_parser("report", help="paper-vs-measured Markdown report")
-    sub.add_parser("legend", help="print the codebook legend")
-
-    lint = sub.add_parser(
-        "lint",
-        help=(
-            "statically check the repro source against the paper's "
-            "safeguards (R1-R6)"
-        ),
-    )
-    lint.add_argument(
-        "--format", choices=("text", "json"), default="text"
-    )
-    lint.add_argument(
-        "--select",
-        default="",
-        help="comma-separated rule ids to run (e.g. R1,R2)",
-    )
-    lint.add_argument(
-        "--path",
-        default=None,
-        help=(
-            "lint this directory tree instead of the installed repro "
-            "package (rule scoping follows paths relative to it; the "
-            "suppression baseline applies only to the package)"
-        ),
-    )
-
-    simulate = sub.add_parser(
-        "simulate", help="generate a synthetic dataset summary"
-    )
-    simulate.add_argument(
-        "kind",
-        choices=(
-            "passwords", "booter", "forum", "offshore", "classified",
-            "scan",
-        ),
-    )
-    simulate.add_argument("--seed", type=int, default=0)
-
-    pipeline = sub.add_parser(
-        "pipeline",
-        help=(
-            "stream a synthetic dump through the safeguard pipeline "
-            "and print per-stage JSON metrics"
-        ),
-    )
-    pipeline.add_argument(
-        "--dataset", choices=("booter", "passwords"), default="booter"
-    )
-    pipeline.add_argument("--users", type=int, default=300)
-    pipeline.add_argument("--days", type=int, default=90)
-    pipeline.add_argument("--seed", type=int, default=0)
-    pipeline.add_argument("--workers", type=int, default=1)
-    pipeline.add_argument("--chunk-size", type=int, default=1024)
-    pipeline.add_argument(
-        "--stages",
-        default="anonymize,pseudonymize,scrub,seal",
-        help=(
-            "comma-separated subset of "
-            "anonymize,pseudonymize,scrub,seal"
-        ),
-    )
-    pipeline.add_argument(
-        "--audit-log",
-        default=None,
-        metavar="PATH",
-        help=(
-            "record a tamper-evident audit trail to this JSONL file "
-            "and add an observability section to the JSON output"
-        ),
-    )
-    pipeline.add_argument(
-        "--profile",
-        default=None,
-        metavar="PATH",
-        help=(
-            "sample the run with the profiler and write collapsed "
-            "flamegraph stacks to this file (view with 'obs top')"
-        ),
-    )
-
-    bibliography = sub.add_parser(
-        "bibliography", help="list or search the references"
-    )
-    bibliography.add_argument("--search", default="")
-
-    similarity = sub.add_parser(
-        "similarity", help="paper-similarity structure of Table 1"
-    )
-    similarity.add_argument(
-        "--threshold", type=float, default=0.6
-    )
-
-    simulate_reb = sub.add_parser(
-        "simulate-reb",
-        help="queue simulation of a year of REB submissions",
-    )
-    simulate_reb.add_argument(
-        "--board", choices=("ictr", "medical"), default="ictr"
-    )
-    simulate_reb.add_argument(
-        "--policy",
-        choices=("risk-based", "human-subjects"),
-        default="risk-based",
-    )
-    simulate_reb.add_argument("--seed", type=int, default=0)
-    simulate_reb.add_argument(
-        "--audit-log",
-        default=None,
-        metavar="PATH",
-        help=(
-            "record every triage and decision as a tamper-evident "
-            "JSONL audit trail"
-        ),
-    )
-
-    audit = sub.add_parser(
-        "audit",
-        help="inspect and verify tamper-evident audit logs",
-    )
-    audit_sub = audit.add_subparsers(
-        dest="audit_command", required=True
-    )
-    audit_verify = audit_sub.add_parser(
-        "verify",
-        help="walk the hash chain and localize any corruption",
-    )
-    audit_verify.add_argument("log", help="path to a JSONL audit log")
-    audit_verify.add_argument(
-        "--expect-length",
-        type=int,
-        default=None,
-        help=(
-            "event count recorded out of band; makes tail "
-            "truncation detectable"
-        ),
-    )
-    audit_verify.add_argument(
-        "--expect-tail",
-        default=None,
-        metavar="DIGEST",
-        help=(
-            "tail digest recorded out of band; detects truncation "
-            "and whole-log rewrites"
-        ),
-    )
-    audit_tail = audit_sub.add_parser(
-        "tail", help="print the last events of an audit log"
-    )
-    audit_tail.add_argument("log", help="path to a JSONL audit log")
-    audit_tail.add_argument("--count", type=int, default=10)
-    audit_report = audit_sub.add_parser(
-        "report",
-        help=(
-            "event counts by category/action plus the chain anchors "
-            "(length and tail digest) to record out of band"
-        ),
-    )
-    audit_report.add_argument("log", help="path to a JSONL audit log")
-    audit_report.add_argument("--json", action="store_true")
-
-    obs = sub.add_parser(
-        "obs",
-        help=(
-            "telemetry egress: metric exporters, sampling profiler "
-            "and profile views"
-        ),
-    )
-    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
-    obs_export = obs_sub.add_parser(
-        "export",
-        help=(
-            "derive metrics from an audit log and render them as "
-            "Prometheus text or OTLP-style JSON (clock-free, so "
-            "same-seed runs export identical bytes)"
-        ),
-    )
-    obs_export.add_argument("log", help="path to a JSONL audit log")
-    obs_export.add_argument(
-        "--format",
-        choices=("prometheus", "otlp"),
-        default="prometheus",
-    )
-    obs_profile = obs_sub.add_parser(
-        "profile",
-        help=(
-            "run the demo safeguard pipeline under the sampling "
-            "profiler and print a JSON summary"
-        ),
-    )
-    obs_profile.add_argument(
-        "--dataset", choices=("booter", "passwords"), default="booter"
-    )
-    obs_profile.add_argument("--users", type=int, default=300)
-    obs_profile.add_argument("--days", type=int, default=30)
-    obs_profile.add_argument("--seed", type=int, default=0)
-    obs_profile.add_argument(
-        "--interval",
-        type=float,
-        default=0.002,
-        help="seconds between stack samples",
-    )
-    obs_profile.add_argument(
-        "--call-counts",
-        action="store_true",
-        help=(
-            "also count function entries exactly via a "
-            "sys.setprofile hook (slower, precise)"
-        ),
-    )
-    obs_profile.add_argument(
-        "--out",
-        default=None,
-        metavar="PATH",
-        help="write collapsed flamegraph stacks to this file",
-    )
-    obs_top = obs_sub.add_parser(
-        "top",
-        help="hottest frames of a saved collapsed-stack profile",
-    )
-    obs_top.add_argument(
-        "profile", help="path to a collapsed-stack profile file"
-    )
-    obs_top.add_argument("--limit", type=int, default=15)
-
-    evidence = sub.add_parser(
-        "evidence",
-        help="show the §4 quotes grounding one Table 1 coding",
-    )
-    evidence.add_argument("entry_id")
-
-    sub.add_parser(
-        "intervals",
-        # argparse %-interpolates help strings, so the literal
-        # percent sign must be doubled or --help raises TypeError.
-        help="Wilson 95%% intervals for the §5 proportions",
-    )
+    groups: dict[str, argparse._SubParsersAction] = {}
+    for operation in registry:
+        if "." in operation.name:
+            group, leaf = operation.name.split(".", 1)
+            if group not in groups:
+                group_parser = sub.add_parser(
+                    group, help=registry.group_help(group)
+                )
+                groups[group] = group_parser.add_subparsers(
+                    dest=f"{group}_command", required=True
+                )
+            child = groups[group].add_parser(
+                leaf, help=operation.help
+            )
+        else:
+            child = sub.add_parser(
+                operation.name, help=operation.help
+            )
+        _attach(child, operation)
     return parser
-
-
-def _cmd_table1(args) -> int:
-    from ..tables import render_table1
-
-    print(render_table1(table1_corpus(), args.format))
-    return 0
-
-
-def _cmd_stats(_args) -> int:
-    from ..analysis import section5_statistics
-
-    stats = section5_statistics(table1_corpus())
-    print(f"entries: {stats.total_entries} (papers: {stats.total_papers})")
-    print(
-        f"REB: {stats.reb_approved} approved, {stats.reb_exempt} "
-        f"exempt, {stats.reb_not_mentioned} not mentioned, "
-        f"{stats.reb_not_applicable} n/a"
-    )
-    print(f"ethics sections: {stats.ethics_sections}/{stats.total_papers}")
-    print(f"safeguards: {stats.safeguard_counts}")
-    print(f"harms: {stats.harm_counts}")
-    print(f"benefits: {stats.benefit_counts}")
-    print(f"justifications: {stats.justification_counts}")
-    return 0
-
-
-def _cmd_verify(_args) -> int:
-    from ..reporting import run_reproduction
-    from ..staticcheck import lint_repo, summarize, unsuppressed
-
-    outcomes = run_reproduction(table1_corpus())
-    failed = 0
-    for outcome in outcomes:
-        mark = "OK " if outcome.passed else "FAIL"
-        print(
-            f"[{mark}] {outcome.experiment_id}: "
-            f"{outcome.description} — {outcome.measured}"
-        )
-        if not outcome.passed:
-            failed += 1
-    findings = lint_repo()
-    failing = unsuppressed(findings)
-    mark = "FAIL" if failing else "OK "
-    print(
-        f"[{mark}] SC: static policy lint (R1-R6 + baseline) — "
-        f"{summarize(findings)}"
-    )
-    for finding in failing:
-        print(f"       {finding.describe()}")
-    if failing:
-        failed += 1
-    total = len(outcomes) + 1
-    print(f"{total - failed}/{total} checks passed")
-    return 1 if failed else 0
-
-
-def _cmd_lint(args) -> int:
-    from ..staticcheck import (
-        LintEngine,
-        default_registry,
-        lint_repo,
-        render_json,
-        render_text,
-        unsuppressed,
-    )
-
-    select = tuple(
-        part.strip() for part in args.select.split(",") if part.strip()
-    )
-    if args.path is not None:
-        registry = default_registry()
-        if select:
-            registry = registry.select(select)
-        findings = LintEngine(registry).lint_package(args.path)
-    else:
-        findings = lint_repo(select)
-    if args.format == "json":
-        output = render_json(findings)
-        if output:
-            print(output)
-    else:
-        print(render_text(findings))
-    return 1 if unsuppressed(findings) else 0
-
-
-def _cmd_report(_args) -> int:
-    from ..reporting import render_report
-
-    print(render_report(table1_corpus()))
-    return 0
-
-
-def _cmd_legend(_args) -> int:
-    from ..tables import build_table1_layout, render_legend_text
-
-    print(render_legend_text(build_table1_layout(table1_corpus())))
-    return 0
-
-
-def _cmd_simulate(args) -> int:
-    seed = args.seed
-    if args.kind == "passwords":
-        from ..datasets import PasswordDumpGenerator
-
-        dump = PasswordDumpGenerator(seed).generate(users=1000)
-        top = dump.frequency().most_common(5)
-        print(f"password dump: {len(dump)} accounts; top: {top}")
-    elif args.kind == "booter":
-        from ..datasets import BooterDatabaseGenerator
-
-        db = BooterDatabaseGenerator(seed).generate()
-        print(
-            f"booter db: {len(db.users)} users, {len(db.attacks)} "
-            f"attacks on {db.distinct_targets()} targets, revenue "
-            f"${db.revenue():.2f}"
-        )
-    elif args.kind == "forum":
-        from ..datasets import ForumGenerator
-
-        forum = ForumGenerator(seed).generate()
-        print(
-            f"forum: {len(forum.members)} members, "
-            f"{len(forum.posts)} posts, "
-            f"{forum.illicit_share():.0%} illicit threads"
-        )
-    elif args.kind == "offshore":
-        from ..datasets import OffshoreLeakGenerator
-
-        leak = OffshoreLeakGenerator(seed).generate()
-        print(
-            f"offshore leak: {len(leak.entities)} entities, "
-            f"{len(leak.officers)} officers, "
-            f"{len(leak.public_figures())} public figures"
-        )
-    elif args.kind == "classified":
-        from ..datasets import ClassifiedCorpusGenerator
-
-        corpus = ClassifiedCorpusGenerator(seed).generate()
-        print(
-            f"classified corpus: {len(corpus)} cables, "
-            f"{corpus.classified_fraction():.0%} classified, "
-            f"mix {corpus.by_classification()}"
-        )
-    else:
-        from ..datasets import ScanGenerator
-
-        scan = ScanGenerator(seed).generate()
-        print(
-            f"scan: {len(scan.records)} probes, port-80 open rate "
-            f"{scan.open_rate(80):.2f} (artefacts "
-            f"{scan.artefact_rate(80):.0%}), "
-            f"{len(scan.botnet_sources())} bot sources visible"
-        )
-    return 0
-
-
-def _demo_stages_and_source(
-    dataset: str,
-    seed: int,
-    users: int,
-    days: int,
-    chunk_size: int,
-    stage_names: tuple[str, ...],
-):
-    """The seeded demo workload shared by ``pipeline`` and ``obs``.
-
-    Demo keys are derived from the seed so runs are reproducible; a
-    real deployment supplies independent secrets per safeguard.
-    """
-    import hashlib
-
-    from ..pipeline import default_stages
-
-    seed_tag = f"repro-pipeline-demo\x00{seed}".encode("utf-8")
-    stages = default_stages(
-        anonymize_key=hashlib.sha256(seed_tag + b"\x00anon").digest(),
-        pseudonymize_key=hashlib.sha256(
-            seed_tag + b"\x00pseudonym"
-        ).digest(),
-        seal_passphrase=f"repro-pipeline-demo-{seed}",
-        names=stage_names,
-    )
-    if dataset == "booter":
-        from ..datasets import BooterDatabaseGenerator
-
-        source = BooterDatabaseGenerator(seed).iter_records(
-            chunk_size=chunk_size, users=users, days=days
-        )
-    else:
-        from ..datasets import PasswordDumpGenerator
-
-        source = PasswordDumpGenerator(seed).iter_records(
-            chunk_size=chunk_size, users=users
-        )
-    return stages, source
-
-
-def _cmd_pipeline(args) -> int:
-    from ..pipeline import SafeguardPipeline
-
-    names = tuple(
-        part.strip() for part in args.stages.split(",") if part.strip()
-    )
-    stages, source = _demo_stages_and_source(
-        args.dataset,
-        args.seed,
-        args.users,
-        args.days,
-        args.chunk_size,
-        names,
-    )
-    pipeline = SafeguardPipeline(
-        stages, workers=args.workers, chunk_size=args.chunk_size
-    )
-    if args.audit_log is None and args.profile is None:
-        print(pipeline.run(source).metrics_json())
-        return 0
-
-    import json
-    from pathlib import Path
-
-    from ..observability import (
-        MetricsRegistry,
-        Observer,
-        SamplingProfiler,
-        Tracer,
-        observed,
-    )
-
-    if args.audit_log is not None:
-        observer = Observer.recording(args.audit_log)
-    else:
-        # --profile without --audit-log still needs a live observer
-        # (the profiler obeys the master switch and reads the active
-        # span from the tracer); record in memory, chain nothing.
-        registry = MetricsRegistry()
-        observer = Observer(metrics=registry, tracer=Tracer(registry))
-    profiler = (
-        SamplingProfiler() if args.profile is not None else None
-    )
-    with observed(observer):
-        if profiler is not None:
-            with profiler:
-                result = pipeline.run(source)
-        else:
-            result = pipeline.run(source)
-    output = dict(result.metrics)
-    if args.audit_log is not None:
-        observer.trail.close()
-        verification = observer.trail.verify()
-        output["observability"] = {
-            "audit_log": str(observer.trail.path),
-            "audit_events": len(observer.trail),
-            "tail_digest": observer.trail.tail_digest,
-            "chain_intact": verification.ok,
-            "spans": observer.tracer.summary(),
-            "metrics": observer.metrics.snapshot(),
-        }
-    if profiler is not None:
-        Path(args.profile).write_text(
-            profiler.collapsed(), encoding="utf-8"
-        )
-        output["profile"] = {
-            "path": args.profile,
-            "samples": profiler.sample_count,
-            "spans": profiler.summary()["spans"],
-        }
-    print(json.dumps(output, indent=2, sort_keys=True))
-    return 0
-
-
-def _cmd_obs(args) -> int:
-    import json
-    from pathlib import Path
-
-    if args.obs_command == "export":
-        from ..observability import (
-            load_events,
-            registry_from_events,
-            render_otlp,
-            render_prometheus,
-        )
-
-        registry = registry_from_events(load_events(args.log))
-        if args.format == "prometheus":
-            sys.stdout.write(render_prometheus(registry.snapshot()))
-        else:
-            print(render_otlp(registry.snapshot()))
-        return 0
-
-    if args.obs_command == "top":
-        from ..errors import SafeguardError
-        from ..observability import top_collapsed
-
-        try:
-            text = Path(args.profile).read_text(encoding="utf-8")
-        except OSError as exc:
-            raise SafeguardError(
-                f"cannot read profile {args.profile!r}: {exc}"
-            ) from exc
-        rows = top_collapsed(text, args.limit)
-        if not rows:
-            print("no samples")
-            return 0
-        width = max(len(str(count)) for _, count in rows)
-        for frame, count in rows:
-            print(f"{count:>{width}} {frame}")
-        return 0
-
-    from ..observability import (
-        MetricsRegistry,
-        Observer,
-        SamplingProfiler,
-        Tracer,
-        observed,
-    )
-    from ..pipeline import STAGE_NAMES, SafeguardPipeline
-
-    stages, source = _demo_stages_and_source(
-        args.dataset, args.seed, args.users, args.days, 1024, STAGE_NAMES
-    )
-    registry = MetricsRegistry()
-    observer = Observer(metrics=registry, tracer=Tracer(registry))
-    profiler = SamplingProfiler(
-        args.interval, call_counts=args.call_counts
-    )
-    with observed(observer), profiler:
-        SafeguardPipeline(stages).run(source)
-    summary = profiler.summary()
-    if args.out is not None:
-        Path(args.out).write_text(
-            profiler.collapsed(), encoding="utf-8"
-        )
-        summary["out"] = args.out
-    print(json.dumps(summary, indent=2, sort_keys=True))
-    return 0
-
-
-def _cmd_bibliography(args) -> int:
-    from ..bibliography import paper_bibliography
-
-    bibliography = paper_bibliography()
-    references = (
-        bibliography.search(args.search)
-        if args.search
-        else tuple(bibliography)
-    )
-    for reference in references:
-        print(reference.format())
-    print(f"{len(references)} references")
-    return 0
-
-
-def _cmd_similarity(args) -> int:
-    from ..analysis import SimilarityAnalysis
-
-    analysis = SimilarityAnalysis(table1_corpus())
-    clusters = analysis.clusters(threshold=args.threshold)
-    print(
-        f"{len(clusters)} clusters at threshold {args.threshold}"
-    )
-    for index, cluster in enumerate(clusters, start=1):
-        members = ", ".join(sorted(cluster))
-        print(f"  cluster {index} ({len(cluster)}): {members}")
-    cohesion = analysis.category_cohesion()
-    print("category cohesion:")
-    for category, value in cohesion.items():
-        print(f"  {category}: {value:.2f}")
-    print(f"category separation: {analysis.separation():.3f}")
-    return 0
-
-
-def _cmd_simulate_reb(args) -> int:
-    from ..reb import (
-        TriggerPolicy,
-        ictr_board,
-        medical_style_board,
-        simulate_reb_year,
-    )
-
-    board = (
-        ictr_board() if args.board == "ictr" else medical_style_board()
-    )
-    policy = (
-        TriggerPolicy.RISK_BASED
-        if args.policy == "risk-based"
-        else TriggerPolicy.HUMAN_SUBJECTS
-    )
-    if args.audit_log is None:
-        result = simulate_reb_year(board, policy, seed=args.seed)
-        print(f"board: {board.name}; policy: {policy.value}")
-        print(result.describe())
-        return 0
-
-    from ..observability import Observer, observed
-
-    observer = Observer.recording(args.audit_log)
-    with observed(observer):
-        result = simulate_reb_year(board, policy, seed=args.seed)
-    observer.trail.close()
-    print(f"board: {board.name}; policy: {policy.value}")
-    print(result.describe())
-    print(
-        f"audit: {len(observer.trail)} events -> "
-        f"{observer.trail.path} ({observer.trail.verify().describe()})"
-    )
-    return 0
-
-
-def _cmd_evidence(args) -> int:
-    from ..corpus import evidence_for
-
-    corpus = table1_corpus()
-    entry = corpus[args.entry_id]
-    evidence = evidence_for(args.entry_id)
-    print(f"{entry.source_label} [{entry.reference}] — §{evidence.section}")
-    print(f"summary: {entry.summary}")
-    print("grounding quotes:")
-    for quote in evidence.quotes:
-        print(f'  "{quote}"')
-    return 0
-
-
-def _cmd_audit(args) -> int:
-    import json
-
-    from ..errors import SafeguardError
-    from ..observability import load_events, verify_events, verify_jsonl
-
-    try:
-        if args.audit_command == "verify":
-            verification = verify_jsonl(
-                args.log,
-                expected_length=args.expect_length,
-                expected_tail_digest=args.expect_tail,
-            )
-            print(verification.describe())
-            return 0 if verification.ok else 1
-        events = load_events(args.log)
-    except SafeguardError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    if args.audit_command == "tail":
-        for event in events[-args.count:]:
-            subject = f" {event.subject}" if event.subject else ""
-            detail = json.dumps(event.detail, sort_keys=True)
-            print(
-                f"#{event.sequence} {event.category}/{event.action}"
-                f"{subject} {detail}"
-            )
-        return 0
-    verification = verify_events(events)
-    actions: dict[str, int] = {}
-    categories: dict[str, int] = {}
-    for event in events:
-        categories[event.category] = (
-            categories.get(event.category, 0) + 1
-        )
-        key = f"{event.category}/{event.action}"
-        actions[key] = actions.get(key, 0) + 1
-    report = {
-        "events": len(events),
-        "intact": verification.ok,
-        "tail_digest": verification.tail_digest,
-        "categories": dict(sorted(categories.items())),
-        "actions": dict(sorted(actions.items())),
-    }
-    if not verification.ok:
-        report["error_index"] = verification.error_index
-        report["reason"] = verification.reason
-    if args.json:
-        print(json.dumps(report, indent=2, sort_keys=True))
-        return 0 if verification.ok else 1
-    print(f"events: {report['events']}")
-    print(f"intact: {report['intact']}")
-    print(f"tail digest: {report['tail_digest']}")
-    for name, count in report["actions"].items():
-        print(f"  {name}: {count}")
-    if not verification.ok:
-        print(
-            f"first corrupt record: {verification.error_index} "
-            f"({verification.reason})"
-        )
-    return 0 if verification.ok else 1
-
-
-def _cmd_intervals(_args) -> int:
-    from ..analysis import required_sample_size, section5_intervals
-
-    for estimate in section5_intervals(table1_corpus()):
-        print(estimate.describe())
-    needed = required_sample_size(margin=0.05)
-    print(
-        f"papers needed for a ±5% margin: {needed} "
-        "(the 'large representative sample' of §5.5)"
-    )
-    return 0
-
-
-_COMMANDS = {
-    "table1": _cmd_table1,
-    "stats": _cmd_stats,
-    "verify": _cmd_verify,
-    "report": _cmd_report,
-    "lint": _cmd_lint,
-    "legend": _cmd_legend,
-    "simulate": _cmd_simulate,
-    "pipeline": _cmd_pipeline,
-    "bibliography": _cmd_bibliography,
-    "similarity": _cmd_similarity,
-    "simulate-reb": _cmd_simulate_reb,
-    "audit": _cmd_audit,
-    "obs": _cmd_obs,
-    "evidence": _cmd_evidence,
-    "intervals": _cmd_intervals,
-}
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status.
 
-    :class:`~repro.errors.SafeguardError` (including pipeline
-    :class:`~repro.pipeline.StageFailure`) surfaces as one ``error:``
-    line on stderr and exit status 1, not a traceback.
+    Every :class:`~repro.errors.ReproError` subclass — safeguard,
+    legal, assessment, REB, corpus, operation-layer — surfaces as
+    one ``error:`` line on stderr with the exit code the kernel's
+    failure table assigns, never a traceback.
     """
-    from ..errors import SafeguardError
-
     args = build_parser().parse_args(argv)
+    registry = default_registry()
+    operation = registry.get(args._operation)
+    values = {
+        arg.dest: getattr(args, arg.dest) for arg in operation.args
+    }
+    context = RunContext(cache=ResultCache())
     try:
-        return _COMMANDS[args.command](args)
-    except SafeguardError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        response = execute(operation, values, context=context)
+    except ReproError as exc:
+        message, code = describe_failure(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return code
+    if response.text:
+        sys.stdout.write(response.text)
+    return response.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -116,3 +116,11 @@ class ReportingError(ReproError):
 
 class StaticCheckError(ReproError):
     """The static policy linter could not analyse a source file."""
+
+
+class OperationError(ReproError):
+    """An operation request is malformed (unknown op, bad arguments)."""
+
+
+class BatchError(OperationError):
+    """A batch request file is malformed or cannot be read."""

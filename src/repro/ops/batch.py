@@ -1,0 +1,406 @@
+"""The batch executor: a JSONL stream of requests through the kernel.
+
+``repro-ethics batch requests.jsonl --workers 4`` reads one JSON
+object per line (``{"op": "table1", "args": {"format": "csv"}}``),
+fans the requests out over a process pool, and emits one compact
+JSON response line per request **in input order** — byte-identical
+for any worker count, by the same ordered-drain discipline the
+safeguard pipeline uses. Each response line carries the operation's
+structured payload plus the exact stdout the equivalent subcommand
+would have produced, so a batch run is a verifiable transcript of
+serial CLI invocations.
+
+Observability mirrors the pipeline's cross-process design: when the
+coordinator runs an enabled observer, each worker request executes
+under a :class:`~repro.observability.worker.TelemetryShard` whose
+captured events (``ops/request-started``, ``ops/request-completed``
+or ``ops/request-failed``) replay into the coordinator's single-
+writer chain in submission order. Worker processes keep a persistent
+:class:`~repro.ops.context.RunContext` with a result cache, so
+repeated pure requests in one batch are served content-addressed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import deque
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..errors import BatchError, ReproError
+from ..observability import audit_event, get_observer
+from ..observability.worker import (
+    TelemetryShard,
+    WorkerTelemetry,
+    replay_shard,
+)
+from .cache import ResultCache
+from .context import RunContext
+from .failures import describe_failure
+from .kernel import execute
+from .spec import Arg, Operation, OpResponse, emit_jsonl
+
+__all__ = [
+    "BatchExecutor",
+    "BatchRequest",
+    "BatchResult",
+    "batch_operation",
+    "load_requests",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchRequest:
+    """One parsed line of a batch request file."""
+
+    index: int
+    op: str
+    args: dict
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Everything a batch run produced: ordered lines + summary."""
+
+    lines: tuple[dict, ...]
+    summary: dict
+
+    def text(self) -> str:
+        """The JSONL transcript (one compact line per request)."""
+        return "".join(
+            emit_jsonl(line) + "\n" for line in self.lines
+        )
+
+
+def load_requests(path: str | Path) -> tuple[BatchRequest, ...]:
+    """Parse a JSONL request file; blank lines are skipped.
+
+    Every line must be a JSON object with an ``op`` string and an
+    optional ``args`` object; anything else raises
+    :class:`~repro.errors.BatchError` naming the offending line.
+    """
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BatchError(
+            f"cannot read batch file {str(path)!r}: {exc}"
+        ) from exc
+    requests: list[BatchRequest] = []
+    for number, line in enumerate(raw.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            body = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise BatchError(
+                f"{path}:{number}: invalid JSON: {exc}"
+            ) from exc
+        if not isinstance(body, dict) or not isinstance(
+            body.get("op"), str
+        ):
+            raise BatchError(
+                f"{path}:{number}: each request needs an 'op' string"
+            )
+        args = body.get("args", {})
+        if not isinstance(args, dict):
+            raise BatchError(
+                f"{path}:{number}: 'args' must be an object"
+            )
+        unknown = set(body) - {"op", "args"}
+        if unknown:
+            raise BatchError(
+                f"{path}:{number}: unknown request keys "
+                f"{sorted(unknown)}"
+            )
+        requests.append(
+            BatchRequest(
+                index=len(requests), op=body["op"], args=args
+            )
+        )
+    return tuple(requests)
+
+
+def _run_one(
+    index: int, name: str, values: dict, ctx: RunContext
+) -> dict:
+    """Execute one request; domain failures become failed lines.
+
+    Emits the per-request audit bracket around the kernel call —
+    captured by the worker shard in parallel mode, chained inline in
+    serial mode — and never lets a :class:`ReproError` escape: the
+    failure maps through the kernel's error table into the line body,
+    so one bad request cannot abort the batch.
+    """
+    audit_event("ops", "request-started", subject=name, index=index)
+    try:
+        operation_check(name)
+        response = execute(name, values, context=ctx)
+    except ReproError as exc:
+        message, code = describe_failure(exc)
+        audit_event(
+            "ops",
+            "request-failed",
+            subject=name,
+            index=index,
+            error=message,
+        )
+        return {
+            "error": message,
+            "error_type": type(exc).__name__,
+            "exit_code": code,
+            "index": index,
+            "ok": False,
+            "op": name,
+        }
+    audit_event(
+        "ops",
+        "request-completed",
+        subject=name,
+        index=index,
+        exit_code=response.exit_code,
+    )
+    return {
+        "exit_code": response.exit_code,
+        "index": index,
+        "ok": response.exit_code == 0,
+        "op": name,
+        "output": response.text,
+        "payload": dict(response.payload),
+    }
+
+
+def operation_check(name: str) -> None:
+    """Reject operations the batch surface does not admit."""
+    from .catalog import default_registry
+
+    operation = default_registry().get(name)
+    if not operation.batchable:
+        raise BatchError(
+            f"operation {operation.name!r} is not batchable"
+        )
+
+
+#: Worker-process persistent contexts, keyed by cache enablement.
+_WORKER_CONTEXTS: dict[bool, RunContext] = {}
+
+
+def _worker_context(use_cache: bool) -> RunContext:
+    """The process-local persistent context for batch workers."""
+    ctx = _WORKER_CONTEXTS.get(use_cache)
+    if ctx is None:
+        ctx = RunContext(
+            cache=ResultCache() if use_cache else None
+        )
+        _WORKER_CONTEXTS[use_cache] = ctx
+    return ctx
+
+
+def _pool_execute(
+    index: int,
+    name: str,
+    values: dict,
+    telemetry: bool,
+    use_cache: bool,
+) -> tuple[dict, WorkerTelemetry | None]:
+    """Worker-side entry point (top-level so it pickles).
+
+    With *telemetry* (the coordinator observes), the request runs
+    under a :class:`TelemetryShard` capture observer and ships its
+    shard back for in-order replay; otherwise the worker keeps its
+    disabled default observer and ships ``None``.
+    """
+    ctx = _worker_context(use_cache)
+    if not telemetry:
+        return _run_one(index, name, values, ctx), None
+    with TelemetryShard() as shard:
+        line = _run_one(index, name, values, ctx)
+    return line, shard.telemetry()
+
+
+class BatchExecutor:
+    """Streams batch requests through the kernel, in input order.
+
+    ``workers=1`` executes inline under the installed observer;
+    more workers fan requests out to a process pool whose results —
+    and telemetry shards — drain strictly in submission order, so
+    the JSONL transcript and the audit-chain content are invariant
+    under the worker count.
+    """
+
+    def __init__(
+        self, *, workers: int = 1, use_cache: bool = True
+    ) -> None:
+        if workers < 1:
+            raise BatchError("workers must be at least 1")
+        self.workers = workers
+        self.use_cache = use_cache
+
+    def run(
+        self, requests: Sequence[BatchRequest]
+    ) -> BatchResult:
+        """Execute *requests*; returns ordered lines and a summary."""
+        audit_event(
+            "ops",
+            "batch-started",
+            requests=len(requests),
+            workers=self.workers,
+        )
+        if self.workers == 1:
+            ctx = RunContext(
+                cache=ResultCache() if self.use_cache else None
+            )
+            lines = tuple(
+                _run_one(request.index, request.op, request.args, ctx)
+                for request in requests
+            )
+            cache_stats = (
+                ctx.cache.stats() if ctx.cache is not None else None
+            )
+        else:
+            lines = self._run_parallel(requests)
+            cache_stats = None
+        ok = sum(1 for line in lines if line["ok"])
+        audit_event(
+            "ops",
+            "batch-finished",
+            requests=len(requests),
+            ok=ok,
+            failed=len(lines) - ok,
+        )
+        summary = {
+            "cache": {
+                "enabled": self.use_cache,
+                "scope": (
+                    "run" if self.workers == 1 else "per-worker"
+                ),
+            },
+            "failed": len(lines) - ok,
+            "ok": ok,
+            "requests": len(requests),
+            "workers": self.workers,
+        }
+        if cache_stats is not None:
+            summary["cache"].update(cache_stats)
+        return BatchResult(lines=lines, summary=summary)
+
+    def _run_parallel(
+        self, requests: Sequence[BatchRequest]
+    ) -> tuple[dict, ...]:
+        """Process-pool fan-out with strict submission-order drain."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        telemetry = get_observer().enabled
+        window = self.workers * 4
+        lines: list[dict] = []
+        with ProcessPoolExecutor(
+            max_workers=self.workers
+        ) as pool:
+            pending: deque = deque()
+
+            def drain_one() -> None:
+                line, shard = pending.popleft().result()
+                if shard is not None:
+                    replay_shard(shard)
+                lines.append(line)
+
+            for request in requests:
+                pending.append(
+                    pool.submit(
+                        _pool_execute,
+                        request.index,
+                        request.op,
+                        request.args,
+                        telemetry,
+                        self.use_cache,
+                    )
+                )
+                if len(pending) >= window:
+                    drain_one()
+            while pending:
+                drain_one()
+        return tuple(lines)
+
+
+def _run_batch(request: dict, ctx: RunContext) -> OpResponse:
+    """The ``batch`` operation handler."""
+    from ..observability import observed
+
+    requests = load_requests(request["requests"])
+    executor = BatchExecutor(
+        workers=request["workers"],
+        use_cache=not request["no_cache"],
+    )
+    observability = None
+    if request["audit_log"] is not None:
+        observer = ctx.make_observer(request["audit_log"])
+        with observed(observer):
+            result = executor.run(requests)
+        observer.trail.close()
+        verification = observer.trail.verify()
+        observability = {
+            "audit_events": len(observer.trail),
+            "audit_log": str(observer.trail.path),
+            "chain_intact": verification.ok,
+            "tail_digest": observer.trail.tail_digest,
+        }
+    else:
+        result = executor.run(requests)
+    payload = dict(result.summary)
+    if observability is not None:
+        payload["observability"] = observability
+    return OpResponse(
+        payload=payload,
+        text=result.text(),
+        exit_code=0 if payload["failed"] == 0 else 1,
+    )
+
+
+def batch_operation() -> Operation:
+    """The registered ``batch`` operation definition."""
+    return Operation(
+        name="batch",
+        help=(
+            "stream a JSONL file of operation requests through the "
+            "service kernel and print one response line per request"
+        ),
+        handler=_run_batch,
+        args=(
+            Arg(
+                "requests",
+                required=True,
+                help=(
+                    "path to a JSONL file; each line is "
+                    '{"op": NAME, "args": {...}}'
+                ),
+            ),
+            Arg(
+                "--workers",
+                kind=int,
+                default=1,
+                help=(
+                    "process-pool size; responses are byte-identical "
+                    "for any value"
+                ),
+            ),
+            Arg(
+                "--audit-log",
+                default=None,
+                metavar="PATH",
+                help=(
+                    "record per-request audit events as a tamper-"
+                    "evident JSONL trail (merged in input order from "
+                    "worker telemetry shards)"
+                ),
+            ),
+            Arg(
+                "--no-cache",
+                flag=True,
+                help=(
+                    "disable the content-addressed result cache for "
+                    "pure operations"
+                ),
+            ),
+        ),
+        batchable=False,
+    )

@@ -1,0 +1,92 @@
+"""The per-run execution context every operation handler receives.
+
+Before the kernel existed, each CLI branch re-plumbed the same
+ambient state by hand: the Table 1 corpus was re-materialised per
+command, observers were constructed inline, and there was nowhere to
+hang cross-request state like a result cache. :class:`RunContext`
+threads all of it explicitly:
+
+* a **memoised corpus** (and its content digest, the cache key
+  ingredient for pure operations),
+* the **result cache** slot (``None`` disables caching),
+* an **observer factory** so handlers that record audit trails get
+  them from the context instead of reaching into
+  ``repro.observability`` themselves,
+* the **default seed** for simulation-flavoured operations — the
+  clock-free configuration knob; nothing in a context reads the
+  clock or global RNG state.
+
+Contexts are cheap: one per CLI invocation, one per batch worker
+process (where the memoised corpus and cache amortise across every
+request the worker serves).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Shared state for one run of one or many operations."""
+
+    __slots__ = ("cache", "default_seed", "_corpus", "_digest")
+
+    def __init__(self, *, cache=None, default_seed: int = 0) -> None:
+        self.cache = cache
+        self.default_seed = default_seed
+        self._corpus = None
+        self._digest: str | None = None
+
+    def corpus(self):
+        """The Table 1 corpus, materialised once per context."""
+        if self._corpus is None:
+            from .. import table1_corpus
+
+            self._corpus = table1_corpus()
+        return self._corpus
+
+    def corpus_digest(self) -> str:
+        """Content digest of codebook + corpus (the purity key).
+
+        BLAKE2b-128 over the codebook identity (name and dimension
+        ids) and the full corpus serialisation — any change to the
+        coded data or its schema changes the digest, invalidating
+        every cached pure result.
+        """
+        if self._digest is None:
+            corpus = self.corpus()
+            codebook = corpus.codebook
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(codebook.name.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(
+                ",".join(codebook.dimension_ids).encode("utf-8")
+            )
+            hasher.update(b"\x00")
+            hasher.update(corpus.to_json(indent=None).encode("utf-8"))
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    def make_observer(self, audit_log=None):
+        """A fully enabled observer, persisting to *audit_log* if given.
+
+        Handlers that record go through the context so a future
+        server adapter can swap in pooled or pre-configured
+        observers without touching operation code.
+        """
+        from ..observability import Observer
+
+        return Observer.recording(audit_log)
+
+    def make_metrics_observer(self):
+        """A live observer with metrics and tracing but no trail.
+
+        For operations (the profiler paths) that need the master
+        switch on without recording or chaining any audit events.
+        """
+        from ..observability import MetricsRegistry, Observer, Tracer
+
+        registry = MetricsRegistry()
+        return Observer(metrics=registry, tracer=Tracer(registry))

@@ -1,0 +1,69 @@
+"""The kernel's single domain-error → exit-code mapping.
+
+PR 4 gave ``SafeguardError`` a clean ``error:`` line and exit 1; this
+table extends that contract to **every** domain error — legal,
+assessment, REB, corpus, codebook, staticcheck, operation-layer — so
+no subcommand (or batch request) can leak a raw traceback. Adapters
+ask :func:`describe_failure` for the presentation of an exception and
+never encode exit codes themselves; adding a subsystem means adding
+one table row, not auditing every entry point.
+
+The mapping is ordered most-specific-first and resolved by
+``isinstance``, so subclass refinements (e.g. a future
+``AccessDeniedError`` → distinct code) slot in above their base
+without touching callers.
+"""
+
+from __future__ import annotations
+
+from .. import errors
+
+__all__ = ["EXIT_FAILURE", "EXIT_USAGE", "describe_failure", "failure_table"]
+
+#: Exit status for a domain failure (the historical SafeguardError code).
+EXIT_FAILURE = 1
+#: Exit status for a malformed request (unknown op, bad argument).
+EXIT_USAGE = 2
+
+#: Ordered (error class, exit code) rows, most specific first.
+_TABLE: tuple[tuple[type[BaseException], int], ...] = (
+    (errors.BatchError, EXIT_USAGE),
+    (errors.OperationError, EXIT_USAGE),
+    (errors.SafeguardError, EXIT_FAILURE),
+    (errors.LegalModelError, EXIT_FAILURE),
+    (errors.EthicsModelError, EXIT_FAILURE),
+    (errors.AssessmentError, EXIT_FAILURE),
+    (errors.REBError, EXIT_FAILURE),
+    (errors.CorpusError, EXIT_FAILURE),
+    (errors.CodebookError, EXIT_FAILURE),
+    (errors.CodingError, EXIT_FAILURE),
+    (errors.BibliographyError, EXIT_FAILURE),
+    (errors.AnalysisError, EXIT_FAILURE),
+    (errors.RenderError, EXIT_FAILURE),
+    (errors.AnonymizationError, EXIT_FAILURE),
+    (errors.DatasetError, EXIT_FAILURE),
+    (errors.MetricError, EXIT_FAILURE),
+    (errors.ReportingError, EXIT_FAILURE),
+    (errors.StaticCheckError, EXIT_FAILURE),
+    (errors.ReproError, EXIT_FAILURE),
+)
+
+
+def failure_table() -> tuple[tuple[type[BaseException], int], ...]:
+    """The (error class, exit code) rows, most specific first."""
+    return _TABLE
+
+
+def describe_failure(exc: errors.ReproError) -> tuple[str, int]:
+    """The clean ``(message, exit code)`` presentation of *exc*.
+
+    Every :class:`~repro.errors.ReproError` maps to a one-line
+    message and a small exit status; unknown subclasses inherit
+    their nearest ancestor's row (ultimately the ``ReproError``
+    catch-all), so a new domain error is presentable before anyone
+    remembers to register it.
+    """
+    for error_class, code in _TABLE:
+        if isinstance(exc, error_class):
+            return str(exc), code
+    return str(exc), EXIT_FAILURE

@@ -24,7 +24,10 @@ the safeguards the reproduction implements (see
 * **R6** ``telemetry-naming`` — metric/span names at instrument-
   creation sites must be dotted snake_case and audit-event
   category/action lowercase kebab, so the Prometheus/OTLP exporters
-  emit collision-free, grep-friendly identifiers.
+  emit collision-free, grep-friendly identifiers;
+* **R7** ``layering`` — modules under ``cli/`` import repro
+  subsystems only via :mod:`repro.ops`, keeping the CLI a thin
+  adapter over the service kernel.
 
 Run it as ``repro-ethics lint`` (text or JSON output, rule selection
 via ``--select``); ``repro-ethics verify`` includes the same gate.
@@ -47,6 +50,7 @@ from .rules_audit import AuditBoundaryRule
 from .rules_consistency import ConsistencyRule, check_consistency
 from .rules_dataflow import SafeguardBoundaryRule
 from .rules_determinism import DeterminismRule
+from .rules_layering import LayeringRule
 from .rules_naming import TelemetryNamingRule
 from .rules_pii import PIILiteralRule
 
@@ -57,6 +61,7 @@ __all__ = [
     "ConsistencyRule",
     "DeterminismRule",
     "Finding",
+    "LayeringRule",
     "LintEngine",
     "ModuleInfo",
     "PIILiteralRule",

@@ -271,11 +271,12 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The registry with all six shipped rules (R1–R6)."""
+    """The registry with all seven shipped rules (R1–R7)."""
     from .rules_audit import AuditBoundaryRule
     from .rules_consistency import ConsistencyRule
     from .rules_dataflow import SafeguardBoundaryRule
     from .rules_determinism import DeterminismRule
+    from .rules_layering import LayeringRule
     from .rules_naming import TelemetryNamingRule
     from .rules_pii import PIILiteralRule
 
@@ -287,6 +288,7 @@ def default_registry() -> RuleRegistry:
             ConsistencyRule(),
             AuditBoundaryRule(),
             TelemetryNamingRule(),
+            LayeringRule(),
         )
     )
 

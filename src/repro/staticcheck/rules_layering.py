@@ -1,0 +1,113 @@
+"""R7 — layering: CLI modules reach subsystems only via ``repro.ops``.
+
+The service-kernel extraction (:mod:`repro.ops`) holds only if no
+adapter quietly grows its own subsystem wiring back. The CLI is the
+adapter most at risk — every new subcommand is a temptation to import
+``repro.datasets`` or ``repro.pipeline`` directly instead of
+registering an operation — so R7 pins the dependency direction
+statically: modules under ``cli/`` may import from the standard
+library, from ``repro.ops`` and from within ``repro.cli`` itself,
+and from nothing else in the ``repro`` package.
+
+Both absolute (``import repro.datasets``, ``from repro.analysis
+import stats``) and relative (``from ..analysis import stats``)
+forms are resolved against the module's package path and judged the
+same way; a bare ``import repro`` is also flagged, since it exists
+only to reach attributes the layering forbids. The rule ships with
+an empty baseline: the CLI is a thin adapter and must stay one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .engine import Finding, ModuleInfo, Rule
+
+__all__ = ["LayeringRule"]
+
+#: Dotted prefixes a CLI module may import from the repro package.
+_ALLOWED_PREFIXES = ("repro.ops", "repro.cli")
+
+
+def _allowed(dotted: str) -> bool:
+    """Whether a resolved repro-package import respects the layering."""
+    return any(
+        dotted == prefix or dotted.startswith(prefix + ".")
+        for prefix in _ALLOWED_PREFIXES
+    )
+
+
+class LayeringRule(Rule):
+    """Flag CLI imports that bypass the ``repro.ops`` service kernel."""
+
+    id = "R7"
+    name = "layering"
+    description = (
+        "modules under cli/ must import repro subsystems only via "
+        "repro.ops, keeping the CLI a thin adapter over the service "
+        "kernel"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        """Only adapter modules under ``cli/`` are in scope."""
+        return module.relpath.startswith("cli/")
+
+    def visit(
+        self, node: ast.AST, module: ModuleInfo
+    ) -> Iterable[Finding]:
+        """Judge each import statement's resolved dotted targets."""
+        for dotted in self._targets(node, module):
+            if dotted.split(".")[0] != "repro":
+                continue
+            if _allowed(dotted):
+                continue
+            yield Finding(
+                rule_id=self.id,
+                path=module.path,
+                line=node.lineno,
+                message=(
+                    f"cli module imports {dotted!r} directly; route "
+                    f"through the repro.ops service kernel (register "
+                    f"an operation) so the CLI stays a thin adapter"
+                ),
+            )
+
+    @staticmethod
+    def _targets(
+        node: ast.AST, module: ModuleInfo
+    ) -> Iterable[str]:
+        """Resolve one import statement to dotted origin names.
+
+        Relative imports resolve against the module's package path
+        exactly as :meth:`ModuleInfo.import_aliases` does, so
+        ``from ..ops import execute`` in ``cli/main.py`` yields
+        ``repro.ops.execute``.
+        """
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                yield name.name
+            return
+        assert isinstance(node, ast.ImportFrom)
+        if node.level:
+            package_parts = [
+                "repro",
+                *module.relpath.split("/")[:-1],
+            ]
+            base_parts = package_parts[
+                : len(package_parts) - (node.level - 1)
+            ]
+            base = ".".join(
+                base_parts
+                + ([node.module] if node.module else [])
+            )
+        else:
+            base = node.module or ""
+        for name in node.names:
+            if name.name == "*":
+                yield base
+            elif base:
+                yield f"{base}.{name.name}"
+            else:
+                yield name.name

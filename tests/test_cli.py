@@ -159,14 +159,80 @@ class TestCommands:
         assert "§4.3.2" in out
         assert "unethical to do so" in out
 
-    def test_evidence_unknown_entry(self):
-        from repro.errors import UnknownEntryError
-
-        with pytest.raises(UnknownEntryError):
-            main(["evidence", "ghost"])
+    def test_evidence_unknown_entry(self, capsys):
+        assert main(["evidence", "ghost"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+        assert "ghost" in captured.err
 
     def test_intervals(self, capsys):
         assert main(["intervals"]) == 0
         out = capsys.readouterr().out
         assert "ethics sections: 12/28" in out
         assert "385" in out
+
+
+class TestErrorMapping:
+    """Domain errors become one clean stderr line, never a traceback."""
+
+    def test_lint_unknown_rule_exits_one(self, capsys):
+        assert main(["lint", "--select", "R99"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+        assert "R99" in captured.err
+
+    def test_batch_missing_file_exits_usage(self, tmp_path, capsys):
+        missing = tmp_path / "absent.jsonl"
+        assert main(["batch", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read batch file")
+
+
+class TestOpsParity:
+    """CLI stdout is byte-identical to the operation response text.
+
+    The CLI writes ``response.text`` verbatim, so for every
+    subcommand the golden form is the kernel's own response — any
+    drift between adapter and operation is a parity failure here.
+    """
+
+    CASES = [
+        ["table1"],
+        ["table1", "--format", "csv"],
+        ["table1", "--format", "latex"],
+        ["stats"],
+        ["report"],
+        ["legend"],
+        ["lint"],
+        ["lint", "--format", "json"],
+        ["verify"],
+        ["evidence", "patreon"],
+        ["bibliography"],
+        ["bibliography", "--search", "Menlo"],
+        ["similarity", "--threshold", "0.7"],
+        ["intervals"],
+        ["simulate", "booter", "--seed", "5"],
+        ["simulate-reb", "--board", "medical", "--seed", "2"],
+    ]
+
+    @pytest.mark.parametrize(
+        "argv", CASES, ids=lambda argv: " ".join(argv)
+    )
+    def test_cli_matches_operation_response(self, argv, capsys):
+        from repro.ops import execute
+
+        code = main(argv)
+        cli_out = capsys.readouterr().out
+        args = build_parser().parse_args(argv)
+        from repro.ops import default_registry
+
+        operation = default_registry().get(args._operation)
+        values = {
+            arg.dest: getattr(args, arg.dest)
+            for arg in operation.args
+        }
+        response = execute(operation, values)
+        assert cli_out == response.text
+        assert code == response.exit_code

@@ -1,0 +1,256 @@
+"""Unit tests for the repro.ops service kernel (spec, cache, kernel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BatchError,
+    OperationError,
+    SafeguardError,
+    StaticCheckError,
+)
+from repro.ops import (
+    Arg,
+    Operation,
+    OperationRegistry,
+    OpResponse,
+    ResultCache,
+    RunContext,
+    build_request,
+    cache_key,
+    default_registry,
+    describe_failure,
+    emit_json,
+    emit_jsonl,
+    execute,
+    failure_table,
+)
+
+
+def _noop(request, ctx):
+    return OpResponse(payload={}, text="")
+
+
+def _operation(**kwargs) -> Operation:
+    defaults = dict(name="demo", help="demo op", handler=_noop)
+    defaults.update(kwargs)
+    return Operation(**defaults)
+
+
+class TestSerializers:
+    def test_emit_json_is_sorted_and_indented(self):
+        assert emit_json({"b": 1, "a": 2}) == (
+            '{\n  "a": 2,\n  "b": 1\n}'
+        )
+
+    def test_emit_jsonl_is_compact_and_sorted(self):
+        assert emit_jsonl({"b": 1, "a": [2, 3]}) == (
+            '{"a":[2,3],"b":1}'
+        )
+
+
+class TestArg:
+    def test_dest_strips_flag_prefix(self):
+        assert Arg("--chunk-size", kind=int).dest == "chunk_size"
+        assert Arg("entry_id").dest == "entry_id"
+        assert Arg("entry_id").positional
+
+    def test_coerce_validates_json_types(self):
+        arg = Arg("--workers", kind=int, default=1)
+        assert arg.coerce(4) == 4
+        with pytest.raises(OperationError):
+            arg.coerce("4")
+        with pytest.raises(OperationError):
+            arg.coerce(True)
+
+    def test_coerce_enforces_choices(self):
+        arg = Arg(
+            "--format", choices=("text", "json"), default="text"
+        )
+        assert arg.coerce("json") == "json"
+        with pytest.raises(OperationError):
+            arg.coerce("yaml")
+
+
+class TestBuildRequest:
+    def test_defaults_fill_missing_values(self):
+        operation = _operation(
+            args=(
+                Arg("--seed", kind=int, default=7),
+                Arg("--verbose", flag=True),
+            )
+        )
+        request = build_request(operation, {})
+        assert request == {"seed": 7, "verbose": False}
+
+    def test_unknown_keys_rejected(self):
+        operation = _operation(args=(Arg("--seed", kind=int),))
+        with pytest.raises(OperationError) as excinfo:
+            build_request(operation, {"sed": 3})
+        assert "sed" in str(excinfo.value)
+
+    def test_missing_required_rejected(self):
+        operation = _operation(
+            args=(Arg("entry_id", required=True),)
+        )
+        with pytest.raises(OperationError):
+            build_request(operation, {})
+        assert build_request(
+            operation, {"entry_id": "x"}
+        ) == {"entry_id": "x"}
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        names = set(registry.names)
+        assert {
+            "table1",
+            "stats",
+            "verify",
+            "lint",
+            "report",
+            "pipeline",
+            "batch",
+            "audit.verify",
+            "audit.tail",
+            "audit.report",
+            "obs.export",
+            "obs.profile",
+            "obs.top",
+        } <= names
+        assert len(registry) >= 20
+
+    def test_unknown_operation_names_known_ones(self):
+        with pytest.raises(OperationError) as excinfo:
+            default_registry().get("tabel1")
+        message = str(excinfo.value)
+        assert "tabel1" in message
+        assert "table1" in message
+
+    def test_duplicate_registration_rejected(self):
+        registry = OperationRegistry()
+        registry.register(_operation())
+        with pytest.raises(OperationError):
+            registry.register(_operation())
+
+    def test_group_help_known(self):
+        registry = default_registry()
+        assert registry.group_help("audit")
+        assert registry.group_help("obs")
+
+    def test_pure_operations_are_deterministic(self):
+        for operation in default_registry():
+            if operation.pure:
+                assert operation.deterministic, operation.name
+
+
+class TestResultCache:
+    def test_key_depends_on_op_request_and_digest(self):
+        base = cache_key("table1", {"format": "text"}, "d1")
+        assert base == cache_key(
+            "table1", {"format": "text"}, "d1"
+        )
+        assert base != cache_key(
+            "table1", {"format": "csv"}, "d1"
+        )
+        assert base != cache_key(
+            "stats", {"format": "text"}, "d1"
+        )
+        assert base != cache_key(
+            "table1", {"format": "text"}, "d2"
+        )
+
+    def test_hit_miss_accounting(self):
+        cache = ResultCache()
+        response = OpResponse(payload={"x": 1}, text="x\n")
+        assert cache.get("k") is None
+        cache.put("k", response)
+        assert cache.get("k") is response
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_fifo_eviction(self):
+        cache = ResultCache(maxsize=2)
+        first = OpResponse(payload={}, text="1")
+        cache.put("a", first)
+        cache.put("b", OpResponse(payload={}, text="2"))
+        cache.put("c", OpResponse(payload={}, text="3"))
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+
+
+class TestFailureTable:
+    def test_operation_errors_map_to_usage(self):
+        assert describe_failure(OperationError("bad"))[1] == 2
+        assert describe_failure(BatchError("bad"))[1] == 2
+
+    def test_domain_errors_map_to_failure(self):
+        assert describe_failure(SafeguardError("nope")) == (
+            "nope",
+            1,
+        )
+        assert describe_failure(StaticCheckError("drift"))[1] == 1
+
+    def test_table_is_exhaustive_over_repro_errors(self):
+        import inspect
+
+        from repro import errors
+
+        covered = {row[0] for row in failure_table()}
+        for _, cls in inspect.getmembers(errors, inspect.isclass):
+            if issubclass(cls, errors.ReproError):
+                assert any(
+                    issubclass(cls, base) for base in covered
+                ), cls
+
+
+class TestExecute:
+    def test_execute_by_name_and_by_operation(self):
+        by_name = execute("stats")
+        operation = default_registry().get("stats")
+        by_operation = execute(operation)
+        assert by_name.text == by_operation.text
+        assert "ethics sections: 12/28" in by_name.text
+
+    def test_pure_operation_served_from_cache(self):
+        ctx = RunContext(cache=ResultCache())
+        first = execute("table1", {"format": "csv"}, context=ctx)
+        second = execute("table1", {"format": "csv"}, context=ctx)
+        assert second is first
+        stats = ctx.cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_request_variants_cache_separately(self):
+        ctx = RunContext(cache=ResultCache())
+        text = execute("table1", {"format": "text"}, context=ctx)
+        csv = execute("table1", {"format": "csv"}, context=ctx)
+        assert text.text != csv.text
+        assert ctx.cache.stats()["entries"] == 2
+
+    def test_no_cache_context_still_executes(self):
+        response = execute(
+            "table1", {"format": "text"}, context=RunContext()
+        )
+        assert "Malware & exploitation" in response.text
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(OperationError):
+            execute("table1", {"fmt": "text"})
+
+
+class TestRunContext:
+    def test_corpus_is_memoized(self):
+        ctx = RunContext()
+        assert ctx.corpus() is ctx.corpus()
+
+    def test_digest_is_stable_across_contexts(self):
+        assert (
+            RunContext().corpus_digest()
+            == RunContext().corpus_digest()
+        )

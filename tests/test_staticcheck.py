@@ -1,4 +1,4 @@
-"""Unit tests for the staticcheck policy linter (rules R1-R6)."""
+"""Unit tests for the staticcheck policy linter (rules R1-R7)."""
 
 from __future__ import annotations
 
@@ -438,6 +438,60 @@ class TestR6TelemetryNaming:
         ]
 
 
+class TestR7Layering:
+    def test_direct_subsystem_import_flagged(self):
+        found = failing(
+            "from ..datasets import PasswordDumpGenerator\n",
+            "cli/main.py",
+        )
+        assert rule_ids(found) == {"R7"}
+        assert "repro.datasets" in found[0].message
+
+    def test_absolute_import_flagged(self):
+        found = failing(
+            "import repro.pipeline\n"
+            "from repro.analysis import section5_statistics\n",
+            "cli/main.py",
+        )
+        assert [f.line for f in found] == [1, 2]
+        assert rule_ids(found) == {"R7"}
+
+    def test_bare_repro_import_flagged(self):
+        found = failing("import repro\n", "cli/main.py")
+        assert rule_ids(found) == {"R7"}
+
+    def test_ops_and_intra_cli_imports_pass(self):
+        assert not failing(
+            "import argparse\n"
+            "import sys\n"
+            "from ..ops import execute\n"
+            "from repro.ops import RunContext\n"
+            "from .main import build_parser\n",
+            "cli/__init__.py",
+        )
+
+    def test_scoped_to_cli_modules(self):
+        source = "from ..datasets import PasswordDumpGenerator\n"
+        assert not failing(source, "ops/catalog.py")
+        assert not failing(source, "analysis/x.py")
+
+    def test_relative_grandparent_import_flagged(self):
+        found = failing(
+            "from .. import errors\n", "cli/main.py"
+        )
+        assert rule_ids(found) == {"R7"}
+        assert "repro.errors" in found[0].message
+
+    def test_package_is_r7_clean(self):
+        from repro.staticcheck import lint_repo
+
+        assert not [
+            finding
+            for finding in lint_repo(("R7",), with_baseline=False)
+            if not finding.suppressed
+        ]
+
+
 class TestSuppression:
     SOURCE = (
         "import random\n"
@@ -551,11 +605,13 @@ class TestCLI:
 
         assert main(["lint", "--select", "R2,R3"]) == 0
 
-    def test_lint_select_unknown_rule_raises(self):
+    def test_lint_select_unknown_rule_exits_one(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(StaticCheckError):
-            main(["lint", "--select", "R9"])
+        assert main(["lint", "--select", "R9"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "R9" in err
 
     def test_verify_includes_lint_gate(self, capsys):
         from repro.cli import main
