@@ -17,6 +17,7 @@ systematization operations defined here plus the runtime ones from
 
 from __future__ import annotations
 
+from ..errors import OperationError
 from .context import RunContext
 from .spec import Arg, Operation, OperationRegistry, OpResponse
 
@@ -107,7 +108,7 @@ def _run_verify(request: dict, ctx: RunContext) -> OpResponse:
     failing = unsuppressed(findings)
     mark = "FAIL" if failing else "OK "
     lines.append(
-        f"[{mark}] SC: static policy lint (R1-R7 + baseline) — "
+        f"[{mark}] SC: static policy lint (R1-R9 + baseline) — "
         f"{summarize(findings)}"
     )
     for finding in failing:
@@ -148,13 +149,28 @@ def _run_lint(request: dict, ctx: RunContext) -> OpResponse:
         for part in request["select"].split(",")
         if part.strip()
     )
+    if request["changed"] and (
+        select or request["path"] or request["no_cache"]
+    ):
+        raise OperationError(
+            "--changed needs the incremental cache of a full-rule "
+            "run over the repro package; it cannot combine with "
+            "--select, --path or --no-cache"
+        )
     if request["path"] is not None:
         registry = lint_registry()
         if select:
             registry = registry.select(select)
-        findings = LintEngine(registry).lint_package(request["path"])
+        findings = LintEngine(registry).lint_package(
+            request["path"], workers=request["jobs"]
+        )
     else:
-        findings = lint_repo(select)
+        findings = lint_repo(
+            select,
+            incremental=not request["no_cache"],
+            workers=request["jobs"],
+            changed_only=request["changed"],
+        )
     if request["format"] == "json":
         output = render_json(findings)
         text = output + "\n" if output else ""
@@ -415,7 +431,7 @@ def _operations() -> tuple[Operation, ...]:
             name="lint",
             help=(
                 "statically check the repro source against the "
-                "paper's safeguards (R1-R7)"
+                "paper's safeguards (R1-R9)"
             ),
             handler=_run_lint,
             args=(
@@ -437,6 +453,33 @@ def _operations() -> tuple[Operation, ...]:
                         "follows paths relative to it; the "
                         "suppression baseline applies only to the "
                         "package)"
+                    ),
+                ),
+                Arg(
+                    "--changed",
+                    flag=True,
+                    help=(
+                        "report only files whose content digest "
+                        "differs from the incremental lint cache "
+                        "(whole-program rules rerun when any byte "
+                        "of the tree moved)"
+                    ),
+                ),
+                Arg(
+                    "--jobs",
+                    kind=int,
+                    default=1,
+                    help=(
+                        "fan cold files out to this many lint "
+                        "worker processes"
+                    ),
+                ),
+                Arg(
+                    "--no-cache",
+                    flag=True,
+                    help=(
+                        "disable the content-addressed incremental "
+                        "findings cache for this run"
                     ),
                 ),
             ),

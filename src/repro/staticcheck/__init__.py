@@ -27,13 +27,30 @@ the safeguards the reproduction implements (see
   emit collision-free, grep-friendly identifiers;
 * **R7** ``layering`` — modules under ``cli/`` import repro
   subsystems only via :mod:`repro.ops`, keeping the CLI a thin
-  adapter over the service kernel.
+  adapter over the service kernel;
+* **R8** ``purity`` — every operation declared ``pure=True`` in the
+  ops catalog is proven effect-free along its transitive call graph
+  (clocks, RNG, env, filesystem, network, module-state mutation),
+  so the ``ResultCache`` trust in the flag is machine-checked;
+* **R9** ``worker-safety`` — every callable submitted to a process
+  pool is module-level and picklable by construction: no lambdas,
+  bound methods, nested functions or mutable default arguments.
+
+R1–R7 judge one file at a time; R8/R9 are interprocedural and run on
+the once-per-run :class:`~repro.staticcheck.project.Project` graph
+(symbol table, import graph, call graph). Findings are cached
+content-addressed per file (:mod:`repro.staticcheck.cache`), so warm
+lints are near-instant and ``repro-ethics lint --changed`` reports
+only what a change could have affected.
 
 Run it as ``repro-ethics lint`` (text or JSON output, rule selection
-via ``--select``); ``repro-ethics verify`` includes the same gate.
+via ``--select``, ``--changed``/``--jobs``/``--no-cache`` for the
+incremental machinery); ``repro-ethics verify`` includes the same
+gate.
 """
 
 from .baseline import BASELINE, BaselineEntry, baseline_drift
+from .cache import LintCache, default_cache_path
 from .engine import (
     Finding,
     LintEngine,
@@ -45,6 +62,7 @@ from .engine import (
     package_root,
     unsuppressed,
 )
+from .project import Project
 from .reporters import render_json, render_text, summarize
 from .rules_audit import AuditBoundaryRule
 from .rules_consistency import ConsistencyRule, check_consistency
@@ -53,6 +71,8 @@ from .rules_determinism import DeterminismRule
 from .rules_layering import LayeringRule
 from .rules_naming import TelemetryNamingRule
 from .rules_pii import PIILiteralRule
+from .rules_purity import PurityRule
+from .rules_workers import WorkerSafetyRule
 
 __all__ = [
     "AuditBoundaryRule",
@@ -62,16 +82,21 @@ __all__ = [
     "DeterminismRule",
     "Finding",
     "LayeringRule",
+    "LintCache",
     "LintEngine",
     "ModuleInfo",
     "PIILiteralRule",
+    "Project",
+    "PurityRule",
     "Rule",
     "RuleRegistry",
     "SafeguardBoundaryRule",
     "Suppression",
     "TelemetryNamingRule",
+    "WorkerSafetyRule",
     "baseline_drift",
     "check_consistency",
+    "default_cache_path",
     "default_registry",
     "lint_repo",
     "package_root",
@@ -83,18 +108,40 @@ __all__ = [
 
 
 def lint_repo(
-    select: tuple[str, ...] = (), *, with_baseline: bool = True
+    select: tuple[str, ...] = (),
+    *,
+    with_baseline: bool = True,
+    incremental: bool = True,
+    workers: int = 1,
+    changed_only: bool = False,
 ) -> list[Finding]:
     """Lint the installed ``repro`` package with the default rules.
 
     *select* restricts to the given rule ids; with *with_baseline*
     the baseline-drift pseudo-rule R0 findings are appended. This is
     the entry point the CLI, the verify gate and the self-test share.
+
+    *incremental* reuses content-addressed findings from the repo
+    cache (:func:`default_cache_path`) — only when the full rule set
+    runs, so a ``--select`` subset never clobbers the full-run cache.
+    *workers* fans cold files out to a process pool. *changed_only*
+    limits output to files whose digest moved since the cached run
+    (the ``lint --changed`` fast path); stale-baseline drift is not
+    judged then, since unchanged files are not re-examined.
     """
     registry = default_registry()
     if select:
         registry = registry.select(select)
-    findings = LintEngine(registry).lint_package()
+    cache_path = (
+        default_cache_path() if incremental and not select else None
+    )
+    findings = LintEngine(registry).lint_package(
+        cache_path=cache_path,
+        workers=workers,
+        changed_only=changed_only,
+    )
     if with_baseline:
-        findings.extend(baseline_drift(findings))
+        findings.extend(
+            baseline_drift(findings, stale=not changed_only)
+        )
     return findings

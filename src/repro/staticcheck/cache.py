@@ -1,0 +1,182 @@
+"""Content-addressed incremental cache for lint findings.
+
+Lint output is a pure function of three inputs: the bytes of each
+source file, the rule set (ids and versions), and — for whole-program
+rules — the content of every file in the tree. The cache keys on
+exactly those inputs and nothing else, the same discipline
+:class:`repro.ops.cache.ResultCache` applies to operation results:
+
+* **per-file findings** are stored against the BLAKE2b digest of the
+  file's source; an untouched file is served from cache without even
+  being parsed;
+* **project findings** (from ``check_project`` rules) are stored
+  against a digest over every ``(relpath, file digest)`` pair plus
+  the rule-set signature — any byte anywhere invalidates them;
+* the **rule-set signature** (rule ids, versions and classes) guards
+  the whole file: a rule upgrade or a different ``--select`` set
+  never serves findings computed under other rules.
+
+No timestamps, no mtimes: the repository's clock-free convention
+holds here too, so a cache file is valid forever until the content it
+describes changes. A missing, corrupt or mismatched cache file is
+simply a cold start — the cache can be deleted at any time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .engine import Finding, package_root
+
+__all__ = ["LintCache", "default_cache_path"]
+
+#: Bump when the on-disk layout changes; mismatches read as empty.
+SCHEMA = 1
+
+
+def default_cache_path() -> Path | None:
+    """Where the repo-level incremental cache lives, if anywhere.
+
+    ``.staticcheck-cache.json`` next to ``pyproject.toml`` when the
+    package is an src-layout checkout (the development case). When
+    ``repro`` is an installed site-package there is no repo to write
+    into, so the cache is disabled and every lint runs cold.
+    """
+    repo = package_root().parent.parent
+    if (repo / "pyproject.toml").is_file():
+        return repo / ".staticcheck-cache.json"
+    return None
+
+
+def _finding_from_dict(payload: dict) -> Finding:
+    return Finding(
+        rule_id=payload["rule"],
+        path=payload["path"],
+        line=payload["line"],
+        message=payload["message"],
+        suppressed=payload.get("suppressed", False),
+        justification=payload.get("justification", ""),
+    )
+
+
+class LintCache:
+    """One cache file: per-file findings plus project findings."""
+
+    def __init__(self, path: Path | str, ruleset: str) -> None:
+        self.path = Path(path)
+        self.ruleset = ruleset
+        self._modules: dict[str, dict] = {}
+        self._project: dict | None = None
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: Path | str, ruleset: str) -> "LintCache":
+        """Read the cache at *path*; anything invalid reads as empty."""
+        cache = cls(path, ruleset)
+        try:
+            payload = json.loads(
+                Path(path).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA
+            or payload.get("ruleset") != ruleset
+        ):
+            return cache
+        modules = payload.get("modules")
+        if isinstance(modules, dict):
+            cache._modules = {
+                relpath: entry
+                for relpath, entry in modules.items()
+                if isinstance(entry, dict)
+            }
+        project = payload.get("project")
+        if isinstance(project, dict):
+            cache._project = project
+        return cache
+
+    # -- per-file findings ----------------------------------------------
+    def module_findings(
+        self, relpath: str, digest: str
+    ) -> list[Finding] | None:
+        """Cached findings for *relpath* at *digest*; ``None`` on miss."""
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return [
+                _finding_from_dict(item)
+                for item in entry["findings"]
+            ]
+        except (KeyError, TypeError):
+            return None
+
+    def store_module(
+        self, relpath: str, digest: str, findings: list[Finding]
+    ) -> None:
+        """Record *findings* for *relpath* at content *digest*."""
+        self._modules[relpath] = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    # -- project findings -----------------------------------------------
+    def project_findings(self, digest: str) -> list[Finding] | None:
+        """Cached whole-program findings; ``None`` on digest miss."""
+        if (
+            self._project is None
+            or self._project.get("digest") != digest
+        ):
+            return None
+        try:
+            return [
+                _finding_from_dict(item)
+                for item in self._project["findings"]
+            ]
+        except (KeyError, TypeError):
+            return None
+
+    def store_project(
+        self, digest: str, findings: list[Finding]
+    ) -> None:
+        """Record whole-program *findings* for project *digest*."""
+        self._project = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    # -- lifecycle ------------------------------------------------------
+    def prune(self, relpaths: list[str]) -> None:
+        """Drop cached entries for files no longer in the tree."""
+        keep = set(relpaths)
+        stale = [r for r in self._modules if r not in keep]
+        for relpath in stale:
+            del self._modules[relpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache back if anything changed (atomic replace)."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": SCHEMA,
+            "ruleset": self.ruleset,
+            "modules": dict(sorted(self._modules.items())),
+            "project": self._project,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout degrades to cold lints, not errors.
+            tmp.unlink(missing_ok=True)
+            return
+        self._dirty = False

@@ -15,23 +15,37 @@ Design
 * **Three rule granularities.** A rule may register for AST node
   types (:attr:`Rule.node_types`), inspect the raw source of a module
   (:meth:`Rule.check_module`), or run once over the whole package
-  (:meth:`Rule.check_project` — used by the semi-static consistency
-  rule, which imports the structured data it audits).
+  (:meth:`Rule.check_project`), receiving the
+  :class:`~repro.staticcheck.project.Project` graph — symbol table,
+  import graph and call graph — built exactly once per run. The
+  semi-static consistency rule and both interprocedural rules
+  (purity, worker-safety) live at this granularity.
 * **Suppressions are data.** ``# repro: noqa[R2] reason`` on the
   offending line marks a finding as suppressed; the engine keeps the
   finding (with its justification) so reporters and the baseline can
   account for every accepted exception.
+* **Findings are content-addressed.** :meth:`LintEngine.lint_package`
+  can reuse per-file findings from an incremental cache keyed on the
+  file digest and the rule-set signature (ids + versions), and fan
+  cold files out to a process pool — see
+  :mod:`repro.staticcheck.cache` and ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import hashlib
+import json
 import re
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..errors import StaticCheckError
+
+if TYPE_CHECKING:  # circular at runtime: project.py imports engine
+    from .project import Project
 
 __all__ = [
     "Finding",
@@ -85,7 +99,10 @@ class Finding:
     def describe(self) -> str:
         """The conventional ``path:line: [RID] message`` line."""
         mark = " (suppressed)" if self.suppressed else ""
-        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+        return (
+            f"{self.path}:{self.line}: [{self.rule_id}] "
+            f"{self.message}{mark}"
+        )
 
 
 class ModuleInfo:
@@ -203,6 +220,9 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    #: Bumped whenever the rule's logic changes, so the incremental
+    #: cache never serves findings computed by an older rule.
+    version: int = 1
     #: AST node types this rule wants dispatched to :meth:`visit`.
     node_types: tuple[type[ast.AST], ...] = ()
 
@@ -221,9 +241,15 @@ class Rule:
         return ()
 
     def check_project(
-        self, modules: Sequence[ModuleInfo]
+        self, project: "Project"
     ) -> Iterable[Finding]:
-        """Once-per-run hook over every linted module; findings."""
+        """Once-per-run whole-program hook; yields findings.
+
+        *project* is the :class:`~repro.staticcheck.project.Project`
+        graph over every linted module — iterate it for the plain
+        module list, or use its symbol table / call graph for
+        interprocedural rules.
+        """
         return ()
 
 
@@ -271,7 +297,7 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The registry with all seven shipped rules (R1–R7)."""
+    """The registry with all nine shipped rules (R1–R9)."""
     from .rules_audit import AuditBoundaryRule
     from .rules_consistency import ConsistencyRule
     from .rules_dataflow import SafeguardBoundaryRule
@@ -279,6 +305,8 @@ def default_registry() -> RuleRegistry:
     from .rules_layering import LayeringRule
     from .rules_naming import TelemetryNamingRule
     from .rules_pii import PIILiteralRule
+    from .rules_purity import PurityRule
+    from .rules_workers import WorkerSafetyRule
 
     return RuleRegistry(
         (
@@ -289,6 +317,8 @@ def default_registry() -> RuleRegistry:
             AuditBoundaryRule(),
             TelemetryNamingRule(),
             LayeringRule(),
+            PurityRule(),
+            WorkerSafetyRule(),
         )
     )
 
@@ -345,15 +375,49 @@ class LintEngine:
         )
 
     # -- package lint ---------------------------------------------------
-    def lint_package(self, root: Path | None = None) -> list[Finding]:
+    def ruleset_signature(self) -> str:
+        """Digest of the registry's (id, version, class) tuples.
+
+        Part of every incremental-cache key: a rule upgrade, removal
+        or substitution changes the signature, so cached findings
+        computed under a different rule set are never served.
+        """
+        payload = json.dumps(
+            sorted(
+                (rule.id, rule.version, type(rule).__name__)
+                for rule in self.registry
+            )
+        )
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def lint_package(
+        self,
+        root: Path | None = None,
+        *,
+        cache_path: Path | None = None,
+        workers: int = 1,
+        changed_only: bool = False,
+    ) -> list[Finding]:
         """Lint every ``.py`` file under *root* (default: ``repro``).
 
         Per-module rules run file by file; project rules run once at
-        the end over all parsed modules. Rules match on paths relative
-        to *root*, so a fixture tree mirroring the package layout
-        (``datasets/x.py``, ``reporting/x.py``) exercises the same
-        scoping as the real source. Findings come back sorted by path
-        then line.
+        the end over the :class:`~repro.staticcheck.project.Project`
+        graph. Rules match on paths relative to *root*, so a fixture
+        tree mirroring the package layout (``datasets/x.py``,
+        ``reporting/x.py``) exercises the same scoping as the real
+        source. Findings come back sorted by path then line.
+
+        *cache_path* enables the content-addressed incremental cache:
+        files whose digest matches the cache are served without being
+        parsed, and whole-program findings are reused while no byte
+        of the tree changed. *workers* > 1 fans files that do need
+        linting out to a process pool (falling back to serial when
+        the registry holds rules a worker cannot reconstruct from the
+        default set). *changed_only* reports per-file findings only
+        for files that missed the cache — plus whole-program findings
+        whenever the project graph changed.
         """
         explicit_root = root is not None
         root = Path(root) if explicit_root else package_root()
@@ -370,27 +434,188 @@ class LintEngine:
                 prefix = root.as_posix()
         else:
             prefix = "src/repro"
-        modules: list[ModuleInfo] = []
-        findings: list[Finding] = []
+
+        # relpath → (display, source, digest); one read per file, no
+        # parse yet — cache hits never pay for one.
+        entries: dict[str, tuple[str, str, str]] = {}
         for file in sorted(root.rglob("*.py")):
             relpath = file.relative_to(root).as_posix()
-            display = f"{prefix}/{relpath}" if prefix != "." else relpath
-            module = ModuleInfo(
-                file.read_text(encoding="utf-8"), relpath, display
+            display = (
+                f"{prefix}/{relpath}" if prefix != "." else relpath
             )
-            modules.append(module)
-            findings.extend(self._lint_module(module))
-        by_relpath = {m.relpath: m for m in modules}
-        for rule in self.registry:
-            for finding in rule.check_project(modules):
-                module = by_relpath.get(
-                    finding.path.removeprefix("src/repro/")
+            raw = file.read_bytes()
+            digest = hashlib.blake2b(
+                raw, digest_size=16
+            ).hexdigest()
+            entries[relpath] = (
+                display,
+                raw.decode("utf-8"),
+                digest,
+            )
+
+        cache = None
+        if cache_path is not None:
+            from .cache import LintCache
+
+            cache = LintCache.load(
+                cache_path, self.ruleset_signature()
+            )
+
+        module_findings: dict[str, list[Finding]] = {}
+        modules: dict[str, ModuleInfo] = {}
+        stale: list[str] = []
+        for relpath, (display, source, digest) in entries.items():
+            cached = (
+                cache.module_findings(relpath, digest)
+                if cache is not None
+                else None
+            )
+            if cached is not None:
+                module_findings[relpath] = cached
+            else:
+                stale.append(relpath)
+
+        if stale:
+            parallel = (
+                workers > 1
+                and len(stale) > 1
+                and self._parallel_safe()
+            )
+            if parallel:
+                for relpath, found in self._lint_parallel(
+                    entries, stale, workers
+                ):
+                    module_findings[relpath] = found
+            else:
+                for relpath in stale:
+                    display, source, _ = entries[relpath]
+                    module = ModuleInfo(source, relpath, display)
+                    modules[relpath] = module
+                    module_findings[relpath] = self._lint_module(
+                        module
+                    )
+
+        # Whole-program findings, keyed on every file's digest plus
+        # the rule-set signature (via the cache file's guard).
+        hasher = hashlib.blake2b(digest_size=16)
+        for relpath in sorted(entries):
+            hasher.update(relpath.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(entries[relpath][2].encode("utf-8"))
+            hasher.update(b"\x00")
+        project_key = hasher.hexdigest()
+
+        project_findings = (
+            cache.project_findings(project_key)
+            if cache is not None
+            else None
+        )
+        project_recomputed = project_findings is None
+        if project_recomputed:
+            from .project import Project
+
+            for relpath, (display, source, _) in entries.items():
+                if relpath not in modules:
+                    modules[relpath] = ModuleInfo(
+                        source, relpath, display
+                    )
+            project = Project(
+                [modules[r] for r in sorted(entries)],
+                {r: entries[r][2] for r in entries},
+            )
+            stripper = f"{prefix}/" if prefix != "." else ""
+            project_findings = []
+            for rule in self.registry:
+                for finding in rule.check_project(project):
+                    module = modules.get(
+                        finding.path.removeprefix(stripper)
+                        if stripper
+                        else finding.path
+                    )
+                    if module is not None:
+                        finding = self._apply_suppression(
+                            finding, module
+                        )
+                    project_findings.append(finding)
+
+        if cache is not None:
+            for relpath in stale:
+                cache.store_module(
+                    relpath,
+                    entries[relpath][2],
+                    module_findings[relpath],
                 )
-                if module is not None:
-                    finding = self._apply_suppression(finding, module)
-                findings.append(finding)
+            if project_recomputed:
+                cache.store_project(project_key, project_findings)
+            cache.prune(list(entries))
+            cache.save()
+
+        reported = stale if changed_only else list(entries)
+        findings: list[Finding] = []
+        for relpath in reported:
+            findings.extend(module_findings[relpath])
+        if not changed_only or project_recomputed:
+            findings.extend(project_findings)
         findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
         return findings
+
+    def _parallel_safe(self) -> bool:
+        """Whether workers can rebuild this registry from rule ids."""
+        defaults = {
+            rule.id: type(rule) for rule in default_registry()
+        }
+        return all(
+            defaults.get(rule.id) is type(rule)
+            for rule in self.registry
+        )
+
+    def _lint_parallel(
+        self,
+        entries: dict[str, tuple[str, str, str]],
+        stale: list[str],
+        workers: int,
+    ) -> list[tuple[str, list[Finding]]]:
+        """Fan per-module linting of *stale* out to a process pool."""
+        import concurrent.futures
+
+        rule_ids = self.registry.rule_ids
+        chunks: list[list[tuple[str, str, str]]] = [
+            [] for _ in range(min(workers, len(stale)))
+        ]
+        for index, relpath in enumerate(stale):
+            display, source, _ = entries[relpath]
+            chunks[index % len(chunks)].append(
+                (relpath, display, source)
+            )
+        results: list[tuple[str, list[Finding]]] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len(chunks)
+        ) as pool:
+            futures = [
+                pool.submit(_lint_chunk, rule_ids, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+
+def _lint_chunk(
+    rule_ids: tuple[str, ...],
+    chunk: list[tuple[str, str, str]],
+) -> list[tuple[str, list[Finding]]]:
+    """Process-pool worker: lint a batch of (relpath, display, source).
+
+    Module-level and picklable by construction (R9's own contract):
+    the registry is rebuilt in-process from rule ids, sources travel
+    by value, and frozen :class:`Finding` instances travel back.
+    """
+    engine = LintEngine(default_registry().select(rule_ids))
+    results: list[tuple[str, list[Finding]]] = []
+    for relpath, display, source in chunk:
+        module = ModuleInfo(source, relpath, display)
+        results.append((relpath, engine._lint_module(module)))
+    return results
 
 
 def unsuppressed(findings: Iterable[Finding]) -> list[Finding]:

@@ -12,9 +12,13 @@ audits the instances, anchoring findings to the defining modules.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
-from .engine import Finding, ModuleInfo, Rule
+from .engine import Finding, Rule
+
+if TYPE_CHECKING:
+    from .project import Project
 
 __all__ = ["ConsistencyRule", "check_consistency"]
 
@@ -153,10 +157,10 @@ class ConsistencyRule(Rule):
     )
 
     def check_project(
-        self, modules: Sequence[ModuleInfo]
+        self, project: "Project"
     ) -> Iterable[Finding]:
         """Audit the imported paper data once per full-package run."""
-        relpaths = {m.relpath for m in modules}
+        relpaths = {m.relpath for m in project}
         # Only meaningful when linting the real package tree.
         if not {
             "codebook/paper.py",

@@ -12,8 +12,18 @@ alike) of ``src/`` for:
   ``.example`` / ``.invalid`` / ``.test`` / ``.localhost`` TLDs);
 * **IPv4 literals** outside the documentation (RFC 5737), private
   (RFC 1918), loopback, link-local and otherwise non-global ranges;
+* **IPv6 literals** that are globally routable — the documentation
+  range ``2001:db8::/32`` (RFC 3849), loopback ``::1``, link-local
+  ``fe80::/10`` and ULA ``fc00::/7`` space stay allowed;
 * **realistic phone numbers** — NANP-shaped numbers whose exchange is
   not the fictional ``555``.
+
+The IPv6 scan deliberately skips bare slice-shaped candidates
+(``1::2`` — Python's ``x[1::2]`` is a valid global IPv6 address once
+the brackets are stripped): a candidate with short all-decimal groups
+around a single ``::`` is treated as code, not an address. Real
+addresses written that way are vanishingly rare; everything with a
+hex letter or longer groups is judged properly.
 """
 
 from __future__ import annotations
@@ -45,6 +55,14 @@ _IPV4_RE = re.compile(
     r"(?<![\w.])(\d{1,3}(?:\.\d{1,3}){3})(?![\w.])"
 )
 
+#: Hex-and-colon runs that could be IPv6 literals.
+_IPV6_RE = re.compile(
+    r"(?<![\w:.])([0-9A-Fa-f]{0,4}(?::[0-9A-Fa-f]{0,4}){2,7})(?![\w:])"
+)
+
+#: Python slice shapes (``1::2``, ``::2``) that also parse as IPv6.
+_SLICE_SHAPE_RE = re.compile(r"\d{0,3}::\d{0,3}")
+
 #: NANP-shaped: optional +1, 3-digit area code, exchange, 4-digit line,
 #: with separators (bare digit runs are left to the IPv4/other checks).
 _PHONE_RE = re.compile(
@@ -62,15 +80,32 @@ def _ip_is_safe(text: str) -> bool:
     return not address.is_global
 
 
+def _ipv6_is_safe(text: str) -> bool:
+    """True when the candidate is code-shaped, invalid or non-global.
+
+    ``2001:db8::/32``, ``::1``, ``fe80::/10`` and ``fc00::/7`` are
+    all non-global per :mod:`ipaddress` and therefore allowed.
+    """
+    if _SLICE_SHAPE_RE.fullmatch(text):
+        return True
+    try:
+        address = ipaddress.IPv6Address(text)
+    except ipaddress.AddressValueError:
+        return True
+    return not address.is_global
+
+
 class PIILiteralRule(Rule):
     """Flag embedded identifiers that could pass for real PII."""
 
     id = "R3"
     name = "pii-literals"
     description = (
-        "no email-shaped strings, globally-routable IPv4 literals, or "
-        "realistic phone numbers anywhere in src/"
+        "no email-shaped strings, globally-routable IPv4/IPv6 "
+        "literals, or realistic phone numbers anywhere in src/"
     )
+    #: v2: IPv6 literal scanning added.
+    version = 2
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         """Scan every raw source line (code, strings and comments)."""
@@ -93,6 +128,15 @@ class PIILiteralRule(Rule):
                         f"globally-routable IPv4 literal "
                         f"{match.group(1)!r}; use RFC 5737 "
                         "documentation or RFC 1918 private ranges",
+                    )
+            for match in _IPV6_RE.finditer(text):
+                if not _ipv6_is_safe(match.group(1)):
+                    yield self._finding(
+                        module,
+                        number,
+                        f"globally-routable IPv6 literal "
+                        f"{match.group(1)!r}; use the RFC 3849 "
+                        "documentation range 2001:db8::/32",
                     )
             for match in _PHONE_RE.finditer(text):
                 if match.group(2) != "555":

@@ -1,4 +1,9 @@
-"""Unit tests for the staticcheck policy linter (rules R1-R7)."""
+"""Unit tests for the staticcheck policy linter (rules R1-R7).
+
+The interprocedural rules (R8/R9), the project graph and the
+incremental cache live in ``test_staticcheck_project.py``; reporter
+golden output lives in ``test_staticcheck_reporters.py``.
+"""
 
 from __future__ import annotations
 
@@ -172,6 +177,31 @@ class TestR3PIILiterals:
             "datasets/x.py",
         )
         assert [f.line for f in found] == [1]
+
+    def test_routable_ipv6_flagged(self):
+        found = failing(
+            'bad = "2606:4700::1111"\n'
+            'also = "2001:470:1f0b:1000::1"\n',
+            "datasets/x.py",
+        )
+        assert rule_ids(found) == {"R3"}
+        assert [f.line for f in found] == [1, 2]
+
+    def test_reserved_ipv6_allowed(self):
+        assert not failing(
+            'doc = "2001:db8::1"\nloop = "::1"\n'
+            'link = "fe80::1"\nula = "fd12:3456:789a::1"\n',
+            "datasets/x.py",
+        )
+
+    def test_slice_syntax_not_flagged(self):
+        # x[1::2] strips to "1::2", a valid global IPv6 address; the
+        # slice-shape carve-out must keep plain code unflagged.
+        assert not failing(
+            "evens = items[::2]\nodds = items[1::2]\n"
+            "rev = items[::-1]\nstep = items[2::3]\n",
+            "analysis/x.py",
+        )
 
     def test_version_strings_not_flagged(self):
         assert not failing(
@@ -608,10 +638,11 @@ class TestCLI:
     def test_lint_select_unknown_rule_exits_one(self, capsys):
         from repro.cli import main
 
-        assert main(["lint", "--select", "R9"]) == 1
+        # R42 does not exist (R9 does, since the worker-safety rule).
+        assert main(["lint", "--select", "R42"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error: ")
-        assert "R9" in err
+        assert "R42" in err
 
     def test_verify_includes_lint_gate(self, capsys):
         from repro.cli import main

@@ -1,0 +1,128 @@
+"""Golden-output tests for the staticcheck reporters.
+
+The text and JSONL formats are consumed by CI diffs and the baseline
+tooling, so their exact shape is a contract: these tests pin it for a
+fixed finding set that includes suppressed findings (with
+justifications) and findings produced under a multi-rule
+``# repro: noqa[R1,R3]`` comment.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck import (
+    Finding,
+    LintEngine,
+    default_registry,
+    render_json,
+    render_text,
+    summarize,
+)
+
+#: A fixed, already-sorted finding set covering every field state.
+FINDINGS = [
+    Finding(
+        rule_id="R2",
+        path="src/repro/analysis/calc.py",
+        line=7,
+        message="nondeterministic call time.time()",
+    ),
+    Finding(
+        rule_id="R3",
+        path="src/repro/datasets/gen.py",
+        line=12,
+        message="globally-routable IPv4 literal '203.0.114.9'",
+        suppressed=True,
+        justification="counterexample in a docstring",
+    ),
+    Finding(
+        rule_id="R9",
+        path="src/repro/pipeline/core.py",
+        line=41,
+        message="a lambda cannot be pickled",
+    ),
+]
+
+GOLDEN_TEXT = """\
+src/repro/analysis/calc.py:7: [R2] nondeterministic call time.time()
+src/repro/datasets/gen.py:12: [R3] globally-routable IPv4 literal '203.0.114.9' (suppressed)
+src/repro/pipeline/core.py:41: [R9] a lambda cannot be pickled
+3 finding(s): 2 failing, 1 suppressed"""
+
+GOLDEN_JSON = """\
+{"justification": "", "line": 7, "message": "nondeterministic call time.time()", "path": "src/repro/analysis/calc.py", "rule": "R2", "suppressed": false}
+{"justification": "counterexample in a docstring", "line": 12, "message": "globally-routable IPv4 literal '203.0.114.9'", "path": "src/repro/datasets/gen.py", "rule": "R3", "suppressed": true}
+{"justification": "", "line": 41, "message": "a lambda cannot be pickled", "path": "src/repro/pipeline/core.py", "rule": "R9", "suppressed": false}"""
+
+
+class TestGoldenOutput:
+    def test_text_reporter(self):
+        assert render_text(FINDINGS) == GOLDEN_TEXT
+
+    def test_json_reporter(self):
+        assert render_json(FINDINGS) == GOLDEN_JSON
+
+    def test_json_is_one_object_per_line(self):
+        for line in render_json(FINDINGS).splitlines():
+            payload = json.loads(line)
+            assert set(payload) == {
+                "rule",
+                "path",
+                "line",
+                "message",
+                "suppressed",
+                "justification",
+            }
+
+    def test_empty_set(self):
+        assert render_text([]) == "0 finding(s): 0 failing, 0 suppressed"
+        assert render_json([]) == ""
+
+    def test_summarize_counts(self):
+        assert summarize(FINDINGS) == (
+            "3 finding(s): 2 failing, 1 suppressed"
+        )
+
+
+class TestMultiRuleSuppression:
+    SOURCE = (
+        "import random\n"
+        "addr = '8.8.8.8'\n"
+        "draw = random.random()"
+        "  # repro: noqa[R2,R3] fixture for both rules\n"
+    )
+
+    def findings(self):
+        engine = LintEngine(default_registry().select(["R2", "R3"]))
+        return engine.lint_source(self.SOURCE, "datasets/x.py")
+
+    def test_noqa_covers_both_rules_on_its_line(self):
+        found = self.findings()
+        by_rule = {f.rule_id: f for f in found}
+        # R3 fires on line 2 (no noqa there) and stays failing; R2
+        # fires on the noqa line and is suppressed with the shared
+        # justification.
+        assert not by_rule["R3"].suppressed
+        assert by_rule["R2"].suppressed
+        assert (
+            by_rule["R2"].justification
+            == "fixture for both rules"
+        )
+
+    def test_suppression_state_round_trips_to_json(self):
+        for line in render_json(self.findings()).splitlines():
+            payload = json.loads(line)
+            if payload["rule"] == "R2":
+                assert payload["suppressed"] is True
+                assert (
+                    payload["justification"]
+                    == "fixture for both rules"
+                )
+            else:
+                assert payload["suppressed"] is False
+
+    def test_text_marks_suppressed_line(self):
+        text = render_text(self.findings())
+        assert "(suppressed)" in text
+        assert "1 suppressed" in text
