@@ -30,6 +30,13 @@ chain *content* is identical for ``workers=1`` and ``workers=N``
 (byte-identical but for the honest ``workers`` field of the
 run-started event). Shards are clock-free — timings live only in the
 span records and metric snapshots, which are not chained.
+
+The ops warm pool (:mod:`repro.ops.pool`) shards at a finer grain:
+a worker chunk carries **one shard per request**, shipped alongside
+the chunk result, so the batch coordinator can interleave replays
+with the audit brackets it emits inline for coordinator-served
+cache hits — the chain content stays invariant not just under the
+worker count but under the cache-aware dispatch plan itself.
 """
 
 from __future__ import annotations

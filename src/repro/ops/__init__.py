@@ -22,9 +22,12 @@ monolith. ``repro.ops`` extracts the service layer the paper's
   :class:`ResultCache` for pure operations;
 * :mod:`~repro.ops.failures` — the single domain-error →
   exit-code table (:func:`describe_failure`);
+* :mod:`~repro.ops.pool` — the :class:`WarmPool`: a process-
+  lifetime pool of pre-forked, pre-warmed workers with a shared
+  coordinator-side result cache that learns from every worker;
 * :mod:`~repro.ops.batch` — the JSONL :class:`BatchExecutor` with
-  worker-pool fan-out, per-request audit events and in-order
-  telemetry replay.
+  cache-aware chunked fan-out over the warm pool, per-request audit
+  events and in-order telemetry replay.
 
 The CLI (:mod:`repro.cli.main`) is one thin adapter over this
 kernel — staticcheck rule R7 forbids it any other subsystem import —
@@ -50,6 +53,12 @@ from .failures import (
     failure_table,
 )
 from .kernel import execute
+from .pool import (
+    WarmPool,
+    auto_chunk_size,
+    shutdown_warm_pools,
+    warm_pool,
+)
 from .spec import (
     Arg,
     Operation,
@@ -75,6 +84,8 @@ __all__ = [
     "ReproError",
     "ResultCache",
     "RunContext",
+    "WarmPool",
+    "auto_chunk_size",
     "build_request",
     "cache_key",
     "default_registry",
@@ -84,4 +95,6 @@ __all__ = [
     "execute",
     "failure_table",
     "load_requests",
+    "shutdown_warm_pools",
+    "warm_pool",
 ]

@@ -13,6 +13,15 @@ summaries and the E17 benchmark) and as ``ops.cache.hits`` /
 ``ops.cache.misses`` counters in the installed metrics registry, so
 an observed run exports cache effectiveness alongside every other
 metric.
+
+Entries are **exportable and mergeable**: a batch worker exports the
+``(key, response)`` pairs it computed (:meth:`ResultCache.export`)
+and ships them back with its chunk result, and the coordinator folds
+them into its own cache (:meth:`ResultCache.merge`) — the shared-
+cache protocol the warm pool (:mod:`repro.ops.pool`) is built on.
+:meth:`ResultCache.peek` and ``key in cache`` probe without touching
+the hit/miss counters, so dispatch planning never skews the stats a
+batch summary reports.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import OrderedDict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 
 from .spec import OpResponse
 
@@ -83,6 +92,44 @@ class ResultCache:
         ):
             self._entries.popitem(last=False)
         self._entries[key] = response
+
+    def peek(self, key: str) -> OpResponse | None:
+        """The entry for *key* without counting a hit or miss.
+
+        Dispatch planning and worker-side export probe the cache
+        many times per request; only :meth:`get` — the serving path —
+        may move the counters the batch summary reports.
+        """
+        return self._entries.get(key)
+
+    def export(self) -> tuple[tuple[str, OpResponse], ...]:
+        """Every entry as picklable ``(key, response)`` pairs.
+
+        The shipping format of the shared-cache protocol: both sides
+        of the process boundary exchange entries in this shape.
+        """
+        return tuple(self._entries.items())
+
+    def merge(
+        self, entries: Iterable[tuple[str, OpResponse]]
+    ) -> int:
+        """Fold *entries* computed elsewhere in; returns how many.
+
+        Existing keys are kept (first write wins — entries are
+        content-addressed, so a duplicate key carries an identical
+        response and re-storing it would only churn eviction order).
+        Neither hits nor misses move: merged entries were computed,
+        not served.
+        """
+        merged = 0
+        for key, response in entries:
+            if key not in self._entries:
+                self.put(key, response)
+                merged += 1
+        return merged
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -69,6 +69,18 @@ class RunContext:
             self._digest = hasher.hexdigest()
         return self._digest
 
+    def warm_up(self) -> str:
+        """Materialise every lazy slot now; returns the corpus digest.
+
+        The warm-pool initializer hook: a worker (or a long-lived
+        coordinator) calls this once at startup so the corpus build
+        and digest hashing — the dominant first-request costs — are
+        paid before any request arrives. Idempotent: the memoised
+        slots make repeat calls free.
+        """
+        self.corpus()
+        return self.corpus_digest()
+
     def make_observer(self, audit_log=None):
         """A fully enabled observer, persisting to *audit_log* if given.
 

@@ -1,0 +1,347 @@
+"""The warm worker pool: pre-forked, pre-warmed, process-lifetime.
+
+``BENCH_ops.json`` recorded the standing inversion this module
+removes: a 24-request batch ran at 402 req/s with ``workers=4``
+against 2802 req/s serial, because every parallel batch paid full
+process-pool startup and each worker rebuilt its
+:class:`~repro.ops.context.RunContext` — corpus, content digest and
+result cache — from nothing. A :class:`WarmPool` pays those costs
+once per *process lifetime* instead of once per *batch run*:
+
+* **Pre-forked, pre-warmed workers.** The pool's
+  ``ProcessPoolExecutor`` is built lazily on first submission (a
+  batch of invalid requests never spawns a process) and each worker
+  runs :func:`_warm_worker` at startup: the operation registry is
+  assembled, the per-process :class:`RunContext` is constructed and
+  its corpus + BLAKE2b content digest materialised, and the worker's
+  :class:`~repro.ops.cache.ResultCache` is primed — so the first
+  real request a worker sees costs only the request.
+* **A shared coordinator cache.** The pool owns a coordinator-side
+  :class:`~repro.ops.cache.ResultCache` and the coordinator
+  :class:`RunContext` wrapping it; both persist across batch runs.
+  Workers ship the ``(key, response)`` pairs they computed back with
+  every chunk (:class:`ChunkResult`), the coordinator merges them,
+  and the batch executor serves later identical pure requests
+  without touching the pool at all — the per-worker cache islands
+  become one content-addressed cache that learns from every worker.
+* **Chunked submission.** Requests cross the pickle/IPC boundary in
+  contiguous chunks (:func:`auto_chunk_size` targets ~4 chunks per
+  worker, capped so a chunk never grows unbounded), amortising the
+  submission overhead that dominated small-request batches.
+* **Graceful degradation.** A crashed or unpicklable worker
+  surfaces as :class:`~repro.errors.BatchError` naming the affected
+  request indexes — never a raw ``BrokenProcessPool`` traceback —
+  an ``ops/worker-lost`` audit event is emitted, and the pool
+  discards its broken executor so the next use rebuilds lazily.
+
+Pools are keyed by ``(workers, cache enablement)`` in a module-level
+registry (:func:`warm_pool`); :func:`shutdown_warm_pools` tears all
+of them down (tests and benchmarks use it for isolation). Everything
+submitted to the pool is a module-level function — staticcheck rule
+R9 (worker-safety) audits the submission sites below.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import BrokenExecutor
+
+from ..errors import BatchError
+from ..observability import audit_event
+from ..observability.worker import TelemetryShard, WorkerTelemetry
+from .cache import ResultCache, cache_key
+from .context import RunContext
+from .spec import build_request
+
+__all__ = [
+    "ChunkResult",
+    "WarmPool",
+    "auto_chunk_size",
+    "shutdown_warm_pools",
+    "warm_pool",
+]
+
+#: Chunks per worker the auto-sizer aims for: small enough that a
+#: slow chunk cannot starve the drain, large enough to amortise IPC.
+_CHUNKS_PER_WORKER = 4
+
+#: Ceiling on the auto-sized chunk (requests per pickle crossing).
+_MAX_AUTO_CHUNK = 32
+
+
+def auto_chunk_size(pending: int, workers: int) -> int:
+    """The default requests-per-chunk for *pending* dispatches.
+
+    Targets :data:`_CHUNKS_PER_WORKER` chunks per worker so the
+    ordered drain always has work in flight, clamped to
+    ``[1, _MAX_AUTO_CHUNK]`` so tiny batches still parallelise and
+    huge ones keep bounded pickle payloads.
+    """
+    if pending <= 0:
+        return 1
+    ideal = -(-pending // (workers * _CHUNKS_PER_WORKER))
+    return max(1, min(_MAX_AUTO_CHUNK, ideal))
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkResult:
+    """Everything one worker chunk ships back to the coordinator.
+
+    ``lines`` are the response line bodies in chunk order;
+    ``shards`` is the parallel tuple of per-request telemetry
+    captures (``None`` when the coordinator's observer is disabled);
+    ``pairs`` are the content-addressed ``(key, response)`` entries
+    for pure operations this chunk computed, ready to merge into the
+    coordinator cache; ``hits``/``misses`` are the worker-cache
+    counter deltas this chunk incurred, aggregated into the batch
+    summary.
+    """
+
+    lines: tuple[dict, ...]
+    shards: tuple[WorkerTelemetry | None, ...]
+    pairs: tuple[tuple[str, object], ...] = ()
+    hits: int = 0
+    misses: int = 0
+
+
+def _warm_worker(use_cache: bool) -> None:
+    """Pool initializer: build and warm the per-process state.
+
+    Runs once in every worker at spawn time, before any request:
+    assembles the operation registry (so per-request dispatch is a
+    dict hit), constructs the persistent worker
+    :class:`RunContext`, and materialises the corpus and its content
+    digest — the costs that previously made every worker's first
+    request ~100x slower than its second.
+    """
+    from .batch import _worker_context
+    from .catalog import default_registry
+
+    default_registry()
+    _worker_context(use_cache).warm_up()
+
+
+def _execute_chunk(
+    chunk: tuple, telemetry: bool, use_cache: bool
+) -> ChunkResult:
+    """Worker-side entry point: run one contiguous request chunk.
+
+    *chunk* is a tuple of ``(index, op, args)`` triples. Each
+    request executes through the same :func:`~repro.ops.batch._run_one`
+    path a serial run uses, under its own
+    :class:`~repro.observability.worker.TelemetryShard` when the
+    coordinator observes, so per-request audit brackets replay in
+    exact submission order. Successful pure results are exported as
+    ``(key, response)`` pairs for the coordinator cache.
+    """
+    from .batch import _batchable_operation, _run_one, _worker_context
+
+    ctx = _worker_context(use_cache)
+    cache = ctx.cache
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    lines: list[dict] = []
+    shards: list[WorkerTelemetry | None] = []
+    pairs: list[tuple[str, object]] = []
+    exported: set[str] = set()
+    for index, name, values in chunk:
+        if telemetry:
+            with TelemetryShard() as shard:
+                line = _run_one(index, name, values, ctx)
+            shards.append(shard.telemetry())
+        else:
+            line = _run_one(index, name, values, ctx)
+            shards.append(None)
+        lines.append(line)
+        if cache is None or not line["ok"]:
+            continue
+        operation = _batchable_operation(name)
+        if not operation.pure:
+            continue
+        key = cache_key(
+            operation.name,
+            build_request(operation, values),
+            ctx.corpus_digest(),
+        )
+        if key in exported:
+            continue
+        exported.add(key)
+        response = cache.peek(key)
+        if response is not None:
+            pairs.append((key, response))
+    return ChunkResult(
+        lines=tuple(lines),
+        shards=tuple(shards),
+        pairs=tuple(pairs),
+        hits=(cache.hits - hits_before) if cache is not None else 0,
+        misses=(
+            cache.misses - misses_before
+        ) if cache is not None else 0,
+    )
+
+
+class WarmPool:
+    """A lazily built, reusable pool of pre-warmed worker processes.
+
+    Owns the coordinator-side shared :class:`ResultCache` and the
+    coordinator :class:`RunContext` wrapping it — both survive
+    across batch runs, which is what makes a second batch on the
+    same pool free of every cold-start cost. The executor itself is
+    built on first submission and discarded (for lazy rebuild) when
+    a worker is lost.
+    """
+
+    #: Coordinator caches outlive single runs; give them headroom
+    #: beyond the per-worker default so a service working set fits.
+    COORDINATOR_CACHE_SIZE = 1024
+
+    def __init__(self, workers: int, use_cache: bool = True) -> None:
+        if workers < 1:
+            raise BatchError("workers must be at least 1")
+        self.workers = workers
+        self.use_cache = use_cache
+        self.cache = (
+            ResultCache(maxsize=self.COORDINATOR_CACHE_SIZE)
+            if use_cache
+            else None
+        )
+        self.context = RunContext(cache=self.cache)
+        self.rebuilds = 0
+        self._executor = None
+
+    @property
+    def live(self) -> bool:
+        """Whether worker processes currently back this pool."""
+        return self._executor is not None
+
+    def _ensure(self):
+        """The executor, built (with warm-up initializer) on demand."""
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_warm_worker,
+                initargs=(self.use_cache,),
+            )
+            self._executor = executor
+        return self._executor
+
+    def start(self) -> int:
+        """Pre-fork and warm every worker now; returns the count.
+
+        Submission normally spawns workers on demand; a server (or
+        benchmark) that wants the fork+warm-up cost paid up front
+        submits one empty probe chunk per worker, which forces the
+        full complement of processes to spawn and run
+        :func:`_warm_worker`.
+        """
+        executor = self._ensure()
+        probes = [
+            executor.submit(_execute_chunk, (), False, self.use_cache)
+            for _ in range(self.workers)
+        ]
+        for probe in probes:
+            self.outcome(probe, ())
+        return self.workers
+
+    def submit_chunk(self, chunk: tuple, telemetry: bool):
+        """Submit one ``(index, op, args)`` chunk; returns its future.
+
+        A pool whose executor died between runs raises
+        :class:`BatchError` (and discards the executor for lazy
+        rebuild) instead of leaking ``BrokenProcessPool``.
+        """
+        executor = self._ensure()
+        try:
+            return executor.submit(
+                _execute_chunk, chunk, telemetry, self.use_cache
+            )
+        except (BrokenExecutor, RuntimeError) as exc:
+            raise self._lost(chunk, exc) from exc
+
+    def outcome(self, future, chunk: tuple) -> ChunkResult:
+        """Resolve one chunk future, mapping pool loss to BatchError.
+
+        The coordinator's drain path: a worker that died mid-chunk
+        surfaces here as :class:`BatchError` naming the affected
+        request indexes, and the executor is discarded for lazy
+        rebuild.
+        """
+        try:
+            return future.result()
+        except BrokenExecutor as exc:
+            raise self._lost(chunk, exc) from exc
+
+    def _lost(self, chunk: tuple, exc: BaseException) -> BatchError:
+        """Discard the broken executor; describe the loss precisely."""
+        self.discard()
+        if chunk:
+            first, last = chunk[0][0], chunk[-1][0]
+            span = (
+                f"request {first}"
+                if first == last
+                else f"requests {first}-{last}"
+            )
+        else:
+            span = "a warm-up probe"
+        audit_event(
+            "ops",
+            "worker-lost",
+            subject="pool",
+            workers=self.workers,
+            span=span,
+        )
+        return BatchError(
+            f"worker process lost while running {span} "
+            f"({type(exc).__name__}: {exc}); the pool was discarded "
+            "and will rebuild on next use"
+        )
+
+    def discard(self) -> None:
+        """Drop the executor (broken or not); next use rebuilds it."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+            self.rebuilds += 1
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes, keeping the shared cache."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
+#: Process-lifetime pool registry, keyed by (workers, cache on/off).
+_WARM_POOLS: dict[tuple[int, bool], WarmPool] = {}
+
+
+def warm_pool(workers: int, use_cache: bool = True) -> WarmPool:
+    """The process-lifetime :class:`WarmPool` for this configuration.
+
+    Successive ``BatchExecutor(..., warm=True)`` runs with the same
+    worker count and cache setting share one pool — and therefore
+    one set of warmed workers and one coordinator cache. With
+    ``workers=1`` the pool never spawns a process; only its
+    persistent coordinator context (and cache) is used.
+    """
+    key = (workers, use_cache)
+    pool = _WARM_POOLS.get(key)
+    if pool is None:
+        pool = WarmPool(workers, use_cache=use_cache)
+        _WARM_POOLS[key] = pool
+    return pool
+
+
+def shutdown_warm_pools() -> int:
+    """Shut down every registered warm pool; returns how many.
+
+    Drops the pools' coordinator caches too — after this call the
+    process is back to a fully cold state (tests and benchmarks use
+    it as the isolation boundary).
+    """
+    pools = list(_WARM_POOLS.values())
+    _WARM_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+    return len(pools)

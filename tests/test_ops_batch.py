@@ -243,3 +243,50 @@ class TestBatchCLI:
             logs[workers] = _comparable(_events(log))
         capsys.readouterr()
         assert logs[1] == logs[4]
+
+    def test_audit_content_invariant_under_warm_chunked_dispatch(
+        self, requests_file, tmp_path, capsys
+    ):
+        """Cache-aware dispatch may not change the audit chain.
+
+        The warm pool serves coordinator-cache hits without touching
+        a worker and ships the rest in chunks — the chain content
+        must still match a serial run event for event, including on
+        a second batch where every request is a coordinator hit.
+        """
+        from repro.ops import shutdown_warm_pools
+
+        shutdown_warm_pools()
+        try:
+            serial_log = tmp_path / "audit-serial.jsonl"
+            main(
+                [
+                    "batch",
+                    str(requests_file),
+                    "--audit-log",
+                    str(serial_log),
+                ]
+            )
+            expected = _comparable(_events(serial_log))
+            for attempt in ("first", "second"):
+                log = tmp_path / f"audit-warm-{attempt}.jsonl"
+                assert (
+                    main(
+                        [
+                            "batch",
+                            str(requests_file),
+                            "--workers",
+                            "2",
+                            "--warm",
+                            "--chunk-size",
+                            "2",
+                            "--audit-log",
+                            str(log),
+                        ]
+                    )
+                    == 0
+                )
+                assert _comparable(_events(log)) == expected
+        finally:
+            shutdown_warm_pools()
+        capsys.readouterr()
