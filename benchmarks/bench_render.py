@@ -1,0 +1,145 @@
+"""E18 — report-surface costs: render throughput, cache speedup.
+
+The ``report.render`` operation builds the full report model (Table 1
+layout, every §5 statistic, claim verification, per-category
+breakdowns) and serialises ~22 KB of HTML — the most expensive pure
+operation in the catalog. This benchmark records:
+
+* **cold renders/s** — fresh :class:`~repro.ops.context.RunContext`
+  per call: corpus construction + model build + serialisation,
+* **model-warm renders/s** — one context, cache disabled: the pure
+  rendering cost once the corpus memo is hot,
+* **cache-warm renders/s** — served from the content-addressed
+  :class:`~repro.ops.cache.ResultCache`, asserted at least **5×**
+  the cold rate (the same floor E17 asserts for ``table1``/
+  ``report``),
+* **byte-identity** — every render in every configuration must
+  produce identical bytes, and the LaTeX renderer is swept alongside
+  for scale.
+
+Writes the numbers to ``BENCH_render.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.ops import ResultCache, RunContext, execute
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_render.json"
+
+COLD_ROUNDS = 5
+WARM_ROUNDS = 20
+CACHED_ROUNDS = 200
+MIN_CACHE_SPEEDUP = 5.0
+
+
+def _timed(fn) -> tuple[object, float]:
+    gc.collect()
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _cold_seconds(operation: str, values: dict | None = None) -> float:
+    """Median per-call cost with a fresh context every call."""
+    samples = []
+    for _ in range(COLD_ROUNDS):
+        context = RunContext(cache=ResultCache())
+        _, seconds = _timed(
+            lambda: execute(operation, values, context=context)
+        )
+        samples.append(seconds)
+    return statistics.median(samples)
+
+
+def _warm_seconds(operation: str, values: dict | None = None) -> float:
+    """Median per-call cost with a hot corpus memo, cache disabled."""
+    context = RunContext(cache=None)
+    execute(operation, values, context=context)  # warm the memo
+    samples = []
+    for _ in range(WARM_ROUNDS):
+        _, seconds = _timed(
+            lambda: execute(operation, values, context=context)
+        )
+        samples.append(seconds)
+    return statistics.median(samples)
+
+
+def _cached_seconds(
+    operation: str, values: dict | None = None
+) -> float:
+    """Per-call cost when served from the result cache."""
+    context = RunContext(cache=ResultCache())
+    execute(operation, values, context=context)  # populate
+    hits_before = context.cache.hits
+
+    def run() -> None:
+        for _ in range(CACHED_ROUNDS):
+            execute(operation, values, context=context)
+
+    _, seconds = _timed(run)
+    assert context.cache.hits - hits_before == CACHED_ROUNDS
+    return seconds / CACHED_ROUNDS
+
+
+def _byte_identity(operation: str, values: dict | None = None) -> int:
+    """Render across fresh/warm/cached contexts; all bytes equal."""
+    fresh = execute(
+        operation, values, context=RunContext(cache=ResultCache())
+    ).text
+    warm_ctx = RunContext(cache=None)
+    execute(operation, values, context=warm_ctx)
+    warm = execute(operation, values, context=warm_ctx).text
+    cached_ctx = RunContext(cache=ResultCache())
+    execute(operation, values, context=cached_ctx)
+    cached = execute(operation, values, context=cached_ctx).text
+    assert fresh == warm == cached
+    return len(fresh.encode("utf-8"))
+
+
+def _surface(operation: str, values: dict | None = None) -> dict:
+    cold = _cold_seconds(operation, values)
+    warm = _warm_seconds(operation, values)
+    cached = _cached_seconds(operation, values)
+    return {
+        "output_bytes": _byte_identity(operation, values),
+        "cold_renders_per_second": round(1.0 / cold, 1),
+        "model_warm_renders_per_second": round(1.0 / warm, 1),
+        "cache_warm_renders_per_second": round(1.0 / cached, 1),
+        "cache_speedup_over_cold": round(cold / cached, 1),
+        "byte_identical": True,
+    }
+
+
+def test_e18_render_throughput_and_cache_speedup():
+    html = _surface("report.render")
+    latex = _surface("table.latex", {"style": "booktabs"})
+
+    bench = {
+        "cpu_count": os.cpu_count(),
+        "html_report": html,
+        "latex_booktabs": latex,
+        "min_cache_speedup_asserted": MIN_CACHE_SPEEDUP,
+        "note": (
+            "report.render builds the full report model (layout + "
+            "§5 statistics + verification + per-category breakdowns) "
+            "and serialises the self-contained HTML document; "
+            "table.latex is the booktabs appendix table. Cold = "
+            "fresh RunContext per call (corpus rebuild dominates), "
+            "model-warm = hot corpus memo with the result cache "
+            "disabled, cache-warm = content-addressed ResultCache "
+            "hit. Asserted contracts: byte-identity across all three "
+            "paths for both surfaces, and cache-warm >= 5x cold for "
+            "the HTML report."
+        ),
+    }
+    RESULT_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+
+    assert html["cache_speedup_over_cold"] >= MIN_CACHE_SPEEDUP, bench
+    assert html["byte_identical"] and latex["byte_identical"]

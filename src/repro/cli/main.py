@@ -20,6 +20,14 @@ such as ``audit.verify`` become nested subcommands):
 * ``lint [--format F] [--select R1,R2]`` — the staticcheck policy
   linter over the repro source itself,
 * ``report`` — the full paper-vs-measured Markdown report,
+* ``report render`` — the deterministic self-contained static HTML
+  report (byte-identical across runs and batch worker counts),
+* ``table latex [--style booktabs|plain]`` — appendix-ready LaTeX
+  rendering of Table 1,
+* ``codebook merge [--strategy S] [--other JSON]`` — multi-coder
+  codebook merge with explicit conflict records,
+* ``agreement fuzzy [--threshold T]`` — exact vs fuzzy-match
+  inter-rater reliability,
 * ``simulate KIND [--seed N]`` — synthesise a dataset and print a
   summary,
 * ``pipeline [--dataset D] [--workers N] [--chunk-size M]
@@ -94,9 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     Flat operation names become subcommands; dotted names
     (``audit.verify``) become nested subcommands under a group
-    parser whose help text the registry provides. Nothing here is
-    hand-wired per subcommand — registering a new operation is
-    enough to surface it on the CLI.
+    parser whose help text the registry provides. A flat operation
+    and a dotted family may share a name (``report`` and
+    ``report.render``): the family's subcommands attach to the flat
+    operation's parser as *optional* nested subcommands, the child's
+    ``set_defaults`` overriding the parent's operation name when
+    one is given. Nothing here is hand-wired per subcommand —
+    registering a new operation is enough to surface it on the CLI.
     """
     registry = default_registry()
     parser = argparse.ArgumentParser(
@@ -107,24 +119,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    flat: dict[str, argparse.ArgumentParser] = {}
     groups: dict[str, argparse._SubParsersAction] = {}
+    # Pass 1: flat operations, so a dotted family landing on the same
+    # name (pass 2) can nest inside the existing parser.
     for operation in registry:
         if "." in operation.name:
-            group, leaf = operation.name.split(".", 1)
-            if group not in groups:
+            continue
+        child = sub.add_parser(operation.name, help=operation.help)
+        _attach(child, operation)
+        flat[operation.name] = child
+    # Pass 2: dotted families.
+    for operation in registry:
+        if "." not in operation.name:
+            continue
+        group, leaf = operation.name.split(".", 1)
+        if group not in groups:
+            if group in flat:
+                # Collision with a flat operation: nest underneath
+                # it, optional so the bare command keeps working.
+                groups[group] = flat[group].add_subparsers(
+                    dest=f"{group}_command", required=False
+                )
+            else:
                 group_parser = sub.add_parser(
                     group, help=registry.group_help(group)
                 )
                 groups[group] = group_parser.add_subparsers(
                     dest=f"{group}_command", required=True
                 )
-            child = groups[group].add_parser(
-                leaf, help=operation.help
-            )
-        else:
-            child = sub.add_parser(
-                operation.name, help=operation.help
-            )
+        child = groups[group].add_parser(leaf, help=operation.help)
         _attach(child, operation)
     return parser
 

@@ -8,8 +8,19 @@ Public API:
   :class:`~repro.codebook.model.Dimension`,
   :class:`~repro.codebook.model.Codebook` — schema objects.
 * :func:`~repro.codebook.paper.paper_codebook` — the paper's schema.
+* :func:`~repro.codebook.merge.merge_codebooks` — multi-coder merge
+  with explicit conflict records, plus the dict round-trip and the
+  worked second-coder variant.
 """
 
+from .merge import (
+    MergeConflict,
+    MergeResult,
+    codebook_from_dict,
+    codebook_to_dict,
+    example_coder_variant,
+    merge_codebooks,
+)
 from .model import Code, Codebook, Dimension, DimensionKind
 from .paper import (
     BENEFIT_CODES,
@@ -38,7 +49,13 @@ __all__ = [
     "JUSTIFICATION_DIMENSIONS",
     "LEGAL_DIMENSIONS",
     "META_DIMENSIONS",
+    "MergeConflict",
+    "MergeResult",
     "SAFEGUARD_CODES",
+    "codebook_from_dict",
+    "codebook_to_dict",
+    "example_coder_variant",
+    "merge_codebooks",
     "paper_codebook",
     "parse_glyph",
 ]

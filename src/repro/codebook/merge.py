@@ -1,0 +1,405 @@
+"""Multi-coder codebook merge with explicit conflict records.
+
+When several coders independently extend the coding schema (new harm
+codes, renamed safeguards, tightened definitions), their codebooks
+must be reconciled before inter-rater reliability or a joint report
+makes sense. :func:`merge_codebooks` merges any number of codebooks
+under a ``union`` or ``intersection`` strategy, records every
+disagreement as a :class:`MergeConflict` (nothing is silently
+dropped), and resolves each conflict deterministically: the earliest
+codebook in the argument order wins, so the merge is a pure function
+of its inputs.
+
+:func:`codebook_to_dict` / :func:`codebook_from_dict` give codebooks
+a JSON-serialisable round-trip so coder variants can be shipped as
+data files through the ops layer, and :func:`example_coder_variant`
+builds the worked second-coder schema used by the docs and the
+``codebook merge`` operation's default demonstration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from ..errors import CodebookError
+from .model import Code, Codebook, Dimension, DimensionKind
+from .paper import paper_codebook
+from .values import CellValue
+
+__all__ = [
+    "MergeConflict",
+    "MergeResult",
+    "codebook_from_dict",
+    "codebook_to_dict",
+    "example_coder_variant",
+    "merge_codebooks",
+]
+
+_STRATEGIES = ("union", "intersection")
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeConflict:
+    """One recorded disagreement between merged codebooks.
+
+    ``field`` names what disagreed: a dimension attribute
+    (``"name"``, ``"kind"``, ``"description"``, ``"allowed"``), a
+    member-code attribute (``"member:<code id>/<attribute>"``), or a
+    structural drop (``"dimension"``, ``"members"``). ``values`` maps
+    each source codebook's name to its value, in argument order;
+    ``resolution`` states what the merge kept.
+    """
+
+    dimension_id: str
+    field: str
+    values: dict[str, str]
+    resolution: str
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI output."""
+        sides = "; ".join(
+            f"{source}={value!r}" for source, value in self.values.items()
+        )
+        return (
+            f"{self.dimension_id}.{self.field}: {sides} -> "
+            f"{self.resolution}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeResult:
+    """The merged codebook plus the full conflict record."""
+
+    codebook: Codebook
+    conflicts: tuple[MergeConflict, ...]
+    strategy: str
+    sources: tuple[str, ...]
+
+
+def _merge_members(
+    dimension_id: str,
+    variants: list[tuple[str, Dimension]],
+    strategy: str,
+    conflicts: list[MergeConflict],
+) -> tuple[Code, ...]:
+    """Merge open-dimension member codes across codebook variants."""
+    first_source, first = variants[0]
+    by_id: dict[str, Code] = {c.id: c for c in first.members}
+    order = [c.id for c in first.members]
+    extras: list[str] = []
+    for source, variant in variants[1:]:
+        for code in variant.members:
+            if code.id not in by_id:
+                if strategy == "union":
+                    by_id[code.id] = code
+                    order.append(code.id)
+                elif code.id not in extras:
+                    extras.append(code.id)
+                continue
+            kept = by_id[code.id]
+            for attribute in ("abbrev", "name", "definition"):
+                ours = getattr(kept, attribute)
+                theirs = getattr(code, attribute)
+                if ours != theirs:
+                    conflicts.append(
+                        MergeConflict(
+                            dimension_id=dimension_id,
+                            field=f"member:{code.id}/{attribute}",
+                            values={first_source: ours, source: theirs},
+                            resolution=f"kept {first_source}'s value",
+                        )
+                    )
+    if strategy == "intersection":
+        common = set(order)
+        for source, variant in variants[1:]:
+            common &= {c.id for c in variant.members}
+        dropped = [
+            code_id for code_id in order if code_id not in common
+        ] + extras
+        if dropped:
+            conflicts.append(
+                MergeConflict(
+                    dimension_id=dimension_id,
+                    field="members",
+                    values={
+                        source: ",".join(c.id for c in variant.members)
+                        for source, variant in variants
+                    },
+                    resolution=f"dropped {', '.join(dropped)}",
+                )
+            )
+        order = [code_id for code_id in order if code_id in common]
+    return tuple(by_id[code_id] for code_id in order)
+
+
+def _merge_allowed(
+    dimension_id: str,
+    variants: list[tuple[str, Dimension]],
+    strategy: str,
+    conflicts: list[MergeConflict],
+) -> tuple[CellValue, ...]:
+    """Merge closed-dimension allowed values across variants."""
+    first_source, first = variants[0]
+    allowed = list(first.allowed)
+    disagreement = any(
+        tuple(variant.allowed) != tuple(first.allowed)
+        for _, variant in variants[1:]
+    )
+    if disagreement:
+        conflicts.append(
+            MergeConflict(
+                dimension_id=dimension_id,
+                field="allowed",
+                values={
+                    source: ",".join(v.value for v in variant.allowed)
+                    for source, variant in variants
+                },
+                resolution=f"{strategy} of the allowed sets",
+            )
+        )
+    if strategy == "union":
+        for _, variant in variants[1:]:
+            for value in variant.allowed:
+                if value not in allowed:
+                    allowed.append(value)
+    else:
+        common = set(allowed)
+        for _, variant in variants[1:]:
+            common &= set(variant.allowed)
+        allowed = [v for v in allowed if v in common]
+    return tuple(allowed)
+
+
+def merge_codebooks(
+    codebooks: Sequence[Codebook],
+    *,
+    strategy: str = "union",
+    name: str | None = None,
+) -> MergeResult:
+    """Merge several coders' codebooks into one, recording conflicts.
+
+    ``strategy="union"`` keeps every dimension, allowed value and
+    member code any coder declared; ``"intersection"`` keeps only
+    what all coders share (dropping the rest, with a conflict record
+    per drop). Attribute disagreements (names, definitions, kinds)
+    are always resolved in favour of the earliest codebook and always
+    recorded. Ordering follows the first codebook, with
+    union-only additions appended in later codebooks' order, so the
+    merge is deterministic in the argument order.
+    """
+    if strategy not in _STRATEGIES:
+        raise CodebookError(
+            f"unknown merge strategy {strategy!r}; "
+            f"choose from {list(_STRATEGIES)}"
+        )
+    if not codebooks:
+        raise CodebookError("merge_codebooks needs at least one codebook")
+    sources = tuple(book.name for book in codebooks)
+    if len(set(sources)) != len(sources):
+        raise CodebookError(
+            "merged codebooks must have distinct names; got "
+            f"{list(sources)}"
+        )
+    conflicts: list[MergeConflict] = []
+    order: list[str] = []
+    variants_by_id: dict[str, list[tuple[str, Dimension]]] = {}
+    for book in codebooks:
+        for dimension in book:
+            if dimension.id not in variants_by_id:
+                variants_by_id[dimension.id] = []
+                order.append(dimension.id)
+            variants_by_id[dimension.id].append((book.name, dimension))
+
+    merged: list[Dimension] = []
+    for dimension_id in order:
+        variants = variants_by_id[dimension_id]
+        first_source, first = variants[0]
+        if strategy == "intersection" and len(variants) < len(codebooks):
+            conflicts.append(
+                MergeConflict(
+                    dimension_id=dimension_id,
+                    field="dimension",
+                    values={source: "present" for source, _ in variants},
+                    resolution="dropped (not coded by every coder)",
+                )
+            )
+            continue
+        kind_disagreement = [
+            (source, variant)
+            for source, variant in variants[1:]
+            if variant.kind != first.kind
+        ]
+        for source, variant in kind_disagreement:
+            conflicts.append(
+                MergeConflict(
+                    dimension_id=dimension_id,
+                    field="kind",
+                    values={first_source: first.kind, source: variant.kind},
+                    resolution=f"kept {first_source}'s {first.kind!r}",
+                )
+            )
+        comparable = [
+            (source, variant)
+            for source, variant in variants
+            if variant.kind == first.kind
+        ]
+        for attribute in ("name", "group", "description"):
+            ours = getattr(first, attribute)
+            for source, variant in comparable[1:]:
+                theirs = getattr(variant, attribute)
+                if ours != theirs:
+                    conflicts.append(
+                        MergeConflict(
+                            dimension_id=dimension_id,
+                            field=attribute,
+                            values={first_source: ours, source: theirs},
+                            resolution=f"kept {first_source}'s value",
+                        )
+                    )
+        if first.kind == DimensionKind.OPEN:
+            members = _merge_members(
+                dimension_id, comparable, strategy, conflicts
+            )
+            if not members:
+                conflicts.append(
+                    MergeConflict(
+                        dimension_id=dimension_id,
+                        field="dimension",
+                        values={
+                            source: ",".join(c.id for c in variant.members)
+                            for source, variant in comparable
+                        },
+                        resolution="dropped (no shared member codes)",
+                    )
+                )
+                continue
+            merged.append(dataclasses.replace(first, members=members))
+        else:
+            allowed = _merge_allowed(
+                dimension_id, comparable, strategy, conflicts
+            )
+            if not allowed:
+                conflicts.append(
+                    MergeConflict(
+                        dimension_id=dimension_id,
+                        field="dimension",
+                        values={
+                            source: ",".join(
+                                v.value for v in variant.allowed
+                            )
+                            for source, variant in comparable
+                        },
+                        resolution="dropped (no shared allowed values)",
+                    )
+                )
+                continue
+            merged.append(dataclasses.replace(first, allowed=allowed))
+
+    merged_name = name or "+".join(sources)
+    return MergeResult(
+        codebook=Codebook(merged_name, merged),
+        conflicts=tuple(conflicts),
+        strategy=strategy,
+        sources=sources,
+    )
+
+
+def codebook_to_dict(codebook: Codebook) -> dict:
+    """Serialise a codebook to a JSON-compatible dict."""
+    return {
+        "name": codebook.name,
+        "dimensions": [
+            {
+                "id": dim.id,
+                "name": dim.name,
+                "group": dim.group,
+                "kind": dim.kind,
+                "allowed": [value.value for value in dim.allowed],
+                "members": [
+                    {
+                        "id": code.id,
+                        "abbrev": code.abbrev,
+                        "name": code.name,
+                        "definition": code.definition,
+                    }
+                    for code in dim.members
+                ],
+                "description": dim.description,
+            }
+            for dim in codebook
+        ],
+    }
+
+
+def codebook_from_dict(data: Mapping) -> Codebook:
+    """Rebuild a codebook from :func:`codebook_to_dict` output.
+
+    Raises :class:`~repro.errors.CodebookError` on malformed input,
+    including unknown cell values and schema-violating dimensions.
+    """
+    try:
+        dimensions = [
+            Dimension(
+                id=spec["id"],
+                name=spec.get("name", spec["id"]),
+                group=spec.get("group", "codes"),
+                kind=spec.get("kind", DimensionKind.CLOSED),
+                allowed=tuple(
+                    CellValue(value) for value in spec.get("allowed", ())
+                ),
+                members=tuple(
+                    Code(
+                        id=member["id"],
+                        abbrev=member["abbrev"],
+                        name=member.get("name", member["id"]),
+                        definition=member.get("definition", ""),
+                    )
+                    for member in spec.get("members", ())
+                ),
+                description=spec.get("description", ""),
+            )
+            for spec in data["dimensions"]
+        ]
+        return Codebook(data["name"], dimensions)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodebookError(f"malformed codebook spec: {exc}") from exc
+
+
+def example_coder_variant() -> Codebook:
+    """A worked second-coder variant of the paper's codebook.
+
+    Models the drift a real second coder produces: a new harm code
+    (``CE`` — chilling effects, from the paper's §5.3 discussion), a
+    reworded safeguard name, and a tightened definition on the
+    harm-identification dimension. Merging this against
+    :func:`~repro.codebook.paper.paper_codebook` therefore yields one
+    union-only addition and two attribute conflicts — the
+    demonstration scenario used by ``repro-ethics codebook merge``
+    and ``docs/reporting.md``.
+    """
+    spec = codebook_to_dict(paper_codebook())
+    spec["name"] = "illicit-origin-coding-coder-b"
+    for dimension in spec["dimensions"]:
+        if dimension["id"] == "harms":
+            dimension["members"].append(
+                {
+                    "id": "chilling-effects",
+                    "abbrev": "CE",
+                    "name": "Chilling effects",
+                    "definition": (
+                        "Exposure may deter lawful behaviour by "
+                        "persons in the dataset."
+                    ),
+                }
+            )
+        if dimension["id"] == "safeguards":
+            for member in dimension["members"]:
+                if member["id"] == "secure-storage":
+                    member["name"] = "Secured storage"
+        if dimension["id"] == "identify-harms":
+            dimension["description"] = (
+                "Potential harms to any stakeholder are enumerated "
+                "explicitly, not merely acknowledged."
+            )
+    return codebook_from_dict(spec)

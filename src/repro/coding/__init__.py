@@ -1,11 +1,15 @@
 """Multi-coder annotation and inter-rater reliability machinery."""
 
 from .agreement import (
+    canonicalize_labels,
     cohens_kappa,
     confusion_matrix,
     fleiss_kappa,
+    fuzzy_set_agreement,
     interpret_kappa,
     krippendorff_alpha,
+    label_similarity,
+    normalize_label,
     pairwise_kappa,
     percent_agreement,
     set_agreement,
@@ -27,11 +31,15 @@ __all__ = [
     "Coder",
     "Disagreement",
     "annotations_from_corpus",
+    "canonicalize_labels",
     "cohens_kappa",
     "confusion_matrix",
     "fleiss_kappa",
+    "fuzzy_set_agreement",
     "interpret_kappa",
     "krippendorff_alpha",
+    "label_similarity",
+    "normalize_label",
     "pairwise_kappa",
     "percent_agreement",
     "set_agreement",

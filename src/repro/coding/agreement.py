@@ -7,7 +7,13 @@ exercises like the paper's Table 1:
 * Cohen's kappa (two raters) and weighted kappa,
 * Fleiss' kappa (any number of raters),
 * Krippendorff's alpha (nominal metric, tolerates missing data),
-* per-pair confusion matrices.
+* per-pair confusion matrices,
+* fuzzy-match variants: :func:`normalize_label`,
+  :func:`label_similarity` and :func:`canonicalize_labels` unify
+  near-identical labels (case, separators, close spellings, shared
+  code sets) *before* the chance-corrected statistics run, so
+  :func:`fuzzy_set_agreement` reports how much disagreement is pure
+  label hygiene rather than genuine coder disagreement.
 
 All functions take plain label sequences so they can be used directly
 or through :func:`pairwise_kappa` / :func:`set_agreement` on
@@ -16,7 +22,9 @@ or through :func:`pairwise_kappa` / :func:`set_agreement` on
 
 from __future__ import annotations
 
+import difflib
 import itertools
+import re
 from collections import Counter
 from collections.abc import Mapping, Sequence
 
@@ -33,7 +41,16 @@ __all__ = [
     "pairwise_kappa",
     "set_agreement",
     "interpret_kappa",
+    "normalize_label",
+    "label_similarity",
+    "canonicalize_labels",
+    "fuzzy_set_agreement",
 ]
+
+#: Default similarity threshold for fuzzy matching: high enough that
+#: distinct codebook labels ("justice" vs "public-data") never merge,
+#: low enough to absorb case/separator/pluralisation drift.
+DEFAULT_FUZZY_THRESHOLD = 0.85
 
 
 def _check_pair(a: Sequence, b: Sequence) -> None:
@@ -238,6 +255,118 @@ def set_agreement(
     ) / len(pairs)
     items = [
         [labels[r][i] for r in range(len(sets))]
+        for i in range(len(common))
+    ]
+    return {
+        "percent": mean_percent,
+        "fleiss_kappa": fleiss_kappa(items),
+        "krippendorff_alpha": krippendorff_alpha(items),
+    }
+
+
+_SEPARATORS = re.compile(r"[\s_-]+")
+
+
+def normalize_label(label: str) -> str:
+    """Canonical spelling of a label: casefold, collapse separators.
+
+    ``"Secure_Storage"``, ``"secure storage"`` and ``"SECURE-STORAGE"``
+    all normalise to ``"secure-storage"``. Compound (set-valued)
+    labels joined with ``+`` are normalised component-wise and
+    re-sorted, so ``"P+SS"`` and ``"ss + p"`` coincide.
+    """
+    if "+" in label:
+        parts = sorted(
+            normalize_label(part) for part in label.split("+")
+        )
+        return "+".join(part for part in parts if part)
+    return _SEPARATORS.sub("-", label.strip().casefold())
+
+
+def label_similarity(a: str, b: str) -> float:
+    """Similarity of two labels in [0, 1], after normalisation.
+
+    Equal normalised labels score 1.0. Compound labels (``"+"``-joined
+    code sets) score their Jaccard overlap; everything else scores the
+    :class:`difflib.SequenceMatcher` ratio of the normalised strings.
+    Deterministic — no randomisation anywhere in the comparison.
+    """
+    na, nb = normalize_label(a), normalize_label(b)
+    if na == nb:
+        return 1.0
+    if "+" in na or "+" in nb:
+        sa, sb = set(na.split("+")), set(nb.split("+"))
+        union = sa | sb
+        if not union:
+            return 1.0
+        return len(sa & sb) / len(union)
+    return difflib.SequenceMatcher(a=na, b=nb).ratio()
+
+
+def canonicalize_labels(
+    labels: Sequence[str], threshold: float = DEFAULT_FUZZY_THRESHOLD
+) -> dict[str, str]:
+    """Map each distinct label to a canonical representative.
+
+    Labels whose :func:`label_similarity` reaches *threshold* are
+    placed in the same equivalence class; each class is represented
+    by its first member in sorted order. Greedy assignment over
+    sorted distinct labels makes the result deterministic and
+    independent of input order.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise CodingError(
+            f"fuzzy threshold must be in (0, 1], got {threshold}"
+        )
+    canonical: dict[str, str] = {}
+    representatives: list[str] = []
+    for label in sorted(set(labels)):
+        best: str | None = None
+        best_score = 0.0
+        for representative in representatives:
+            score = label_similarity(label, representative)
+            if score > best_score:
+                best, best_score = representative, score
+        if best is not None and best_score >= threshold:
+            canonical[label] = best
+        else:
+            representatives.append(label)
+            canonical[label] = label
+    return canonical
+
+
+def fuzzy_set_agreement(
+    sets: Sequence[AnnotationSet],
+    threshold: float = DEFAULT_FUZZY_THRESHOLD,
+) -> dict[str, float]:
+    """:func:`set_agreement` after fuzzy label canonicalisation.
+
+    Labels from *all* raters are pooled, canonicalised with
+    :func:`canonicalize_labels` at *threshold*, and the standard
+    percent / Fleiss-kappa / Krippendorff-alpha statistics are
+    computed over the canonical labels. Comparing the result against
+    the exact-match :func:`set_agreement` numbers isolates how much
+    apparent disagreement is mere label drift: identical values mean
+    every disagreement is substantive.
+    """
+    if len(sets) < 2:
+        raise CodingError("agreement needs at least two annotation sets")
+    common = sorted(set.intersection(*(s.keys for s in sets)))
+    if not common:
+        raise CodingError("annotation sets share no common keys")
+    labels = [s.labels_for(common) for s in sets]
+    mapping = canonicalize_labels(
+        [label for rater in labels for label in rater], threshold
+    )
+    mapped = [
+        [mapping[label] for label in rater] for rater in labels
+    ]
+    pairs = list(itertools.combinations(range(len(sets)), 2))
+    mean_percent = sum(
+        percent_agreement(mapped[i], mapped[j]) for i, j in pairs
+    ) / len(pairs)
+    items = [
+        [mapped[r][i] for r in range(len(sets))]
         for i in range(len(common))
     ]
     return {

@@ -197,6 +197,156 @@ def _run_report(request: dict, ctx: RunContext) -> OpResponse:
     )
 
 
+def _run_report_render(request: dict, ctx: RunContext) -> OpResponse:
+    """The deterministic self-contained static HTML report."""
+    from ..render import build_report_model, render_html_report
+
+    digest = ctx.corpus_digest()
+    model = build_report_model(ctx.corpus(), digest=digest)
+    rendered = render_html_report(model)
+    return OpResponse(
+        payload={
+            "bytes": len(rendered.encode("utf-8")),
+            "corpus_digest": digest,
+            "rendered": rendered,
+        },
+        text=rendered,
+    )
+
+
+def _run_table_latex(request: dict, ctx: RunContext) -> OpResponse:
+    """Appendix-ready LaTeX rendering of Table 1."""
+    from ..tables import render_table1
+
+    format = (
+        "latex-booktabs"
+        if request["style"] == "booktabs"
+        else "latex"
+    )
+    rendered = render_table1(ctx.corpus(), format)
+    return OpResponse(
+        payload={"rendered": rendered, "style": request["style"]},
+        text=rendered + "\n",
+    )
+
+
+def _run_codebook_merge(request: dict, ctx: RunContext) -> OpResponse:
+    """Merge the corpus codebook with a second coder's variant."""
+    import json
+
+    from ..codebook import (
+        codebook_from_dict,
+        codebook_to_dict,
+        example_coder_variant,
+        merge_codebooks,
+    )
+    from ..errors import CodebookError
+
+    if request["other"] is None:
+        other = example_coder_variant()
+    else:
+        try:
+            other = codebook_from_dict(json.loads(request["other"]))
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise CodebookError(
+                f"--other is not a codebook JSON spec: {exc}"
+            ) from exc
+    result = merge_codebooks(
+        (ctx.corpus().codebook, other),
+        strategy=request["strategy"],
+        name=request["name"],
+    )
+    merged = result.codebook
+    lines = [
+        f"merged {' + '.join(result.sources)} "
+        f"({result.strategy}) -> {merged.name}: "
+        f"{len(merged)} dimensions, "
+        f"{sum(len(d.members) for d in merged.open_dimensions())} "
+        f"member codes",
+        f"{len(result.conflicts)} conflicts:",
+    ]
+    for conflict in result.conflicts:
+        lines.append(f"  {conflict.describe()}")
+    payload = {
+        "codebook": codebook_to_dict(merged),
+        "conflicts": [
+            {
+                "dimension_id": conflict.dimension_id,
+                "field": conflict.field,
+                "resolution": conflict.resolution,
+                "values": dict(conflict.values),
+            }
+            for conflict in result.conflicts
+        ],
+        "sources": list(result.sources),
+        "strategy": result.strategy,
+    }
+    return OpResponse(payload=payload, text=_text(lines))
+
+
+def _format_drift(label: str) -> str:
+    """A second coder's label spelling: case and separator drift."""
+    return label.swapcase().replace("-", "_")
+
+
+def _run_agreement_fuzzy(request: dict, ctx: RunContext) -> OpResponse:
+    """Exact vs fuzzy IRR between the paper and a drifted re-coding."""
+    from ..coding import (
+        Coder,
+        annotations_from_corpus,
+        canonicalize_labels,
+        cohens_kappa,
+        interpret_kappa,
+        krippendorff_alpha,
+        percent_agreement,
+    )
+
+    threshold = request["threshold"]
+    annotations = annotations_from_corpus(
+        ctx.corpus(), Coder("paper", name="published Table 1")
+    )
+    keys = sorted(annotations.keys)
+    labels_a = list(annotations.labels_for(keys))
+    labels_b = [_format_drift(label) for label in labels_a]
+
+    def summary(a: list[str], b: list[str]) -> dict:
+        return {
+            "percent": round(percent_agreement(a, b), 4),
+            "cohens_kappa": round(cohens_kappa(a, b), 4),
+            "krippendorff_alpha": round(
+                krippendorff_alpha(list(zip(a, b))), 4
+            ),
+        }
+
+    exact = summary(labels_a, labels_b)
+    mapping = canonicalize_labels(labels_a + labels_b, threshold)
+    fuzzy = summary(
+        [mapping[label] for label in labels_a],
+        [mapping[label] for label in labels_b],
+    )
+    lines = [
+        f"{len(keys)} (entry, dimension) items; coder B re-spells "
+        "every label (case/separator drift)",
+        f"exact:  percent={exact['percent']:.2f} "
+        f"kappa={exact['cohens_kappa']:.2f} "
+        f"({interpret_kappa(exact['cohens_kappa'])})",
+        f"fuzzy:  percent={fuzzy['percent']:.2f} "
+        f"kappa={fuzzy['cohens_kappa']:.2f} "
+        f"({interpret_kappa(fuzzy['cohens_kappa'])}) "
+        f"at threshold {threshold}",
+        f"label hygiene accounts for "
+        f"{fuzzy['percent'] - exact['percent']:.2f} of the "
+        "disagreement",
+    ]
+    payload = {
+        "exact": exact,
+        "fuzzy": fuzzy,
+        "items": len(keys),
+        "threshold": threshold,
+    }
+    return OpResponse(payload=payload, text=_text(lines))
+
+
 def _run_legend(request: dict, ctx: RunContext) -> OpResponse:
     """The codebook legend for Table 1's abbreviations."""
     from ..tables import build_table1_layout, render_legend_text
@@ -394,10 +544,75 @@ def _operations() -> tuple[Operation, ...]:
                 Arg(
                     "--format",
                     choices=(
-                        "text", "markdown", "latex", "csv", "html",
+                        "text", "markdown", "latex", "latex-booktabs",
+                        "csv", "html",
                     ),
                     default="text",
                 ),
+            ),
+            pure=True,
+        ),
+        Operation(
+            name="report.render",
+            help=(
+                "render the self-contained static HTML report "
+                "(deterministic bytes; redirect stdout to a file)"
+            ),
+            handler=_run_report_render,
+            pure=True,
+        ),
+        Operation(
+            name="table.latex",
+            help="appendix-ready LaTeX rendering of Table 1",
+            handler=_run_table_latex,
+            args=(
+                Arg(
+                    "--style",
+                    choices=("booktabs", "plain"),
+                    default="booktabs",
+                ),
+            ),
+            pure=True,
+        ),
+        Operation(
+            name="codebook.merge",
+            help=(
+                "merge the corpus codebook with a second coder's "
+                "variant, recording every conflict"
+            ),
+            handler=_run_codebook_merge,
+            args=(
+                Arg(
+                    "--strategy",
+                    choices=("union", "intersection"),
+                    default="union",
+                ),
+                Arg(
+                    "--other",
+                    default=None,
+                    help=(
+                        "the second coder's codebook as a JSON spec "
+                        "(codebook_to_dict format); defaults to the "
+                        "worked example variant"
+                    ),
+                ),
+                Arg(
+                    "--name",
+                    default=None,
+                    help="name for the merged codebook",
+                ),
+            ),
+            pure=True,
+        ),
+        Operation(
+            name="agreement.fuzzy",
+            help=(
+                "exact vs fuzzy-match inter-rater reliability for a "
+                "label-drifted re-coding of Table 1"
+            ),
+            handler=_run_agreement_fuzzy,
+            args=(
+                Arg("--threshold", kind=float, default=0.85),
             ),
             pure=True,
         ),
@@ -561,6 +776,18 @@ def default_registry() -> OperationRegistry:
                 "telemetry egress: metric exporters, sampling "
                 "profiler and profile views"
             ),
+        )
+        registry.describe_group(
+            "table",
+            "Table 1 renderings beyond the plain table1 formats",
+        )
+        registry.describe_group(
+            "codebook",
+            "multi-coder codebook operations",
+        )
+        registry.describe_group(
+            "agreement",
+            "inter-rater reliability beyond exact label matching",
         )
         _REGISTRY = registry
     return _REGISTRY

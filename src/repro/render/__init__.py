@@ -1,0 +1,21 @@
+"""Static report rendering: deterministic, self-contained artifacts.
+
+The package turns a coded corpus into shareable documents — currently
+a single-file static HTML report embedding Table 1, every §5
+statistic, per-category breakdowns and the corpus content digest as
+provenance. Rendering is a pure function of the corpus: no
+timestamps, no randomness, no environment reads, so the same corpus
+always produces byte-identical output (at any batch worker count).
+"""
+
+from __future__ import annotations
+
+from .html import render_html_report
+from .model import CategoryBreakdown, ReportModel, build_report_model
+
+__all__ = [
+    "CategoryBreakdown",
+    "ReportModel",
+    "build_report_model",
+    "render_html_report",
+]

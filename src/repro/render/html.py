@@ -1,0 +1,222 @@
+"""The deterministic single-file static HTML report.
+
+:func:`render_html_report` serialises a
+:class:`~repro.render.model.ReportModel` into one self-contained HTML
+document: inline CSS, no scripts, no external resources, and — by
+construction — no timestamps or randomness, so rendering the same
+corpus twice (or through the batch executor at any worker count)
+produces byte-identical files. The corpus content digest is embedded
+in the provenance footer so a report can be tied back to the exact
+corpus bytes it was rendered from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import html as _html
+
+from ..tables.renderers import render_html as _render_table_html
+from .model import ReportModel
+
+__all__ = ["render_html_report"]
+
+#: Inline stylesheet. Static text — part of the byte-stability
+#: contract, so edits here intentionally change the report bytes.
+_CSS = """\
+body { font-family: Georgia, 'Times New Roman', serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a1a; line-height: 1.5; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #1a1a1a; }
+h2 { font-size: 1.2rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+caption { caption-side: top; text-align: left; font-style: italic;
+          padding-bottom: 0.5rem; }
+th, td { border: 1px solid #999; padding: 0.15rem 0.4rem; }
+th { background: #eee; }
+pre { background: #f6f6f6; padding: 0.5rem; font-size: 0.8rem;
+      overflow-x: auto; }
+.ok { color: #1a6b1a; }
+.fail { color: #a11a1a; font-weight: bold; }
+.counts td:last-child { text-align: right; }
+footer { margin-top: 3rem; border-top: 1px solid #999;
+         font-size: 0.8rem; color: #555; }
+code { font-family: 'DejaVu Sans Mono', monospace; }
+"""
+
+#: Human-readable labels for the scalar §5 statistics, in report
+#: order. Every non-dict field of Section5Statistics must appear here
+#: (asserted in tests) so new statistics cannot silently drop out of
+#: the report.
+_SCALAR_LABELS = {
+    "total_entries": "Table 1 entries",
+    "total_papers": "Peer-production papers (§5.5 denominator)",
+    "reb_exempt": "REB exempt",
+    "reb_approved": "REB approved",
+    "reb_not_mentioned": "REB not mentioned",
+    "reb_not_applicable": "REB not applicable",
+    "ethics_sections": "Papers with explicit ethics sections",
+    "controlled_sharing": "Papers discussing controlled sharing",
+    "exempt_entries": "REB-exempt entries",
+    "approved_entries": "REB-approved entries",
+    "exempt_used_safeguards": "Exempt works used safeguards",
+    "exempt_identified_harms": "Exempt works identified harms",
+    "approved_also_did_surveys": "Approvals obtained for surveys",
+    "most_common_safeguard": "Most common safeguard",
+    "most_common_harm": "Most common harm",
+    "most_common_benefit": "Most common benefit",
+    "harms_mentions": "Total harm mentions",
+    "benefits_mentions": "Total benefit mentions",
+}
+
+#: Section headings for the per-dimension count tables.
+_COUNT_LABELS = {
+    "safeguard_counts": "Safeguards applied",
+    "harm_counts": "Harms identified",
+    "benefit_counts": "Benefits identified",
+    "justification_counts": "Justifications discussed",
+    "ethical_issue_counts": "Ethical issues discussed",
+    "legal_issue_counts": "Legal issues applicable",
+}
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, tuple):
+        return ", ".join(str(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        # Set iteration order varies with the process hash seed;
+        # sorting keeps the report bytes stable across runs.
+        return ", ".join(sorted(str(v) for v in value))
+    return str(value)
+
+
+def _scalar_rows(model: ReportModel) -> list[str]:
+    rows: list[str] = []
+    for field in dataclasses.fields(model.statistics):
+        if field.name in _COUNT_LABELS:
+            continue
+        label = _SCALAR_LABELS.get(field.name, field.name)
+        value = getattr(model.statistics, field.name)
+        rows.append(
+            f"    <tr><td>{_html.escape(label)}</td>"
+            f"<td><code>{_html.escape(_cell(value))}</code></td></tr>"
+        )
+    return rows
+
+
+def _count_table(title: str, counts: dict[str, int]) -> list[str]:
+    parts = [
+        '  <table class="counts">',
+        f"    <caption>{_html.escape(title)}</caption>",
+        "    <tr><th>Code</th><th>Papers</th></tr>",
+    ]
+    for key, value in counts.items():
+        parts.append(
+            f"    <tr><td>{_html.escape(key)}</td><td>{value}</td></tr>"
+        )
+    parts.append("  </table>")
+    return parts
+
+
+def _category_section(model: ReportModel) -> list[str]:
+    parts = [
+        "  <table>",
+        "    <caption>Per-category breakdown</caption>",
+        "    <tr><th>Category</th><th>Entries</th><th>Papers</th>"
+        "<th>Ethics sections</th><th>REB engaged</th>"
+        "<th>Safeguards</th></tr>",
+    ]
+    for cat in model.categories:
+        safeguards = ", ".join(
+            f"{abbrev}&times;{count}"
+            for abbrev, count in cat.safeguard_counts.items()
+        )
+        parts.append(
+            f"    <tr><td>{_html.escape(cat.category)}</td>"
+            f"<td>{cat.entries}</td><td>{cat.papers}</td>"
+            f"<td>{cat.ethics_sections}</td><td>{cat.reb_engaged}</td>"
+            f"<td>{safeguards}</td></tr>"
+        )
+    parts.append("  </table>")
+    return parts
+
+
+def _verification_section(model: ReportModel) -> list[str]:
+    parts = [
+        "  <table>",
+        "    <caption>Paper-claim verification "
+        "(recomputed vs published)</caption>",
+        "    <tr><th>Claim</th><th>Paper</th><th>Measured</th>"
+        "<th>Status</th></tr>",
+    ]
+    for check in model.checks:
+        status = (
+            '<span class="ok">OK</span>'
+            if check.ok
+            else '<span class="fail">FAIL</span>'
+        )
+        parts.append(
+            f"    <tr><td>{_html.escape(check.claim)}</td>"
+            f"<td><code>{_html.escape(_cell(check.expected))}</code></td>"
+            f"<td><code>{_html.escape(_cell(check.measured))}</code></td>"
+            f"<td>{status}</td></tr>"
+        )
+    parts.append("  </table>")
+    return parts
+
+
+def render_html_report(model: ReportModel) -> str:
+    """Render the model as one self-contained HTML document.
+
+    Pure: the output is a function of the model alone. The document
+    embeds Table 1 (via the shared table layout), every §5 statistic,
+    the per-category breakdowns, the claim-verification results and
+    the corpus digest, and ends with a trailing newline so the bytes
+    round-trip cleanly through POSIX text tools.
+    """
+    stats = model.statistics
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8">',
+        f"<title>{_html.escape(model.title)}</title>",
+        f"<style>\n{_CSS}</style>",
+        "</head>",
+        "<body>",
+        f"<h1>{_html.escape(model.title)}</h1>",
+        "<p>Static reproduction report for Thomas, Pastrana, "
+        "Hutchings, Clayton &amp; Beresford, <em>Ethical issues in "
+        "research using datasets of illicit origin</em>, IMC 2017. "
+        "Every number below is recomputed from the coded corpus — "
+        "nothing is transcribed from the paper except the expected "
+        "values in the verification table.</p>",
+        "<h2>Table 1 — the coded corpus</h2>",
+    ]
+    parts.append(_render_table_html(model.layout, legend=True))
+    parts.append("<h2>§5 statistics</h2>")
+    parts.append("  <table>")
+    parts.append("    <caption>Scalar claims</caption>")
+    parts.extend(_scalar_rows(model))
+    parts.append("  </table>")
+    for field_name, title in _COUNT_LABELS.items():
+        parts.extend(_count_table(title, getattr(stats, field_name)))
+    parts.append("<h2>Per-category breakdown</h2>")
+    parts.extend(_category_section(model))
+    parts.append("<h2>Verification</h2>")
+    parts.extend(_verification_section(model))
+    parts.extend(
+        [
+            "<footer>",
+            "  <p>Provenance: corpus content digest "
+            f"<code>{_html.escape(model.corpus_digest)}</code> "
+            f"over {stats.total_entries} entries. This report is a "
+            "pure function of the corpus: rendering the same digest "
+            "always yields byte-identical HTML (no timestamps, no "
+            "randomness, any batch worker count).</p>",
+            "</footer>",
+            "</body>",
+            "</html>",
+        ]
+    )
+    return "\n".join(parts) + "\n"

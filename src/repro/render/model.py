@@ -1,0 +1,111 @@
+"""The report data model shared by every report renderer.
+
+:func:`build_report_model` assembles everything a report needs —
+the Table 1 layout (the same :class:`~repro.tables.layout.TableLayout`
+the text/markdown/LaTeX renderers consume), the recomputed §5
+statistics, the paper-claim verification results, and per-category
+breakdowns — into one frozen :class:`ReportModel`. Renderers
+serialise the model without re-deriving any semantics, so report
+formats cannot drift from the terminal table formats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..analysis.section5 import (
+    ClaimCheck,
+    Section5Statistics,
+    section5_statistics,
+    verify_section5,
+)
+from ..corpus import CaseStudyEntry, Corpus
+from ..tables.layout import TableLayout, build_table1_layout
+
+__all__ = ["CategoryBreakdown", "ReportModel", "build_report_model"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CategoryBreakdown:
+    """Aggregates for one Table 1 row-group category."""
+
+    category: str
+    entries: int
+    papers: int
+    ethics_sections: int
+    reb_engaged: int
+    safeguard_counts: dict[str, int]
+    entry_ids: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportModel:
+    """Everything a report renderer needs, fully precomputed.
+
+    ``corpus_digest`` is the BLAKE2b content digest of the corpus
+    (see :meth:`repro.ops.context.RunContext.corpus_digest`) embedded
+    as provenance: two reports with the same digest were rendered
+    from byte-identical corpus content.
+    """
+
+    title: str
+    corpus_digest: str
+    layout: TableLayout
+    statistics: Section5Statistics
+    checks: tuple[ClaimCheck, ...]
+    categories: tuple[CategoryBreakdown, ...]
+
+
+def _breakdown(
+    category: str, entries: tuple[CaseStudyEntry, ...]
+) -> CategoryBreakdown:
+    safeguards: dict[str, int] = {}
+    for entry in entries:
+        for abbrev in entry.codes("safeguards"):
+            safeguards[abbrev] = safeguards.get(abbrev, 0) + 1
+    return CategoryBreakdown(
+        category=category,
+        entries=len(entries),
+        papers=sum(1 for e in entries if e.is_paper),
+        ethics_sections=sum(
+            1 for e in entries if e.is_paper and e.has_ethics_section
+        ),
+        reb_engaged=sum(
+            1
+            for e in entries
+            if e.reb_status.value in ("exempt", "approved")
+        ),
+        safeguard_counts=dict(sorted(safeguards.items())),
+        entry_ids=tuple(e.id for e in entries),
+    )
+
+
+def build_report_model(
+    corpus: Corpus, digest: str = "", title: str | None = None
+) -> ReportModel:
+    """Assemble the full report model from a coded corpus.
+
+    Pure and deterministic: the output depends only on the corpus
+    content and the arguments, never on the clock or environment.
+    """
+    categories: list[CategoryBreakdown] = []
+    seen: list[str] = []
+    for entry in corpus:
+        if entry.category not in seen:
+            seen.append(entry.category)
+    for category in seen:
+        categories.append(
+            _breakdown(category, corpus.by_category(category))
+        )
+    return ReportModel(
+        title=title
+        or (
+            "Ethical issues in research using datasets of illicit "
+            "origin — coded corpus report"
+        ),
+        corpus_digest=digest,
+        layout=build_table1_layout(corpus),
+        statistics=section5_statistics(corpus),
+        checks=tuple(verify_section5(corpus)),
+        categories=tuple(categories),
+    )

@@ -10,6 +10,7 @@ from .renderers import (
     render_csv,
     render_html,
     render_latex,
+    render_latex_booktabs,
     render_legend_text,
     render_markdown,
     render_text,
@@ -25,6 +26,7 @@ __all__ = [
     "render_csv",
     "render_html",
     "render_latex",
+    "render_latex_booktabs",
     "render_legend_text",
     "render_markdown",
     "render_table1",
@@ -37,7 +39,7 @@ __all__ = [
 def render_table1(corpus: Corpus, format: str = "text") -> str:
     """Regenerate Table 1 of the paper from the coded corpus.
 
-    *format* is one of ``text``, ``markdown``, ``latex``, ``csv`` or
-    ``html``.
+    *format* is one of ``text``, ``markdown``, ``latex``,
+    ``latex-booktabs``, ``csv`` or ``html``.
     """
     return render(build_table1_layout(corpus), format)

@@ -1,9 +1,10 @@
 """Renderers serialising a :class:`~repro.tables.layout.TableLayout`.
 
 Formats: Unicode text (for terminals), GitHub Markdown, LaTeX
-(booktabs-free, compiles with plain tabular), CSV and minimal HTML.
-Every renderer consumes the same layout object, so formats cannot
-drift apart.
+(both a booktabs-free ``tabular`` that compiles with no extra
+packages and an appendix-ready ``booktabs`` variant), CSV and
+minimal HTML. Every renderer consumes the same layout object, so
+formats cannot drift apart.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ __all__ = [
     "render_text",
     "render_markdown",
     "render_latex",
+    "render_latex_booktabs",
     "render_csv",
     "render_html",
     "render_legend_text",
@@ -224,6 +226,82 @@ def render_latex(layout: TableLayout) -> str:
     return "\n".join(lines)
 
 
+def render_latex_booktabs(layout: TableLayout) -> str:
+    """An appendix-ready ``booktabs`` LaTeX ``table*`` environment.
+
+    The publication-quality sibling of :func:`render_latex`: rules
+    come from the ``booktabs`` package (``\\toprule``/``\\midrule``/
+    ``\\bottomrule``, with ``\\cmidrule`` group spanners and
+    ``\\addlinespace`` between category blocks) instead of
+    ``\\hline``, and the legend is emitted as a ``tablenotes``-style
+    comment block so the fragment can be ``\\input`` into a paper
+    appendix unchanged. Requires ``booktabs`` and ``multirow``.
+    """
+    keys = layout.column_keys()
+    tags = _column_tags(layout)
+    colspec = "@{}ll" + "c" * (len(keys) - 1) + "@{}"
+    lines = [
+        r"% requires \usepackage{booktabs} and \usepackage{multirow}",
+        r"\begin{table*}",
+        r"  \centering",
+        rf"  \caption{{{_latex_escape(layout.title)}}}",
+        r"  \label{tab:illicit-origin-coding}",
+        rf"  \begin{{tabular}}{{{colspec}}}",
+        r"    \toprule",
+    ]
+    # Group spanner row: one \multicolumn per non-empty column group,
+    # with \cmidrule separators under the spanned columns. Column 1
+    # is the category column the body adds in front of the layout.
+    spanners: list[str] = [""]
+    cmidrules: list[str] = []
+    position = 2  # the first layout column, after the category column
+    for group, span in layout.group_spans():
+        title = _GROUP_TITLES.get(group, "")
+        if title:
+            spanners.append(
+                rf"\multicolumn{{{span}}}{{c}}{{{_latex_escape(title)}}}"
+            )
+            cmidrules.append(
+                rf"\cmidrule(lr){{{position}-{position + span - 1}}}"
+            )
+        else:
+            spanners.extend([""] * span)
+        position += span
+    lines.append("    " + " & ".join(spanners) + r" \\")
+    if cmidrules:
+        lines.append("    " + " ".join(cmidrules))
+    header = " & ".join(
+        [r"Category"] + [_latex_escape(tags[key]) for key in keys]
+    )
+    lines.append(f"    {header} \\\\")
+    lines.append(r"    \midrule")
+    first_category = True
+    for category, span in layout.category_spans():
+        if not first_category:
+            lines.append(r"    \addlinespace")
+        first_category = False
+        first_row = True
+        for row in layout.rows:
+            if row.category != category:
+                continue
+            cat_cell = (
+                rf"\multirow{{{span}}}{{*}}{{{_latex_escape(category)}}}"
+                if first_row
+                else ""
+            )
+            first_row = False
+            cells = " & ".join(
+                _latex_escape(row.cells[key]) for key in keys
+            )
+            lines.append(f"    {cat_cell} & {cells} \\\\")
+    lines.append(r"    \bottomrule")
+    lines.append(r"  \end{tabular}")
+    for legend_line in render_legend_text(layout).splitlines():
+        lines.append(f"  % {_latex_escape(legend_line)}")
+    lines.append(r"\end{table*}")
+    return "\n".join(lines)
+
+
 def render_csv(layout: TableLayout) -> str:
     """CSV with full (untagged) column headings; no legend."""
     buffer = io.StringIO()
@@ -277,6 +355,7 @@ _RENDERERS = {
     "text": render_text,
     "markdown": render_markdown,
     "latex": render_latex,
+    "latex-booktabs": render_latex_booktabs,
     "csv": render_csv,
     "html": render_html,
 }

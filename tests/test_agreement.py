@@ -8,11 +8,15 @@ from hypothesis import given, strategies as st
 from repro.coding import (
     Coder,
     annotations_from_corpus,
+    canonicalize_labels,
     cohens_kappa,
     confusion_matrix,
     fleiss_kappa,
+    fuzzy_set_agreement,
     interpret_kappa,
     krippendorff_alpha,
+    label_similarity,
+    normalize_label,
     pairwise_kappa,
     percent_agreement,
     set_agreement,
@@ -224,3 +228,91 @@ class TestSetAgreement:
         annotations = annotations_from_corpus(corpus, Coder(id="a"))
         with pytest.raises(CodingError):
             set_agreement([annotations])
+
+
+class TestNormalizeLabel:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("Secure_Storage", "secure-storage"),
+            ("secure storage", "secure-storage"),
+            ("SECURE-STORAGE", "secure-storage"),
+            ("  padded  ", "padded"),
+            ("already-fine", "already-fine"),
+        ],
+    )
+    def test_spelling_variants_coincide(self, raw, expected):
+        assert normalize_label(raw) == expected
+
+    def test_compound_labels_sorted_componentwise(self):
+        assert normalize_label("SS+P") == normalize_label("p + ss")
+        assert normalize_label("CS+P+SS") == "cs+p+ss"
+
+
+class TestLabelSimilarity:
+    def test_normalised_equality_is_one(self):
+        assert label_similarity("Not_Applicable", "not-applicable") == 1.0
+
+    def test_compound_jaccard(self):
+        assert label_similarity("P+SS", "P") == pytest.approx(0.5)
+        assert label_similarity("CS+P+SS", "CS+P") == pytest.approx(2 / 3)
+
+    def test_distinct_codebook_values_stay_below_threshold(self):
+        for a, b in [
+            ("applicable", "not-applicable"),
+            ("discussed", "not-discussed"),
+            ("exempt", "approved"),
+        ]:
+            assert label_similarity(a, b) < 0.85
+
+    def test_symmetric(self):
+        assert label_similarity("abc", "abd") == label_similarity(
+            "abd", "abc"
+        )
+
+
+class TestCanonicalizeLabels:
+    def test_drifted_pairs_share_a_representative(self):
+        mapping = canonicalize_labels(
+            ["Secure_Storage", "secure-storage", "privacy"]
+        )
+        assert (
+            mapping["Secure_Storage"] == mapping["secure-storage"]
+        )
+        assert mapping["privacy"] != mapping["secure-storage"]
+
+    def test_order_independent(self):
+        labels = ["b-label", "a label", "A_LABEL", "B-Label"]
+        assert canonicalize_labels(labels) == canonicalize_labels(
+            list(reversed(labels))
+        )
+
+    def test_representative_is_sorted_first_member(self):
+        mapping = canonicalize_labels(["zeta-x", "Zeta_X"])
+        assert set(mapping.values()) == {"Zeta_X"}
+
+    def test_threshold_validated(self):
+        with pytest.raises(CodingError):
+            canonicalize_labels(["a"], threshold=0.0)
+        with pytest.raises(CodingError):
+            canonicalize_labels(["a"], threshold=1.5)
+
+    def test_high_threshold_keeps_labels_apart(self):
+        mapping = canonicalize_labels(["abcd", "abce"], threshold=1.0)
+        assert mapping["abcd"] != mapping["abce"]
+
+
+class TestFuzzySetAgreement:
+    def test_identical_recodings_match_exact(self, corpus):
+        first = annotations_from_corpus(corpus, Coder(id="a"))
+        second = annotations_from_corpus(corpus, Coder(id="b"))
+        exact = set_agreement([first, second])
+        fuzzy = fuzzy_set_agreement([first, second])
+        assert fuzzy["percent"] == exact["percent"] == 1.0
+        assert fuzzy["fleiss_kappa"] == pytest.approx(1.0)
+        assert fuzzy["krippendorff_alpha"] == pytest.approx(1.0)
+
+    def test_needs_two_sets(self, corpus):
+        annotations = annotations_from_corpus(corpus, Coder(id="a"))
+        with pytest.raises(CodingError):
+            fuzzy_set_agreement([annotations])

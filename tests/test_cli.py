@@ -202,6 +202,14 @@ class TestOpsParity:
         ["table1"],
         ["table1", "--format", "csv"],
         ["table1", "--format", "latex"],
+        ["table1", "--format", "latex-booktabs"],
+        ["report", "render"],
+        ["table", "latex"],
+        ["table", "latex", "--style", "plain"],
+        ["codebook", "merge"],
+        ["codebook", "merge", "--strategy", "intersection"],
+        ["agreement", "fuzzy"],
+        ["agreement", "fuzzy", "--threshold", "0.9"],
         ["stats"],
         ["report"],
         ["legend"],

@@ -1,0 +1,242 @@
+"""Tests for multi-coder codebook merging and the dict round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codebook import (
+    CellValue,
+    Code,
+    Codebook,
+    Dimension,
+    DimensionKind,
+    codebook_from_dict,
+    codebook_to_dict,
+    example_coder_variant,
+    merge_codebooks,
+    paper_codebook,
+)
+from repro.errors import CodebookError
+
+
+def _closed(dim_id, *, name=None, allowed=None, description=""):
+    return Dimension(
+        id=dim_id,
+        name=name or dim_id,
+        group="ethical",
+        kind=DimensionKind.CLOSED,
+        allowed=tuple(
+            allowed or (CellValue.DISCUSSED, CellValue.NOT_DISCUSSED)
+        ),
+        description=description,
+    )
+
+
+def _open(dim_id, members):
+    return Dimension(
+        id=dim_id,
+        name=dim_id,
+        group="codes",
+        kind=DimensionKind.OPEN,
+        members=tuple(members),
+    )
+
+
+class TestMergeUnion:
+    def test_disjoint_dimensions_concatenate(self):
+        a = Codebook("a", [_closed("one")])
+        b = Codebook("b", [_closed("two")])
+        result = merge_codebooks((a, b))
+        assert result.codebook.dimension_ids == ("one", "two")
+        assert result.conflicts == ()
+        assert result.strategy == "union"
+        assert result.sources == ("a", "b")
+
+    def test_member_union_keeps_first_order(self):
+        ss = Code(id="ss", abbrev="SS", name="Secure storage")
+        p = Code(id="p", abbrev="P", name="Privacy")
+        ce = Code(id="ce", abbrev="CE", name="Chilling effects")
+        a = Codebook("a", [_open("safeguards", [ss, p])])
+        b = Codebook("b", [_open("safeguards", [ce, p])])
+        merged = merge_codebooks((a, b)).codebook
+        assert [c.id for c in merged["safeguards"].members] == [
+            "ss",
+            "p",
+            "ce",
+        ]
+
+    def test_attribute_conflict_first_wins_and_recorded(self):
+        a = Codebook("alice", [_closed("justice", name="Justice")])
+        b = Codebook("bob", [_closed("justice", name="Fairness")])
+        result = merge_codebooks((a, b))
+        assert result.codebook["justice"].name == "Justice"
+        (conflict,) = result.conflicts
+        assert conflict.dimension_id == "justice"
+        assert conflict.field == "name"
+        assert conflict.values == {
+            "alice": "Justice",
+            "bob": "Fairness",
+        }
+        assert "alice" in conflict.resolution
+        assert "justice.name" in conflict.describe()
+
+    def test_member_attribute_conflict_recorded(self):
+        a = Codebook(
+            "a",
+            [_open("s", [Code(id="x", abbrev="X", name="Xray")])],
+        )
+        b = Codebook(
+            "b",
+            [_open("s", [Code(id="x", abbrev="X", name="Xenon")])],
+        )
+        result = merge_codebooks((a, b))
+        (conflict,) = result.conflicts
+        assert conflict.field == "member:x/name"
+        assert result.codebook["s"].members[0].name == "Xray"
+
+    def test_allowed_values_union(self):
+        a = Codebook(
+            "a", [_closed("d", allowed=(CellValue.DISCUSSED,))]
+        )
+        b = Codebook(
+            "b",
+            [
+                _closed(
+                    "d",
+                    allowed=(
+                        CellValue.DISCUSSED,
+                        CellValue.NOT_DISCUSSED,
+                    ),
+                )
+            ],
+        )
+        result = merge_codebooks((a, b))
+        assert result.codebook["d"].allowed == (
+            CellValue.DISCUSSED,
+            CellValue.NOT_DISCUSSED,
+        )
+        (conflict,) = result.conflicts
+        assert conflict.field == "allowed"
+
+    def test_kind_conflict_keeps_first(self):
+        a = Codebook("a", [_closed("d")])
+        b = Codebook(
+            "b",
+            [_open("d", [Code(id="x", abbrev="X", name="X")])],
+        )
+        result = merge_codebooks((a, b))
+        assert result.codebook["d"].kind == DimensionKind.CLOSED
+        assert any(c.field == "kind" for c in result.conflicts)
+
+
+class TestMergeIntersection:
+    def test_drops_unshared_dimension_with_record(self):
+        a = Codebook("a", [_closed("one"), _closed("two")])
+        b = Codebook("b", [_closed("one")])
+        result = merge_codebooks((a, b), strategy="intersection")
+        assert result.codebook.dimension_ids == ("one",)
+        (conflict,) = result.conflicts
+        assert conflict.dimension_id == "two"
+        assert conflict.field == "dimension"
+
+    def test_drops_unshared_members_with_record(self):
+        ss = Code(id="ss", abbrev="SS", name="Secure storage")
+        p = Code(id="p", abbrev="P", name="Privacy")
+        ce = Code(id="ce", abbrev="CE", name="Chilling effects")
+        a = Codebook("a", [_open("s", [ss, p])])
+        b = Codebook("b", [_open("s", [p, ce])])
+        result = merge_codebooks((a, b), strategy="intersection")
+        assert [c.id for c in result.codebook["s"].members] == ["p"]
+        (conflict,) = result.conflicts
+        assert conflict.field == "members"
+        # Both sides' exclusives appear in the drop record.
+        assert "ss" in conflict.resolution
+        assert "ce" in conflict.resolution
+
+    def test_empty_member_intersection_drops_dimension(self):
+        a = Codebook(
+            "a",
+            [_open("s", [Code(id="x", abbrev="X", name="X")])],
+        )
+        b = Codebook(
+            "b",
+            [_open("s", [Code(id="y", abbrev="Y", name="Y")])],
+        )
+        result = merge_codebooks((a, b), strategy="intersection")
+        assert len(result.codebook) == 0
+        assert any(
+            c.field == "dimension" and "no shared member codes"
+            in c.resolution
+            for c in result.conflicts
+        )
+
+
+class TestMergeValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(CodebookError):
+            merge_codebooks(
+                (paper_codebook(),), strategy="majority"
+            )
+
+    def test_needs_codebooks(self):
+        with pytest.raises(CodebookError):
+            merge_codebooks(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CodebookError):
+            merge_codebooks((paper_codebook(), paper_codebook()))
+
+
+class TestDeterminism:
+    def test_merge_is_reproducible(self):
+        first = merge_codebooks(
+            (paper_codebook(), example_coder_variant())
+        )
+        second = merge_codebooks(
+            (paper_codebook(), example_coder_variant())
+        )
+        assert codebook_to_dict(first.codebook) == codebook_to_dict(
+            second.codebook
+        )
+        assert first.conflicts == second.conflicts
+
+    def test_worked_example_scenario(self):
+        result = merge_codebooks(
+            (paper_codebook(), example_coder_variant())
+        )
+        harms = result.codebook["harms"]
+        assert any(c.abbrev == "CE" for c in harms.members)
+        fields = sorted(c.field for c in result.conflicts)
+        assert fields == [
+            "description",
+            "member:secure-storage/name",
+        ]
+        # First codebook (the paper) wins both conflicts.
+        assert (
+            result.codebook["safeguards"].code("SS").name
+            == "Secure Storage"
+        )
+
+
+class TestDictRoundTrip:
+    def test_paper_codebook_round_trips(self):
+        book = paper_codebook()
+        rebuilt = codebook_from_dict(codebook_to_dict(book))
+        assert rebuilt.name == book.name
+        assert rebuilt.dimension_ids == book.dimension_ids
+        for dim in book:
+            other = rebuilt[dim.id]
+            assert other.allowed == dim.allowed
+            assert other.members == dim.members
+            assert other.description == dim.description
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(CodebookError):
+            codebook_from_dict({"name": "x"})
+        with pytest.raises(CodebookError):
+            codebook_from_dict(
+                {
+                    "name": "x",
+                    "dimensions": [{"id": "d", "allowed": ["bogus"]}],
+                }
+            )

@@ -171,12 +171,22 @@ def _extract_snippets(path: Path):
     return snippets
 
 
-def _cli_argv(command: str) -> list[str]:
-    """The argv for ``main()`` from one documented command line."""
+def _cli_argv(command: str) -> tuple[list[str], str | None]:
+    """``(argv, stdout_target)`` from one documented command line.
+
+    A trailing ``> file`` redirect is honoured by the runner: the
+    command's captured stdout is written to *file* in the snippet's
+    working directory, so documented redirects stay executable.
+    """
     tokens = shlex.split(command, comments=True)
+    target = None
+    if ">" in tokens:
+        split = tokens.index(">")
+        target = tokens[split + 1]
+        tokens = tokens[:split]
     if tokens[0] == "python":  # python -m repro <argv...>
-        return tokens[tokens.index("repro") + 1:]
-    return tokens[1:]  # repro-ethics <argv...>
+        return tokens[tokens.index("repro") + 1:], target
+    return tokens[1:], target  # repro-ethics <argv...>
 
 
 @pytest.mark.parametrize(
@@ -201,8 +211,16 @@ def test_doc_snippets_execute(doc, tmp_path, monkeypatch, capsys):
             command = raw.strip()
             if not command.startswith(_CLI_PREFIXES):
                 continue
-            status = _cli_main(_cli_argv(command))
-            capsys.readouterr()  # keep command output out of the report
+            argv, redirect = _cli_argv(command)
+            status = _cli_main(argv)
+            # Keep command output out of the report; honour a
+            # documented `> file` redirect so later snippets (and
+            # byte-stability assertions) can read the file.
+            captured = capsys.readouterr()
+            if redirect is not None:
+                Path(redirect).write_text(
+                    captured.out, encoding="utf-8"
+                )
             assert status == 0, (
                 f"{doc.name}:{first_line + offset}: "
                 f"{command!r} exited {status}"

@@ -119,8 +119,12 @@ class TestRegistry:
             "obs.export",
             "obs.profile",
             "obs.top",
+            "report.render",
+            "table.latex",
+            "codebook.merge",
+            "agreement.fuzzy",
         } <= names
-        assert len(registry) >= 20
+        assert len(registry) >= 24
 
     def test_unknown_operation_names_known_ones(self):
         with pytest.raises(OperationError) as excinfo:
