@@ -37,11 +37,20 @@ such as ``audit.verify`` become nested subcommands):
   log,
 * ``obs {export,profile,top}`` — telemetry egress: exporters,
   sampling profiler, profile views,
-* ``batch FILE [--workers N] [--audit-log PATH] [--no-cache]`` —
-  stream a JSONL file of operation requests through the kernel's
-  worker pool; responses are byte-identical for any worker count
-  and pure operations are served from the content-addressed result
-  cache,
+* ``obs health [--workers N] [--probe]`` — warm-pool liveness and
+  readiness (workers live, rebuilds, cache counters, optional probe
+  round-trip; a failed probe exits 1),
+* ``obs slo SPEC LOG [--window N]`` — judge a declarative JSON SLO
+  spec against an audit log's request brackets; exits 1 on breach
+  so CI can gate on it,
+* ``obs incident BUNDLE [--tail N]`` — verify a flight-recorder
+  incident bundle's hash chain and summarise what it captured,
+* ``batch FILE [--workers N] [--audit-log PATH] [--no-cache]
+  [--flight-dir PATH]`` — stream a JSONL file of operation requests
+  through the kernel's worker pool; responses are byte-identical
+  for any worker count, pure operations are served from the
+  content-addressed result cache, and ``--flight-dir`` dumps hash-
+  chained incident bundles on degraded or failed runs,
 * ``simulate-reb``, ``evidence``, ``bibliography``, ``similarity``,
   ``legend``, ``intervals`` — see ``--help``.
 """

@@ -31,7 +31,16 @@ architecture so every subsystem can emit into it:
 * :mod:`~repro.observability.profiler` — a sampling profiler
   (interval stack sampler + optional ``sys.setprofile`` call-count
   hybrid) attributing samples to the active span and emitting
-  collapsed-stack output for flamegraph tooling.
+  collapsed-stack output for flamegraph tooling;
+* :mod:`~repro.observability.flight` — the flight recorder: a
+  bounded ring of recent events/spans/metric deltas, dumped on
+  failure as a hash-chained, configuration-invariant incident
+  bundle;
+* :mod:`~repro.observability.windows` /
+  :mod:`~repro.observability.slo` — logical-clock telemetry windows
+  (per-N-requests, no wall time) and the declarative SLO engine
+  that judges JSON objective specs over them, exit-code gateable
+  via ``repro-ethics obs slo``.
 
 The trail is clock-free and therefore as reproducible as the rest of
 the repository; timings live only in metrics/tracing/profiles, which
@@ -42,6 +51,12 @@ chain-verification semantics and the export formats.
 """
 
 from .events import GENESIS_DIGEST, AuditEvent, event_digest
+from .flight import (
+    FlightRecorder,
+    IncidentBundle,
+    load_bundle_text,
+    verify_bundle_text,
+)
 from .export import (
     registry_from_events,
     render_otlp,
@@ -68,13 +83,22 @@ from .profiler import SamplingProfiler, top_collapsed
 from .runtime import (
     Observer,
     audit_event,
+    flight_recorder,
     get_observer,
     metrics,
     observed,
     set_observer,
     tracer,
+    window_series,
 )
+from .slo import SloObjective, SloReport, SloSpec, evaluate_slo
 from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from .windows import (
+    RequestSample,
+    Window,
+    WindowSeries,
+    windows_from_events,
+)
 from .worker import TelemetryShard, WorkerTelemetry, replay_shard
 
 __all__ = [
@@ -83,24 +107,35 @@ __all__ = [
     "BUCKET_BOUNDS",
     "ChainVerification",
     "Counter",
+    "FlightRecorder",
     "GENESIS_DIGEST",
     "Gauge",
     "Histogram",
+    "IncidentBundle",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
     "Observer",
+    "RequestSample",
     "SamplingProfiler",
+    "SloObjective",
+    "SloReport",
+    "SloSpec",
     "Span",
     "SpanRecord",
     "TelemetryShard",
     "Tracer",
+    "Window",
+    "WindowSeries",
     "WorkerTelemetry",
     "audit_event",
+    "evaluate_slo",
     "event_digest",
+    "flight_recorder",
     "get_observer",
+    "load_bundle_text",
     "load_events",
     "metrics",
     "observed",
@@ -112,6 +147,9 @@ __all__ = [
     "span_forest",
     "top_collapsed",
     "tracer",
+    "verify_bundle_text",
     "verify_events",
     "verify_jsonl",
+    "window_series",
+    "windows_from_events",
 ]

@@ -43,6 +43,8 @@ from .metrics import BUCKET_BOUNDS, MetricsRegistry
 from .tracing import SpanRecord
 
 __all__ = [
+    "INSTRUMENT_HELP",
+    "describe_instrument",
     "registry_from_events",
     "render_otlp",
     "render_prometheus",
@@ -68,6 +70,92 @@ def _prom_value(value: int | float) -> str:
     return repr(float(value))
 
 
+#: Instrument descriptions by exact dotted registry name, rendered
+#: as ``# HELP`` lines. Keys sorted alphabetically — and because
+#: :func:`render_prometheus` walks each metric family in sorted name
+#: order, the HELP lines come out alphabetical within each kind.
+INSTRUMENT_HELP: dict[str, str] = {
+    "audit.chain.intact": (
+        "Whether a full chain-verification walk of the audit log "
+        "succeeded (1) or localized corruption (0)."
+    ),
+    "audit.chain.length": (
+        "Number of events in the verified audit chain."
+    ),
+    "audit.events": (
+        "Total audit events folded from the verified chain."
+    ),
+    "ops.batch.failed": (
+        "Batch requests that completed with a failure line."
+    ),
+    "ops.batch.ok": (
+        "Batch requests that completed successfully."
+    ),
+    "ops.batch.requests": (
+        "Batch requests executed, in input order."
+    ),
+    "ops.cache.hits": (
+        "Content-addressed result-cache hits for pure operations."
+    ),
+    "ops.cache.misses": (
+        "Content-addressed result-cache misses for pure operations."
+    ),
+    "pipeline.chunks": (
+        "Record chunks processed by the safeguard pipeline."
+    ),
+    "pipeline.records": (
+        "Records processed by the safeguard pipeline."
+    ),
+    "pipeline.run.seconds": (
+        "Wall-clock duration distribution of safeguard pipeline "
+        "runs."
+    ),
+}
+
+#: Longest-prefix fallbacks for the instrument families whose names
+#: embed a variable segment (span/stage/audit-action names).
+_INSTRUMENT_HELP_PREFIXES: tuple[tuple[str, str], ...] = (
+    (
+        "audit.events.",
+        "Audit events observed for one category/action pair.",
+    ),
+    (
+        "span.",
+        "Duration distribution in seconds of one tracing span.",
+    ),
+    (
+        "stage.",
+        "Per-stage safeguard pipeline instrument (position- and "
+        "name-keyed).",
+    ),
+)
+
+
+def describe_instrument(name: str) -> str | None:
+    """The human description for a dotted instrument name, if any.
+
+    Exact catalog entries win; otherwise the longest matching prefix
+    family answers. Unknown instruments return ``None`` and render
+    without a ``# HELP`` line rather than with a made-up one.
+    """
+    exact = INSTRUMENT_HELP.get(name)
+    if exact is not None:
+        return exact
+    best: str | None = None
+    best_length = -1
+    for prefix, description in _INSTRUMENT_HELP_PREFIXES:
+        if name.startswith(prefix) and len(prefix) > best_length:
+            best = description
+            best_length = len(prefix)
+    return best
+
+
+def _prom_help(metric: str, description: str) -> str:
+    """One escaped ``# HELP`` exposition line."""
+    escaped = description.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {metric} {escaped}"
+
+
 def render_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
     """Render a registry snapshot in Prometheus text exposition.
 
@@ -81,17 +169,26 @@ def render_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
     lines: list[str] = []
     for name in sorted(snapshot.get("counters", {})):
         metric = _prom_name(name, prefix) + "_total"
+        description = describe_instrument(name)
+        if description is not None:
+            lines.append(_prom_help(metric, description))
         lines.append(f"# TYPE {metric} counter")
         value = snapshot["counters"][name]
         lines.append(f"{metric} {_prom_value(value)}")
     for name in sorted(snapshot.get("gauges", {})):
         metric = _prom_name(name, prefix)
+        description = describe_instrument(name)
+        if description is not None:
+            lines.append(_prom_help(metric, description))
         lines.append(f"# TYPE {metric} gauge")
         value = snapshot["gauges"][name]
         lines.append(f"{metric} {_prom_value(value)}")
     for name in sorted(snapshot.get("histograms", {})):
         summary = snapshot["histograms"][name]
         metric = _prom_name(name, prefix)
+        description = describe_instrument(name)
+        if description is not None:
+            lines.append(_prom_help(metric, description))
         lines.append(f"# TYPE {metric} histogram")
         count = summary.get("count", 0)
         buckets = summary.get("buckets")

@@ -19,6 +19,7 @@ the pipeline hot path (see ``docs/observability.md`` for numbers).
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import ceil
 
 from ..errors import SafeguardError
 
@@ -110,6 +111,36 @@ class Histogram:
     def mean(self) -> float:
         """The arithmetic mean of observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-estimated *q*-quantile (``None`` when empty).
+
+        Returns the **upper bound** of the bucket holding the exact
+        rank-``ceil(q * count)`` observation — by construction never
+        below the exact quantile and never more than one bucket bound
+        above it (the accuracy contract the windowed-percentile tests
+        assert). Observations beyond the last bound report the exact
+        maximum, the only honest upper bound the overflow slot has.
+        """
+        if not self.count:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise SafeguardError(
+                "quantile must be in (0, 1], got "
+                f"{q!r}"
+            )
+        # Nearest-rank definition: rank = ceil(q * n). The epsilon
+        # absorbs binary-float drift (0.7 * 10 == 7.000000000000001)
+        # so an exactly-integral mathematical rank never rounds up.
+        rank = max(1, ceil(q * self.count - 1e-9))
+        cumulative = 0
+        for position, bucket in enumerate(self.buckets):
+            cumulative += bucket
+            if cumulative >= rank:
+                if position < len(BUCKET_BOUNDS):
+                    return BUCKET_BOUNDS[position]
+                return self.maximum
+        return self.maximum  # pragma: no cover - counts always sum
 
     def summary(self) -> dict:
         """JSON-safe summary dict for snapshots."""

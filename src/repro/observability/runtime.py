@@ -39,38 +39,57 @@ from .tracing import NULL_TRACER, Tracer
 __all__ = [
     "Observer",
     "audit_event",
+    "flight_recorder",
     "get_observer",
     "metrics",
     "observed",
     "set_observer",
     "tracer",
+    "window_series",
 ]
 
 
 class Observer:
-    """A bundle of audit trail, metrics registry and tracer.
+    """A bundle of audit trail, metrics registry, tracer — and the
+    operational health surface: an optional flight recorder and an
+    optional logical-window series.
 
     Components left as ``None`` fall back to the shared no-op
-    singletons; ``enabled`` is True when any real component is
-    present. Build one per run (or per process) and install it with
+    singletons (the health components stay ``None`` — they have no
+    null twin because their helpers return ``None`` when absent);
+    ``enabled`` is True when any real component is present. Build one
+    per run (or per process) and install it with
     :func:`set_observer` / :func:`observed`.
     """
 
-    __slots__ = ("trail", "metrics", "tracer", "enabled")
+    __slots__ = (
+        "trail",
+        "metrics",
+        "tracer",
+        "flight",
+        "windows",
+        "enabled",
+    )
 
     def __init__(
         self,
         trail: AuditTrail | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        flight=None,
+        windows=None,
     ) -> None:
         self.trail = trail
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.flight = flight
+        self.windows = windows
         self.enabled = (
             trail is not None
             or self.metrics.enabled
             or self.tracer.enabled
+            or flight is not None
+            or windows is not None
         )
 
     @classmethod
@@ -88,6 +107,27 @@ class Observer:
             metrics=registry,
             tracer=Tracer(registry),
         )
+
+    def attach(self, *, flight=None, windows=None) -> "Observer":
+        """Attach health components to a built observer; returns it.
+
+        The factory paths (:meth:`recording`, the RunContext
+        helpers) stay flight-agnostic; callers that also want a
+        recorder or a window series bolt them on here. Attaching a
+        real component flips ``enabled`` — a flight-only observer
+        still turns on worker telemetry shards, which is what routes
+        worker events back into the coordinator's ring.
+        """
+        if flight is not None:
+            self.flight = flight
+        if windows is not None:
+            self.windows = windows
+        self.enabled = (
+            self.enabled
+            or self.flight is not None
+            or self.windows is not None
+        )
+        return self
 
 
 #: The permanently disabled observer every process starts with.
@@ -132,9 +172,17 @@ def audit_event(
     This is the single emission point the safeguard boundary calls —
     and the one the staticcheck R5 rule looks for in mutating
     safeguard methods. Returns the sealed event, or ``None`` when no
-    trail is installed.
+    trail is installed. An installed flight recorder taps every
+    emission here (including worker-shard replays, which arrive in
+    input order), so the ring needs no call-site changes; the
+    disabled path stays two attribute loads, two ``None`` tests and
+    a return.
     """
-    trail = _current.trail
+    observer = _current
+    recorder = observer.flight
+    if recorder is not None:
+        recorder.record_event(category, action, subject, detail)
+    trail = observer.trail
     if trail is None:
         return None
     return trail.event(category, action, subject, **detail)
@@ -143,6 +191,23 @@ def audit_event(
 def metrics() -> MetricsRegistry:
     """The installed metrics registry (the null registry when off)."""
     return _current.metrics
+
+
+def flight_recorder():
+    """The installed flight recorder, or ``None`` when absent.
+
+    Returns ``None`` rather than a null object: the call sites
+    (batch executor, warm pool, pipeline coordinator) guard with one
+    ``is not None`` test because recording work — normalizing
+    details, ringing frames — is not free the way a null method call
+    is.
+    """
+    return _current.flight
+
+
+def window_series():
+    """The installed logical-window series, or ``None`` when absent."""
+    return _current.windows
 
 
 def tracer() -> Tracer:

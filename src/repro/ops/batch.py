@@ -37,12 +37,19 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from collections import deque
 from collections.abc import Sequence
 from pathlib import Path
 
 from ..errors import BatchError, ReproError
-from ..observability import audit_event, get_observer
+from ..observability import (
+    RequestSample,
+    audit_event,
+    flight_recorder,
+    get_observer,
+    window_series,
+)
 from ..observability.worker import replay_shard
 from .cache import ResultCache, cache_key
 from .context import RunContext
@@ -279,6 +286,51 @@ def _stats_delta(
 _LOCAL = "local"
 _POOL = "pool"
 
+#: Requests listed verbatim in a flight-recorded logical plan before
+#: the remainder is summarised as an ``omitted`` count (no silent
+#: truncation — the header says exactly what fell off).
+_PLAN_ORDER_LIMIT = 64
+
+
+def _logical_plan(requests: Sequence[BatchRequest]) -> dict:
+    """The *logical* dispatch plan the flight recorder rings.
+
+    Input-order request descriptors and per-op totals — a pure
+    function of the request file, so incident-bundle bodies stay
+    byte-identical across worker counts. The physical configuration
+    (worker count, chunking) is deliberately absent: it lives in the
+    bundle envelope and in the audit chain's honest ``workers``
+    fields.
+    """
+    ops: dict[str, int] = {}
+    for request in requests:
+        ops[request.op] = ops.get(request.op, 0) + 1
+    order = [
+        [request.index, request.op]
+        for request in requests[:_PLAN_ORDER_LIMIT]
+    ]
+    plan = {
+        "ops": dict(sorted(ops.items())),
+        "order": order,
+        "requests": len(requests),
+    }
+    if len(requests) > len(order):
+        plan["omitted"] = len(requests) - len(order)
+    return plan
+
+
+def _cache_outcome(
+    cache: ResultCache | None, hits_before: int, misses_before: int
+) -> str | None:
+    """Classify one request's cache interaction from counter deltas."""
+    if cache is None:
+        return None
+    if cache.hits > hits_before:
+        return "hit"
+    if cache.misses > misses_before:
+        return "miss"
+    return None
+
 
 class BatchExecutor:
     """Streams batch requests through the kernel, in input order.
@@ -322,6 +374,12 @@ class BatchExecutor:
         self, requests: Sequence[BatchRequest]
     ) -> BatchResult:
         """Execute *requests*; returns ordered lines and a summary."""
+        recorder = flight_recorder()
+        incidents_before = (
+            len(recorder.incidents) if recorder is not None else 0
+        )
+        if recorder is not None:
+            recorder.note_plan(_logical_plan(requests))
         audit_event(
             "ops",
             "batch-started",
@@ -329,20 +387,52 @@ class BatchExecutor:
             workers=self.workers,
         )
         operations = _resolve_operations(requests)
-        if self.workers == 1:
-            lines, cache_stats = self._run_serial(requests)
-        else:
-            lines, cache_stats = self._run_parallel(
-                requests, operations
-            )
+        try:
+            if self.workers == 1:
+                lines, cache_stats = self._run_serial(requests)
+            else:
+                lines, cache_stats = self._run_parallel(
+                    requests, operations
+                )
+        except ReproError as exc:
+            # Dump the ring unless a deeper layer (the warm pool's
+            # worker-lost path) already captured this failure — one
+            # incident per fault, not one per stack frame.
+            if (
+                recorder is not None
+                and len(recorder.incidents) == incidents_before
+            ):
+                recorder.incident(
+                    "batch-error",
+                    reason=f"{type(exc).__name__}: {exc}",
+                    workers=self.workers,
+                )
+            raise
         ok = sum(1 for line in lines if line["ok"])
+        failed = len(lines) - ok
+        if recorder is not None:
+            recorder.record_metric("ops.batch.requests", len(lines))
+            recorder.record_metric("ops.batch.ok", ok)
+            recorder.record_metric("ops.batch.failed", failed)
         audit_event(
             "ops",
             "batch-finished",
             requests=len(requests),
             ok=ok,
-            failed=len(lines) - ok,
+            failed=failed,
         )
+        if recorder is not None and failed:
+            # Degraded-but-completed runs dump too: failed lines are
+            # input-order facts, so this bundle's body is the
+            # byte-identical artifact the acceptance gate compares
+            # across worker counts.
+            recorder.incident(
+                "batch-degraded",
+                reason=(
+                    f"{failed} of {len(lines)} requests failed"
+                ),
+                workers=self.workers,
+            )
         summary = {
             "cache": {
                 "enabled": self.use_cache,
@@ -378,10 +468,40 @@ class BatchExecutor:
         cache = ctx.cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
-        lines = tuple(
-            _run_one(request.index, request.op, request.args, ctx)
-            for request in requests
-        )
+        series = window_series()
+        if series is None:
+            lines = tuple(
+                _run_one(
+                    request.index, request.op, request.args, ctx
+                )
+                for request in requests
+            )
+        else:
+            collected: list[dict] = []
+            for request in requests:
+                run_hits = cache.hits if cache is not None else 0
+                run_misses = (
+                    cache.misses if cache is not None else 0
+                )
+                started = time.perf_counter()
+                line = _run_one(
+                    request.index, request.op, request.args, ctx
+                )
+                elapsed = time.perf_counter() - started
+                collected.append(line)
+                series.observe(
+                    RequestSample(
+                        ok=line["ok"],
+                        latency=elapsed,
+                        queue_depth=0,
+                        busy_workers=1,
+                        workers=1,
+                        cache=_cache_outcome(
+                            cache, run_hits, run_misses
+                        ),
+                    )
+                )
+            lines = tuple(collected)
         stats = None
         if cache is not None:
             stats = _stats_delta(cache, hits_before, misses_before)
@@ -514,16 +634,45 @@ class BatchExecutor:
             results[chunk_id] = result
             fill_window()
 
+        series = window_series()
+
+        def observe_line(
+            line: dict, latency: float | None, outcome: str | None
+        ) -> None:
+            if series is None:
+                return
+            series.observe(
+                RequestSample(
+                    ok=line["ok"],
+                    latency=latency,
+                    queue_depth=len(futures),
+                    busy_workers=min(len(futures), self.workers),
+                    workers=self.workers,
+                    cache=outcome,
+                )
+            )
+
         fill_window()
         for kind, request, chunk_id, position in plan:
             if kind == _LOCAL:
-                lines.append(
-                    _run_one(
-                        request.index,
-                        request.op,
-                        request.args,
-                        ctx,
-                    )
+                local_hits = (
+                    cache.hits if cache is not None else 0
+                )
+                local_misses = (
+                    cache.misses if cache is not None else 0
+                )
+                started = time.perf_counter()
+                line = _run_one(
+                    request.index,
+                    request.op,
+                    request.args,
+                    ctx,
+                )
+                lines.append(line)
+                observe_line(
+                    line,
+                    time.perf_counter() - started,
+                    _cache_outcome(cache, local_hits, local_misses),
                 )
                 continue
             while chunk_id not in results:
@@ -532,7 +681,13 @@ class BatchExecutor:
             shard = result.shards[position]
             if shard is not None:
                 replay_shard(shard)
-            lines.append(result.lines[position])
+            line = result.lines[position]
+            lines.append(line)
+            # Pool-served latencies live in the worker span records,
+            # not here: a drain-time measurement would charge queue
+            # wait to the request. Cache outcome likewise stays with
+            # the worker's own counters.
+            observe_line(line, None, None)
             if position + 1 == len(result.lines):
                 del results[chunk_id]
         stats = None
@@ -555,7 +710,7 @@ class BatchExecutor:
 
 def _run_batch(request: dict, ctx: RunContext) -> OpResponse:
     """The ``batch`` operation handler."""
-    from ..observability import observed
+    from ..observability import FlightRecorder, Observer, observed
 
     requests = load_requests(request["requests"])
     executor = BatchExecutor(
@@ -564,12 +719,22 @@ def _run_batch(request: dict, ctx: RunContext) -> OpResponse:
         warm=request["warm"],
         chunk_size=request["chunk_size"],
     )
+    recorder = None
+    if request["flight_dir"] is not None:
+        recorder = FlightRecorder(
+            capacity=request["flight_capacity"],
+            dump_dir=request["flight_dir"],
+        )
     observability = None
     if request["audit_log"] is not None:
-        observer = ctx.make_observer(request["audit_log"])
+        observer = ctx.make_observer(request["audit_log"]).attach(
+            flight=recorder
+        )
         with observed(observer):
-            result = executor.run(requests)
-        observer.trail.close()
+            try:
+                result = executor.run(requests)
+            finally:
+                observer.trail.close()
         verification = observer.trail.verify()
         observability = {
             "audit_events": len(observer.trail),
@@ -577,11 +742,27 @@ def _run_batch(request: dict, ctx: RunContext) -> OpResponse:
             "chain_intact": verification.ok,
             "tail_digest": observer.trail.tail_digest,
         }
+    elif recorder is not None:
+        with observed(Observer(flight=recorder)):
+            result = executor.run(requests)
     else:
         result = executor.run(requests)
     payload = dict(result.summary)
     if observability is not None:
         payload["observability"] = observability
+    if recorder is not None:
+        payload["flight"] = {
+            "capacity": recorder.capacity,
+            "dir": str(recorder.dump_dir),
+            "incidents": [
+                {
+                    "digest": bundle.digest(),
+                    "frames": len(bundle.records),
+                    "kind": bundle.kind,
+                }
+                for bundle in recorder.incidents
+            ],
+        }
     return OpResponse(
         payload=payload,
         text=result.text(),
@@ -652,6 +833,27 @@ def batch_operation() -> Operation:
                 help=(
                     "disable the content-addressed result cache for "
                     "pure operations"
+                ),
+            ),
+            Arg(
+                "--flight-dir",
+                default=None,
+                metavar="PATH",
+                help=(
+                    "enable the flight recorder and dump hash-"
+                    "chained incident bundles (worker loss, batch "
+                    "errors, failed requests) into this directory"
+                ),
+            ),
+            Arg(
+                "--flight-capacity",
+                kind=int,
+                default=256,
+                metavar="N",
+                help=(
+                    "flight-recorder ring size: how many recent "
+                    "events/spans/metric deltas an incident bundle "
+                    "carries (default: 256)"
                 ),
             ),
         ),

@@ -378,6 +378,161 @@ def _run_obs_top(request: dict, ctx: RunContext) -> OpResponse:
     return OpResponse(payload=payload, text=_text(lines))
 
 
+def _run_obs_health(request: dict, ctx: RunContext) -> OpResponse:
+    """Liveness/readiness report over the warm worker pools."""
+    from .pool import active_pools, warm_pool
+
+    pool = warm_pool(request["workers"], not request["no_cache"])
+    report = pool.health(probe=request["probe"])
+    probe = report.get("probe")
+    ok = probe is None or bool(probe["ok"])
+    payload = {
+        "ok": ok,
+        "pool": report,
+        "pools": [
+            {
+                "live": candidate.live,
+                "use_cache": candidate.cache is not None,
+                "workers": candidate.workers,
+            }
+            for candidate in active_pools()
+        ],
+    }
+    cache = report["cache"]
+    cache_line = (
+        f"cache: {cache['entries']} entries "
+        f"({cache['hits']} hits, {cache['misses']} misses)"
+        if cache["enabled"]
+        else "cache: disabled"
+    )
+    lines = [
+        f"pool: {report['workers']} worker(s), "
+        f"live: {report['live']}, "
+        f"rebuilds: {report['rebuilds']}",
+        f"context: {'warm' if report['context_warm'] else 'cold'}",
+        cache_line,
+    ]
+    if probe is not None:
+        lines.append(
+            f"probe: ok ({probe['round_trips']} round trip(s))"
+            if probe["ok"]
+            else f"probe: FAILED ({probe['error']})"
+        )
+    lines.append(f"active pools: {len(payload['pools'])}")
+    return OpResponse(
+        payload=payload,
+        text=_text(lines),
+        exit_code=0 if ok else 1,
+    )
+
+
+def _run_obs_slo(request: dict, ctx: RunContext) -> OpResponse:
+    """Judge a declarative SLO spec against an audit chain."""
+    from pathlib import Path
+
+    from ..errors import OperationError, SafeguardError
+    from ..observability import (
+        SloSpec,
+        evaluate_slo,
+        load_events,
+        windows_from_events,
+    )
+
+    try:
+        raw = Path(request["spec"]).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SafeguardError(
+            f"cannot read SLO spec {request['spec']!r}: {exc}"
+        ) from exc
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise OperationError(
+            f"invalid SLO spec: not valid JSON: {exc}"
+        ) from exc
+    spec = SloSpec.from_dict(body)
+    series = windows_from_events(
+        load_events(request["log"]),
+        window_size=request["window"] or spec.window_size,
+    )
+    report = evaluate_slo(spec, series)
+    payload = report.to_dict()
+    text = (
+        emit_json(payload) + "\n"
+        if request["json"]
+        else report.describe() + "\n"
+    )
+    return OpResponse(
+        payload=payload, text=text, exit_code=report.exit_code
+    )
+
+
+def _run_obs_incident(request: dict, ctx: RunContext) -> OpResponse:
+    """Verify and summarise a dumped incident bundle."""
+    from pathlib import Path
+
+    from ..errors import SafeguardError
+    from ..observability import load_bundle_text, verify_bundle_text
+
+    try:
+        text = Path(request["bundle"]).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SafeguardError(
+            f"cannot read incident bundle "
+            f"{request['bundle']!r}: {exc}"
+        ) from exc
+    header, records, envelope = load_bundle_text(text)
+    verification = verify_bundle_text(text)
+    payload = {
+        "dropped": header["dropped"],
+        "frames": len(records),
+        "intact": verification.ok,
+        "kind": header["kind"],
+        "plan": header["plan"],
+        "reason": envelope.get("reason", ""),
+        "sequence": header["sequence"],
+        "tail_digest": header["tail_digest"],
+    }
+    if not verification.ok:
+        payload["error_index"] = verification.error_index
+        payload["verification_reason"] = verification.reason
+    lines = [
+        f"incident #{header['sequence']}: {header['kind']}",
+        f"frames: {len(records)} ({header['dropped']} dropped "
+        "before capture)",
+        f"chain: {verification.describe()}",
+    ]
+    if envelope.get("reason"):
+        lines.append(f"reason: {envelope['reason']}")
+    for record in records[-request["tail"]:] if request["tail"] else []:
+        frame = record["frame"]
+        if frame["kind"] == "event":
+            subject = (
+                f" {frame['subject']}" if frame["subject"] else ""
+            )
+            detail = json.dumps(frame["detail"], sort_keys=True)
+            lines.append(
+                f"  #{record['index']} event "
+                f"{frame['category']}/{frame['action']}"
+                f"{subject} {detail}"
+            )
+        elif frame["kind"] == "span":
+            lines.append(
+                f"  #{record['index']} span {frame['name']} "
+                f"(depth {frame['depth']})"
+            )
+        else:
+            lines.append(
+                f"  #{record['index']} metric {frame['name']} "
+                f"+{frame['value']}"
+            )
+    return OpResponse(
+        payload=payload,
+        text=_text(lines),
+        exit_code=0 if verification.ok else 1,
+    )
+
+
 def runtime_operations() -> tuple[Operation, ...]:
     """The operational-side operation definitions."""
     return (
@@ -585,6 +740,105 @@ def runtime_operations() -> tuple[Operation, ...]:
                     ),
                 ),
                 Arg("--limit", kind=int, default=15),
+            ),
+        ),
+        Operation(
+            name="obs.health",
+            help=(
+                "liveness/readiness report for the warm worker "
+                "pool: workers live, rebuilds, context warmth and "
+                "cache counters, with an optional probe round-trip"
+            ),
+            handler=_run_obs_health,
+            args=(
+                Arg(
+                    "--workers",
+                    kind=int,
+                    default=1,
+                    help=(
+                        "pool configuration to report on (gets or "
+                        "creates the process-lifetime warm pool for "
+                        "this worker count)"
+                    ),
+                ),
+                Arg(
+                    "--probe",
+                    flag=True,
+                    help=(
+                        "perform a full probe round-trip: spawn and "
+                        "warm the complement of worker processes; a "
+                        "failed probe exits 1 instead of raising"
+                    ),
+                ),
+                Arg(
+                    "--no-cache",
+                    flag=True,
+                    help="report on the cache-disabled pool variant",
+                ),
+            ),
+            deterministic=False,
+            batchable=False,
+        ),
+        Operation(
+            name="obs.slo",
+            help=(
+                "judge a declarative JSON SLO spec against the "
+                "request brackets of an audit log; exits 1 when any "
+                "objective breaches, so CI can gate on it"
+            ),
+            handler=_run_obs_slo,
+            args=(
+                Arg(
+                    "spec",
+                    required=True,
+                    help=(
+                        "path to a JSON SLO spec: {name, window, "
+                        "objectives: [{id, metric, threshold, ...}]}"
+                    ),
+                ),
+                Arg(
+                    "log",
+                    required=True,
+                    help="path to a JSONL audit log",
+                ),
+                Arg(
+                    "--window",
+                    kind=int,
+                    default=None,
+                    metavar="N",
+                    help=(
+                        "override the spec's logical window size "
+                        "(requests per window)"
+                    ),
+                ),
+                Arg("--json", flag=True),
+            ),
+        ),
+        Operation(
+            name="obs.incident",
+            help=(
+                "verify a dumped incident bundle's hash chain and "
+                "summarise what the flight recorder saw"
+            ),
+            handler=_run_obs_incident,
+            args=(
+                Arg(
+                    "bundle",
+                    required=True,
+                    help=(
+                        "path to an incident-*.jsonl bundle dumped "
+                        "by the flight recorder"
+                    ),
+                ),
+                Arg(
+                    "--tail",
+                    kind=int,
+                    default=0,
+                    metavar="N",
+                    help=(
+                        "also print the last N frames of the ring"
+                    ),
+                ),
             ),
         ),
     )

@@ -39,6 +39,17 @@ class RunContext:
         self._corpus = None
         self._digest: str | None = None
 
+    @property
+    def is_warm(self) -> bool:
+        """Whether the lazy slots are already materialised.
+
+        The health surface reads this instead of poking the private
+        slots: a warm context means the corpus build and digest
+        hashing — the dominant first-request costs — are already
+        paid.
+        """
+        return self._corpus is not None and self._digest is not None
+
     def corpus(self):
         """The Table 1 corpus, materialised once per context."""
         if self._corpus is None:

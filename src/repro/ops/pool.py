@@ -36,18 +36,24 @@ once per *process lifetime* instead of once per *batch run*:
 
 Pools are keyed by ``(workers, cache enablement)`` in a module-level
 registry (:func:`warm_pool`); :func:`shutdown_warm_pools` tears all
-of them down (tests and benchmarks use it for isolation). Everything
+of them down (tests and benchmarks use it for isolation), and the
+first pool creation registers an ``atexit`` teardown — opt out with
+:func:`set_atexit_shutdown` — so a long-lived session never leaks
+pre-forked workers. :meth:`WarmPool.health` is the liveness/
+readiness report (live workers, rebuilds, cache counters, optional
+probe round-trip) behind ``repro-ethics obs health``. Everything
 submitted to the pool is a module-level function — staticcheck rule
 R9 (worker-safety) audits the submission sites below.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 from concurrent.futures import BrokenExecutor
 
 from ..errors import BatchError
-from ..observability import audit_event
+from ..observability import audit_event, flight_recorder
 from ..observability.worker import TelemetryShard, WorkerTelemetry
 from .cache import ResultCache, cache_key
 from .context import RunContext
@@ -56,7 +62,9 @@ from .spec import build_request
 __all__ = [
     "ChunkResult",
     "WarmPool",
+    "active_pools",
     "auto_chunk_size",
+    "set_atexit_shutdown",
     "shutdown_warm_pools",
     "warm_pool",
 ]
@@ -273,6 +281,52 @@ class WarmPool:
         except BrokenExecutor as exc:
             raise self._lost(chunk, exc) from exc
 
+    def health(self, *, probe: bool = False) -> dict:
+        """The pool's liveness/readiness report, JSON-safe and sorted.
+
+        Reports whether worker processes currently back the pool,
+        how many times a broken executor was discarded and rebuilt,
+        whether the coordinator context is warm (corpus + digest
+        materialised) and the shared cache's counters. With
+        ``probe=True`` it also performs a full **probe round-trip**:
+        one empty chunk per worker through :meth:`start`, forcing
+        the complement of processes to spawn, warm and answer — the
+        readiness check a server loop would poll. A failed probe is
+        reported (``ok: False`` with the failure text), never
+        raised, so a health endpoint cannot crash on the very
+        condition it exists to report.
+        """
+        cache = self.cache
+        report: dict = {
+            "cache": (
+                {
+                    "enabled": True,
+                    "entries": len(cache),
+                    "hits": cache.hits,
+                    "maxsize": cache.maxsize,
+                    "misses": cache.misses,
+                }
+                if cache is not None
+                else {"enabled": False}
+            ),
+            "context_warm": self.context.is_warm,
+            "live": self.live,
+            "rebuilds": self.rebuilds,
+            "workers": self.workers,
+        }
+        if probe:
+            try:
+                self.start()
+            except BatchError as exc:
+                report["probe"] = {"ok": False, "error": str(exc)}
+            else:
+                report["probe"] = {
+                    "ok": True,
+                    "round_trips": self.workers,
+                }
+            report["live"] = self.live
+        return report
+
     def _lost(self, chunk: tuple, exc: BaseException) -> BatchError:
         """Discard the broken executor; describe the loss precisely."""
         self.discard()
@@ -292,6 +346,19 @@ class WarmPool:
             workers=self.workers,
             span=span,
         )
+        recorder = flight_recorder()
+        if recorder is not None:
+            # The worker-lost dump happens here, at the failure
+            # boundary, so the ring still holds the events that led
+            # up to the loss; the free-text cause and the affected
+            # span are envelope material (they vary with chunking).
+            recorder.incident(
+                "worker-lost",
+                reason=f"{type(exc).__name__}: {exc}",
+                span=span,
+                workers=self.workers,
+                rebuilds=self.rebuilds,
+            )
         return BatchError(
             f"worker process lost while running {span} "
             f"({type(exc).__name__}: {exc}); the pool was discarded "
@@ -315,6 +382,38 @@ class WarmPool:
 #: Process-lifetime pool registry, keyed by (workers, cache on/off).
 _WARM_POOLS: dict[tuple[int, bool], WarmPool] = {}
 
+#: Exit-hook state: registered once per process, opt-out via
+#: :func:`set_atexit_shutdown`. A dict (not two globals) so the
+#: mutation sites stay the memo-idiom shape R8 recognises.
+_ATEXIT = {"enabled": True, "registered": False}
+
+
+def _atexit_shutdown() -> None:
+    """The exit hook: tear down pools unless the user opted out."""
+    if _ATEXIT["enabled"]:
+        shutdown_warm_pools()
+
+
+def set_atexit_shutdown(enabled: bool) -> bool:
+    """Opt in or out of the exit-time pool teardown; returns the
+    previous setting.
+
+    The hook is on by default so a long-lived session (REPL, server,
+    notebook) that touched ``warm_pool()`` does not leak pre-forked
+    worker processes past interpreter exit. Embedders that manage
+    pool lifetime themselves call ``set_atexit_shutdown(False)``.
+    """
+    previous = _ATEXIT["enabled"]
+    _ATEXIT["enabled"] = bool(enabled)
+    return previous
+
+
+def active_pools() -> tuple[WarmPool, ...]:
+    """Registered warm pools, ordered by (workers, cache) key."""
+    return tuple(
+        _WARM_POOLS[key] for key in sorted(_WARM_POOLS)
+    )
+
 
 def warm_pool(workers: int, use_cache: bool = True) -> WarmPool:
     """The process-lifetime :class:`WarmPool` for this configuration.
@@ -328,6 +427,12 @@ def warm_pool(workers: int, use_cache: bool = True) -> WarmPool:
     key = (workers, use_cache)
     pool = _WARM_POOLS.get(key)
     if pool is None:
+        if not _ATEXIT["registered"]:
+            # Register lazily, on first pool creation, so importing
+            # the module costs nothing and the hook exists exactly
+            # when there is something to clean up.
+            _ATEXIT["registered"] = True
+            atexit.register(_atexit_shutdown)
         pool = WarmPool(workers, use_cache=use_cache)
         _WARM_POOLS[key] = pool
     return pool

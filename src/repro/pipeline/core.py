@@ -47,7 +47,12 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..datasets.common import chunked
 from ..errors import SafeguardError
-from ..observability import MetricsRegistry, audit_event, get_observer
+from ..observability import (
+    MetricsRegistry,
+    audit_event,
+    flight_recorder,
+    get_observer,
+)
 from ..observability import metrics as global_metrics
 from ..observability import tracer
 from ..observability.worker import (
@@ -267,6 +272,16 @@ class SafeguardPipeline:
                 chunk=failure.chunk_index,
                 error=failure.cause,
             )
+            recorder = flight_recorder()
+            if recorder is not None:
+                # After the chunk-failed event so the ring's last
+                # frame names the failing stage and chunk.
+                recorder.incident(
+                    "stage-failure",
+                    reason=failure.cause,
+                    stage=failure.stage,
+                    chunk=failure.chunk_index,
+                )
             raise
         elapsed = time.perf_counter() - started
         registry.counter("pipeline.records").inc(len(records))

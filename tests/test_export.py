@@ -151,6 +151,81 @@ class TestPrometheusRenderer:
         )
 
 
+class TestPrometheusHelpLines:
+    def test_help_precedes_type_for_described_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.cache.hits").inc(3)
+        registry.gauge("audit.chain.length").set(9)
+        registry.histogram("pipeline.run.seconds").observe(0.5)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        for metric in (
+            "repro_ops_cache_hits_total",
+            "repro_audit_chain_length",
+            "repro_pipeline_run_seconds",
+        ):
+            type_index = lines.index(
+                next(
+                    line
+                    for line in lines
+                    if line.startswith(f"# TYPE {metric} ")
+                )
+            )
+            assert lines[type_index - 1].startswith(
+                f"# HELP {metric} "
+            )
+
+    def test_help_lines_alphabetical_within_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.records").inc(1)
+        registry.counter("audit.events").inc(1)
+        registry.counter("ops.cache.misses").inc(1)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        help_lines = [
+            line for line in lines if line.startswith("# HELP")
+        ]
+        assert help_lines == sorted(help_lines)
+        assert len(help_lines) == 3
+
+    def test_prefix_families_and_unknown_names(self):
+        registry = MetricsRegistry()
+        registry.histogram("span.stage.seal.seconds").observe(0.1)
+        registry.counter(
+            "audit.events.pipeline.run_started"
+        ).inc(1)
+        registry.counter("made.up.instrument").inc(1)
+        text = render_prometheus(registry.snapshot())
+        assert (
+            "# HELP repro_span_stage_seal_seconds "
+            "Duration distribution in seconds" in text
+        )
+        assert (
+            "# HELP repro_audit_events_pipeline_run_started_total "
+            "Audit events observed" in text
+        )
+        # Unknown instruments get no made-up HELP line.
+        assert "# HELP repro_made_up_instrument" not in text
+        assert "# TYPE repro_made_up_instrument_total counter" in text
+
+    def test_describe_instrument_resolution(self):
+        from repro.observability.export import (
+            INSTRUMENT_HELP,
+            describe_instrument,
+        )
+
+        assert describe_instrument("ops.cache.hits") == (
+            INSTRUMENT_HELP["ops.cache.hits"]
+        )
+        # Exact entries win over the matching prefix family.
+        assert describe_instrument("audit.events") == (
+            INSTRUMENT_HELP["audit.events"]
+        )
+        assert describe_instrument("audit.events.a.b") != (
+            INSTRUMENT_HELP["audit.events"]
+        )
+        assert describe_instrument("nope") is None
+        assert sorted(INSTRUMENT_HELP) == list(INSTRUMENT_HELP)
+
+
 class TestOtlpRenderer:
     def test_document_shape(self):
         registry = MetricsRegistry()
