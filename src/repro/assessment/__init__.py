@@ -12,7 +12,12 @@ from .corpus_profiles import (
     profile_for,
     validate_legal_reconstruction,
 )
-from .engine import EthicsAssessment, Verdict, assess_project
+from .engine import (
+    EthicsAssessment,
+    Verdict,
+    assess_project,
+    assess_with_policy,
+)
 from .project import PlannedSafeguards, ResearchProject
 
 __all__ = [
@@ -25,6 +30,7 @@ __all__ = [
     "ResearchProject",
     "Verdict",
     "assess_project",
+    "assess_with_policy",
     "corpus_profiles",
     "profile_for",
     "publication_checklist",

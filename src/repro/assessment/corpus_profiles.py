@@ -20,6 +20,7 @@ import dataclasses
 from ..corpus import Corpus, DataOrigin
 from ..errors import AssessmentError
 from ..legal import DataProfile, JurisdictionSet, analyze_legal
+from ..policy.defaults import table1_issue_ids
 
 __all__ = [
     "corpus_profiles",
@@ -32,14 +33,8 @@ _EXPLOIT = DataOrigin.VULNERABILITY_EXPLOITATION
 _LEAK = DataOrigin.UNAUTHORIZED_LEAK
 
 #: Table 1 has six legal columns; contracts is discussed in §3 only.
-_TABLE_ISSUES = (
-    "computer-misuse",
-    "copyright",
-    "data-privacy",
-    "terrorism",
-    "indecent-images",
-    "national-security",
-)
+#: The pack marks each issue with a ``table1`` flag.
+_TABLE_ISSUES = table1_issue_ids()
 
 _PASSWORD_DUMP = DataProfile(
     origin=_LEAK,

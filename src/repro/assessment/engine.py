@@ -5,6 +5,12 @@ evaluation, the Keegan–Matias risk-benefit grid and the §5.1
 justification critiques over a :class:`ResearchProject` and produces
 an :class:`EthicsAssessment` — the machine-readable core from which
 the ethics-section and REB-application generators work.
+
+The verdict-folding policy (which facts escalate the verdict, which
+actions and notes they emit, and in what order) is declarative data
+in the policy pack; :func:`assess_with_policy` evaluates any compiled
+pack, and :func:`assess_project` binds the default pack to preserve
+the historical behaviour exactly.
 """
 
 from __future__ import annotations
@@ -12,7 +18,6 @@ from __future__ import annotations
 import dataclasses
 
 from ..ethics import (
-    FindingStatus,
     MenloEvaluation,
     PrincipleFinding,
     RightRisk,
@@ -21,11 +26,18 @@ from ..ethics import (
     JustificationVerdict,
     rights_at_risk,
 )
-from ..legal import LegalReport, RiskLevel, analyze_legal
+from ..errors import AssessmentError
+from ..legal import LegalReport
 from ..observability import audit_event
+from ..policy import assessment_facts, default_policy
 from .project import ResearchProject
 
-__all__ = ["EthicsAssessment", "Verdict", "assess_project"]
+__all__ = [
+    "EthicsAssessment",
+    "Verdict",
+    "assess_project",
+    "assess_with_policy",
+]
 
 
 class Verdict:
@@ -42,12 +54,30 @@ class Verdict:
         REQUIRES_REB,
         DO_NOT_PROCEED,
     )
+    _RANK = {verdict: index for index, verdict in enumerate(ORDER)}
 
     @classmethod
     def worst(cls, verdicts: list[str]) -> str:
+        """The most severe of *verdicts* (``PROCEED`` when empty).
+
+        Uses a precomputed rank map rather than ``ORDER.index`` per
+        element; an unknown verdict raises
+        :class:`~repro.errors.AssessmentError` naming the offending
+        value.
+        """
         if not verdicts:
             return cls.PROCEED
-        return max(verdicts, key=cls.ORDER.index)
+        rank = cls._RANK
+        worst = 0
+        for verdict in verdicts:
+            position = rank.get(verdict)
+            if position is None:
+                raise AssessmentError(
+                    f"unknown verdict {verdict!r}"
+                )
+            if position > worst:
+                worst = position
+        return cls.ORDER[worst]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,9 +124,16 @@ class EthicsAssessment:
         return "\n".join(lines)
 
 
-def assess_project(project: ResearchProject) -> EthicsAssessment:
-    """Run every engine over the project and combine the outcomes."""
-    legal = analyze_legal(
+def assess_with_policy(
+    project: ResearchProject, policy
+) -> EthicsAssessment:
+    """Run every engine over the project under a compiled *policy*.
+
+    *policy* is a :class:`~repro.policy.CompiledPolicy` (or the
+    duck-type compatible interpreter): it supplies the legal decision
+    tables, the Menlo principle checks and the verdict-folding steps.
+    """
+    legal = policy.legal_report(
         project.profile,
         project.jurisdictions,
         reb_approved=project.reb_approved,
@@ -112,7 +149,7 @@ def assess_project(project: ResearchProject) -> EthicsAssessment:
         ),
         reproducible=project.safeguards.controlled_sharing,
     )
-    menlo = menlo_eval.findings()
+    menlo = policy.menlo_findings(menlo_eval)
     grid = RiskBenefitGrid(
         project.stakeholders, mitigated, project.benefits
     )
@@ -121,103 +158,39 @@ def assess_project(project: ResearchProject) -> EthicsAssessment:
     )
     rights_risks = rights_at_risk(project.rights_context)
 
-    required: list[str] = []
-    notes: list[str] = []
-    verdicts: list[str] = [Verdict.PROCEED]
+    scalars, enums = assessment_facts(
+        legal=legal,
+        menlo=menlo,
+        grid=grid,
+        justifications=justifications,
+        rights_risks=rights_risks,
+        reb_approved=project.reb_approved,
+        has_ethics_section=project.has_ethics_section,
+    )
 
-    # -- human-rights baseline (§2) ---------------------------------------
-    for risk in rights_risks:
-        notes.append(
-            f"human-rights exposure: {risk.right.name} — "
-            f"{risk.mechanism}"
-        )
-    if any(risk.right.id == "life" for risk in rights_risks):
-        verdicts.append(Verdict.DO_NOT_PROCEED)
-        required.append(
-            "the research could indirectly cost identified people "
-            "their lives; redesign so individuals cannot be "
-            "identified before any further work"
-        )
-    elif rights_risks:
-        verdicts.append(Verdict.REQUIRES_REB)
-        required.append(
-            "human rights of data subjects are engaged; REB review "
-            "must weigh the rights exposure explicitly"
-        )
+    def collect_legal_mitigations(required: list[str]) -> None:
+        for finding in legal.findings:
+            for mitigation in finding.mitigations:
+                if (
+                    finding.applicable
+                    and mitigation not in required
+                ):
+                    required.append(mitigation)
 
-    # -- legal gating ---------------------------------------------------
-    if legal.overall_risk == RiskLevel.SEVERE:
-        verdicts.append(Verdict.DO_NOT_PROCEED)
-        required.append(
-            "severe legal exposure: redesign the study before any "
-            "further work"
-        )
-    elif legal.overall_risk == RiskLevel.HIGH:
-        verdicts.append(Verdict.REQUIRES_REB)
-        required.append(
-            "high legal risk: obtain REB approval and institutional "
-            "legal advice before proceeding"
-        )
-    elif legal.overall_risk in (RiskLevel.MEDIUM, RiskLevel.LOW):
-        verdicts.append(Verdict.PROCEED_WITH_SAFEGUARDS)
-    for finding in legal.findings:
-        for mitigation in finding.mitigations:
-            if finding.applicable and mitigation not in required:
-                required.append(mitigation)
+    def collect_menlo_recommendations(required: list[str]) -> None:
+        for finding in menlo:
+            for recommendation in finding.recommendations:
+                if recommendation not in required:
+                    required.append(recommendation)
 
-    # -- Menlo gating ----------------------------------------------------
-    worst_menlo = FindingStatus.worst([f.status for f in menlo])
-    if worst_menlo == FindingStatus.VIOLATED:
-        verdicts.append(Verdict.DO_NOT_PROCEED)
-    elif worst_menlo == FindingStatus.NEEDS_SAFEGUARDS:
-        verdicts.append(Verdict.PROCEED_WITH_SAFEGUARDS)
-    for finding in menlo:
-        for recommendation in finding.recommendations:
-            if recommendation not in required:
-                required.append(recommendation)
-
-    # -- risk-based REB trigger (the paper's proposed policy) ----------------
-    if grid.total_risk() > 0 and not project.reb_approved:
-        verdicts.append(Verdict.REQUIRES_REB)
-        required.append(
-            "potential to harm humans exists even without direct "
-            "human subjects: seek REB approval (risk-based trigger, "
-            "§6 of the paper)"
-        )
-
-    # -- fairness red flags -----------------------------------------------
-    for balance in grid.subsidising_parties():
-        notes.append(
-            f"{balance.name} bears risk {balance.risk:.2f} with no "
-            "benefit — justice concern"
-        )
-    for party in grid.unassessed_parties():
-        notes.append(
-            f"stakeholder {party!r} has no harms or benefits recorded; "
-            "the register looks incomplete"
-        )
-
-    # -- justification quality ---------------------------------------------
-    if not any(j.acceptable for j in justifications):
-        notes.append(
-            "no justification for using this data currently carries "
-            "weight; the strongest path is necessity plus public "
-            "interest with no additional harm"
-        )
-    if not project.has_ethics_section:
-        required.append(
-            "include an explicit ethics section recording this "
-            "reasoning (Partridge & Allman)"
-        )
-
-    # -- benefit/harm balance hard stop -------------------------------------
-    if (
-        grid.total_benefit() > 0
-        and grid.total_risk() > grid.total_benefit()
-    ):
-        verdicts.append(Verdict.DO_NOT_PROCEED)
-
-    verdict = Verdict.worst(verdicts)
+    verdict, required, notes = policy.fold_verdict(
+        scalars,
+        enums,
+        {
+            "legal-mitigations": collect_legal_mitigations,
+            "menlo-recommendations": collect_menlo_recommendations,
+        },
+    )
     audit_event(
         "assessment",
         "assessed",
@@ -238,3 +211,12 @@ def assess_project(project: ResearchProject) -> EthicsAssessment:
         required_actions=tuple(required),
         notes=tuple(notes),
     )
+
+
+def assess_project(project: ResearchProject) -> EthicsAssessment:
+    """Run every engine over the project and combine the outcomes.
+
+    Evaluates the default policy pack, which reproduces the paper's
+    folding rules exactly (E10 golden parity).
+    """
+    return assess_with_policy(project, default_policy())

@@ -54,6 +54,7 @@ from .passwords import (
     PasswordDumpGenerator,
     PasswordRecord,
 )
+from .projects import ResearchProjectGenerator, synthetic_project
 from .scans import ScanDataset, ScanGenerator, ScanRecord, TelescopeEvent
 
 __all__ = [
@@ -87,6 +88,7 @@ __all__ = [
     "PaymentRecord",
     "PricingPlan",
     "PrivateMessage",
+    "ResearchProjectGenerator",
     "ScanDataset",
     "ScanGenerator",
     "ScanRecord",
@@ -95,5 +97,6 @@ __all__ = [
     "TicketMessage",
     "TradeRecord",
     "TriageResult",
+    "synthetic_project",
     "zipf_choice",
 ]

@@ -122,5 +122,14 @@ class OperationError(ReproError):
     """An operation request is malformed (unknown op, bad arguments)."""
 
 
+class PolicyError(OperationError):
+    """A policy pack is malformed, unresolvable, or fails validation.
+
+    Subclasses :class:`OperationError` deliberately: a bad pack is a
+    bad *request* (the caller named a pack that cannot be compiled),
+    so the failure table maps it to the usage exit code.
+    """
+
+
 class BatchError(OperationError):
     """A batch request file is malformed or cannot be read."""

@@ -17,7 +17,7 @@ from collections.abc import Sequence
 
 from ..errors import EthicsModelError
 from .harms import BenefitInstance, HarmInstance
-from .stakeholders import ConsentStatus, StakeholderRegistry
+from .stakeholders import StakeholderRegistry
 
 __all__ = [
     "MenloPrinciple",
@@ -82,12 +82,28 @@ class FindingStatus:
     INDETERMINATE = "indeterminate"
 
     ORDER = (SATISFIED, INDETERMINATE, NEEDS_SAFEGUARDS, VIOLATED)
+    _RANK = {status: index for index, status in enumerate(ORDER)}
 
     @classmethod
     def worst(cls, statuses: Sequence[str]) -> str:
+        """The most severe of *statuses* (indeterminate when empty).
+
+        Unknown statuses raise :class:`EthicsModelError` naming the
+        offending value.
+        """
         if not statuses:
             return cls.INDETERMINATE
-        return max(statuses, key=cls.ORDER.index)
+        rank = cls._RANK
+        worst = 0
+        for status in statuses:
+            position = rank.get(status)
+            if position is None:
+                raise EthicsModelError(
+                    f"unknown finding status {status!r}"
+                )
+            if position > worst:
+                worst = position
+        return cls.ORDER[worst]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,234 +176,41 @@ class MenloEvaluation:
         self.residual_risk_threshold = residual_risk_threshold
 
     # -- per-principle evaluations ------------------------------------
+    # The principle checks are declarative rows in the default policy
+    # pack; these methods evaluate its compiled decision tables.
     def respect_for_persons(self) -> PrincipleFinding:
         """Evaluate the respect-for-persons principle."""
-        reasons: list[str] = []
-        recommendations: list[str] = []
-        status = FindingStatus.SATISFIED
-        unprotected = self.stakeholders.unprotected()
-        if unprotected:
-            status = FindingStatus.NEEDS_SAFEGUARDS
-            names = ", ".join(s.name for s in unprotected)
-            reasons.append(
-                f"informed consent is absent for: {names}"
-            )
-            recommendations.append(
-                "seek REB review so the board can protect the "
-                "interests of individuals for whom consent is "
-                "impossible (Menlo / BSC guidance)"
-            )
-        not_sought = [
-            s
-            for s in self.stakeholders
-            if s.consent == ConsentStatus.NOT_SOUGHT and s.natural_person
-        ]
-        if not_sought:
-            status = FindingStatus.NEEDS_SAFEGUARDS
-            reasons.append(
-                "consent was not sought from stakeholders where it may "
-                "have been feasible"
-            )
-            recommendations.append(
-                "justify why consent is impossible or impractical, or "
-                "obtain it"
-            )
-        for stakeholder in self.stakeholders.vulnerable():
-            reasons.append(
-                f"{stakeholder.name} has diminished autonomy and needs "
-                "additional protection"
-            )
-            recommendations.append(
-                f"add specific protections for {stakeholder.name}"
-            )
-            status = FindingStatus.worst(
-                [status, FindingStatus.NEEDS_SAFEGUARDS]
-            )
-        if not reasons:
-            reasons.append(
-                "all natural-person stakeholders consented or are "
-                "protected"
-            )
-        return PrincipleFinding(
-            MenloPrinciple.RESPECT_FOR_PERSONS,
-            status,
-            tuple(reasons),
-            tuple(recommendations),
+        return self._policy_finding(
+            MenloPrinciple.RESPECT_FOR_PERSONS
         )
 
     def beneficence(self) -> PrincipleFinding:
         """Evaluate the beneficence principle."""
-        reasons: list[str] = []
-        recommendations: list[str] = []
-        if not self.harms:
-            return PrincipleFinding(
-                MenloPrinciple.BENEFICENCE,
-                FindingStatus.INDETERMINATE,
-                (
-                    "no harms were identified; an empty harm register "
-                    "more often reflects missing analysis than absent "
-                    "risk",
-                ),
-                (
-                    "enumerate potential harms per stakeholder before "
-                    "claiming beneficence",
-                ),
-            )
-        total_benefit = sum(b.expected_value for b in self.benefits)
-        status = FindingStatus.SATISFIED
-        for stakeholder in self.stakeholders:
-            if not stakeholder.natural_person:
-                continue
-            residual = sum(
-                h.residual_risk
-                for h in self.harms
-                if h.stakeholder_id == stakeholder.id
-            )
-            if residual > self.residual_risk_threshold:
-                status = FindingStatus.NEEDS_SAFEGUARDS
-                reasons.append(
-                    f"residual risk {residual:.2f} to "
-                    f"{stakeholder.name} exceeds the threshold "
-                    f"{self.residual_risk_threshold:.2f}"
-                )
-                recommendations.append(
-                    f"add safeguards mitigating harms to "
-                    f"{stakeholder.name}"
-                )
-        if total_benefit == 0.0:
-            status = FindingStatus.worst(
-                [status, FindingStatus.NEEDS_SAFEGUARDS]
-            )
-            reasons.append("no benefits have been articulated")
-            recommendations.append(
-                "articulate the research benefits (the paper finds "
-                "benefits as well as harms often go unidentified)"
-            )
-        total_residual = sum(h.residual_risk for h in self.harms)
-        if total_benefit and total_residual > total_benefit:
-            status = FindingStatus.VIOLATED
-            reasons.append(
-                f"total residual risk {total_residual:.2f} exceeds "
-                f"expected benefit {total_benefit:.2f}"
-            )
-            recommendations.append(
-                "redesign the study: harms currently outweigh benefits"
-            )
-        if not reasons:
-            reasons.append(
-                "identified harms are mitigated below threshold and "
-                "benefits are articulated"
-            )
-        return PrincipleFinding(
-            MenloPrinciple.BENEFICENCE,
-            status,
-            tuple(reasons),
-            tuple(recommendations),
-        )
+        return self._policy_finding(MenloPrinciple.BENEFICENCE)
 
     def justice(self) -> PrincipleFinding:
-        # Risks and benefits should not concentrate on one group while
-        # another captures the gains.
         """Evaluate the justice principle."""
-        harmed = {h.stakeholder_id for h in self.harms}
-        benefiting = {b.beneficiary for b in self.benefits}
-        reasons: list[str] = []
-        recommendations: list[str] = []
-        status = FindingStatus.SATISFIED
-        only_harmed = harmed - benefiting - {"society"}
-        if only_harmed and benefiting:
-            status = FindingStatus.NEEDS_SAFEGUARDS
-            names = ", ".join(
-                self.stakeholders[s].name
-                for s in sorted(only_harmed)
-                if s in self.stakeholders
-            )
-            if names:
-                reasons.append(
-                    f"risk is borne by {names} while benefits accrue "
-                    "elsewhere"
-                )
-                recommendations.append(
-                    "rebalance: reduce risk on the burdened group or "
-                    "direct benefits toward it"
-                )
-        if not self.harms and not self.benefits:
-            status = FindingStatus.INDETERMINATE
-            reasons.append(
-                "no harm/benefit register to assess distribution over"
-            )
-        if not reasons:
-            reasons.append(
-                "risks and benefits are not concentrated on a single "
-                "group"
-            )
-        return PrincipleFinding(
-            MenloPrinciple.JUSTICE,
-            status,
-            tuple(reasons),
-            tuple(recommendations),
-        )
+        return self._policy_finding(MenloPrinciple.JUSTICE)
 
     def respect_for_law_and_public_interest(self) -> PrincipleFinding:
         """Evaluate respect for law and the public interest."""
-        reasons: list[str] = []
-        recommendations: list[str] = []
-        if self.lawful is None:
-            status = FindingStatus.INDETERMINATE
-            reasons.append("legal analysis has not been performed")
-            recommendations.append(
-                "run the legal engine (or obtain legal advice) for "
-                "every relevant jurisdiction"
-            )
-        elif not self.lawful:
-            # Occasionally research is illegal but still ethical; the
-            # paper requires transparency and REB approval in that case.
-            status = FindingStatus.NEEDS_SAFEGUARDS
-            reasons.append(
-                "the research may breach applicable law; it can only "
-                "proceed with transparency, institutional backing and "
-                "REB approval"
-            )
-            recommendations.append(
-                "obtain REB approval, be transparent, and engage "
-                "lawmakers to improve the law (Israel 2004)"
-            )
-        else:
-            status = FindingStatus.SATISFIED
-            reasons.append("the research conforms to applicable law")
-        if not self.public_interest:
-            status = FindingStatus.worst(
-                [status, FindingStatus.NEEDS_SAFEGUARDS]
-            )
-            reasons.append("no public-interest case has been made")
-            recommendations.append(
-                "state the social benefit that exceeds the harms "
-                "(Floridi & Taddeo)"
-            )
-        if not self.reproducible:
-            reasons.append(
-                "the work is not reproducible by other researchers"
-            )
-            recommendations.append(
-                "support controlled sharing of the data or derived "
-                "artefacts"
-            )
-        return PrincipleFinding(
-            MenloPrinciple.RESPECT_FOR_LAW_AND_PUBLIC_INTEREST,
-            status,
-            tuple(reasons),
-            tuple(recommendations),
+        return self._policy_finding(
+            MenloPrinciple.RESPECT_FOR_LAW_AND_PUBLIC_INTEREST
         )
+
+    def _policy_finding(
+        self, principle: MenloPrinciple
+    ) -> PrincipleFinding:
+        from ..policy.runtime import default_policy
+
+        return default_policy().menlo_finding(self, principle.value)
 
     # -- aggregate -----------------------------------------------------
     def findings(self) -> tuple[PrincipleFinding, ...]:
         """All four principle findings, in Menlo order."""
-        return (
-            self.respect_for_persons(),
-            self.beneficence(),
-            self.justice(),
-            self.respect_for_law_and_public_interest(),
-        )
+        from ..policy.runtime import default_policy
+
+        return default_policy().menlo_findings(self)
 
     def overall_status(self) -> str:
         return FindingStatus.worst(

@@ -7,6 +7,12 @@ determines which of the paper's legal issues apply, cites the relevant
 statutes, attaches the available defences, and grades the residual
 legal risk. Experiment E10 validates the engine by re-deriving the
 legal bullets of every Table 1 row from first principles.
+
+The rules themselves are no longer code: they live as declarative
+rows in the default policy pack (:mod:`repro.policy.defaults`) and
+:func:`analyze_legal` evaluates the compiled decision tables. The
+issue catalogue is likewise derived from the pack, so adding an
+issue or a venue variant is a data change, not a code change.
 """
 
 from __future__ import annotations
@@ -16,8 +22,9 @@ from collections.abc import Sequence
 
 from ..corpus import DataOrigin
 from ..errors import LegalModelError
-from .jurisdictions import GENERIC, Jurisdiction, JurisdictionSet
-from .statutes import Statute, statutes_for
+from ..policy.defaults import legal_issue_ids
+from .jurisdictions import Jurisdiction, JurisdictionSet
+from .statutes import Statute
 
 __all__ = [
     "DataProfile",
@@ -28,15 +35,8 @@ __all__ = [
     "LEGAL_ISSUE_IDS",
 ]
 
-LEGAL_ISSUE_IDS = (
-    "computer-misuse",
-    "copyright",
-    "data-privacy",
-    "terrorism",
-    "indecent-images",
-    "national-security",
-    "contracts",
-)
+#: Canonical issue order, taken from the default policy pack.
+LEGAL_ISSUE_IDS: tuple[str, ...] = legal_issue_ids()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,12 +100,28 @@ class RiskLevel:
     SEVERE = "severe"
 
     ORDER = (NONE, LOW, MEDIUM, HIGH, SEVERE)
+    _RANK = {level: index for index, level in enumerate(ORDER)}
 
     @classmethod
     def worst(cls, levels: Sequence[str]) -> str:
+        """The most severe of *levels* (``NONE`` when empty).
+
+        Unknown levels raise :class:`LegalModelError` naming the
+        offending value rather than a bare ``ValueError``.
+        """
         if not levels:
             return cls.NONE
-        return max(levels, key=cls.ORDER.index)
+        rank = cls._RANK
+        worst = 0
+        for level in levels:
+            position = rank.get(level)
+            if position is None:
+                raise LegalModelError(
+                    f"unknown risk level {level!r}"
+                )
+            if position > worst:
+                worst = position
+        return cls.ORDER[worst]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -172,21 +188,6 @@ class LegalReport:
         return "\n".join(lines)
 
 
-def _base_defences(reb_approved: bool) -> tuple[str, ...]:
-    defences = [
-        "mens rea: demonstrating lack of criminal intent may defeat "
-        "prosecution",
-        "prosecution may not be in the public interest (uncertain)",
-    ]
-    if reb_approved:
-        defences.insert(
-            0,
-            "REB approval evidences lack of criminal intent and engages "
-            "institutional legal support",
-        )
-    return tuple(defences)
-
-
 def analyze_legal(
     profile: DataProfile,
     jurisdictions: JurisdictionSet,
@@ -195,356 +196,14 @@ def analyze_legal(
 ) -> LegalReport:
     """Evaluate every legal issue in every jurisdiction.
 
-    The rules implement §3 of the paper; each finding cites the
-    statutes from :mod:`repro.legal.statutes` and carries the generic
-    defences plus issue-specific mitigations.
+    The rules implement §3 of the paper as declarative rows in the
+    default policy pack; each finding cites the statutes from
+    :mod:`repro.legal.statutes` and carries the generic defences plus
+    issue-specific mitigations. Evaluation runs on the compiled
+    decision tables of :func:`repro.policy.default_policy`.
     """
-    findings: list[LegalFinding] = []
-    defences = _base_defences(reb_approved)
-    for jurisdiction in jurisdictions:
-        findings.extend(
-            _evaluate_jurisdiction(profile, jurisdiction, defences)
-        )
-    return LegalReport(profile=profile, findings=tuple(findings))
+    from ..policy.runtime import default_policy
 
-
-def _evaluate_jurisdiction(
-    profile: DataProfile,
-    jurisdiction: Jurisdiction,
-    defences: tuple[str, ...],
-) -> list[LegalFinding]:
-    findings = [
-        _computer_misuse(profile, jurisdiction, defences),
-        _copyright(profile, jurisdiction),
-        _data_privacy(profile, jurisdiction),
-        _terrorism(profile, jurisdiction, defences),
-        _indecent_images(profile, jurisdiction),
-        _national_security(profile, jurisdiction),
-        _contracts(profile, jurisdiction),
-    ]
-    return findings
-
-
-def _computer_misuse(
-    profile: DataProfile,
-    jurisdiction: Jurisdiction,
-    defences: tuple[str, ...],
-) -> LegalFinding:
-    statutes = statutes_for("computer-misuse", jurisdiction.code)
-    if profile.collected_by_researcher_intrusion:
-        return LegalFinding(
-            issue="computer-misuse",
-            jurisdiction=jurisdiction,
-            applicable=True,
-            risk=RiskLevel.SEVERE,
-            rationale=(
-                "the researchers themselves gained unauthorised access "
-                "(cf. the AT&T iPad case: conviction and 41 months)"
-            ),
-            statutes=statutes,
-            defences=defences,
-            mitigations=(
-                "do not collect by intrusion; use existing data or "
-                "lawful collection",
-            ),
-        )
-    applicable = (
-        profile.origin
-        in (
-            DataOrigin.VULNERABILITY_EXPLOITATION,
-            DataOrigin.UNAUTHORIZED_LEAK,
-        )
-        or profile.contains_malware_or_exploits
-    )
-    if not applicable:
-        return LegalFinding(
-            issue="computer-misuse",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale=(
-                "the data arose from an unintended disclosure and "
-                "contains no attack tooling"
-            ),
-        )
-    risk = RiskLevel.LOW
-    rationale = (
-        "the data was originally obtained by computer misuse; "
-        "secondary use is lower risk but possession of the proceeds "
-        "needs care"
-    )
-    mitigations = ["document provenance and lack of involvement in the "
-                   "original offence"]
-    if profile.contains_malware_or_exploits:
-        risk = RiskLevel.MEDIUM
-        rationale += (
-            "; the dataset contains malware or exploit code whose "
-            "possession/supply may engage dual-use tool offences"
-        )
-        mitigations.append(
-            "store malware encrypted, do not redistribute it, and "
-            "share derived metrics instead (Calleja et al.)"
-        )
-    if profile.paid_offenders:
-        risk = RiskLevel.HIGH
-        rationale += "; paying offenders for data is itself illicit"
-    return LegalFinding(
-        issue="computer-misuse",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=risk,
-        rationale=rationale,
-        statutes=statutes,
-        defences=defences,
-        mitigations=tuple(mitigations),
-    )
-
-
-def _copyright(
-    profile: DataProfile, jurisdiction: Jurisdiction
-) -> LegalFinding:
-    statutes = statutes_for("copyright", jurisdiction.code)
-    if profile.us_government_work:
-        return LegalFinding(
-            issue="copyright",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale=(
-                "US government works carry no copyright (cf. the "
-                "Vault 7 discussion in §4.5.2)"
-            ),
-        )
-    if not profile.copyrighted_material:
-        return LegalFinding(
-            issue="copyright",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale="no copyright works in the dataset",
-        )
-    risk = RiskLevel.LOW
-    mitigations = ["rely on fair use / fair dealing for analysis"]
-    if profile.plans_public_redistribution:
-        risk = RiskLevel.MEDIUM
-        mitigations.append(
-            "do not redistribute the raw data; share under a written "
-            "agreement with verified researchers (Allman & Paxson)"
-        )
-    return LegalFinding(
-        issue="copyright",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=risk,
-        rationale=(
-            "the dataset contains copyright works; further sharing "
-            "creates copies"
-        ),
-        statutes=statutes,
-        mitigations=tuple(mitigations),
-    )
-
-
-def _data_privacy(
-    profile: DataProfile, jurisdiction: Jurisdiction
-) -> LegalFinding:
-    statutes = statutes_for("data-privacy", jurisdiction.code)
-    personal = profile.any_personal_data or (
-        profile.contains_ip_addresses
-        and jurisdiction.ip_addresses_personal
-    )
-    if not personal:
-        rationale = "no personal data under this jurisdiction's rules"
-        if profile.contains_ip_addresses:
-            rationale = (
-                "IP addresses are not personal data in this "
-                "jurisdiction (they would be in Germany/EU)"
-            )
-        return LegalFinding(
-            issue="data-privacy",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale=rationale,
-        )
-    risk = RiskLevel.MEDIUM
-    mitigations = [
-        "pseudonymise identifiers (hash emails, prefix-preserving "
-        "anonymisation of IP addresses)",
-        "apply data minimisation and encrypt at rest",
-        "keep personal data out of publications",
-    ]
-    if profile.plans_deanonymization:
-        risk = RiskLevel.HIGH
-        mitigations.insert(
-            0, "do not attempt to deanonymise or re-identify anyone"
-        )
-    if jurisdiction.research_data_exemption:
-        risk = RiskLevel.LOW if risk == RiskLevel.MEDIUM else risk
-        rationale = (
-            "personal data is present but a research exemption is "
-            "available subject to safeguards (GDPR Art. 89 / BDSG "
-            "§28.2.3 style)"
-        )
-    else:
-        rationale = (
-            "personal data is present and no statutory research "
-            "exemption applies"
-        )
-    return LegalFinding(
-        issue="data-privacy",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=risk,
-        rationale=rationale,
-        statutes=statutes,
-        mitigations=tuple(mitigations),
-    )
-
-
-def _terrorism(
-    profile: DataProfile,
-    jurisdiction: Jurisdiction,
-    defences: tuple[str, ...],
-) -> LegalFinding:
-    statutes = statutes_for("terrorism", jurisdiction.code)
-    if not profile.terrorism_related:
-        return LegalFinding(
-            issue="terrorism",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale="no terrorist material expected in the data",
-        )
-    mitigations = [
-        "obtain REB approval and institutional oversight before "
-        "handling terrorist materials (Universities UK guidance)",
-    ]
-    if jurisdiction.must_report_terrorism:
-        mitigations.append(
-            "report discovered terrorist activity: failure to report "
-            "is itself an offence in this jurisdiction"
-        )
-    return LegalFinding(
-        issue="terrorism",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=RiskLevel.HIGH
-        if jurisdiction.must_report_terrorism
-        else RiskLevel.MEDIUM,
-        rationale=(
-            "the data may contain terrorist material; possession "
-            "requires research exceptions and discovery may trigger "
-            "reporting duties"
-        ),
-        statutes=statutes,
-        defences=defences,
-        mitigations=tuple(mitigations),
-    )
-
-
-def _indecent_images(
-    profile: DataProfile, jurisdiction: Jurisdiction
-) -> LegalFinding:
-    statutes = statutes_for("indecent-images", jurisdiction.code)
-    if not profile.may_contain_indecent_images:
-        return LegalFinding(
-            issue="indecent-images",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale="no risk of indecent imagery in the data",
-        )
-    return LegalFinding(
-        issue="indecent-images",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=RiskLevel.SEVERE,
-        rationale=(
-            "possession of indecent images of children is an offence "
-            "with, in general, no research exemption; every viewing is "
-            "additional abuse of the victim"
-        ),
-        statutes=statutes,
-        mitigations=(
-            "filter dumps without viewing content (hash matching), "
-            "delete immediately on discovery, and report to the "
-            "relevant authority",
-        ),
-    )
-
-
-def _national_security(
-    profile: DataProfile, jurisdiction: Jurisdiction
-) -> LegalFinding:
-    statutes = statutes_for("national-security", jurisdiction.code)
-    if not profile.classified and not profile.state_sensitive:
-        return LegalFinding(
-            issue="national-security",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale="the data is not classified",
-        )
-    if not profile.classified:
-        return LegalFinding(
-            issue="national-security",
-            jurisdiction=jurisdiction,
-            applicable=True,
-            risk=RiskLevel.LOW,
-            rationale=(
-                "the data is not classified but reveals the conduct of "
-                "states or state-linked persons; secrecy and "
-                "national-security legislation of affected states may "
-                "be engaged"
-            ),
-            statutes=statutes,
-            mitigations=(
-                "assess exposure under the laws of the states the data "
-                "concerns before publication",
-            ),
-        )
-    return LegalFinding(
-        issue="national-security",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=RiskLevel.HIGH,
-        rationale=(
-            "the data remains classified despite public availability; "
-            "institutions with facility security clearances risk "
-            "spillage handling (the Purdue incident) and researchers "
-            "risk prosecution"
-        ),
-        statutes=statutes,
-        mitigations=(
-            "check institutional clearance status before handling",
-            "consider working from journalistic reporting instead of "
-            "raw documents",
-        ),
-    )
-
-
-def _contracts(
-    profile: DataProfile, jurisdiction: Jurisdiction
-) -> LegalFinding:
-    statutes = statutes_for("contracts", jurisdiction.code)
-    if not profile.violates_terms_of_service:
-        return LegalFinding(
-            issue="contracts",
-            jurisdiction=jurisdiction,
-            applicable=False,
-            risk=RiskLevel.NONE,
-            rationale="no contract or terms-of-service breach",
-        )
-    return LegalFinding(
-        issue="contracts",
-        jurisdiction=jurisdiction,
-        applicable=True,
-        risk=RiskLevel.LOW,
-        rationale=(
-            "use of the data breaches terms of service, creating civil "
-            "liability exposure"
-        ),
-        statutes=statutes,
-        mitigations=("seek institutional legal advice before use",),
+    return default_policy().legal_report(
+        profile, jurisdictions, reb_approved=reb_approved
     )

@@ -554,13 +554,12 @@ class BatchExecutor:
             if cache is not None and operation.pure:
                 try:
                     built = build_request(operation, request.args)
+                    digest = ctx.cache_digest(operation, built)
                 except ReproError:
                     # Doomed request: fails identically inline.
                     entries.append((_LOCAL, request, 0, 0))
                     continue
-                key = cache_key(
-                    operation.name, built, ctx.corpus_digest()
-                )
+                key = cache_key(operation.name, built, digest)
                 if key in cache or key in scheduled:
                     entries.append((_LOCAL, request, 0, 0))
                     continue

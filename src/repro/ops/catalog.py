@@ -108,7 +108,7 @@ def _run_verify(request: dict, ctx: RunContext) -> OpResponse:
     failing = unsuppressed(findings)
     mark = "FAIL" if failing else "OK "
     lines.append(
-        f"[{mark}] SC: static policy lint (R1-R9 + baseline) — "
+        f"[{mark}] SC: static policy lint (R1-R10 + baseline) — "
         f"{summarize(findings)}"
     )
     for finding in failing:
@@ -507,6 +507,21 @@ def _run_simulate(request: dict, ctx: RunContext) -> OpResponse:
             "officers": len(leak.officers),
             "public_figures": len(leak.public_figures()),
         }
+    elif kind == "projects":
+        from ..datasets import ResearchProjectGenerator
+
+        projects = ResearchProjectGenerator(seed).generate(100)
+        harms = sum(len(p.harms) for p in projects)
+        reb = sum(1 for p in projects if p.reb_approved)
+        summary = (
+            f"projects: {len(projects)} synthetic research "
+            f"designs, {harms} harms registered, {reb} REB-approved"
+        )
+        detail = {
+            "harms": harms,
+            "projects": len(projects),
+            "reb_approved": reb,
+        }
     elif kind == "classified":
         from ..datasets import ClassifiedCorpusGenerator
 
@@ -531,6 +546,148 @@ def _run_simulate(request: dict, ctx: RunContext) -> OpResponse:
     payload = {"detail": detail, "kind": kind, "seed": seed,
                "summary": summary}
     return OpResponse(payload=payload, text=summary + "\n")
+
+
+def _pack_counts(data: dict) -> dict:
+    """Rule-count summary of one pack's three sections."""
+    return {
+        "legal_issues": len(data["legal"]["issues"]),
+        "menlo_principles": len(data["menlo"]["principles"]),
+        "verdict_steps": len(data["verdict"]["steps"]),
+    }
+
+
+def _run_policy_list(request: dict, ctx: RunContext) -> OpResponse:
+    """List the bundled policy packs with their content digests."""
+    from ..policy import bundled_pack_names, resolve_pack
+
+    lines: list[str] = []
+    packs = []
+    for name in bundled_pack_names():
+        pack = resolve_pack(name)
+        counts = _pack_counts(pack.data)
+        lines.append(
+            f"{name}: {counts['legal_issues']} legal issues, "
+            f"{counts['menlo_principles']} Menlo principles, "
+            f"{counts['verdict_steps']} verdict steps "
+            f"[digest {pack.digest}]"
+        )
+        packs.append(
+            {"digest": pack.digest, "name": name, **counts}
+        )
+    lines.append(f"{len(packs)} bundled packs")
+    return OpResponse(
+        payload={"packs": packs}, text=_text(lines)
+    )
+
+
+def _run_policy_show(request: dict, ctx: RunContext) -> OpResponse:
+    """Summarise one pack's compiled rule surface."""
+    from ..policy import resolve_pack
+
+    pack = resolve_pack(request["pack"])
+    data = pack.data
+    version = data.get("version", 0)
+    description = data.get("description", "")
+    lines = [
+        f"pack {pack.name} v{version} [digest {pack.digest}]",
+        f"  {description}",
+        "legal issues:",
+    ]
+    issues = []
+    for issue in data["legal"]["issues"]:
+        rows = len(issue["rows"])
+        lines.append(
+            f"  {issue['id']}: {rows} decision rows"
+        )
+        issues.append({"id": issue["id"], "rows": rows})
+    lines.append("menlo principles:")
+    principles = []
+    for principle in data["menlo"]["principles"]:
+        checks = len(principle["checks"])
+        lines.append(
+            f"  {principle['id']}: {checks} checks"
+        )
+        principles.append(
+            {"checks": checks, "id": principle["id"]}
+        )
+    steps = data["verdict"]["steps"]
+    lines.append(
+        f"verdict: default {data['verdict']['default']!r}, "
+        f"{len(steps)} fold steps"
+    )
+    payload = {
+        "description": description,
+        "digest": pack.digest,
+        "issues": issues,
+        "name": pack.name,
+        "principles": principles,
+        "verdict_default": data["verdict"]["default"],
+        "verdict_steps": len(steps),
+        "version": version,
+    }
+    return OpResponse(payload=payload, text=_text(lines))
+
+
+def _run_policy_assess(request: dict, ctx: RunContext) -> OpResponse:
+    """Assess one seeded synthetic project under a policy pack."""
+    from ..assessment import assess_with_policy
+    from ..datasets import synthetic_project
+    from ..policy import compiled_policy
+
+    policy = compiled_policy(request["pack"])
+    seed = request["seed"]
+    project = synthetic_project(seed)
+    assessment = assess_with_policy(project, policy)
+    lines = [
+        f"pack: {policy.name} [digest {policy.digest}]",
+        f"seed: {seed}",
+        *assessment.summary().splitlines(),
+    ]
+    payload = {
+        "issues": list(assessment.applicable_legal_issues),
+        "legal_risk": assessment.legal.overall_risk,
+        "menlo": {
+            finding.principle.value: finding.status
+            for finding in assessment.menlo
+        },
+        "notes": list(assessment.notes),
+        "pack": {"digest": policy.digest, "name": policy.name},
+        "required_actions": list(assessment.required_actions),
+        "seed": seed,
+        "title": project.title,
+        "verdict": assessment.verdict,
+    }
+    return OpResponse(payload=payload, text=_text(lines))
+
+
+def _run_policy_validate(
+    request: dict, ctx: RunContext
+) -> OpResponse:
+    """Validate policy packs; a bad pack raises PolicyError (exit 2)."""
+    from ..policy import bundled_pack_names, resolve_pack
+
+    refs = (
+        [request["pack"]]
+        if request["pack"] is not None
+        else list(bundled_pack_names())
+    )
+    lines: list[str] = []
+    validated = []
+    for ref in refs:
+        pack = resolve_pack(ref)
+        counts = _pack_counts(pack.data)
+        lines.append(
+            f"[OK ] {ref}: pack {pack.name} "
+            f"[digest {pack.digest}]"
+        )
+        validated.append(
+            {"digest": pack.digest, "name": pack.name, "ref": ref}
+        )
+    lines.append(f"{len(validated)}/{len(refs)} packs valid")
+    return OpResponse(
+        payload={"packs": validated}, text=_text(lines)
+    )
 
 
 def _operations() -> tuple[Operation, ...]:
@@ -646,7 +803,7 @@ def _operations() -> tuple[Operation, ...]:
             name="lint",
             help=(
                 "statically check the repro source against the "
-                "paper's safeguards (R1-R9)"
+                "paper's safeguards (R1-R10)"
             ),
             handler=_run_lint,
             args=(
@@ -708,11 +865,73 @@ def _operations() -> tuple[Operation, ...]:
                     "kind",
                     choices=(
                         "passwords", "booter", "forum", "offshore",
-                        "classified", "scan",
+                        "classified", "projects", "scan",
                     ),
                     required=True,
                 ),
                 Arg("--seed", kind=int, default=0),
+            ),
+        ),
+        Operation(
+            name="policy.list",
+            help="list the bundled policy packs and their digests",
+            handler=_run_policy_list,
+            pure=True,
+        ),
+        Operation(
+            name="policy.show",
+            help="summarise one policy pack's rule surface",
+            handler=_run_policy_show,
+            args=(
+                Arg(
+                    "--pack",
+                    default=None,
+                    help=(
+                        "bundled pack name or JSON pack path "
+                        "(default: the bundled default pack)"
+                    ),
+                ),
+            ),
+            pure=True,
+            pack_scoped=True,
+        ),
+        Operation(
+            name="policy.assess",
+            help=(
+                "assess one seeded synthetic research project "
+                "under a policy pack"
+            ),
+            handler=_run_policy_assess,
+            args=(
+                Arg(
+                    "--pack",
+                    default=None,
+                    help=(
+                        "bundled pack name or JSON pack path "
+                        "(default: the bundled default pack)"
+                    ),
+                ),
+                Arg("--seed", kind=int, default=0),
+            ),
+            pure=True,
+            pack_scoped=True,
+        ),
+        Operation(
+            name="policy.validate",
+            help=(
+                "validate policy packs (all bundled, or one "
+                "--pack reference)"
+            ),
+            handler=_run_policy_validate,
+            args=(
+                Arg(
+                    "--pack",
+                    default=None,
+                    help=(
+                        "bundled pack name or JSON pack path; "
+                        "omit to validate every bundled pack"
+                    ),
+                ),
             ),
         ),
         Operation(
@@ -788,6 +1007,13 @@ def default_registry() -> OperationRegistry:
         registry.describe_group(
             "agreement",
             "inter-rater reliability beyond exact label matching",
+        )
+        registry.describe_group(
+            "policy",
+            (
+                "declarative policy packs: list, inspect, "
+                "validate and mass-assess"
+            ),
         )
         _REGISTRY = registry
     return _REGISTRY

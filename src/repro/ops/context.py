@@ -80,6 +80,24 @@ class RunContext:
             self._digest = hasher.hexdigest()
         return self._digest
 
+    def cache_digest(self, operation, request) -> str:
+        """The purity digest for one (operation, request) pair.
+
+        Plain pure operations key on the corpus digest alone. A
+        ``pack_scoped`` operation additionally mixes in the content
+        digest of the policy pack its request names — resolved
+        fresh on every call, so an edited pack file yields a new
+        key immediately (hot-swap without restart or cache flush).
+        Raises :class:`~repro.errors.PolicyError` for an unknown or
+        malformed pack reference, exactly as the handler would.
+        """
+        digest = self.corpus_digest()
+        if operation.pack_scoped:
+            from ..policy import pack_digest_for
+
+            digest = f"{digest}:{pack_digest_for(request.get('pack'))}"
+        return digest
+
     def warm_up(self) -> str:
         """Materialise every lazy slot now; returns the corpus digest.
 

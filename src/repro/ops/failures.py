@@ -28,6 +28,7 @@ EXIT_USAGE = 2
 #: Ordered (error class, exit code) rows, most specific first.
 _TABLE: tuple[tuple[type[BaseException], int], ...] = (
     (errors.BatchError, EXIT_USAGE),
+    (errors.PolicyError, EXIT_USAGE),
     (errors.OperationError, EXIT_USAGE),
     (errors.SafeguardError, EXIT_FAILURE),
     (errors.LegalModelError, EXIT_FAILURE),

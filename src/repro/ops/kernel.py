@@ -47,7 +47,11 @@ def execute(
     ctx = context if context is not None else RunContext()
     request = build_request(operation, values)
     if operation.pure and ctx.cache is not None:
-        key = cache_key(operation.name, request, ctx.corpus_digest())
+        key = cache_key(
+            operation.name,
+            request,
+            ctx.cache_digest(operation, request),
+        )
         cached = ctx.cache.get(key)
         if cached is not None:
             return cached

@@ -166,10 +166,11 @@ def _execute_chunk(
         operation = _batchable_operation(name)
         if not operation.pure:
             continue
+        built = build_request(operation, values)
         key = cache_key(
             operation.name,
-            build_request(operation, values),
-            ctx.corpus_digest(),
+            built,
+            ctx.cache_digest(operation, built),
         )
         if key in exported:
             continue

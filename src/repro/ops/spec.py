@@ -160,9 +160,13 @@ class Operation:
     request dict and a :class:`~repro.ops.context.RunContext`.
     ``pure`` marks results as a function of (request, corpus digest)
     only — eligible for the content-addressed result cache.
-    ``batchable`` admits the operation into JSONL batch runs;
-    ``deterministic`` documents whether same-request output bytes are
-    stable (the sampling profiler's are not).
+    ``pack_scoped`` widens that function's domain to include the
+    policy pack the request names: the cache key additionally mixes
+    in the pack's content digest, so editing a pack file invalidates
+    its cached results without a restart. ``batchable`` admits the
+    operation into JSONL batch runs; ``deterministic`` documents
+    whether same-request output bytes are stable (the sampling
+    profiler's are not).
     """
 
     name: str
@@ -170,6 +174,7 @@ class Operation:
     handler: Callable
     args: tuple[Arg, ...] = ()
     pure: bool = False
+    pack_scoped: bool = False
     batchable: bool = True
     deterministic: bool = True
 

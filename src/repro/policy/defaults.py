@@ -1,0 +1,913 @@
+"""The bundled policy packs: the paper's rules as plain data.
+
+``DEFAULT_PACK`` transcribes the §3 legal analysis, the §2 Menlo
+principle checks and the assessment engine's verdict-folding policy
+into one declarative dict — every rationale, defence, mitigation and
+recommendation string the legacy engines emitted lives here now, so
+the compiled pack is output-identical to the code it replaced (the
+golden-parity acceptance gate). ``PRECAUTIONARY_PACK`` is a worked
+variant venue policy (medium/low legal risk already requires REB
+review) used by the hot-swap demonstrations.
+
+This module is **pure data**: no imports from the rest of the
+package, so the legal and assessment layers can derive their issue
+catalogues from it without import cycles. The schema is documented
+in ``docs/policy.md`` and enforced by
+:func:`repro.policy.model.validate_pack`.
+"""
+
+from __future__ import annotations
+
+import copy
+
+__all__ = [
+    "DEFAULT_PACK",
+    "PRECAUTIONARY_PACK",
+    "legal_issue_ids",
+    "menlo_principle_ids",
+    "table1_issue_ids",
+]
+
+#: The generic defences every criminal-exposure finding carries, and
+#: the extra defence REB approval unlocks (inserted at the front).
+_BASE_DEFENCES = (
+    "mens rea: demonstrating lack of criminal intent may defeat "
+    "prosecution",
+    "prosecution may not be in the public interest (uncertain)",
+)
+_REB_DEFENCE = (
+    "REB approval evidences lack of criminal intent and engages "
+    "institutional legal support"
+)
+
+#: Shared mitigation bundle for applicable data-privacy findings.
+_PRIVACY_MITIGATIONS = [
+    "pseudonymise identifiers (hash emails, prefix-preserving "
+    "anonymisation of IP addresses)",
+    "apply data minimisation and encrypt at rest",
+    "keep personal data out of publications",
+]
+_PRIVACY_EXEMPT_RATIONALE = (
+    "personal data is present but a research exemption is "
+    "available subject to safeguards (GDPR Art. 89 / BDSG "
+    "§28.2.3 style)"
+)
+_PRIVACY_PLAIN_RATIONALE = (
+    "personal data is present and no statutory research "
+    "exemption applies"
+)
+_NO_DEANON = "do not attempt to deanonymise or re-identify anyone"
+
+_TERRORISM_RATIONALE = (
+    "the data may contain terrorist material; possession "
+    "requires research exceptions and discovery may trigger "
+    "reporting duties"
+)
+_TERRORISM_REB = (
+    "obtain REB approval and institutional oversight before "
+    "handling terrorist materials (Universities UK guidance)"
+)
+
+DEFAULT_PACK: dict = {
+    "name": "default",
+    "version": 1,
+    "description": (
+        "the paper's §3 legal rules, §2 Menlo principle checks and "
+        "the §6 verdict-folding policy, as shipped"
+    ),
+    "facts": {
+        # Base facts bound 1:1 to DataProfile boolean attributes.
+        "profile": [
+            "contains_personal_data",
+            "contains_credentials",
+            "contains_email_addresses",
+            "contains_ip_addresses",
+            "contains_private_messages",
+            "contains_financial_records",
+            "contains_malware_or_exploits",
+            "copyrighted_material",
+            "us_government_work",
+            "classified",
+            "state_sensitive",
+            "terrorism_related",
+            "may_contain_indecent_images",
+            "publicly_available",
+            "collected_by_researcher_intrusion",
+            "paid_offenders",
+            "plans_public_redistribution",
+            "plans_controlled_sharing",
+            "plans_deanonymization",
+            "violates_terms_of_service",
+        ],
+        # Facts true when the profile's origin equals the value.
+        "origin": {
+            "origin_vulnerability_exploitation": (
+                "vulnerability-exploitation"
+            ),
+            "origin_unintended_disclosure": "unintended-disclosure",
+            "origin_unauthorized_leak": "unauthorized-leak",
+        },
+        # Facts bound to Jurisdiction boolean attributes.
+        "jurisdiction": {
+            "j_ip_addresses_personal": "ip_addresses_personal",
+            "j_research_data_exemption": "research_data_exemption",
+            "j_must_report_terrorism": "must_report_terrorism",
+        },
+        # Derived facts: boolean expressions over earlier facts,
+        # resolved in dependency order by the compiler.
+        "derived": [
+            {
+                "name": "any_personal_data",
+                "any": [
+                    "contains_personal_data",
+                    "contains_credentials",
+                    "contains_email_addresses",
+                    "contains_private_messages",
+                    "contains_financial_records",
+                ],
+            },
+            {
+                "name": "misuse_tainted",
+                "any": [
+                    "origin_vulnerability_exploitation",
+                    "origin_unauthorized_leak",
+                    "contains_malware_or_exploits",
+                ],
+            },
+            {
+                "name": "personal_data_in_jurisdiction",
+                "any": [
+                    "any_personal_data",
+                    {
+                        "all": [
+                            "contains_ip_addresses",
+                            "j_ip_addresses_personal",
+                        ]
+                    },
+                ],
+            },
+        ],
+        # Scalar facts the Menlo fact provider supplies.
+        "menlo": [
+            "has_unprotected",
+            "consent_not_sought",
+            "no_harms_identified",
+            "no_benefits_articulated",
+            "residual_exceeds_benefit",
+            "burdened_group_exists",
+            "burdened_group_named",
+            "empty_register",
+            "lawfulness_unknown",
+            "lawful",
+            "public_interest_case",
+            "reproducible",
+        ],
+        # Item enumerations for per-stakeholder Menlo checks, with
+        # the template fields each item carries.
+        "menlo_enums": {
+            "vulnerable_stakeholders": ["name"],
+            "over_threshold_stakeholders": [
+                "name",
+                "residual",
+                "threshold",
+            ],
+        },
+        # Scalar template context for Menlo reasons.
+        "menlo_context": [
+            "unprotected_names",
+            "burdened_names",
+            "total_residual",
+            "total_benefit",
+        ],
+        # Scalar facts the verdict-folding fact provider supplies.
+        "verdict": [
+            "right_to_life_engaged",
+            "rights_engaged",
+            "legal_risk_severe",
+            "legal_risk_high",
+            "legal_risk_moderate",
+            "menlo_violated",
+            "menlo_needs_safeguards",
+            "residual_risk_without_reb",
+            "no_acceptable_justification",
+            "ethics_section_missing",
+            "harms_outweigh_benefits",
+        ],
+        "verdict_enums": {
+            "rights_risks": ["right_name", "mechanism"],
+            "subsidising_parties": ["name", "risk"],
+            "unassessed_parties": ["party"],
+        },
+    },
+    "defences": {
+        "base": list(_BASE_DEFENCES),
+        "reb": _REB_DEFENCE,
+    },
+    "legal": {
+        "issues": [
+            {
+                "id": "computer-misuse",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {
+                            "collected_by_researcher_intrusion": True
+                        },
+                        "applicable": True,
+                        "risk": "severe",
+                        "rationale": (
+                            "the researchers themselves gained "
+                            "unauthorised access (cf. the AT&T iPad "
+                            "case: conviction and 41 months)"
+                        ),
+                        "defences": True,
+                        "mitigations": [
+                            "do not collect by intrusion; use "
+                            "existing data or lawful collection"
+                        ],
+                    },
+                    {
+                        "when": {"misuse_tainted": False},
+                        "applicable": False,
+                        "rationale": (
+                            "the data arose from an unintended "
+                            "disclosure and contains no attack "
+                            "tooling"
+                        ),
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "low",
+                        "rationale": (
+                            "the data was originally obtained by "
+                            "computer misuse; secondary use is lower "
+                            "risk but possession of the proceeds "
+                            "needs care"
+                        ),
+                        "defences": True,
+                        "mitigations": [
+                            "document provenance and lack of "
+                            "involvement in the original offence"
+                        ],
+                        "modifiers": [
+                            {
+                                "when": {
+                                    "contains_malware_or_exploits": (
+                                        True
+                                    )
+                                },
+                                "risk": "medium",
+                                "append_rationale": (
+                                    "; the dataset contains malware "
+                                    "or exploit code whose "
+                                    "possession/supply may engage "
+                                    "dual-use tool offences"
+                                ),
+                                "append_mitigations": [
+                                    "store malware encrypted, do "
+                                    "not redistribute it, and share "
+                                    "derived metrics instead "
+                                    "(Calleja et al.)"
+                                ],
+                            },
+                            {
+                                "when": {"paid_offenders": True},
+                                "risk": "high",
+                                "append_rationale": (
+                                    "; paying offenders for data is "
+                                    "itself illicit"
+                                ),
+                            },
+                        ],
+                    },
+                ],
+            },
+            {
+                "id": "copyright",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {"us_government_work": True},
+                        "applicable": False,
+                        "rationale": (
+                            "US government works carry no copyright "
+                            "(cf. the Vault 7 discussion in §4.5.2)"
+                        ),
+                    },
+                    {
+                        "when": {"copyrighted_material": False},
+                        "applicable": False,
+                        "rationale": (
+                            "no copyright works in the dataset"
+                        ),
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "low",
+                        "rationale": (
+                            "the dataset contains copyright works; "
+                            "further sharing creates copies"
+                        ),
+                        "mitigations": [
+                            "rely on fair use / fair dealing for "
+                            "analysis"
+                        ],
+                        "modifiers": [
+                            {
+                                "when": {
+                                    "plans_public_redistribution": (
+                                        True
+                                    )
+                                },
+                                "risk": "medium",
+                                "append_mitigations": [
+                                    "do not redistribute the raw "
+                                    "data; share under a written "
+                                    "agreement with verified "
+                                    "researchers (Allman & Paxson)"
+                                ],
+                            },
+                        ],
+                    },
+                ],
+            },
+            {
+                "id": "data-privacy",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {
+                            "personal_data_in_jurisdiction": False,
+                            "contains_ip_addresses": True,
+                        },
+                        "applicable": False,
+                        "rationale": (
+                            "IP addresses are not personal data in "
+                            "this jurisdiction (they would be in "
+                            "Germany/EU)"
+                        ),
+                    },
+                    {
+                        "when": {
+                            "personal_data_in_jurisdiction": False
+                        },
+                        "applicable": False,
+                        "rationale": (
+                            "no personal data under this "
+                            "jurisdiction's rules"
+                        ),
+                    },
+                    {
+                        "when": {
+                            "j_research_data_exemption": True,
+                            "plans_deanonymization": True,
+                        },
+                        "applicable": True,
+                        "risk": "high",
+                        "rationale": _PRIVACY_EXEMPT_RATIONALE,
+                        "mitigations": (
+                            [_NO_DEANON] + _PRIVACY_MITIGATIONS
+                        ),
+                    },
+                    {
+                        "when": {"j_research_data_exemption": True},
+                        "applicable": True,
+                        "risk": "low",
+                        "rationale": _PRIVACY_EXEMPT_RATIONALE,
+                        "mitigations": list(_PRIVACY_MITIGATIONS),
+                    },
+                    {
+                        "when": {"plans_deanonymization": True},
+                        "applicable": True,
+                        "risk": "high",
+                        "rationale": _PRIVACY_PLAIN_RATIONALE,
+                        "mitigations": (
+                            [_NO_DEANON] + _PRIVACY_MITIGATIONS
+                        ),
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "medium",
+                        "rationale": _PRIVACY_PLAIN_RATIONALE,
+                        "mitigations": list(_PRIVACY_MITIGATIONS),
+                    },
+                ],
+            },
+            {
+                "id": "terrorism",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {"terrorism_related": False},
+                        "applicable": False,
+                        "rationale": (
+                            "no terrorist material expected in the "
+                            "data"
+                        ),
+                    },
+                    {
+                        "when": {"j_must_report_terrorism": True},
+                        "applicable": True,
+                        "risk": "high",
+                        "rationale": _TERRORISM_RATIONALE,
+                        "defences": True,
+                        "mitigations": [
+                            _TERRORISM_REB,
+                            "report discovered terrorist activity: "
+                            "failure to report is itself an offence "
+                            "in this jurisdiction",
+                        ],
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "medium",
+                        "rationale": _TERRORISM_RATIONALE,
+                        "defences": True,
+                        "mitigations": [_TERRORISM_REB],
+                    },
+                ],
+            },
+            {
+                "id": "indecent-images",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {
+                            "may_contain_indecent_images": False
+                        },
+                        "applicable": False,
+                        "rationale": (
+                            "no risk of indecent imagery in the data"
+                        ),
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "severe",
+                        "rationale": (
+                            "possession of indecent images of "
+                            "children is an offence with, in "
+                            "general, no research exemption; every "
+                            "viewing is additional abuse of the "
+                            "victim"
+                        ),
+                        "mitigations": [
+                            "filter dumps without viewing content "
+                            "(hash matching), delete immediately on "
+                            "discovery, and report to the relevant "
+                            "authority"
+                        ],
+                    },
+                ],
+            },
+            {
+                "id": "national-security",
+                "table1": True,
+                "rows": [
+                    {
+                        "when": {
+                            "classified": False,
+                            "state_sensitive": False,
+                        },
+                        "applicable": False,
+                        "rationale": "the data is not classified",
+                    },
+                    {
+                        "when": {"classified": False},
+                        "applicable": True,
+                        "risk": "low",
+                        "rationale": (
+                            "the data is not classified but reveals "
+                            "the conduct of states or state-linked "
+                            "persons; secrecy and national-security "
+                            "legislation of affected states may be "
+                            "engaged"
+                        ),
+                        "mitigations": [
+                            "assess exposure under the laws of the "
+                            "states the data concerns before "
+                            "publication"
+                        ],
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "high",
+                        "rationale": (
+                            "the data remains classified despite "
+                            "public availability; institutions with "
+                            "facility security clearances risk "
+                            "spillage handling (the Purdue "
+                            "incident) and researchers risk "
+                            "prosecution"
+                        ),
+                        "mitigations": [
+                            "check institutional clearance status "
+                            "before handling",
+                            "consider working from journalistic "
+                            "reporting instead of raw documents",
+                        ],
+                    },
+                ],
+            },
+            {
+                "id": "contracts",
+                "table1": False,
+                "rows": [
+                    {
+                        "when": {
+                            "violates_terms_of_service": False
+                        },
+                        "applicable": False,
+                        "rationale": (
+                            "no contract or terms-of-service breach"
+                        ),
+                    },
+                    {
+                        "when": {},
+                        "applicable": True,
+                        "risk": "low",
+                        "rationale": (
+                            "use of the data breaches terms of "
+                            "service, creating civil liability "
+                            "exposure"
+                        ),
+                        "mitigations": [
+                            "seek institutional legal advice before "
+                            "use"
+                        ],
+                    },
+                ],
+            },
+        ],
+    },
+    "menlo": {
+        "principles": [
+            {
+                "id": "respect-for-persons",
+                "checks": [
+                    {
+                        "when": {"has_unprotected": True},
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "informed consent is absent for: "
+                            "{unprotected_names}"
+                        ),
+                        "recommendation": (
+                            "seek REB review so the board can "
+                            "protect the interests of individuals "
+                            "for whom consent is impossible (Menlo "
+                            "/ BSC guidance)"
+                        ),
+                    },
+                    {
+                        "when": {"consent_not_sought": True},
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "consent was not sought from "
+                            "stakeholders where it may have been "
+                            "feasible"
+                        ),
+                        "recommendation": (
+                            "justify why consent is impossible or "
+                            "impractical, or obtain it"
+                        ),
+                    },
+                    {
+                        "each": "vulnerable_stakeholders",
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "{name} has diminished autonomy and "
+                            "needs additional protection"
+                        ),
+                        "recommendation": (
+                            "add specific protections for {name}"
+                        ),
+                    },
+                ],
+                "fallback_reason": (
+                    "all natural-person stakeholders consented or "
+                    "are protected"
+                ),
+            },
+            {
+                "id": "beneficence",
+                "checks": [
+                    {
+                        "when": {"no_harms_identified": True},
+                        "status": "indeterminate",
+                        "reason": (
+                            "no harms were identified; an empty "
+                            "harm register more often reflects "
+                            "missing analysis than absent risk"
+                        ),
+                        "recommendation": (
+                            "enumerate potential harms per "
+                            "stakeholder before claiming "
+                            "beneficence"
+                        ),
+                        "final": True,
+                    },
+                    {
+                        "each": "over_threshold_stakeholders",
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "residual risk {residual} to {name} "
+                            "exceeds the threshold {threshold}"
+                        ),
+                        "recommendation": (
+                            "add safeguards mitigating harms to "
+                            "{name}"
+                        ),
+                    },
+                    {
+                        "when": {"no_benefits_articulated": True},
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "no benefits have been articulated"
+                        ),
+                        "recommendation": (
+                            "articulate the research benefits (the "
+                            "paper finds benefits as well as harms "
+                            "often go unidentified)"
+                        ),
+                    },
+                    {
+                        "when": {"residual_exceeds_benefit": True},
+                        "status": "violated",
+                        "reason": (
+                            "total residual risk {total_residual} "
+                            "exceeds expected benefit "
+                            "{total_benefit}"
+                        ),
+                        "recommendation": (
+                            "redesign the study: harms currently "
+                            "outweigh benefits"
+                        ),
+                    },
+                ],
+                "fallback_reason": (
+                    "identified harms are mitigated below threshold "
+                    "and benefits are articulated"
+                ),
+            },
+            {
+                "id": "justice",
+                "checks": [
+                    {
+                        "when": {"burdened_group_exists": True},
+                        "status": "needs-safeguards",
+                    },
+                    {
+                        "when": {"burdened_group_named": True},
+                        "reason": (
+                            "risk is borne by {burdened_names} "
+                            "while benefits accrue elsewhere"
+                        ),
+                        "recommendation": (
+                            "rebalance: reduce risk on the burdened "
+                            "group or direct benefits toward it"
+                        ),
+                    },
+                    {
+                        "when": {"empty_register": True},
+                        "status": "indeterminate",
+                        "reason": (
+                            "no harm/benefit register to assess "
+                            "distribution over"
+                        ),
+                    },
+                ],
+                "fallback_reason": (
+                    "risks and benefits are not concentrated on a "
+                    "single group"
+                ),
+            },
+            {
+                "id": "respect-for-law-and-public-interest",
+                "checks": [
+                    {
+                        "when": {"lawfulness_unknown": True},
+                        "status": "indeterminate",
+                        "reason": (
+                            "legal analysis has not been performed"
+                        ),
+                        "recommendation": (
+                            "run the legal engine (or obtain legal "
+                            "advice) for every relevant "
+                            "jurisdiction"
+                        ),
+                    },
+                    {
+                        "when": {
+                            "lawfulness_unknown": False,
+                            "lawful": False,
+                        },
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "the research may breach applicable "
+                            "law; it can only proceed with "
+                            "transparency, institutional backing "
+                            "and REB approval"
+                        ),
+                        "recommendation": (
+                            "obtain REB approval, be transparent, "
+                            "and engage lawmakers to improve the "
+                            "law (Israel 2004)"
+                        ),
+                    },
+                    {
+                        "when": {
+                            "lawfulness_unknown": False,
+                            "lawful": True,
+                        },
+                        "status": "satisfied",
+                        "reason": (
+                            "the research conforms to applicable law"
+                        ),
+                    },
+                    {
+                        "when": {"public_interest_case": False},
+                        "status": "needs-safeguards",
+                        "reason": (
+                            "no public-interest case has been made"
+                        ),
+                        "recommendation": (
+                            "state the social benefit that exceeds "
+                            "the harms (Floridi & Taddeo)"
+                        ),
+                    },
+                    {
+                        "when": {"reproducible": False},
+                        "reason": (
+                            "the work is not reproducible by other "
+                            "researchers"
+                        ),
+                        "recommendation": (
+                            "support controlled sharing of the data "
+                            "or derived artefacts"
+                        ),
+                    },
+                ],
+            },
+        ],
+    },
+    "verdict": {
+        "default": "proceed",
+        "steps": [
+            {
+                "each": "rights_risks",
+                "note": (
+                    "human-rights exposure: {right_name} — "
+                    "{mechanism}"
+                ),
+            },
+            {
+                "when": {"right_to_life_engaged": True},
+                "verdict": "do-not-proceed",
+                "action": (
+                    "the research could indirectly cost identified "
+                    "people their lives; redesign so individuals "
+                    "cannot be identified before any further work"
+                ),
+            },
+            {
+                "when": {
+                    "right_to_life_engaged": False,
+                    "rights_engaged": True,
+                },
+                "verdict": "requires-reb-review",
+                "action": (
+                    "human rights of data subjects are engaged; "
+                    "REB review must weigh the rights exposure "
+                    "explicitly"
+                ),
+            },
+            {
+                "when": {"legal_risk_severe": True},
+                "verdict": "do-not-proceed",
+                "action": (
+                    "severe legal exposure: redesign the study "
+                    "before any further work"
+                ),
+            },
+            {
+                "when": {"legal_risk_high": True},
+                "verdict": "requires-reb-review",
+                "action": (
+                    "high legal risk: obtain REB approval and "
+                    "institutional legal advice before proceeding"
+                ),
+            },
+            {
+                "when": {"legal_risk_moderate": True},
+                "verdict": "proceed-with-safeguards",
+            },
+            {"collect": "legal-mitigations"},
+            {
+                "when": {"menlo_violated": True},
+                "verdict": "do-not-proceed",
+            },
+            {
+                "when": {"menlo_needs_safeguards": True},
+                "verdict": "proceed-with-safeguards",
+            },
+            {"collect": "menlo-recommendations"},
+            {
+                "when": {"residual_risk_without_reb": True},
+                "verdict": "requires-reb-review",
+                "action": (
+                    "potential to harm humans exists even without "
+                    "direct human subjects: seek REB approval "
+                    "(risk-based trigger, §6 of the paper)"
+                ),
+            },
+            {
+                "each": "subsidising_parties",
+                "note": (
+                    "{name} bears risk {risk} with no benefit — "
+                    "justice concern"
+                ),
+            },
+            {
+                "each": "unassessed_parties",
+                "note": (
+                    "stakeholder {party} has no harms or benefits "
+                    "recorded; the register looks incomplete"
+                ),
+            },
+            {
+                "when": {"no_acceptable_justification": True},
+                "note": (
+                    "no justification for using this data "
+                    "currently carries weight; the strongest path "
+                    "is necessity plus public interest with no "
+                    "additional harm"
+                ),
+            },
+            {
+                "when": {"ethics_section_missing": True},
+                "action": (
+                    "include an explicit ethics section recording "
+                    "this reasoning (Partridge & Allman)"
+                ),
+            },
+            {
+                "when": {"harms_outweigh_benefits": True},
+                "verdict": "do-not-proceed",
+            },
+        ],
+    },
+}
+
+
+def _build_precautionary() -> dict:
+    """The bundled variant pack: REB review at any legal exposure."""
+    pack = copy.deepcopy(DEFAULT_PACK)
+    pack["name"] = "precautionary"
+    pack["description"] = (
+        "a stricter venue policy: any applicable legal exposure "
+        "(medium or low included) requires REB review"
+    )
+    for step in pack["verdict"]["steps"]:
+        if step.get("when") == {"legal_risk_moderate": True}:
+            step["verdict"] = "requires-reb-review"
+            step["action"] = (
+                "this venue requires REB review for any applicable "
+                "legal exposure, however low the residual risk"
+            )
+    return pack
+
+
+PRECAUTIONARY_PACK: dict = _build_precautionary()
+
+
+def legal_issue_ids(pack: dict | None = None) -> tuple[str, ...]:
+    """The legal-issue catalogue of *pack* (default pack if None)."""
+    data = DEFAULT_PACK if pack is None else pack
+    return tuple(
+        issue["id"] for issue in data["legal"]["issues"]
+    )
+
+
+def table1_issue_ids(pack: dict | None = None) -> tuple[str, ...]:
+    """The issues that appear as Table 1 legal columns."""
+    data = DEFAULT_PACK if pack is None else pack
+    return tuple(
+        issue["id"]
+        for issue in data["legal"]["issues"]
+        if issue.get("table1")
+    )
+
+
+def menlo_principle_ids(pack: dict | None = None) -> tuple[str, ...]:
+    """The Menlo principle ids of *pack*, in evaluation order."""
+    data = DEFAULT_PACK if pack is None else pack
+    return tuple(
+        principle["id"]
+        for principle in data["menlo"]["principles"]
+    )

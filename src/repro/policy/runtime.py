@@ -1,0 +1,120 @@
+"""Pack resolution, compilation memo and hot-swap digests.
+
+A *pack reference* is either the name of a bundled pack
+(``"default"``, ``"precautionary"``) or a filesystem path to a JSON
+pack. :func:`resolve_pack` turns a reference into a validated
+:class:`~repro.policy.model.PolicyPack`; :func:`compiled_policy`
+memoizes compilation **by content digest**, so two references to the
+same bytes share one decision table while an edited pack file
+compiles fresh on the next call — hot-swap needs no process restart
+and no cache flush. Path references deliberately re-read the file on
+every resolution (no mtime shortcut): the digest the ops layer mixes
+into ResultCache keys must always reflect the bytes on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import PolicyError
+from .compiler import CompiledPolicy
+from .defaults import DEFAULT_PACK, PRECAUTIONARY_PACK
+from .model import PolicyPack, load_pack
+
+__all__ = [
+    "bundled_pack_names",
+    "compiled_policy",
+    "default_policy",
+    "pack_digest_for",
+    "resolve_pack",
+]
+
+_BUNDLED: dict[str, dict] = {
+    "default": DEFAULT_PACK,
+    "precautionary": PRECAUTIONARY_PACK,
+}
+
+#: Bundled packs validated + digested once (they are module constants,
+#: so the memo writes are idempotent).
+_BUNDLED_PACKS: dict[str, PolicyPack] = {}
+
+#: Compiled decision tables, keyed by pack content digest. Two packs
+#: with the same digest have identical bytes, so the memo write is
+#: idempotent: recompiling can only produce an equivalent table.
+_COMPILED: dict[str, CompiledPolicy] = {}
+
+#: The compiled default pack, memoized via the guarded-global idiom.
+_DEFAULT_POLICY: CompiledPolicy | None = None
+
+
+def bundled_pack_names() -> tuple[str, ...]:
+    """Names of the packs shipped with the library."""
+    return tuple(_BUNDLED)
+
+
+def resolve_pack(ref: str | None = None) -> PolicyPack:
+    """Resolve a pack reference to a validated pack.
+
+    ``None`` means the default pack; a bundled name resolves from
+    memory; anything that looks like a path (or exists on disk) is
+    loaded as a JSON pack file. Unknown references raise
+    :class:`~repro.errors.PolicyError`.
+    """
+    if ref is None:
+        ref = "default"
+    if ref in _BUNDLED:
+        pack = _BUNDLED_PACKS.get(ref)
+        if pack is None:
+            pack = PolicyPack.from_data(_BUNDLED[ref])
+            _BUNDLED_PACKS[ref] = pack  # repro: noqa[R8] idempotent digest memo over a module constant; cannot go stale
+        return pack
+    path = Path(ref)
+    if (
+        ref.endswith(".json")
+        or "/" in ref
+        or "\\" in ref
+        or path.exists()
+    ):
+        data = load_pack(path)
+        return PolicyPack.from_data(data)
+    raise PolicyError(
+        f"unknown policy pack {ref!r} (bundled: "
+        f"{', '.join(_BUNDLED)}; or pass a .json pack path)"
+    )
+
+
+def pack_digest_for(ref: str | None = None) -> str:
+    """Content digest of the pack *ref* resolves to, right now.
+
+    For a path reference this re-reads the file, so an edited pack
+    yields a new digest immediately — the hook ResultCache keying
+    relies on for hot-swap invalidation.
+    """
+    return resolve_pack(ref).digest
+
+
+def compiled_policy(ref: str | None = None) -> CompiledPolicy:
+    """The compiled decision tables for *ref*, memoized by digest."""
+    if ref is None or ref == "default":
+        return default_policy()
+    pack = resolve_pack(ref)
+    compiled = _COMPILED.get(pack.digest)
+    if compiled is None:
+        compiled = CompiledPolicy(pack)
+        _COMPILED[pack.digest] = compiled  # repro: noqa[R8] digest-keyed compile memo; same digest implies identical tables
+    return compiled
+
+
+def default_policy() -> CompiledPolicy:
+    """The compiled default pack (the legacy engines' semantics).
+
+    Memoized with the guarded-global idiom: the hot path of every
+    legal/Menlo/assessment call runs through here, and the default
+    pack is a module constant, so the compile is idempotent.
+    """
+    global _DEFAULT_POLICY
+    if _DEFAULT_POLICY is None:
+        _DEFAULT_POLICY = CompiledPolicy(
+            PolicyPack.from_data(DEFAULT_PACK)
+        )
+    return _DEFAULT_POLICY

@@ -34,9 +34,13 @@ the safeguards the reproduction implements (see
   so the ``ResultCache`` trust in the flag is machine-checked;
 * **R9** ``worker-safety`` — every callable submitted to a process
   pool is module-level and picklable by construction: no lambdas,
-  bound methods, nested functions or mutable default arguments.
+  bound methods, nested functions or mutable default arguments;
+* **R10** ``policy-literals`` — legal-issue ids and Menlo principle
+  names are policy-pack vocabulary: outside ``repro.policy`` (and
+  the coded corpus data) they must come from the pack helpers, not
+  re-spelled string literals.
 
-R1–R7 judge one file at a time; R8/R9 are interprocedural and run on
+R1–R7 and R10 judge one file at a time; R8/R9 are interprocedural and run on
 the once-per-run :class:`~repro.staticcheck.project.Project` graph
 (symbol table, import graph, call graph). Findings are cached
 content-addressed per file (:mod:`repro.staticcheck.cache`), so warm
@@ -71,6 +75,7 @@ from .rules_determinism import DeterminismRule
 from .rules_layering import LayeringRule
 from .rules_naming import TelemetryNamingRule
 from .rules_pii import PIILiteralRule
+from .rules_policy import PolicyLiteralRule
 from .rules_purity import PurityRule
 from .rules_workers import WorkerSafetyRule
 
@@ -86,6 +91,7 @@ __all__ = [
     "LintEngine",
     "ModuleInfo",
     "PIILiteralRule",
+    "PolicyLiteralRule",
     "Project",
     "PurityRule",
     "Rule",
@@ -127,7 +133,9 @@ def lint_repo(
     *workers* fans cold files out to a process pool. *changed_only*
     limits output to files whose digest moved since the cached run
     (the ``lint --changed`` fast path); stale-baseline drift is not
-    judged then, since unchanged files are not re-examined.
+    judged then, since unchanged files are not re-examined. A
+    ``--select`` subset judges staleness only for entries whose rule
+    ran — a skipped rule cannot prove its exceptions fixed.
     """
     registry = default_registry()
     if select:
@@ -141,7 +149,17 @@ def lint_repo(
         changed_only=changed_only,
     )
     if with_baseline:
+        baseline = BASELINE
+        if select:
+            ran = {rule.id for rule in registry}
+            baseline = tuple(
+                entry
+                for entry in BASELINE
+                if entry.rule_id in ran
+            )
         findings.extend(
-            baseline_drift(findings, stale=not changed_only)
+            baseline_drift(
+                findings, baseline, stale=not changed_only
+            )
         )
     return findings

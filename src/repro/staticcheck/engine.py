@@ -297,7 +297,7 @@ class RuleRegistry:
 
 
 def default_registry() -> RuleRegistry:
-    """The registry with all nine shipped rules (R1–R9)."""
+    """The registry with all ten shipped rules (R1–R10)."""
     from .rules_audit import AuditBoundaryRule
     from .rules_consistency import ConsistencyRule
     from .rules_dataflow import SafeguardBoundaryRule
@@ -305,6 +305,7 @@ def default_registry() -> RuleRegistry:
     from .rules_layering import LayeringRule
     from .rules_naming import TelemetryNamingRule
     from .rules_pii import PIILiteralRule
+    from .rules_policy import PolicyLiteralRule
     from .rules_purity import PurityRule
     from .rules_workers import WorkerSafetyRule
 
@@ -319,6 +320,7 @@ def default_registry() -> RuleRegistry:
             LayeringRule(),
             PurityRule(),
             WorkerSafetyRule(),
+            PolicyLiteralRule(),
         )
     )
 
